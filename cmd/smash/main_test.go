@@ -1,0 +1,83 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"smash/internal/synth"
+	"smash/internal/trace"
+)
+
+func writeTestTrace(t *testing.T) string {
+	t.Helper()
+	w, err := synth.Generate(synth.Config{
+		Name: "clitest", Seed: 9, Days: 1,
+		Clients: 250, BenignServers: 600, MeanRequests: 15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "day.tsv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.WriteTrace(f, w.Trace()); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	path := writeTestTrace(t)
+	var out bytes.Buffer
+	if err := run([]string{"-trace", path, "-v"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "inferred") {
+		t.Errorf("missing summary line:\n%s", text)
+	}
+	if !strings.Contains(text, "campaign") {
+		t.Errorf("no campaigns printed:\n%s", text)
+	}
+	if !strings.Contains(text, "score=") {
+		t.Errorf("-v did not print member scores:\n%s", text)
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("missing -trace accepted")
+	}
+	if err := run([]string{"-trace", "/does/not/exist"}, &out); err == nil {
+		t.Error("nonexistent trace accepted")
+	}
+	if err := run([]string{"-wat"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	path := writeTestTrace(t)
+	var out bytes.Buffer
+	if err := run([]string{"-trace", path, "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var summary map[string]any
+	if err := json.Unmarshal(out.Bytes(), &summary); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if _, ok := summary["campaigns"]; !ok {
+		t.Error("JSON missing campaigns key")
+	}
+	if _, ok := summary["preprocess"]; !ok {
+		t.Error("JSON missing preprocess key")
+	}
+}

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report run")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "0.2", "-seed", "9"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"Table I", "Table II", "Table III", "Table IV", "Table V",
+		"Table VI", "Table XI", "Table XII",
+		"Figure 6", "Figure 7", "Figure 8", "Figure 9", "Figure 10",
+		"Case study", "Headline", "Main dimension study",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("bogus flag accepted")
+	}
+}

@@ -1,0 +1,115 @@
+// Command tracegen generates a synthetic ISP world — traces, ground truth
+// and whois records — to disk, for driving cmd/smash and external analyses.
+//
+// Usage:
+//
+//	tracegen -out dir [-profile Data2011day] [-seed 42]
+//	         [-clients N] [-servers N] [-days N]
+//
+// For each day it writes dayN.tsv in the trace TSV format, plus truth.json
+// (ground-truth manifest) and whois.json (registration database).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"smash/internal/synth"
+	"smash/internal/trace"
+	"smash/internal/whois"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	var (
+		outDir  = fs.String("out", "", "output directory (required)")
+		profile = fs.String("profile", "Data2011day", "dataset profile (Data2011day, Data2012day, Data2012week)")
+		seed    = fs.Int64("seed", 42, "generation seed")
+		clients = fs.Int("clients", 0, "override client count")
+		servers = fs.Int("servers", 0, "override benign server count")
+		days    = fs.Int("days", 0, "override day count")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *outDir == "" {
+		return fmt.Errorf("-out is required")
+	}
+	cfg := synth.DayProfile(*profile, *seed)
+	if *clients > 0 {
+		cfg.Clients = *clients
+	}
+	if *servers > 0 {
+		cfg.BenignServers = *servers
+	}
+	if *days > 0 {
+		cfg.Days = *days
+	}
+
+	world, err := synth.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	for i, day := range world.Days {
+		path := filepath.Join(*outDir, fmt.Sprintf("day%d.tsv", i+1))
+		if err := writeTrace(path, day); err != nil {
+			return err
+		}
+		stats := day.ComputeStats()
+		fmt.Fprintf(out, "wrote %s: %s\n", path, stats.Render())
+	}
+	if err := writeJSON(filepath.Join(*outDir, "truth.json"), world.Truth); err != nil {
+		return err
+	}
+	if err := writeJSON(filepath.Join(*outDir, "whois.json"), whoisRecords(world.Whois)); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote ground truth for %d campaigns, %d labelled servers\n",
+		len(world.Truth.Campaigns), len(world.Truth.Servers))
+	return nil
+}
+
+func writeTrace(path string, t *trace.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteTrace(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func whoisRecords(reg *whois.MapRegistry) []whois.Record {
+	domains := reg.Domains()
+	out := make([]whois.Record, 0, len(domains))
+	for _, d := range domains {
+		if rec, ok := reg.Lookup(d); ok {
+			out = append(out, rec)
+		}
+	}
+	return out
+}

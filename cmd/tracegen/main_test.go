@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"smash/internal/trace"
+)
+
+func TestRunGeneratesArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{
+		"-out", dir, "-profile", "Data2011day", "-seed", "5",
+		"-clients", "250", "-servers", "600",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "day1.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.ReadTrace(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Requests) < 1000 {
+		t.Errorf("trace too small: %d requests", len(tr.Requests))
+	}
+	for _, f := range []string{"truth.json", "whois.json"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("%s missing: %v", f, err)
+		}
+	}
+	if !strings.Contains(out.String(), "wrote") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("missing -out accepted")
+	}
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("bogus flag accepted")
+	}
+}
+
+func TestRunMultiDay(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{
+		"-out", dir, "-seed", "5", "-days", "2",
+		"-clients", "250", "-servers", "600",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"day1.tsv", "day2.tsv"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("%s missing: %v", f, err)
+		}
+	}
+}

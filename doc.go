@@ -1,0 +1,35 @@
+// Package smash is a from-scratch Go reproduction of SMASH — "Systematic
+// Mining of Associated Server Herds for Malware Campaign Discovery"
+// (Zhang, Saha, Gu, Lee, Mellia; ICDCS 2015).
+//
+// SMASH ingests network-wide HTTP traffic and discovers Associated Server
+// Herds: groups of servers involved in the same malware campaign — C&C
+// domain-flux pools, drop zones, exploit kits, scanned victim pools,
+// webshell-injected benign sites. It mines per-dimension server-similarity
+// graphs (client sets, URI files, IP sets, whois records), extracts
+// communities with Louvain modularity clustering, correlates the
+// communities across dimensions with an erf-shaped scoring function, prunes
+// redirection/referrer noise, and merges the surviving herds into whole
+// campaigns.
+//
+// Layout:
+//
+//   - internal/core        — the Detector pipeline (public API)
+//   - internal/trace       — HTTP traffic model, TSV codec, server index
+//   - internal/similarity  — the four dimension metrics and graph builders
+//   - internal/graph       — weighted graphs + Louvain community detection
+//   - internal/sparse      — sparse co-occurrence products (pairwise sims)
+//   - internal/herd        — ASH mining over dimension graphs
+//   - internal/correlate   — eq. (9) multi-dimension scoring
+//   - internal/prune       — redirection/referrer noise pruning
+//   - internal/campaign    — campaign inference and classification
+//   - internal/synth       — synthetic ISP world (the evaluation substrate)
+//   - internal/ids         — simulated IDS snapshots and blacklists
+//   - internal/eval        — reproduction of every table and figure
+//   - cmd/smash, cmd/tracegen, cmd/smashbench — CLIs
+//   - examples/            — runnable scenarios
+//
+// See README.md for a walkthrough, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The benchmarks in bench_test.go regenerate each experiment.
+package smash

@@ -1,0 +1,75 @@
+// Botnet discovery: the communication-activity scenario of the paper's case
+// studies. The example plants Bagle-style (two-tier), Sality-style
+// (compromised downloaders) and Zeus-style (DGA, zero-day) botnets, runs
+// SMASH, and contrasts what the unsupervised pipeline recovers with what
+// the signature IDS snapshots knew — reproducing the shapes of Tables VII,
+// VIII and X.
+//
+//	go run ./examples/botnetdiscovery
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"smash/internal/eval"
+	"smash/internal/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	env, err := eval.NewEnvFromConfig(synth.Config{
+		Name:          "botnets",
+		Seed:          7,
+		Clients:       400,
+		BenignServers: 1200,
+		MeanRequests:  20,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("=== Communication-activity campaigns (botnet infrastructure) ===")
+	for _, name := range []string{"bagle", "sality", "zeus"} {
+		cs, err := eval.BuildCaseStudy(env, name)
+		if err != nil {
+			return err
+		}
+		fmt.Println(cs.Render())
+	}
+
+	// The zero-day claim (§V-A2): Zeus has zero 2012-signature coverage yet
+	// SMASH recovers the pool without any signatures at all.
+	zeus, err := eval.BuildCaseStudy(env, "zeus")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("zero-day check: zeus IDS2012=%d IDS2013=%d SMASH=%d/%d\n",
+		zeus.IDS2012, zeus.IDS2013, zeus.Found, zeus.Active)
+	if zeus.IDS2012 == 0 && zeus.Found > 0 {
+		fmt.Println("SMASH detected the campaign before any 2012 signature existed — zero-day discovery")
+	}
+
+	// The holistic-view claim (§V-D1): the two Bagle tiers (download +
+	// C&C) merge into one campaign through the shared bot population.
+	bagle, err := eval.BuildCaseStudy(env, "bagle")
+	if err != nil {
+		return err
+	}
+	cc, dl := 0, 0
+	for _, row := range bagle.Rows {
+		switch row.Category {
+		case string(synth.CatC2):
+			cc++
+		case string(synth.CatDownload):
+			dl++
+		}
+	}
+	fmt.Printf("holistic view: the merged Bagle campaign spans %d C&C and %d download servers\n", cc, dl)
+	return nil
+}

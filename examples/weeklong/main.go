@@ -1,0 +1,82 @@
+// Weeklong: the multi-day evolution study (§V-B). A seven-day world is
+// generated with persistent campaigns (stable server pools), agile
+// campaigns (daily domain rotation with the same bots) and a campaign that
+// only appears mid-week. Running SMASH day by day reproduces the shapes of
+// Tables V and VI and Figure 7: most detected servers belong to agile
+// campaigns, confirming that malware rotates domains to evade blocking.
+//
+//	go run ./examples/weeklong
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"smash/internal/eval"
+	"smash/internal/synth"
+	"smash/internal/tracker"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	env, err := eval.NewEnvFromConfig(synth.Config{
+		Name:          "Data2012week",
+		Seed:          12,
+		Days:          7,
+		Clients:       350,
+		BenignServers: 1000,
+		MeanRequests:  15,
+	})
+	if err != nil {
+		return err
+	}
+
+	tableV, err := eval.TableV(env)
+	if err != nil {
+		return err
+	}
+	fmt.Println(tableV.Render())
+
+	tableVI, err := eval.TableVI(env)
+	if err != nil {
+		return err
+	}
+	fmt.Println(tableVI.Render())
+
+	fig7, err := eval.BuildFigure7(env)
+	if err != nil {
+		return err
+	}
+	fmt.Println(fig7.Render())
+
+	// The paper's observation: most servers belong to agile campaigns
+	// (new servers contacted by already-known infected clients).
+	agile, total := 0, 0
+	for _, d := range fig7.Days[1:] {
+		agile += d.NewServerOldClient
+		total += d.OldServers + d.NewServerOldClient + d.NewServerNewClient
+	}
+	if total > 0 {
+		fmt.Printf("across days 2-7, %.0f%% of detected servers belong to agile campaigns\n\n",
+			100*float64(agile)/float64(total))
+	}
+
+	// Daily operation: the tracker links each day's campaigns into
+	// cross-day lineages by client overlap, so an agile domain-rotating
+	// operation stays one identity all week.
+	tk := tracker.New()
+	for day := 0; day < len(env.World.Days); day++ {
+		report, err := env.Run(day, 0.8, 1.0)
+		if err != nil {
+			return err
+		}
+		tk.Observe(report)
+	}
+	fmt.Print(tk.Summary())
+	return nil
+}

@@ -1,0 +1,227 @@
+// Package campaign implements malicious campaign inference (§III-E): the
+// correlation stage captures specific activities (e.g. the download tier and
+// the C&C tier of one botnet end up in different herds), so pruned herds
+// whose servers belong to the same main-dimension (client similarity) herd
+// are merged back into one campaign — the infected clients connecting to
+// different tiers still mark one malicious operation.
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"smash/internal/herd"
+	"smash/internal/prune"
+	"smash/internal/trace"
+)
+
+// Kind distinguishes the paper's two malicious activity classes.
+type Kind int
+
+const (
+	// KindCommunication marks campaigns whose servers are malware
+	// infrastructure contacted by bots (C&C, drop zones, exploit kits).
+	KindCommunication Kind = iota + 1
+	// KindAttacking marks campaigns whose servers are benign victims
+	// attacked by bots (scanning, iframe injection).
+	KindAttacking
+)
+
+// String returns the kind's display name.
+func (k Kind) String() string {
+	switch k {
+	case KindCommunication:
+		return "communication"
+	case KindAttacking:
+		return "attacking"
+	default:
+		return "unknown"
+	}
+}
+
+// Campaign is one inferred malicious campaign.
+type Campaign struct {
+	// ID is a stable identifier within the run.
+	ID int
+	// Servers is the sorted set of involved servers.
+	Servers []string
+	// Clients is the sorted set of clients contacting those servers.
+	Clients []string
+	// Score is the highest member herd score.
+	Score float64
+	// Herds counts how many pruned herds were merged into the campaign.
+	Herds int
+	// Kind is a heuristic activity classification (see Classify).
+	Kind Kind
+}
+
+// Size returns the number of servers in the campaign.
+func (c *Campaign) Size() int { return len(c.Servers) }
+
+// Render formats the campaign as a short one-line summary.
+func (c *Campaign) Render() string {
+	preview := c.Servers
+	if len(preview) > 4 {
+		preview = preview[:4]
+	}
+	return fmt.Sprintf("campaign %d [%s] score=%.2f servers=%d clients=%d: %s%s",
+		c.ID, c.Kind, c.Score, len(c.Servers), len(c.Clients),
+		strings.Join(preview, ", "),
+		map[bool]string{true: ", ...", false: ""}[len(c.Servers) > len(preview)])
+}
+
+// Infer merges pruned herds into campaigns: herds sharing a main-dimension
+// herd are unioned (the main dimension captures the campaign's group
+// connection behaviour). Campaign clients are recovered from the index.
+func Infer(pruned []prune.PrunedASH, idx *trace.Index) []Campaign {
+	// Union-find over herd indices keyed by shared main herd.
+	parent := make([]int, len(pruned))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	byMain := make(map[*herd.ASH][]int)
+	for i := range pruned {
+		if pruned[i].Suspicious == nil || pruned[i].Suspicious.MainHerd == nil {
+			continue
+		}
+		m := pruned[i].Suspicious.MainHerd
+		byMain[m] = append(byMain[m], i)
+	}
+	for _, idxs := range byMain {
+		for i := 1; i < len(idxs); i++ {
+			union(idxs[0], idxs[i])
+		}
+	}
+
+	groups := make(map[int][]int)
+	for i := range pruned {
+		groups[find(i)] = append(groups[find(i)], i)
+	}
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	// Deterministic ordering: by smallest first-server name.
+	sort.Slice(roots, func(a, b int) bool {
+		return firstServer(pruned, groups[roots[a]]) < firstServer(pruned, groups[roots[b]])
+	})
+
+	campaigns := make([]Campaign, 0, len(roots))
+	for id, r := range roots {
+		serverSet := make(map[string]struct{})
+		score := 0.0
+		for _, hi := range groups[r] {
+			for _, s := range pruned[hi].Servers {
+				serverSet[s] = struct{}{}
+			}
+			if pruned[hi].Suspicious != nil && pruned[hi].Suspicious.Score > score {
+				score = pruned[hi].Suspicious.Score
+			}
+		}
+		servers := make([]string, 0, len(serverSet))
+		for s := range serverSet {
+			servers = append(servers, s)
+		}
+		sort.Strings(servers)
+		clients := clientsOf(servers, idx)
+		campaigns = append(campaigns, Campaign{
+			ID:      id,
+			Servers: servers,
+			Clients: clients,
+			Score:   score,
+			Herds:   len(groups[r]),
+		})
+	}
+	return campaigns
+}
+
+func firstServer(pruned []prune.PrunedASH, idxs []int) string {
+	best := ""
+	for _, i := range idxs {
+		if len(pruned[i].Servers) == 0 {
+			continue
+		}
+		if best == "" || pruned[i].Servers[0] < best {
+			best = pruned[i].Servers[0]
+		}
+	}
+	return best
+}
+
+func clientsOf(servers []string, idx *trace.Index) []string {
+	set := make(map[string]struct{})
+	for _, s := range servers {
+		info := idx.Servers[s]
+		if info == nil {
+			continue
+		}
+		for c := range info.Clients {
+			set[c] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Classify assigns each campaign a heuristic Kind: campaigns whose servers
+// overwhelmingly answer with error statuses or receive requests for one
+// shared vulnerable file across many distinct victim domains look like
+// attacking activity (the servers are victims); otherwise the campaign is
+// communication activity. The threshold errFrac is the minimum mean error
+// fraction to call a campaign attacking (the paper's attack examples — ZmEu
+// scanning, iframe upload probing — hit files that mostly do not exist).
+func Classify(campaigns []Campaign, idx *trace.Index, errFrac float64) {
+	if errFrac <= 0 {
+		errFrac = 0.5
+	}
+	for i := range campaigns {
+		c := &campaigns[i]
+		totalErr, totalReq := 0, 0
+		for _, s := range c.Servers {
+			info := idx.Servers[s]
+			if info == nil {
+				continue
+			}
+			totalErr += info.ErrorRequests
+			totalReq += info.Requests
+		}
+		if totalReq > 0 && float64(totalErr)/float64(totalReq) >= errFrac {
+			c.Kind = KindAttacking
+		} else {
+			c.Kind = KindCommunication
+		}
+	}
+}
+
+// FilterMinClients removes campaigns with fewer than min involved clients.
+// The paper reports multi-client campaigns (>= 2) in its headline tables and
+// single-client campaigns separately (Appendix C).
+func FilterMinClients(campaigns []Campaign, min int) (kept, removed []Campaign) {
+	for _, c := range campaigns {
+		if len(c.Clients) >= min {
+			kept = append(kept, c)
+		} else {
+			removed = append(removed, c)
+		}
+	}
+	return kept, removed
+}

@@ -1,0 +1,180 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"smash/internal/correlate"
+	"smash/internal/herd"
+	"smash/internal/prune"
+	"smash/internal/trace"
+)
+
+func buildIdx(rows [][4]string, statuses ...int) *trace.Index {
+	tr := &trace.Trace{}
+	for i, r := range rows {
+		status := 200
+		if i < len(statuses) {
+			status = statuses[i]
+		}
+		tr.Requests = append(tr.Requests, trace.Request{
+			Time: time.Unix(0, 0), Client: r[0], Host: r[1], ServerIP: r[2], Path: r[3],
+			Status: status,
+		})
+	}
+	return trace.BuildIndex(tr)
+}
+
+func prunedHerd(main *herd.ASH, servers ...string) prune.PrunedASH {
+	return prune.PrunedASH{
+		Suspicious: &correlate.SuspiciousASH{MainHerd: main, Servers: servers, Score: 1.2},
+		Servers:    servers,
+	}
+}
+
+func TestInferMergesByMainHerd(t *testing.T) {
+	// Bagle pattern: download tier and C&C tier are separate pruned herds
+	// but share one main (client) herd -> one campaign.
+	mainHerd := &herd.ASH{Dimension: "client", ID: 0,
+		Servers: []string{"cc1.com", "cc2.com", "dl1.com", "dl2.com"}}
+	idx := buildIdx([][4]string{
+		{"bot1", "dl1.com", "1.1.1.1", "/images/file.txt"},
+		{"bot1", "dl2.com", "1.1.1.2", "/images/file.txt"},
+		{"bot1", "cc1.com", "9.9.9.1", "/images/news.php"},
+		{"bot1", "cc2.com", "9.9.9.2", "/images/news.php"},
+		{"bot2", "cc1.com", "9.9.9.1", "/images/news.php"},
+	})
+	pruned := []prune.PrunedASH{
+		prunedHerd(mainHerd, "dl1.com", "dl2.com"),
+		prunedHerd(mainHerd, "cc1.com", "cc2.com"),
+	}
+	campaigns := Infer(pruned, idx)
+	if len(campaigns) != 1 {
+		t.Fatalf("campaigns = %d, want 1 (merged)", len(campaigns))
+	}
+	c := campaigns[0]
+	if c.Size() != 4 {
+		t.Errorf("servers = %v, want 4", c.Servers)
+	}
+	if len(c.Clients) != 2 {
+		t.Errorf("clients = %v, want [bot1 bot2]", c.Clients)
+	}
+	if c.Herds != 2 {
+		t.Errorf("merged herds = %d, want 2", c.Herds)
+	}
+	if c.Score != 1.2 {
+		t.Errorf("score = %g", c.Score)
+	}
+}
+
+func TestInferKeepsSeparateCampaigns(t *testing.T) {
+	m1 := &herd.ASH{Dimension: "client", ID: 0, Servers: []string{"a1.com", "a2.com"}}
+	m2 := &herd.ASH{Dimension: "client", ID: 1, Servers: []string{"b1.com", "b2.com"}}
+	idx := buildIdx([][4]string{
+		{"botA", "a1.com", "1.1.1.1", "/x.php"},
+		{"botA", "a2.com", "1.1.1.2", "/x.php"},
+		{"botB", "b1.com", "2.2.2.1", "/y.php"},
+		{"botB", "b2.com", "2.2.2.2", "/y.php"},
+	})
+	pruned := []prune.PrunedASH{
+		prunedHerd(m1, "a1.com", "a2.com"),
+		prunedHerd(m2, "b1.com", "b2.com"),
+	}
+	campaigns := Infer(pruned, idx)
+	if len(campaigns) != 2 {
+		t.Fatalf("campaigns = %d, want 2", len(campaigns))
+	}
+	// Deterministic order by first server.
+	if campaigns[0].Servers[0] != "a1.com" || campaigns[1].Servers[0] != "b1.com" {
+		t.Errorf("order: %v / %v", campaigns[0].Servers, campaigns[1].Servers)
+	}
+}
+
+func TestInferDeterministic(t *testing.T) {
+	m1 := &herd.ASH{Dimension: "client", ID: 0, Servers: []string{"a1.com", "a2.com"}}
+	m2 := &herd.ASH{Dimension: "client", ID: 1, Servers: []string{"b1.com", "b2.com"}}
+	idx := buildIdx([][4]string{
+		{"c", "a1.com", "1.1.1.1", "/x"}, {"c", "a2.com", "1.1.1.2", "/x"},
+		{"c", "b1.com", "2.2.2.1", "/y"}, {"c", "b2.com", "2.2.2.2", "/y"},
+	})
+	pruned := []prune.PrunedASH{
+		prunedHerd(m2, "b1.com", "b2.com"),
+		prunedHerd(m1, "a1.com", "a2.com"),
+	}
+	a := Infer(pruned, idx)
+	b := Infer(pruned, idx)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic count")
+	}
+	for i := range a {
+		if strings.Join(a[i].Servers, ",") != strings.Join(b[i].Servers, ",") {
+			t.Fatalf("nondeterministic campaign %d", i)
+		}
+	}
+}
+
+func TestClassify(t *testing.T) {
+	// Attacking campaign: victims answer 404 to the scanner's probes.
+	idx := buildIdx([][4]string{
+		{"bot", "v1.com", "1.1.1.1", "/setup.php"},
+		{"bot", "v2.com", "1.1.1.2", "/setup.php"},
+		{"bot", "cc.com", "9.9.9.9", "/login.php"},
+		{"bot", "cc2.com", "9.9.9.9", "/login.php"},
+	}, 404, 404, 200, 200)
+	campaigns := []Campaign{
+		{Servers: []string{"v1.com", "v2.com"}},
+		{Servers: []string{"cc.com", "cc2.com"}},
+	}
+	Classify(campaigns, idx, 0.5)
+	if campaigns[0].Kind != KindAttacking {
+		t.Errorf("victims classified %v, want attacking", campaigns[0].Kind)
+	}
+	if campaigns[1].Kind != KindCommunication {
+		t.Errorf("C&C classified %v, want communication", campaigns[1].Kind)
+	}
+	if KindAttacking.String() != "attacking" || KindCommunication.String() != "communication" {
+		t.Error("kind strings wrong")
+	}
+	if Kind(0).String() != "unknown" {
+		t.Error("zero kind should be unknown")
+	}
+}
+
+func TestFilterMinClients(t *testing.T) {
+	campaigns := []Campaign{
+		{ID: 0, Clients: []string{"a", "b"}},
+		{ID: 1, Clients: []string{"a"}},
+		{ID: 2, Clients: nil},
+	}
+	kept, removed := FilterMinClients(campaigns, 2)
+	if len(kept) != 1 || kept[0].ID != 0 {
+		t.Errorf("kept = %+v", kept)
+	}
+	if len(removed) != 2 {
+		t.Errorf("removed = %+v", removed)
+	}
+}
+
+func TestCampaignRender(t *testing.T) {
+	c := Campaign{ID: 3, Kind: KindCommunication, Score: 1.5,
+		Servers: []string{"a.com", "b.com", "c.com", "d.com", "e.com"},
+		Clients: []string{"x"}}
+	out := c.Render()
+	if !strings.Contains(out, "campaign 3") || !strings.Contains(out, "...") {
+		t.Errorf("render = %q", out)
+	}
+}
+
+func TestInferEmptyAndNilHandling(t *testing.T) {
+	idx := trace.NewIndex()
+	if got := Infer(nil, idx); len(got) != 0 {
+		t.Errorf("empty infer = %+v", got)
+	}
+	// Pruned herd with nil suspicious pointer must not panic.
+	pruned := []prune.PrunedASH{{Servers: []string{"x.com", "y.com"}}}
+	got := Infer(pruned, idx)
+	if len(got) != 1 {
+		t.Errorf("got %d campaigns", len(got))
+	}
+}

@@ -1,0 +1,289 @@
+// Package core is SMASH's public pipeline: it wires preprocessing, ASH
+// mining, multi-dimension correlation, pruning and campaign inference
+// (Fig. 2 of the paper) behind a single Detector with functional options.
+//
+// Typical use:
+//
+//	det := core.New(core.WithSeed(42), core.WithWhois(registry))
+//	report, err := det.Run(dayTrace)
+//	for _, c := range report.Campaigns { ... }
+//
+// The detector is deterministic for a fixed option set and input trace.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"smash/internal/campaign"
+	"smash/internal/correlate"
+	"smash/internal/herd"
+	"smash/internal/preprocess"
+	"smash/internal/prune"
+	"smash/internal/similarity"
+	"smash/internal/trace"
+	"smash/internal/webprobe"
+	"smash/internal/whois"
+)
+
+// config collects all tunables; modified only through Options.
+type config struct {
+	seed            int64
+	idfThreshold    int
+	threshold       float64
+	singleThreshold float64
+	mu, beta        float64
+	simOpts         similarity.Options
+	prober          webprobe.Prober
+	registry        whois.Registry
+	minClients      int
+	extraDims       []herd.Dimension
+	disableWhoisDim bool
+	mineFunc        herd.MineFunc
+}
+
+// Option configures a Detector.
+type Option func(*config)
+
+// WithSeed sets the seed for the deterministic community detection.
+func WithSeed(seed int64) Option { return func(c *config) { c.seed = seed } }
+
+// WithIDFThreshold sets the preprocessing popularity cut (default 200).
+func WithIDFThreshold(t int) Option { return func(c *config) { c.idfThreshold = t } }
+
+// WithThreshold sets the inference threshold for multi-client campaigns
+// (the paper evaluates 0.5/0.8/1.0/1.5 and operates at 0.8).
+func WithThreshold(t float64) Option { return func(c *config) { c.threshold = t } }
+
+// WithSingleClientThreshold sets the (stricter) threshold applied to
+// campaigns with a single involved client (paper: 1.0).
+func WithSingleClientThreshold(t float64) Option {
+	return func(c *config) { c.singleThreshold = t }
+}
+
+// WithSigma overrides the sigma normalizer parameters µ and β.
+func WithSigma(mu, beta float64) Option {
+	return func(c *config) { c.mu, c.beta = mu, beta }
+}
+
+// WithSimilarityOptions overrides the similarity graph builders' options.
+func WithSimilarityOptions(o similarity.Options) Option {
+	return func(c *config) { c.simOpts = o }
+}
+
+// WithProber sets the active prober used by pruning and verification.
+func WithProber(p webprobe.Prober) Option { return func(c *config) { c.prober = p } }
+
+// WithWhois sets the whois registry enabling the whois dimension.
+func WithWhois(r whois.Registry) Option { return func(c *config) { c.registry = r } }
+
+// WithMinClients sets the minimum involved clients for a campaign to be
+// reported in Campaigns (smaller ones go to SingleClientCampaigns;
+// default 2).
+func WithMinClients(n int) Option { return func(c *config) { c.minClients = n } }
+
+// WithExtraDimension registers an additional secondary dimension,
+// exercising the paper's extensibility claim (§III-B).
+func WithExtraDimension(d herd.Dimension) Option {
+	return func(c *config) { c.extraDims = append(c.extraDims, d) }
+}
+
+// WithoutWhoisDimension disables the whois dimension even when a registry
+// is configured (used by the dimension ablation benchmarks).
+func WithoutWhoisDimension() Option { return func(c *config) { c.disableWhoisDim = true } }
+
+// WithComponentMining replaces Louvain community detection with plain
+// connected components — the naive baseline the ablation benchmarks
+// compare against (a single weak edge then merges herds).
+func WithComponentMining() Option {
+	return func(c *config) { c.mineFunc = herd.MineComponents }
+}
+
+func defaultConfig() config {
+	return config{
+		seed:            1,
+		idfThreshold:    preprocess.DefaultIDFThreshold,
+		threshold:       correlate.DefaultThreshold,
+		singleThreshold: 1.0,
+		minClients:      2,
+	}
+}
+
+// Detector runs the SMASH pipeline.
+type Detector struct {
+	cfg config
+}
+
+// New builds a Detector from options.
+func New(opts ...Option) *Detector {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &Detector{cfg: cfg}
+}
+
+// Report is the output of one pipeline run.
+type Report struct {
+	// TraceStats summarizes the input (Table I row).
+	TraceStats trace.Stats
+	// Preprocess reports the IDF filtering.
+	Preprocess preprocess.Result
+	// MainHerds counts main-dimension ASHs; SecondaryHerds per dimension.
+	MainHerds      int
+	SecondaryHerds map[string]int
+	// Campaigns are inferred campaigns with >= MinClients clients.
+	Campaigns []campaign.Campaign
+	// SingleClientCampaigns are campaigns below MinClients, held to the
+	// stricter single-client threshold (Appendix C).
+	SingleClientCampaigns []campaign.Campaign
+	// Scores maps scored servers to their correlation verdicts.
+	Scores map[string]*correlate.ServerScore
+	// PruneStats reports the noise-pruning stage.
+	PruneStats prune.Stats
+	// Index is the post-preprocessing traffic index (used by evaluation
+	// and verification).
+	Index *trace.Index
+	// RawIndex is the pre-filter index (used by figure reproduction).
+	RawIndex *trace.Index
+	// Mined keeps the per-dimension herds for diagnostics/ablations.
+	Mined *herd.Result
+}
+
+// AllCampaigns returns multi-client and single-client campaigns together.
+func (r *Report) AllCampaigns() []campaign.Campaign {
+	out := make([]campaign.Campaign, 0, len(r.Campaigns)+len(r.SingleClientCampaigns))
+	out = append(out, r.Campaigns...)
+	out = append(out, r.SingleClientCampaigns...)
+	return out
+}
+
+// CampaignServers returns the union of servers over the given campaigns.
+func CampaignServers(campaigns []campaign.Campaign) []string {
+	seen := make(map[string]struct{})
+	var out []string
+	for i := range campaigns {
+		for _, s := range campaigns[i].Servers {
+			if _, ok := seen[s]; ok {
+				continue
+			}
+			seen[s] = struct{}{}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ErrEmptyTrace is returned when the input trace has no requests.
+var ErrEmptyTrace = errors.New("core: empty trace")
+
+// Run executes the full pipeline on one trace (typically one day).
+func (d *Detector) Run(t *trace.Trace) (*Report, error) {
+	if t == nil || len(t.Requests) == 0 {
+		return nil, ErrEmptyTrace
+	}
+	cfg := d.cfg
+
+	report := &Report{TraceStats: t.ComputeStats(), SecondaryHerds: make(map[string]int)}
+
+	// Stage 1: preprocessing (SLD aggregation happens inside BuildIndex).
+	raw := trace.BuildIndex(t)
+	report.RawIndex = raw
+	idx := raw.Clone()
+	report.Preprocess = preprocess.FilterIDF(idx, cfg.idfThreshold)
+	report.Index = idx
+
+	// Stage 2: ASH mining over all dimensions.
+	secondary := []herd.Dimension{
+		herd.FileDimension(cfg.simOpts),
+		herd.IPDimension(cfg.simOpts),
+	}
+	if cfg.registry != nil && !cfg.disableWhoisDim {
+		secondary = append(secondary, herd.WhoisDimension(cfg.registry, cfg.simOpts))
+	}
+	secondary = append(secondary, cfg.extraDims...)
+	miner, err := herd.NewMiner(herd.ClientDimension(cfg.simOpts), secondary, cfg.seed)
+	if err != nil {
+		return nil, fmt.Errorf("core: build miner: %w", err)
+	}
+	if cfg.mineFunc != nil {
+		miner.SetMineFunc(cfg.mineFunc)
+	}
+	mined := miner.Mine(idx)
+	report.Mined = mined
+	report.MainHerds = len(mined.Main)
+	for dim, herds := range mined.Secondary {
+		report.SecondaryHerds[dim] = len(herds)
+	}
+
+	// Stage 3: correlation. Score once at the laxer of the two thresholds;
+	// the stricter single-client threshold is applied after campaign
+	// formation when the involved-client count is known (§V, footnote 9).
+	low := cfg.threshold
+	if cfg.singleThreshold < low {
+		low = cfg.singleThreshold
+	}
+	corr := correlate.Correlate(mined, correlate.Options{
+		Mu: cfg.mu, Beta: cfg.beta, Threshold: low,
+	})
+	report.Scores = corr.Scores
+
+	// Stage 4: pruning.
+	pruned, pruneStats := prune.Prune(corr.Herds, idx, prune.Options{
+		Prober: cfg.prober,
+		Whois:  cfg.registry,
+	})
+	report.PruneStats = pruneStats
+
+	// Stage 5: campaign inference + per-population thresholds.
+	campaigns := campaign.Infer(pruned, idx)
+	campaign.Classify(campaigns, idx, 0.5)
+	multi, single := campaign.FilterMinClients(campaigns, cfg.minClients)
+	report.Campaigns = filterByScore(multi, corr.Scores, cfg.threshold)
+	report.SingleClientCampaigns = filterByScore(single, corr.Scores, cfg.singleThreshold)
+	return report, nil
+}
+
+// filterByScore drops campaign members below the threshold and campaigns
+// left with fewer than two servers, renumbering ids.
+func filterByScore(campaigns []campaign.Campaign, scores map[string]*correlate.ServerScore, threshold float64) []campaign.Campaign {
+	var out []campaign.Campaign
+	for _, c := range campaigns {
+		var kept []string
+		for _, s := range c.Servers {
+			if sc := scores[s]; sc != nil && sc.Score >= threshold {
+				kept = append(kept, s)
+			}
+		}
+		if len(kept) < 2 {
+			continue
+		}
+		c.Servers = kept
+		c.ID = len(out)
+		out = append(out, c)
+	}
+	return out
+}
+
+// Decomposition returns the Fig. 8 dimension-combination counts over all
+// reported campaigns' servers.
+func (r *Report) Decomposition() map[string]int {
+	out := make(map[string]int)
+	for _, c := range r.AllCampaigns() {
+		for _, s := range c.Servers {
+			sc := r.Scores[s]
+			if sc == nil {
+				continue
+			}
+			key := ""
+			for i, d := range sc.Dimensions {
+				if i > 0 {
+					key += "+"
+				}
+				key += d
+			}
+			out[key]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+
+	"smash/internal/campaign"
+)
+
+// Summary is the JSON-serializable form of a Report, for exporting pipeline
+// results to downstream tooling (SIEM ingestion, diffing runs, dashboards).
+type Summary struct {
+	Trace struct {
+		Name     string `json:"name"`
+		Clients  int    `json:"clients"`
+		Requests int    `json:"requests"`
+		Servers  int    `json:"servers"`
+		URIFiles int    `json:"uriFiles"`
+	} `json:"trace"`
+	Preprocess struct {
+		ServersBefore  int     `json:"serversBefore"`
+		ServersAfter   int     `json:"serversAfter"`
+		RequestsBefore int     `json:"requestsBefore"`
+		RequestsAfter  int     `json:"requestsAfter"`
+		Reduction      float64 `json:"trafficReduction"`
+	} `json:"preprocess"`
+	MainHerds      int              `json:"mainHerds"`
+	SecondaryHerds map[string]int   `json:"secondaryHerds"`
+	Campaigns      []CampaignRecord `json:"campaigns"`
+}
+
+// CampaignRecord is one campaign in the JSON summary.
+type CampaignRecord struct {
+	ID           int            `json:"id"`
+	Kind         string         `json:"kind"`
+	Score        float64        `json:"score"`
+	SingleClient bool           `json:"singleClient"`
+	Clients      []string       `json:"clients"`
+	Servers      []ServerRecord `json:"servers"`
+}
+
+// ServerRecord is one campaign member in the JSON summary.
+type ServerRecord struct {
+	Server     string   `json:"server"`
+	Score      float64  `json:"score"`
+	Dimensions []string `json:"dimensions,omitempty"`
+}
+
+// Summarize converts the report into its serializable form.
+func (r *Report) Summarize() *Summary {
+	s := &Summary{SecondaryHerds: make(map[string]int, len(r.SecondaryHerds))}
+	s.Trace.Name = r.TraceStats.Name
+	s.Trace.Clients = r.TraceStats.Clients
+	s.Trace.Requests = r.TraceStats.Requests
+	s.Trace.Servers = r.TraceStats.Servers
+	s.Trace.URIFiles = r.TraceStats.URIFiles
+	s.Preprocess.ServersBefore = r.Preprocess.ServersBefore
+	s.Preprocess.ServersAfter = r.Preprocess.ServersAfter
+	s.Preprocess.RequestsBefore = r.Preprocess.RequestsBefore
+	s.Preprocess.RequestsAfter = r.Preprocess.RequestsAfter
+	s.Preprocess.Reduction = r.Preprocess.TrafficReduction()
+	s.MainHerds = r.MainHerds
+	for dim, n := range r.SecondaryHerds {
+		s.SecondaryHerds[dim] = n
+	}
+	s.Campaigns = r.appendCampaignRecords(s.Campaigns, r.Campaigns, false)
+	s.Campaigns = r.appendCampaignRecords(s.Campaigns, r.SingleClientCampaigns, true)
+	return s
+}
+
+func (r *Report) appendCampaignRecords(out []CampaignRecord, list []campaign.Campaign, single bool) []CampaignRecord {
+	for _, c := range list {
+		rec := CampaignRecord{
+			ID: c.ID, Kind: c.Kind.String(), Score: c.Score,
+			SingleClient: single, Clients: c.Clients,
+		}
+		for _, srv := range c.Servers {
+			sr := ServerRecord{Server: srv}
+			if sc := r.Scores[srv]; sc != nil {
+				sr.Score = sc.Score
+				sr.Dimensions = sc.Dimensions
+			}
+			rec.Servers = append(rec.Servers, sr)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// WriteJSON writes the report summary as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Summarize())
+}

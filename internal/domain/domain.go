@@ -1,0 +1,120 @@
+// Package domain provides hostname utilities used throughout SMASH, most
+// importantly second-level-domain (SLD) extraction: the preprocessing step of
+// the paper aggregates all hostnames sharing a second-level domain into one
+// logical server ("a.xyz.com" and "b.xyz.com" both become "xyz.com", all
+// Facebook CDN hosts become "fbcdn.net").
+//
+// A small embedded multi-label public-suffix set handles effective TLDs such
+// as "co.uk" and the "cz.cc" free-hosting zone the paper's Zeus case study
+// relies on, so "4k0t155m.cz.cc" keeps its distinguishing label.
+package domain
+
+import (
+	"net"
+	"strings"
+)
+
+// multiLabelSuffixes lists public suffixes made of more than one label. A
+// hostname ending in one of these keeps one additional label in its SLD.
+// This is a deliberately small embedded subset of the public suffix list
+// covering the zones the synthetic world and paper case studies use; real
+// deployments would embed the full public suffix list here.
+var multiLabelSuffixes = map[string]struct{}{
+	"co.uk":      {},
+	"org.uk":     {},
+	"ac.uk":      {},
+	"gov.uk":     {},
+	"com.br":     {},
+	"com.cn":     {},
+	"com.au":     {},
+	"net.au":     {},
+	"co.jp":      {},
+	"ne.jp":      {},
+	"or.jp":      {},
+	"co.kr":      {},
+	"com.tw":     {},
+	"cz.cc":      {},
+	"uk.com":     {},
+	"us.com":     {},
+	"co.in":      {},
+	"dyndns.org": {},
+	"no-ip.org":  {},
+}
+
+// Suffixes returns a copy of the registered multi-label suffix set, primarily
+// for tests and diagnostics.
+func Suffixes() []string {
+	out := make([]string, 0, len(multiLabelSuffixes))
+	for s := range multiLabelSuffixes {
+		out = append(out, s)
+	}
+	return out
+}
+
+// SLD returns the second-level domain that identifies the logical server a
+// hostname belongs to. Rules, in order:
+//
+//   - IP literals are returned unchanged (the paper treats raw IPs as
+//     servers in their own right).
+//   - Hostnames ending in a registered multi-label suffix keep one label
+//     before the suffix ("a.b.cz.cc" -> "b.cz.cc").
+//   - Otherwise the last two labels are kept ("a.xyz.com" -> "xyz.com").
+//   - Single-label names and empty strings are returned unchanged.
+//
+// Hostnames are lowercased and stripped of a trailing dot and port.
+func SLD(host string) string {
+	host = Normalize(host)
+	if host == "" {
+		return host
+	}
+	if IsIPLiteral(host) {
+		return host
+	}
+	labels := strings.Split(host, ".")
+	if len(labels) < 2 {
+		return host
+	}
+	// Multi-label suffix: keep one extra label.
+	if len(labels) >= 3 {
+		suffix := labels[len(labels)-2] + "." + labels[len(labels)-1]
+		if _, ok := multiLabelSuffixes[suffix]; ok {
+			return strings.Join(labels[len(labels)-3:], ".")
+		}
+	}
+	// A two-label name that *is* a public suffix (e.g. "cz.cc" itself) is
+	// returned as-is; there is nothing more specific to aggregate to.
+	return strings.Join(labels[len(labels)-2:], ".")
+}
+
+// Normalize lowercases a hostname and strips any trailing dot and any port
+// suffix. It does not validate the name.
+func Normalize(host string) string {
+	host = strings.TrimSpace(strings.ToLower(host))
+	host = strings.TrimSuffix(host, ".")
+	// Strip a port if present. Careful with IPv6 literals in brackets.
+	if strings.HasPrefix(host, "[") {
+		if end := strings.Index(host, "]"); end >= 0 {
+			return host[1:end]
+		}
+		return host
+	}
+	if i := strings.LastIndexByte(host, ':'); i >= 0 && strings.Count(host, ":") == 1 {
+		return host[:i]
+	}
+	return host
+}
+
+// IsIPLiteral reports whether host parses as an IPv4 or IPv6 address.
+func IsIPLiteral(host string) bool {
+	return net.ParseIP(host) != nil
+}
+
+// Label returns the first (leftmost) label of a hostname, or the hostname
+// itself if it has a single label. Useful for DGA-style name analysis.
+func Label(host string) string {
+	host = Normalize(host)
+	if i := strings.IndexByte(host, '.'); i >= 0 {
+		return host[:i]
+	}
+	return host
+}

@@ -1,0 +1,126 @@
+package domain
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSLD(t *testing.T) {
+	tests := []struct {
+		host string
+		want string
+	}{
+		{"a.xyz.com", "xyz.com"},
+		{"b.xyz.com", "xyz.com"},
+		{"xyz.com", "xyz.com"},
+		{"www.static.cdn.fbcdn.net", "fbcdn.net"},
+		{"ec2-1-2-3-4.amazonaws.com", "amazonaws.com"},
+		{"4k0t155m.cz.cc", "4k0t155m.cz.cc"},
+		{"deep.4k0t155m.cz.cc", "4k0t155m.cz.cc"},
+		{"cz.cc", "cz.cc"},
+		{"example.co.uk", "example.co.uk"},
+		{"www.example.co.uk", "example.co.uk"},
+		{"host.dyndns.org", "host.dyndns.org"},
+		{"localhost", "localhost"},
+		{"", ""},
+		{"10.1.2.3", "10.1.2.3"},
+		{"2001:db8::1", "2001:db8::1"},
+		{"WWW.Example.COM.", "example.com"},
+		{"example.com:8080", "example.com"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.host, func(t *testing.T) {
+			if got := SLD(tt.host); got != tt.want {
+				t.Errorf("SLD(%q) = %q, want %q", tt.host, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSLDIdempotent(t *testing.T) {
+	f := func(a, b, c string) bool {
+		host := sanitizeLabel(a) + "." + sanitizeLabel(b) + "." + sanitizeLabel(c)
+		once := SLD(host)
+		return SLD(once) == once
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// sanitizeLabel maps arbitrary fuzz input to a plausible DNS label so the
+// idempotence property targets realistic hostnames.
+func sanitizeLabel(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s) && len(out) < 20; i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+			out = append(out, c)
+		case c >= 'A' && c <= 'Z':
+			out = append(out, c+('a'-'A'))
+		}
+	}
+	if len(out) == 0 {
+		return "x"
+	}
+	return string(out)
+}
+
+func TestNormalize(t *testing.T) {
+	tests := []struct {
+		in   string
+		want string
+	}{
+		{" Example.COM. ", "example.com"},
+		{"example.com:443", "example.com"},
+		{"[2001:db8::1]:8080", "2001:db8::1"},
+		{"[2001:db8::1]", "2001:db8::1"},
+		{"", ""},
+	}
+	for _, tt := range tests {
+		if got := Normalize(tt.in); got != tt.want {
+			t.Errorf("Normalize(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestIsIPLiteral(t *testing.T) {
+	if !IsIPLiteral("192.168.0.1") {
+		t.Error("IPv4 literal not recognized")
+	}
+	if !IsIPLiteral("2001:db8::1") {
+		t.Error("IPv6 literal not recognized")
+	}
+	if IsIPLiteral("example.com") {
+		t.Error("hostname misidentified as IP")
+	}
+	if IsIPLiteral("999.1.2.3") {
+		t.Error("invalid IPv4 accepted")
+	}
+}
+
+func TestLabel(t *testing.T) {
+	if got := Label("abc.example.com"); got != "abc" {
+		t.Errorf("Label = %q, want abc", got)
+	}
+	if got := Label("single"); got != "single" {
+		t.Errorf("Label = %q, want single", got)
+	}
+}
+
+func TestSuffixesCopy(t *testing.T) {
+	s := Suffixes()
+	if len(s) == 0 {
+		t.Fatal("no suffixes registered")
+	}
+	found := false
+	for _, suffix := range s {
+		if suffix == "cz.cc" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("cz.cc missing from suffix set (needed by Zeus case study)")
+	}
+}

@@ -1,0 +1,217 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"smash/internal/campaign"
+)
+
+// CaseStudy renders the inferred campaign matching a ground-truth campaign
+// in the shape of the paper's Tables VII-X: per-server URI, User-Agent and
+// query-parameter pattern, grouped by category, with an oracle-coverage
+// summary demonstrating the holistic-view benefit.
+type CaseStudy struct {
+	// Name is the ground-truth campaign name (e.g. "zeus").
+	Name string
+	// Found is how many of the campaign's active servers SMASH inferred.
+	Found, Active int
+	// IDS2012, IDS2013, Blacklisted count oracle coverage of the same
+	// population.
+	IDS2012, IDS2013, Blacklisted int
+	// Rows holds one line per inferred server.
+	Rows []CaseStudyRow
+	// MergedCampaignSize is the size of the inferred campaign containing
+	// the most campaign servers (the holistic merge).
+	MergedCampaignSize int
+}
+
+// CaseStudyRow describes one inferred server.
+type CaseStudyRow struct {
+	Category  string
+	Server    string
+	URIFile   string
+	UserAgent string
+	Params    string
+}
+
+// BuildCaseStudy evaluates one named ground-truth campaign on day 0.
+func BuildCaseStudy(e *Env, name string) (*CaseStudy, error) {
+	ct, ok := e.World.Truth.Campaigns[name]
+	if !ok {
+		return nil, fmt.Errorf("eval: unknown campaign %q", name)
+	}
+	report, err := e.Run(0, 0.8, 1.0)
+	if err != nil {
+		return nil, err
+	}
+	l2012, l2013 := e.Labels(0)
+	cs := &CaseStudy{Name: name}
+
+	truthSet := make(map[string]bool, len(ct.Servers))
+	for _, s := range ct.Servers {
+		if _, active := report.RawIndex.Servers[s]; active {
+			truthSet[s] = true
+			cs.Active++
+			if l2012.Detected(s) {
+				cs.IDS2012++
+			}
+			if l2013.Detected(s) {
+				cs.IDS2013++
+			}
+			if e.Oracles.Blacklists.Confirmed(s) {
+				cs.Blacklisted++
+			}
+		}
+	}
+
+	var best *campaign.Campaign
+	bestOverlap := 0
+	for i := range report.AllCampaigns() {
+		all := report.AllCampaigns()
+		c := &all[i]
+		overlap := 0
+		for _, s := range c.Servers {
+			if truthSet[s] {
+				overlap++
+			}
+		}
+		if overlap > bestOverlap {
+			best, bestOverlap = c, overlap
+		}
+	}
+	if best == nil {
+		return cs, nil
+	}
+	cs.MergedCampaignSize = len(best.Servers)
+	for _, s := range best.Servers {
+		if !truthSet[s] {
+			continue
+		}
+		cs.Found++
+		info := report.RawIndex.Servers[s]
+		row := CaseStudyRow{
+			Server:   s,
+			Category: string(e.World.Truth.Servers[s].Category),
+		}
+		if info != nil {
+			row.URIFile = topKey(info.Files)
+			row.UserAgent = topKey(info.UserAgents)
+			row.Params = topKey(info.Queries)
+		}
+		cs.Rows = append(cs.Rows, row)
+	}
+	sort.Slice(cs.Rows, func(i, j int) bool {
+		if cs.Rows[i].Category != cs.Rows[j].Category {
+			return cs.Rows[i].Category < cs.Rows[j].Category
+		}
+		return cs.Rows[i].Server < cs.Rows[j].Server
+	})
+	return cs, nil
+}
+
+// topKey returns the most frequent key of a count map (ties broken
+// lexicographically), or "".
+func topKey(m map[string]int) string {
+	best, bestN := "", -1
+	for k, n := range m {
+		if n > bestN || (n == bestN && k < best) {
+			best, bestN = k, n
+		}
+	}
+	return best
+}
+
+// Render formats the case study.
+func (cs *CaseStudy) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Case study %q: SMASH found %d/%d servers (IDS2012: %d, IDS2013: %d, blacklists: %d); merged campaign size %d\n",
+		cs.Name, cs.Found, cs.Active, cs.IDS2012, cs.IDS2013, cs.Blacklisted, cs.MergedCampaignSize)
+	fmt.Fprintf(&b, "  %-18s %-22s %-24s %-20s %s\n", "category", "server", "URI file", "user-agent", "params")
+	const maxRows = 16
+	for i, r := range cs.Rows {
+		if i == maxRows {
+			fmt.Fprintf(&b, "  ... (%d more rows)\n", len(cs.Rows)-maxRows)
+			break
+		}
+		fmt.Fprintf(&b, "  %-18s %-22s %-24s %-20s %s\n",
+			r.Category, r.Server, r.URIFile, r.UserAgent, r.Params)
+	}
+	return b.String()
+}
+
+// PaperCaseStudies lists the ground-truth campaigns matching the paper's
+// Tables VII (Bagle), VIII (Sality), IX (iframe injection), X (Zeus).
+func PaperCaseStudies() []string {
+	return []string{"bagle", "sality", "iframe-inject", "zeus"}
+}
+
+// MainDimensionStudy reproduces the §V-C1 taxonomy: classify each main
+// herd by the ground-truth nature of its members.
+type MainDimensionStudy struct {
+	// DroppedServers counts servers not placed in any main herd.
+	DroppedServers int
+	// Herds counts main-dimension herds by class.
+	Referrer, Redirection, SimilarContent, Unknown, Malicious, Noise int
+	Total                                                            int
+}
+
+// BuildMainDimensionStudy classifies day-0 main herds.
+func BuildMainDimensionStudy(e *Env) (*MainDimensionStudy, error) {
+	report, err := e.Run(0, 0.8, 1.0)
+	if err != nil {
+		return nil, err
+	}
+	st := &MainDimensionStudy{}
+	inHerd := make(map[string]bool)
+	for _, h := range report.Mined.Main {
+		st.Total++
+		mal, noise, niche, widget, chain := 0, 0, 0, 0, 0
+		for _, s := range h.Servers {
+			inHerd[s] = true
+			truth := e.World.Truth.Servers[s]
+			switch {
+			case truth.Noise:
+				noise++
+			case truth.Campaign != "":
+				mal++
+			case strings.HasPrefix(s, "niche"):
+				niche++
+			case strings.HasPrefix(s, "widget") || s == "blogring.com":
+				widget++
+			case strings.HasPrefix(s, "shrt") || s == "chainlanding.com":
+				chain++
+			}
+		}
+		n := len(h.Servers)
+		switch {
+		case mal*2 > n:
+			st.Malicious++
+		case noise*2 > n:
+			st.Noise++
+		case widget*2 > n:
+			st.Referrer++
+		case chain*2 > n:
+			st.Redirection++
+		case niche*2 > n:
+			st.SimilarContent++
+		default:
+			st.Unknown++
+		}
+	}
+	for s := range report.Index.Servers {
+		if !inHerd[s] {
+			st.DroppedServers++
+		}
+	}
+	return st, nil
+}
+
+// Render formats the study.
+func (st *MainDimensionStudy) Render() string {
+	return fmt.Sprintf(
+		"Main dimension study (§V-C1): %d herds — referrer %d, redirection %d, similar-content %d, unknown %d, malicious %d, noise %d; %d servers dropped (no client correlation)\n",
+		st.Total, st.Referrer, st.Redirection, st.SimilarContent, st.Unknown,
+		st.Malicious, st.Noise, st.DroppedServers)
+}

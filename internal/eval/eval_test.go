@@ -1,0 +1,462 @@
+package eval
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"smash/internal/synth"
+)
+
+// Shared small envs so the expensive pipeline runs once per population.
+var (
+	envOnce  sync.Once
+	dayEnvG  *Env
+	weekEnvG *Env
+	envErr   error
+)
+
+func testEnvs(t *testing.T) (*Env, *Env) {
+	t.Helper()
+	envOnce.Do(func() {
+		dayEnvG, envErr = NewEnvFromConfig(synth.Config{
+			Name: "Data2011day", Seed: 21, Days: 1,
+			Clients: 400, BenignServers: 1200, MeanRequests: 20,
+		})
+		if envErr != nil {
+			return
+		}
+		weekEnvG, envErr = NewEnvFromConfig(synth.Config{
+			Name: "Data2012week", Seed: 22, Days: 4,
+			Clients: 350, BenignServers: 1000, MeanRequests: 15,
+		})
+	})
+	if envErr != nil {
+		t.Fatal(envErr)
+	}
+	return dayEnvG, weekEnvG
+}
+
+func TestRunCachingAndBounds(t *testing.T) {
+	day, _ := testEnvs(t)
+	r1, err := day.Run(0, 0.8, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := day.Run(0, 0.8, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("report not cached")
+	}
+	if _, err := day.Run(5, 0.8, 1.0); err == nil {
+		t.Error("out-of-range day accepted")
+	}
+}
+
+func TestTableI(t *testing.T) {
+	day, week := testEnvs(t)
+	out := TableI(day, week)
+	if !strings.Contains(out, "Data2011day") || !strings.Contains(out, "Data2012week-day1") {
+		t.Errorf("TableI output missing datasets:\n%s", out)
+	}
+}
+
+func TestTableIIShape(t *testing.T) {
+	day, _ := testEnvs(t)
+	tab, err := TableII(day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Columns) != len(PaperThresholds) {
+		t.Fatalf("columns = %v", tab.Columns)
+	}
+	smash := tab.Rows[rowSMASH]
+	// Campaign counts must be non-increasing in the threshold.
+	for i := 1; i < len(smash); i++ {
+		if smash[i] > smash[i-1] {
+			t.Errorf("campaigns increased with threshold: %v", smash)
+		}
+	}
+	if smash[1] == 0 {
+		t.Error("no campaigns at the operating threshold 0.8")
+	}
+	// FP updated <= FP at every threshold.
+	for i := range tab.Rows[rowFP] {
+		if tab.Rows[rowFPUpdated][i] > tab.Rows[rowFP][i] {
+			t.Errorf("FP updated exceeds FP at column %d", i)
+		}
+	}
+	// Verification rows partition SMASH: sum of verdict rows == SMASH.
+	for i := range smash {
+		sum := tab.Rows[rowIDS2012Total][i] + tab.Rows[rowIDS2013Total][i] +
+			tab.Rows[rowIDS2012Partial][i] + tab.Rows[rowIDS2013Partial][i] +
+			tab.Rows[rowBlacklist][i] + tab.Rows[rowSuspicious][i] + tab.Rows[rowFP][i]
+		if sum != smash[i] {
+			t.Errorf("verdicts don't partition campaigns at column %d: %d != %d", i, sum, smash[i])
+		}
+	}
+	if tab.Render() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestTableIIIShape(t *testing.T) {
+	day, _ := testEnvs(t)
+	tab, err := TableIII(day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smash := tab.Rows[rowSMASH]
+	for i := 1; i < len(smash); i++ {
+		if smash[i] > smash[i-1] {
+			t.Errorf("servers increased with threshold: %v", smash)
+		}
+	}
+	// The headline claim: SMASH finds a multiple of what the oracles know.
+	atOp := 1 // threshold 0.8 column
+	oracle := tab.Rows[rowIDS2012Total][atOp] + tab.Rows[rowIDS2013Total][atOp] + tab.Rows[rowBlacklist][atOp]
+	if smash[atOp] < 2*oracle {
+		t.Errorf("SMASH servers (%d) not substantially above oracle coverage (%d)", smash[atOp], oracle)
+	}
+	// Server verdict rows partition SMASH.
+	for i := range smash {
+		sum := tab.Rows[rowIDS2012Total][i] + tab.Rows[rowIDS2013Total][i] +
+			tab.Rows[rowBlacklist][i] + tab.Rows[rowNewServers][i] +
+			tab.Rows[rowSuspicious][i] + tab.Rows[rowFP][i]
+		if sum != smash[i] {
+			t.Errorf("verdicts don't partition servers at column %d: %d != %d", i, sum, smash[i])
+		}
+	}
+}
+
+func TestFalsePositiveRateLow(t *testing.T) {
+	day, _ := testEnvs(t)
+	tab, err := TableIII(day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At the operating threshold the FP-updated rate must be low relative
+	// to the preprocessed server population (the paper reports 0.064%
+	// against ~50k servers; our world is ~1000x smaller so we only bound
+	// the rate loosely).
+	report, err := day.Run(0, 0.8, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpu := tab.Rows[rowFPUpdated][1]
+	rate := float64(fpu) / float64(report.Preprocess.ServersAfter)
+	if rate > 0.02 {
+		t.Errorf("FP(updated) rate %.4f too high (%d servers)", rate, fpu)
+	}
+}
+
+func TestTablesXIandXII(t *testing.T) {
+	day, _ := testEnvs(t)
+	tabXI, err := TableXI(day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tabXI.Rows[rowSMASH][1] == 0 {
+		t.Error("no single-client campaigns at threshold 0.8 despite planted lone-flux campaigns")
+	}
+	tabXII, err := TableXII(day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(tabXII.Rows[rowSMASH]); i++ {
+		if tabXII.Rows[rowSMASH][i] > tabXII.Rows[rowSMASH][i-1] {
+			t.Errorf("single-client servers increased with threshold: %v", tabXII.Rows[rowSMASH])
+		}
+	}
+}
+
+func TestTableIV(t *testing.T) {
+	day, _ := testEnvs(t)
+	tab, err := TableIV(day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows[string(synth.CatC2)][0] == 0 {
+		t.Error("no C&C servers categorized")
+	}
+	total := 0
+	for _, cells := range tab.Rows {
+		total += cells[0]
+	}
+	if total == 0 {
+		t.Fatal("empty Table IV")
+	}
+}
+
+func TestWeekTables(t *testing.T) {
+	_, week := testEnvs(t)
+	tabV, err := TableV(week)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabV.Columns) != len(week.World.Days) {
+		t.Fatalf("columns = %v", tabV.Columns)
+	}
+	nonzeroDays := 0
+	for _, n := range tabV.Rows[rowSMASH] {
+		if n > 0 {
+			nonzeroDays++
+		}
+	}
+	if nonzeroDays < len(week.World.Days) {
+		t.Errorf("campaigns found on only %d/%d days", nonzeroDays, len(week.World.Days))
+	}
+	tabVI, err := TableVI(week)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d, n := range tabVI.Rows[rowSMASH] {
+		if n == 0 {
+			t.Errorf("no servers on day %d", d+1)
+		}
+	}
+}
+
+func TestFigure6(t *testing.T) {
+	day, _ := testEnvs(t)
+	fig, err := BuildFigure6(day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.CampaignSize.Total() == 0 {
+		t.Fatal("no campaigns in figure 6")
+	}
+	if !strings.Contains(fig.Render(), "75%") {
+		t.Error("render missing quantile line")
+	}
+}
+
+func TestFigure7(t *testing.T) {
+	day, week := testEnvs(t)
+	if _, err := BuildFigure7(day); err == nil {
+		t.Error("figure 7 on a 1-day world should error")
+	}
+	fig, err := BuildFigure7(week)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Days) != len(week.World.Days) {
+		t.Fatalf("days = %d", len(fig.Days))
+	}
+	d0 := fig.Days[0]
+	if d0.NewClients == 0 || d0.OldClients != 0 {
+		t.Errorf("benchmark day accounting wrong: %+v", d0)
+	}
+	// The agile fluxnet campaign guarantees new-server-old-client servers
+	// on later days; the persistent campaigns guarantee old servers.
+	sawAgile, sawPersistent := false, false
+	for _, d := range fig.Days[1:] {
+		if d.NewServerOldClient > 0 {
+			sawAgile = true
+		}
+		if d.OldServers > 0 {
+			sawPersistent = true
+		}
+	}
+	if !sawAgile {
+		t.Error("no agile (new server, old client) servers detected")
+	}
+	if !sawPersistent {
+		t.Error("no persistent (old) servers detected")
+	}
+	if fig.Render() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestFigure8(t *testing.T) {
+	day, _ := testEnvs(t)
+	fig, err := BuildFigure8(day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Total == 0 {
+		t.Fatal("empty decomposition")
+	}
+	// URI file must be the dominant dimension (paper: 53.71% alone plus
+	// combinations).
+	fileShare := 0.0
+	for combo := range fig.Counts {
+		if strings.Contains(combo, "urifile") {
+			fileShare += fig.Fraction(combo)
+		}
+	}
+	if fileShare < 0.5 {
+		t.Errorf("urifile dimension share %.2f, want >= 0.5", fileShare)
+	}
+	if fig.Render() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestFigure9(t *testing.T) {
+	day, _ := testEnvs(t)
+	fig, err := BuildFigure9(day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.All.Total() == 0 || fig.Malicious.Total() == 0 {
+		t.Fatal("empty IDF histograms")
+	}
+	// The threshold must keep nearly all servers (paper: 99%).
+	if keep := fig.All.FractionAtMost(fig.Threshold); keep < 0.95 {
+		t.Errorf("IDF threshold keeps only %.2f of servers", keep)
+	}
+	// Malicious servers are unpopular: their IDF stays far below the cut.
+	if fig.Malicious.Max() > fig.Threshold {
+		t.Errorf("malicious IDF max %d exceeds threshold %d", fig.Malicious.Max(), fig.Threshold)
+	}
+}
+
+func TestFigure10(t *testing.T) {
+	day, _ := testEnvs(t)
+	fig, err := BuildFigure10(day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.Lengths.Total() == 0 {
+		t.Fatal("empty length histogram")
+	}
+	if frac := fig.Lengths.FractionAtMost(fig.LenThreshold); frac < 0.5 {
+		t.Errorf("only %.2f of malicious filenames below len threshold", frac)
+	}
+}
+
+func TestCaseStudies(t *testing.T) {
+	day, _ := testEnvs(t)
+	for _, name := range PaperCaseStudies() {
+		t.Run(name, func(t *testing.T) {
+			cs, err := BuildCaseStudy(day, name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cs.Active == 0 {
+				t.Fatal("campaign inactive")
+			}
+			if cs.Found == 0 {
+				t.Errorf("SMASH found none of %q's %d servers", name, cs.Active)
+			}
+			if cs.Render() == "" {
+				t.Error("empty render")
+			}
+		})
+	}
+	if _, err := BuildCaseStudy(day, "no-such-campaign"); err == nil {
+		t.Error("unknown campaign accepted")
+	}
+}
+
+func TestZeusZeroDayCaseStudy(t *testing.T) {
+	day, _ := testEnvs(t)
+	cs, err := BuildCaseStudy(day, "zeus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.IDS2012 != 0 {
+		t.Errorf("zeus should have zero IDS2012 coverage, got %d", cs.IDS2012)
+	}
+	if cs.IDS2013 != cs.Active {
+		t.Errorf("zeus IDS2013 coverage %d/%d, want full", cs.IDS2013, cs.Active)
+	}
+	if cs.Found < cs.Active/2 {
+		t.Errorf("SMASH found %d/%d zeus servers", cs.Found, cs.Active)
+	}
+}
+
+func TestIframeHolisticView(t *testing.T) {
+	// Table IX's point: SMASH recovers the iframe victim herd almost
+	// entirely while the IDS labels only a handful.
+	day, _ := testEnvs(t)
+	cs, err := BuildCaseStudy(day, "iframe-inject")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.IDS2013 >= cs.Found {
+		t.Errorf("IDS labels (%d) should be far below SMASH findings (%d)", cs.IDS2013, cs.Found)
+	}
+	if cs.Found < cs.Active*5/10 {
+		t.Errorf("iframe recall too low: %d/%d", cs.Found, cs.Active)
+	}
+}
+
+func TestRecall(t *testing.T) {
+	day, _ := testEnvs(t)
+	report, err := day.Run(0, 0.8, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := day.Recall(0, report)
+	if rec.TruthServers == 0 {
+		t.Fatal("no truth servers")
+	}
+	if rec.Detected <= rec.IDSDetected {
+		t.Errorf("SMASH (%d) should exceed IDS coverage (%d)", rec.Detected, rec.IDSDetected)
+	}
+	if rec.Detected <= rec.BlacklistDetected {
+		t.Errorf("SMASH (%d) should exceed blacklist coverage (%d)", rec.Detected, rec.BlacklistDetected)
+	}
+}
+
+func TestFalseNegatives(t *testing.T) {
+	day, _ := testEnvs(t)
+	missed, err := FalseNegatives(day, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whatever is missed must genuinely be absent from the report.
+	report, err := day.Run(0, 0.8, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detected := make(map[string]bool)
+	for _, c := range report.AllCampaigns() {
+		for _, s := range c.Servers {
+			detected[s] = true
+		}
+	}
+	for threat, servers := range missed {
+		for _, s := range servers {
+			if detected[s] {
+				t.Errorf("threat %s server %s reported as FN but was detected", threat, s)
+			}
+		}
+	}
+}
+
+func TestMainDimensionStudy(t *testing.T) {
+	day, _ := testEnvs(t)
+	st, err := BuildMainDimensionStudy(day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total == 0 {
+		t.Fatal("no main herds")
+	}
+	if st.Malicious == 0 {
+		t.Error("no malicious main herds found")
+	}
+	if st.SimilarContent == 0 {
+		t.Error("niche clusters not visible in main dimension")
+	}
+	if st.Render() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	verdicts := []Verdict{VerdictIDS2012Total, VerdictIDS2013Total,
+		VerdictIDS2012Partial, VerdictIDS2013Partial, VerdictBlacklist,
+		VerdictNewServer, VerdictSuspicious, VerdictFP, Verdict(0)}
+	for _, v := range verdicts {
+		if v.String() == "" {
+			t.Errorf("verdict %d has empty string", v)
+		}
+	}
+}

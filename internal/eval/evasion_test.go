@@ -1,0 +1,138 @@
+package eval
+
+import (
+	"testing"
+
+	"smash/internal/synth"
+)
+
+// evasionConfig builds a world with one strongly-correlated campaign and
+// one evading variant, plus enough background to make evasion meaningful.
+func evasionConfig(seed int64, evader synth.CampaignSpec) synth.Config {
+	return synth.Config{
+		Name: "evasion", Seed: seed, Days: 1,
+		Clients: 400, BenignServers: 1200, MeanRequests: 20,
+		Campaigns: []synth.CampaignSpec{
+			{
+				Name: "honest", Kind: synth.KindDomainFlux, Servers: 12, Bots: 3,
+				SharedIP: true, SharedWhois: true,
+			},
+			evader,
+		},
+	}
+}
+
+func detectedOf(t *testing.T, env *Env, campaign string) (int, int) {
+	t.Helper()
+	report, err := env.Run(0, 0.8, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detected := make(map[string]bool)
+	for _, c := range report.AllCampaigns() {
+		for _, s := range c.Servers {
+			detected[s] = true
+		}
+	}
+	ct := env.World.Truth.Campaigns[campaign]
+	found := 0
+	for _, s := range ct.Servers {
+		if detected[s] {
+			found++
+		}
+	}
+	return found, len(ct.Servers)
+}
+
+// TestEvasionMainDimension reproduces the §VI argument: bots spraying the
+// campaign's URI file at random benign domains cannot hide the campaign —
+// the benign domains keep their own visitors, so client similarity still
+// isolates the malicious pool.
+func TestEvasionMainDimension(t *testing.T) {
+	env, err := NewEnvFromConfig(evasionConfig(31, synth.CampaignSpec{
+		Name: "evader", Kind: synth.KindDomainFlux, Servers: 12, Bots: 3,
+		SharedIP: true, SharedWhois: true, EvadeMain: true,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found, total := detectedOf(t, env, "evader")
+	if found < total*3/4 {
+		t.Errorf("main-dimension evasion succeeded: only %d/%d servers detected", found, total)
+	}
+	// The benign decoys must not be swept in: count non-campaign,
+	// non-noise detections.
+	report, err := env.Run(0, 0.8, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := 0
+	for _, c := range report.AllCampaigns() {
+		for _, s := range c.Servers {
+			st, ok := env.World.Truth.Servers[s]
+			if !ok || (st.Campaign == "" && !st.Noise) {
+				fp++
+			}
+		}
+	}
+	if fp > 5 {
+		t.Errorf("evasion dragged %d benign decoys into campaigns", fp)
+	}
+}
+
+// TestEvasionFileDimension: randomizing the handler filename per server
+// defeats the URI-file dimension, but a domain-flux pool still shares IPs
+// and whois — two secondary dimensions remain and the campaign is caught,
+// matching the paper's "non-trivial to simultaneously evade all
+// dimensions".
+func TestEvasionFileDimension(t *testing.T) {
+	env, err := NewEnvFromConfig(evasionConfig(32, synth.CampaignSpec{
+		Name: "evader", Kind: synth.KindDomainFlux, Servers: 12, Bots: 3,
+		SharedIP: true, SharedWhois: true, RandomFilePerServer: true,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found, total := detectedOf(t, env, "evader")
+	if found < total/2 {
+		t.Errorf("file evasion defeated SMASH despite shared IP+whois: %d/%d", found, total)
+	}
+	// The file dimension must NOT be the one that caught them.
+	report, err := env.Run(0, 0.8, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := env.World.Truth.Campaigns["evader"]
+	for _, s := range ct.Servers {
+		if sc := report.Scores[s]; sc != nil {
+			for _, d := range sc.Dimensions {
+				if d == "urifile" {
+					t.Fatalf("server %s scored via urifile despite per-server random names", s)
+				}
+			}
+		}
+	}
+}
+
+// TestEvasionAllSecondary: an attacker who randomizes filenames AND avoids
+// shared IPs AND shared whois has no secondary dimension left, so SMASH
+// misses the campaign — the paper's stated limitation, and the cost the
+// attacker pays is per-server infrastructure.
+func TestEvasionAllSecondary(t *testing.T) {
+	env, err := NewEnvFromConfig(evasionConfig(33, synth.CampaignSpec{
+		Name: "evader", Kind: synth.KindDomainFlux, Servers: 12, Bots: 3,
+		RandomFilePerServer: true, // no SharedIP, no SharedWhois
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found, _ := detectedOf(t, env, "evader")
+	if found != 0 {
+		t.Logf("note: %d evader servers still detected (incidental correlation)", found)
+	}
+	// The honest campaign in the same world must still be caught.
+	honestFound, honestTotal := detectedOf(t, env, "honest")
+	if honestFound < honestTotal*3/4 {
+		t.Errorf("honest campaign suffered from the evader's presence: %d/%d", honestFound, honestTotal)
+	}
+}

@@ -1,0 +1,255 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"smash/internal/preprocess"
+	"smash/internal/stats"
+)
+
+// Figure6 reproduces the campaign-size and client-size distributions: CDFs
+// of the number of servers and the number of clients per inferred campaign.
+type Figure6 struct {
+	CampaignSize *stats.Histogram
+	ClientSize   *stats.Histogram
+}
+
+// BuildFigure6 computes the distributions over all inferred campaigns of
+// day 0 at the paper's operating thresholds.
+func BuildFigure6(e *Env) (*Figure6, error) {
+	report, err := e.Run(0, 0.8, 1.0)
+	if err != nil {
+		return nil, err
+	}
+	f := &Figure6{CampaignSize: stats.NewHistogram(), ClientSize: stats.NewHistogram()}
+	for _, c := range report.AllCampaigns() {
+		f.CampaignSize.Add(len(c.Servers))
+		f.ClientSize.Add(len(c.Clients))
+	}
+	return f, nil
+}
+
+// Render formats the two CDFs.
+func (f *Figure6) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 6: distribution of the client and campaign sizes\n")
+	b.WriteString(f.CampaignSize.RenderCDF("  campaign size (servers)", 12))
+	b.WriteString(f.ClientSize.RenderCDF("  client size (clients)", 12))
+	fmt.Fprintf(&b, "  75%% of campaigns have <= %d servers\n", f.CampaignSize.Quantile(0.75))
+	fmt.Fprintf(&b, "  75%% of campaigns have <= %d client(s)\n", f.ClientSize.Quantile(0.75))
+	return b.String()
+}
+
+// Figure7 reproduces the persistent-vs-agile evolution study: with day 1 as
+// the benchmark, classify each later day's detected servers as old servers,
+// new servers with old clients (agile campaigns), or new servers with new
+// clients (new campaigns); and clients as old or new.
+type Figure7 struct {
+	Days []Figure7Day
+}
+
+// Figure7Day is one day's accounting.
+type Figure7Day struct {
+	Day                int
+	OldServers         int
+	NewServerOldClient int
+	NewServerNewClient int
+	OldClients         int
+	NewClients         int
+}
+
+// BuildFigure7 computes the evolution over a multi-day env.
+func BuildFigure7(e *Env) (*Figure7, error) {
+	if len(e.World.Days) < 2 {
+		return nil, fmt.Errorf("eval: figure 7 needs a multi-day world, got %d day(s)", len(e.World.Days))
+	}
+	baseServers := make(map[string]bool)
+	baseClients := make(map[string]bool)
+	fig := &Figure7{}
+	for d := 0; d < len(e.World.Days); d++ {
+		report, err := e.Run(d, 0.8, 1.0)
+		if err != nil {
+			return nil, err
+		}
+		day := Figure7Day{Day: d + 1}
+		seenClients := make(map[string]bool)
+		for _, c := range report.AllCampaigns() {
+			oldClient := false
+			for _, cl := range c.Clients {
+				if baseClients[cl] {
+					oldClient = true
+				}
+				if !seenClients[cl] {
+					seenClients[cl] = true
+					if baseClients[cl] {
+						day.OldClients++
+					} else {
+						day.NewClients++
+					}
+				}
+			}
+			for _, s := range c.Servers {
+				switch {
+				case baseServers[s]:
+					day.OldServers++
+				case oldClient:
+					day.NewServerOldClient++
+				default:
+					day.NewServerNewClient++
+				}
+			}
+		}
+		if d == 0 {
+			// Benchmark day: everything becomes the baseline.
+			for _, c := range report.AllCampaigns() {
+				for _, s := range c.Servers {
+					baseServers[s] = true
+				}
+				for _, cl := range c.Clients {
+					baseClients[cl] = true
+				}
+			}
+		}
+		fig.Days = append(fig.Days, day)
+	}
+	return fig, nil
+}
+
+// Render formats the per-day evolution.
+func (f *Figure7) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 7: persistent vs dynamic campaigns (benchmark = day 1)\n")
+	b.WriteString("  day  oldSrv  newSrvOldCli  newSrvNewCli  oldCli  newCli\n")
+	for _, d := range f.Days {
+		fmt.Fprintf(&b, "  %3d  %6d  %12d  %12d  %6d  %6d\n",
+			d.Day, d.OldServers, d.NewServerOldClient, d.NewServerNewClient,
+			d.OldClients, d.NewClients)
+	}
+	return b.String()
+}
+
+// Figure8 reproduces the secondary-dimension effectiveness decomposition:
+// the percentage of inferred servers per contributing dimension combination.
+type Figure8 struct {
+	Counts map[string]int
+	Total  int
+}
+
+// BuildFigure8 computes the decomposition for day 0.
+func BuildFigure8(e *Env) (*Figure8, error) {
+	report, err := e.Run(0, 0.8, 1.0)
+	if err != nil {
+		return nil, err
+	}
+	counts := report.Decomposition()
+	f := &Figure8{Counts: counts}
+	for _, n := range counts {
+		f.Total += n
+	}
+	return f, nil
+}
+
+// Fraction returns the share of servers inferred through exactly the given
+// combination key (sorted dimension names joined by '+').
+func (f *Figure8) Fraction(combo string) float64 {
+	if f.Total == 0 {
+		return 0
+	}
+	return float64(f.Counts[combo]) / float64(f.Total)
+}
+
+// Render formats the decomposition, largest combination first.
+func (f *Figure8) Render() string {
+	type kv struct {
+		combo string
+		n     int
+	}
+	items := make([]kv, 0, len(f.Counts))
+	for c, n := range f.Counts {
+		items = append(items, kv{c, n})
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].n != items[j].n {
+			return items[i].n > items[j].n
+		}
+		return items[i].combo < items[j].combo
+	})
+	var b strings.Builder
+	b.WriteString("Figure 8: effectiveness of secondary dimensions\n")
+	for _, it := range items {
+		fmt.Fprintf(&b, "  %-28s %5d servers (%5.2f%%)\n", it.combo, it.n, 100*f.Fraction(it.combo))
+	}
+	return b.String()
+}
+
+// Figure9 reproduces the IDF distribution study (Appendix A): the CDF of
+// server popularity for all servers and for IDS-confirmed malicious
+// servers, justifying the threshold of 200.
+type Figure9 struct {
+	All       *stats.Histogram
+	Malicious *stats.Histogram
+	Threshold int
+}
+
+// BuildFigure9 computes the IDF histograms for day 0.
+func BuildFigure9(e *Env) (*Figure9, error) {
+	report, err := e.Run(0, 0.8, 1.0)
+	if err != nil {
+		return nil, err
+	}
+	_, l2013 := e.Labels(0)
+	f := &Figure9{
+		All:       preprocess.IDFHistogram(report.RawIndex),
+		Malicious: stats.NewHistogram(),
+		Threshold: preprocess.DefaultIDFThreshold,
+	}
+	for _, s := range l2013.Servers() {
+		if info := report.RawIndex.Servers[s]; info != nil {
+			f.Malicious.Add(info.IDF())
+		}
+	}
+	return f, nil
+}
+
+// Render formats the IDF CDFs.
+func (f *Figure9) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 9: IDF distribution (Appendix A)\n")
+	b.WriteString(f.All.RenderCDF("  all servers", 10))
+	b.WriteString(f.Malicious.RenderCDF("  IDS-confirmed malicious servers", 10))
+	fmt.Fprintf(&b, "  max malicious IDF = %d; chosen threshold = %d keeps %.1f%% of servers\n",
+		f.Malicious.Max(), f.Threshold, 100*f.All.FractionAtMost(f.Threshold))
+	return b.String()
+}
+
+// Figure10 reproduces the filename length distribution over IDS-confirmed
+// malicious servers (Appendix B), justifying len = 25.
+type Figure10 struct {
+	Lengths      *stats.Histogram
+	LenThreshold int
+}
+
+// BuildFigure10 computes the length histogram for day 0.
+func BuildFigure10(e *Env) (*Figure10, error) {
+	report, err := e.Run(0, 0.8, 1.0)
+	if err != nil {
+		return nil, err
+	}
+	_, l2013 := e.Labels(0)
+	return &Figure10{
+		Lengths:      preprocess.FilenameLengthHistogram(report.RawIndex, l2013.Servers()),
+		LenThreshold: 25,
+	}, nil
+}
+
+// Render formats the length CDF.
+func (f *Figure10) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 10: length distribution of malicious filenames (Appendix B)\n")
+	b.WriteString(f.Lengths.RenderCDF("  filename length", 10))
+	fmt.Fprintf(&b, "  %.1f%% of filenames are <= %d characters; max length = %d\n",
+		100*f.Lengths.FractionAtMost(f.LenThreshold), f.LenThreshold, f.Lengths.Max())
+	return b.String()
+}

@@ -1,0 +1,364 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"smash/internal/campaign"
+	"smash/internal/core"
+	"smash/internal/synth"
+)
+
+// PaperThresholds are the inference thresholds the paper sweeps in Tables
+// II, III, XI and XII.
+var PaperThresholds = []float64{0.5, 0.8, 1.0, 1.5}
+
+// Table is a generic labelled table: named rows of per-column counts.
+type Table struct {
+	// Title names the experiment (e.g. "Table II").
+	Title string
+	// Columns are the column headers.
+	Columns []string
+	// RowOrder fixes row rendering order; Rows maps row -> cells.
+	RowOrder []string
+	Rows     map[string][]int
+}
+
+func newTable(title string, columns []string, rows []string) *Table {
+	t := &Table{Title: title, Columns: columns, RowOrder: rows, Rows: make(map[string][]int, len(rows))}
+	for _, r := range rows {
+		t.Rows[r] = make([]int, len(columns))
+	}
+	return t
+}
+
+// Add increments a cell.
+func (t *Table) Add(row string, col int, delta int) {
+	cells, ok := t.Rows[row]
+	if !ok {
+		cells = make([]int, len(t.Columns))
+		t.Rows[row] = cells
+		t.RowOrder = append(t.RowOrder, row)
+	}
+	cells[col] += delta
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	width := 22
+	fmt.Fprintf(&b, "%-*s", width, "")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, "%12s", c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.RowOrder {
+		fmt.Fprintf(&b, "%-*s", width, r)
+		for _, v := range t.Rows[r] {
+			fmt.Fprintf(&b, "%12d", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Verification row names shared by the campaign/server tables.
+const (
+	rowSMASH          = "SMASH"
+	rowIDS2012Total   = "IDS 2012 total"
+	rowIDS2013Total   = "IDS 2013 total"
+	rowIDS2012Partial = "IDS 2012 partial"
+	rowIDS2013Partial = "IDS 2013 partial"
+	rowBlacklist      = "Blacklist"
+	rowNewServers     = "New Servers"
+	rowSuspicious     = "Suspicious"
+	rowFP             = "False Positives"
+	rowFPUpdated      = "FP (Updated)"
+)
+
+// TableI reproduces the dataset statistics table over the given envs.
+func TableI(envs ...*Env) string {
+	var b strings.Builder
+	b.WriteString("Table I: network traffic statistics\n")
+	for _, e := range envs {
+		for _, day := range e.World.Days {
+			b.WriteString("  " + day.ComputeStats().Render() + "\n")
+		}
+	}
+	return b.String()
+}
+
+// campaignSelector picks which campaign population a table evaluates.
+type campaignSelector func(*core.Report) []campaign.Campaign
+
+func multiClient(r *core.Report) []campaign.Campaign  { return r.Campaigns }
+func singleClient(r *core.Report) []campaign.Campaign { return r.SingleClientCampaigns }
+
+// thresholdTable runs the detector at each paper threshold on day 0 of each
+// env and fills campaign-count (counting==true: campaigns; false: servers)
+// verification rows.
+func thresholdTable(title string, envs []*Env, sel campaignSelector, countServers bool, singleThresh func(float64) float64) (*Table, error) {
+	var columns []string
+	for _, e := range envs {
+		for _, th := range PaperThresholds {
+			columns = append(columns, fmt.Sprintf("%s@%.1f", shortName(e.World.Config.Name), th))
+		}
+	}
+	rows := []string{rowSMASH, rowIDS2012Total, rowIDS2013Total, rowIDS2012Partial,
+		rowIDS2013Partial, rowBlacklist, rowSuspicious, rowFP, rowFPUpdated}
+	if countServers {
+		rows = []string{rowSMASH, rowIDS2012Total, rowIDS2013Total, rowBlacklist,
+			rowNewServers, rowSuspicious, rowFP, rowFPUpdated}
+	}
+	t := newTable(title, columns, rows)
+	col := 0
+	for _, e := range envs {
+		for _, th := range PaperThresholds {
+			report, err := e.Run(0, th, singleThresh(th))
+			if err != nil {
+				return nil, err
+			}
+			cl := e.classifier(0, report)
+			for _, cp := range sel(report) {
+				cp := cp
+				verdict := cl.campaignVerdict(&cp)
+				if countServers {
+					fillServerRows(t, col, cl, &cp, verdict)
+				} else {
+					fillCampaignRows(t, col, cl, &cp, verdict)
+				}
+			}
+			col++
+		}
+	}
+	return t, nil
+}
+
+func shortName(dataset string) string {
+	s := strings.TrimPrefix(dataset, "Data")
+	if len(s) > 7 {
+		s = s[:7]
+	}
+	return s
+}
+
+func fillCampaignRows(t *Table, col int, cl *classifier, cp *campaign.Campaign, verdict Verdict) {
+	t.Add(rowSMASH, col, 1)
+	switch verdict {
+	case VerdictIDS2012Total:
+		t.Add(rowIDS2012Total, col, 1)
+	case VerdictIDS2013Total:
+		t.Add(rowIDS2013Total, col, 1)
+	case VerdictIDS2012Partial:
+		t.Add(rowIDS2012Partial, col, 1)
+	case VerdictIDS2013Partial:
+		t.Add(rowIDS2013Partial, col, 1)
+	case VerdictBlacklist:
+		t.Add(rowBlacklist, col, 1)
+	case VerdictSuspicious:
+		t.Add(rowSuspicious, col, 1)
+	case VerdictFP:
+		t.Add(rowFP, col, 1)
+		if !cl.campaignIsNoise(cp) {
+			t.Add(rowFPUpdated, col, 1)
+		}
+	}
+}
+
+func fillServerRows(t *Table, col int, cl *classifier, cp *campaign.Campaign, verdict Verdict) {
+	verdicts := cl.serverVerdicts(cp, verdict)
+	for _, s := range cp.Servers {
+		t.Add(rowSMASH, col, 1)
+		switch verdicts[s] {
+		case VerdictIDS2012Total:
+			t.Add(rowIDS2012Total, col, 1)
+		case VerdictIDS2013Total:
+			t.Add(rowIDS2013Total, col, 1)
+		case VerdictBlacklist:
+			t.Add(rowBlacklist, col, 1)
+		case VerdictNewServer:
+			t.Add(rowNewServers, col, 1)
+		case VerdictSuspicious:
+			t.Add(rowSuspicious, col, 1)
+		default:
+			t.Add(rowFP, col, 1)
+			if !cl.truth.Servers[s].Noise {
+				t.Add(rowFPUpdated, col, 1)
+			}
+		}
+	}
+}
+
+// TableII reproduces the number-of-malicious-campaigns table (multi-client
+// campaigns, thresholds 0.5/0.8/1.0/1.5).
+func TableII(envs ...*Env) (*Table, error) {
+	return thresholdTable("Table II: number of malicious campaigns", envs,
+		multiClient, false, func(th float64) float64 { return 1.0 })
+}
+
+// TableIII reproduces the number-of-servers table for multi-client
+// campaigns.
+func TableIII(envs ...*Env) (*Table, error) {
+	return thresholdTable("Table III: number of servers in malicious activities", envs,
+		multiClient, true, func(th float64) float64 { return 1.0 })
+}
+
+// TableXI reproduces the single-client campaign counts (Appendix C): the
+// threshold sweep applies to the single-client population.
+func TableXI(envs ...*Env) (*Table, error) {
+	return thresholdTable("Table XI: number of attack campaigns with single client", envs,
+		singleClient, false, func(th float64) float64 { return th })
+}
+
+// TableXII reproduces the single-client server counts (Appendix C).
+func TableXII(envs ...*Env) (*Table, error) {
+	return thresholdTable("Table XII: number of servers in malicious campaigns with single client", envs,
+		singleClient, true, func(th float64) float64 { return th })
+}
+
+// TableIV categorizes the inferred servers by attack category using the
+// labelling oracles' ground truth, in the shape of the paper's Table IV.
+func TableIV(e *Env) (*Table, error) {
+	report, err := e.Run(0, 0.8, 1.0)
+	if err != nil {
+		return nil, err
+	}
+	categories := []string{
+		string(synth.CatC2), string(synth.CatWebExploit), string(synth.CatPhishing),
+		string(synth.CatDropZone), string(synth.CatOtherMal),
+		string(synth.CatScanVictim), string(synth.CatIframeVictim),
+	}
+	t := newTable("Table IV: attack categories (# of servers)", []string{"servers"}, categories)
+	for _, cp := range report.AllCampaigns() {
+		for _, s := range cp.Servers {
+			st, ok := e.World.Truth.Servers[s]
+			if !ok || st.Noise {
+				continue
+			}
+			switch st.Category {
+			case synth.CatC2, synth.CatPhishing, synth.CatDropZone,
+				synth.CatScanVictim, synth.CatIframeVictim, synth.CatWebExploit:
+				t.Add(string(st.Category), 0, 1)
+			default:
+				t.Add(string(synth.CatOtherMal), 0, 1)
+			}
+		}
+	}
+	return t, nil
+}
+
+// TableV reproduces the per-day campaign counts over the week dataset.
+func TableV(week *Env) (*Table, error) {
+	return weekTable("Table V: number of attack campaigns during Data2012week", week, false)
+}
+
+// TableVI reproduces the per-day server counts over the week dataset.
+func TableVI(week *Env) (*Table, error) {
+	return weekTable("Table VI: number of servers involved in malicious activities during Data2012week", week, true)
+}
+
+func weekTable(title string, week *Env, countServers bool) (*Table, error) {
+	days := len(week.World.Days)
+	columns := make([]string, days)
+	for d := range columns {
+		columns[d] = fmt.Sprintf("Day %d", d+1)
+	}
+	rows := []string{rowSMASH, rowIDS2013Total, rowIDS2013Partial, rowBlacklist,
+		rowSuspicious, rowFP, rowFPUpdated}
+	if countServers {
+		rows = []string{rowSMASH, rowIDS2013Total, rowBlacklist, rowNewServers,
+			rowSuspicious, rowFP, rowFPUpdated}
+	}
+	t := newTable(title, columns, rows)
+	for d := 0; d < days; d++ {
+		// Footnote 9: threshold 0.8 for multi-client, 1.0 for single-client
+		// campaigns; the week tables count both populations.
+		report, err := week.Run(d, 0.8, 1.0)
+		if err != nil {
+			return nil, err
+		}
+		cl := week.classifier(d, report)
+		for _, cp := range report.AllCampaigns() {
+			cp := cp
+			verdict := cl.campaignVerdict(&cp)
+			if countServers {
+				fillWeekServerRows(t, d, cl, &cp, verdict)
+			} else {
+				fillWeekCampaignRows(t, d, cl, &cp, verdict)
+			}
+		}
+	}
+	return t, nil
+}
+
+func fillWeekCampaignRows(t *Table, col int, cl *classifier, cp *campaign.Campaign, verdict Verdict) {
+	t.Add(rowSMASH, col, 1)
+	switch verdict {
+	case VerdictIDS2012Total, VerdictIDS2013Total:
+		t.Add(rowIDS2013Total, col, 1)
+	case VerdictIDS2012Partial, VerdictIDS2013Partial:
+		t.Add(rowIDS2013Partial, col, 1)
+	case VerdictBlacklist:
+		t.Add(rowBlacklist, col, 1)
+	case VerdictSuspicious:
+		t.Add(rowSuspicious, col, 1)
+	case VerdictFP:
+		t.Add(rowFP, col, 1)
+		if !cl.campaignIsNoise(cp) {
+			t.Add(rowFPUpdated, col, 1)
+		}
+	}
+}
+
+func fillWeekServerRows(t *Table, col int, cl *classifier, cp *campaign.Campaign, verdict Verdict) {
+	verdicts := cl.serverVerdicts(cp, verdict)
+	for _, s := range cp.Servers {
+		t.Add(rowSMASH, col, 1)
+		switch verdicts[s] {
+		case VerdictIDS2012Total, VerdictIDS2013Total:
+			t.Add(rowIDS2013Total, col, 1)
+		case VerdictBlacklist:
+			t.Add(rowBlacklist, col, 1)
+		case VerdictNewServer:
+			t.Add(rowNewServers, col, 1)
+		case VerdictSuspicious:
+			t.Add(rowSuspicious, col, 1)
+		default:
+			t.Add(rowFP, col, 1)
+			if !cl.truth.Servers[s].Noise {
+				t.Add(rowFPUpdated, col, 1)
+			}
+		}
+	}
+}
+
+// FalseNegatives reproduces the paper's FN analysis: ground-truth campaign
+// servers labelled by the IDS but absent from SMASH's output, grouped by
+// threat identifier.
+func FalseNegatives(e *Env, day int) (map[string][]string, error) {
+	report, err := e.Run(day, 0.8, 1.0)
+	if err != nil {
+		return nil, err
+	}
+	_, l2013 := e.Labels(day)
+	detected := make(map[string]bool)
+	for _, c := range report.AllCampaigns() {
+		for _, s := range c.Servers {
+			detected[s] = true
+		}
+	}
+	missed := make(map[string][]string)
+	for threat, servers := range l2013.ThreatGroups() {
+		for _, s := range servers {
+			if !detected[s] {
+				missed[threat] = append(missed[threat], s)
+			}
+		}
+	}
+	for t := range missed {
+		sort.Strings(missed[t])
+	}
+	return missed, nil
+}

@@ -1,0 +1,363 @@
+// Package graph provides the weighted undirected graph model and the Louvain
+// community-detection algorithm (Blondel, Guillaume, Lambiotte, Lefebvre,
+// "Fast unfolding of communities in large networks", J. Stat. Mech. 2008)
+// that SMASH uses to extract Associated Server Herds from per-dimension
+// similarity graphs (§III-B1 of the paper).
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"smash/internal/stats"
+)
+
+type edge struct {
+	to int32
+	w  float64
+}
+
+// Graph is a weighted undirected graph over nodes 0..n-1. Parallel AddEdge
+// calls for the same pair accumulate weight.
+type Graph struct {
+	adj       [][]edge
+	selfLoop  []float64
+	sumWeight float64 // sum of all edge weights, each undirected edge once
+}
+
+// New returns a graph with n isolated nodes.
+func New(n int) *Graph {
+	return &Graph{
+		adj:      make([][]edge, n),
+		selfLoop: make([]float64, n),
+	}
+}
+
+// N reports the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// AddEdge adds weight w between u and v. Self-edges are stored as self-loops.
+// Adding an edge with w <= 0 or out-of-range endpoints returns an error.
+func (g *Graph) AddEdge(u, v int, w float64) error {
+	if u < 0 || u >= len(g.adj) || v < 0 || v >= len(g.adj) {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, len(g.adj))
+	}
+	if w <= 0 {
+		return fmt.Errorf("graph: edge (%d,%d) weight %g must be positive", u, v, w)
+	}
+	if u == v {
+		g.selfLoop[u] += w
+		g.sumWeight += w
+		return nil
+	}
+	g.adj[u] = append(g.adj[u], edge{to: int32(v), w: w})
+	g.adj[v] = append(g.adj[v], edge{to: int32(u), w: w})
+	g.sumWeight += w
+	return nil
+}
+
+// Degree returns the weighted degree of node u: the sum of incident edge
+// weights, with self-loops counted twice (the Louvain convention).
+func (g *Graph) Degree(u int) float64 {
+	d := 2 * g.selfLoop[u]
+	for _, e := range g.adj[u] {
+		d += e.w
+	}
+	return d
+}
+
+// EdgeCount returns the number of stored undirected non-loop edge entries
+// (parallel edges counted separately).
+func (g *Graph) EdgeCount() int {
+	total := 0
+	for _, a := range g.adj {
+		total += len(a)
+	}
+	return total / 2
+}
+
+// TotalWeight returns the sum of all edge weights (each undirected edge
+// counted once, self-loops once).
+func (g *Graph) TotalWeight() float64 { return g.sumWeight }
+
+// Neighbors calls fn for each (neighbor, weight) pair of u. A neighbor may
+// be reported multiple times if parallel edges were added.
+func (g *Graph) Neighbors(u int, fn func(v int, w float64)) {
+	for _, e := range g.adj[u] {
+		fn(int(e.to), e.w)
+	}
+}
+
+// ConnectedComponents returns the node sets of the graph's connected
+// components (ignoring isolated self-loops-only semantics: every node is in
+// exactly one component). Components and their members are sorted.
+func (g *Graph) ConnectedComponents() [][]int {
+	n := g.N()
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var stack []int
+	next := 0
+	for s := 0; s < n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		comp[s] = next
+		stack = append(stack[:0], s)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, e := range g.adj[u] {
+				if comp[e.to] < 0 {
+					comp[e.to] = next
+					stack = append(stack, int(e.to))
+				}
+			}
+		}
+		next++
+	}
+	out := make([][]int, next)
+	for v, c := range comp {
+		out[c] = append(out[c], v)
+	}
+	return out
+}
+
+// Modularity computes the Newman modularity Q of a community assignment
+// (nodes with the same label are one community), Q in [-1, 1].
+func (g *Graph) Modularity(community []int) float64 {
+	m2 := 2 * g.sumWeight
+	if m2 == 0 {
+		return 0
+	}
+	in := make(map[int]float64)  // community -> 2*intra-community weight
+	tot := make(map[int]float64) // community -> sum of member degrees
+	for u := range g.adj {
+		cu := community[u]
+		tot[cu] += g.Degree(u)
+		in[cu] += 2 * g.selfLoop[u]
+		for _, e := range g.adj[u] {
+			if community[e.to] == cu {
+				in[cu] += e.w // visited from both sides -> counts twice
+			}
+		}
+	}
+	q := 0.0
+	for c, w := range in {
+		t := tot[c]
+		q += w/m2 - (t/m2)*(t/m2)
+	}
+	return q
+}
+
+// Louvain runs the multi-level Louvain method and returns the community
+// label of each node. Labels are compacted to 0..k-1. The node visit order
+// is shuffled deterministically from seed, making results reproducible for a
+// fixed (graph, seed) pair.
+func (g *Graph) Louvain(seed int64) []int {
+	n := g.N()
+	assignment := make([]int, n)
+	for i := range assignment {
+		assignment[i] = i
+	}
+	work := g
+	level := 0
+	for {
+		moved, local := work.louvainLocal(stats.DeriveSeed(seed, fmt.Sprintf("louvain-%d", level)))
+		// Project the local labels back onto the original nodes.
+		for i := range assignment {
+			assignment[i] = local[assignment[i]]
+		}
+		if !moved {
+			break
+		}
+		var k int
+		work, k = work.aggregate(local)
+		if k == work.N() && k == n {
+			break
+		}
+		level++
+		if level > 64 { // defensive bound; Louvain converges in a few levels
+			break
+		}
+	}
+	return compactLabels(assignment)
+}
+
+// louvainLocal performs one local-move phase. It returns whether any node
+// changed community and the (compacted) community label of each node.
+func (g *Graph) louvainLocal(seed int64) (bool, []int) {
+	n := g.N()
+	community := make([]int, n)
+	degree := make([]float64, n)
+	tot := make([]float64, n) // community -> sum of member degrees
+	for i := 0; i < n; i++ {
+		community[i] = i
+		degree[i] = g.Degree(i)
+		tot[i] = degree[i]
+	}
+	m2 := 2 * g.sumWeight
+	if m2 == 0 {
+		return false, compactLabels(community)
+	}
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	rng := stats.NewRand(seed, "order")
+	rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+
+	neighWeight := make(map[int]float64, 16)
+	improvedAny := false
+	for pass := 0; pass < 100; pass++ {
+		improved := false
+		for _, u := range order {
+			cu := community[u]
+			// Weight from u to each neighboring community.
+			for c := range neighWeight {
+				delete(neighWeight, c)
+			}
+			for _, e := range g.adj[u] {
+				neighWeight[community[e.to]] += e.w
+			}
+			// Remove u from its community.
+			tot[cu] -= degree[u]
+			// Best community by modularity gain. The constant parts of
+			// the gain cancel, so compare k_i,in - tot_c*k_i/m2.
+			bestC, bestGain := cu, neighWeight[cu]-tot[cu]*degree[u]/m2
+			// Deterministic iteration: sort candidate communities.
+			cands := make([]int, 0, len(neighWeight))
+			for c := range neighWeight {
+				cands = append(cands, c)
+			}
+			sort.Ints(cands)
+			for _, c := range cands {
+				gain := neighWeight[c] - tot[c]*degree[u]/m2
+				if gain > bestGain+1e-12 {
+					bestC, bestGain = c, gain
+				}
+			}
+			tot[bestC] += degree[u]
+			if bestC != cu {
+				community[u] = bestC
+				improved = true
+				improvedAny = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return improvedAny, compactLabels(community)
+}
+
+// aggregate builds the community super-graph: one node per community, edge
+// weights summed, intra-community weight folded into self-loops. It returns
+// the new graph and the number of communities.
+func (g *Graph) aggregate(community []int) (*Graph, int) {
+	k := 0
+	for _, c := range community {
+		if c+1 > k {
+			k = c + 1
+		}
+	}
+	agg := New(k)
+	for u := range g.adj {
+		cu := community[u]
+		if g.selfLoop[u] > 0 {
+			agg.selfLoop[cu] += g.selfLoop[u]
+			agg.sumWeight += g.selfLoop[u]
+		}
+	}
+	type pairKey struct{ a, b int }
+	acc := make(map[pairKey]float64)
+	for u := range g.adj {
+		cu := community[u]
+		for _, e := range g.adj[u] {
+			cv := community[e.to]
+			if int(e.to) < u {
+				continue // visit each undirected edge once
+			}
+			if cu == cv {
+				agg.selfLoop[cu] += e.w
+				agg.sumWeight += e.w
+				continue
+			}
+			a, b := cu, cv
+			if a > b {
+				a, b = b, a
+			}
+			acc[pairKey{a, b}] += e.w
+		}
+	}
+	for pk, w := range acc {
+		agg.adj[pk.a] = append(agg.adj[pk.a], edge{to: int32(pk.b), w: w})
+		agg.adj[pk.b] = append(agg.adj[pk.b], edge{to: int32(pk.a), w: w})
+		agg.sumWeight += w
+	}
+	return agg, k
+}
+
+// compactLabels renumbers arbitrary labels to 0..k-1 preserving first-seen
+// order.
+func compactLabels(labels []int) []int {
+	remap := make(map[int]int)
+	out := make([]int, len(labels))
+	for i, l := range labels {
+		id, ok := remap[l]
+		if !ok {
+			id = len(remap)
+			remap[l] = id
+		}
+		out[i] = id
+	}
+	return out
+}
+
+// Communities groups node ids by community label; members are in ascending
+// node order, communities ordered by label.
+func Communities(labels []int) [][]int {
+	k := 0
+	for _, l := range labels {
+		if l+1 > k {
+			k = l + 1
+		}
+	}
+	out := make([][]int, k)
+	for v, l := range labels {
+		out[l] = append(out[l], v)
+	}
+	return out
+}
+
+// SubgraphDensity computes the density of the node set within g as defined
+// by the paper's w(C): 2|e| / (|v|·(|v|-1)), where |e| counts distinct
+// member pairs connected by at least one edge. Singleton sets have density 0.
+func (g *Graph) SubgraphDensity(members []int) float64 {
+	v := len(members)
+	if v < 2 {
+		return 0
+	}
+	in := make(map[int]bool, v)
+	for _, u := range members {
+		in[u] = true
+	}
+	type pairKey struct{ a, b int }
+	seen := make(map[pairKey]bool)
+	for _, u := range members {
+		for _, e := range g.adj[u] {
+			t := int(e.to)
+			if !in[t] || t == u {
+				continue
+			}
+			a, b := u, t
+			if a > b {
+				a, b = b, a
+			}
+			seen[pairKey{a, b}] = true
+		}
+	}
+	return 2 * float64(len(seen)) / (float64(v) * float64(v-1))
+}

@@ -1,0 +1,251 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"smash/internal/stats"
+)
+
+// clique adds a complete subgraph over the given nodes with weight w.
+func clique(t *testing.T, g *Graph, nodes []int, w float64) {
+	t.Helper()
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			if err := g.AddEdge(nodes[i], nodes[j], w); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 3, 1); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if err := g.AddEdge(-1, 0, 1); err == nil {
+		t.Error("negative node accepted")
+	}
+	if err := g.AddEdge(0, 1, 0); err == nil {
+		t.Error("zero-weight edge accepted")
+	}
+	if err := g.AddEdge(0, 1, -2); err == nil {
+		t.Error("negative-weight edge accepted")
+	}
+}
+
+func TestDegreeAndWeights(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(2, 2, 1); err != nil { // self-loop
+		t.Fatal(err)
+	}
+	if got := g.Degree(1); got != 5 {
+		t.Errorf("Degree(1) = %g, want 5", got)
+	}
+	if got := g.Degree(2); got != 5 { // 3 + 2*selfloop
+		t.Errorf("Degree(2) = %g, want 5", got)
+	}
+	if got := g.TotalWeight(); got != 6 {
+		t.Errorf("TotalWeight = %g, want 6", got)
+	}
+	if got := g.EdgeCount(); got != 2 {
+		t.Errorf("EdgeCount = %g, want 2", float64(got))
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := New(6)
+	clique(t, g, []int{0, 1, 2}, 1)
+	clique(t, g, []int{3, 4}, 1)
+	comps := g.ConnectedComponents()
+	if len(comps) != 3 {
+		t.Fatalf("components = %d, want 3", len(comps))
+	}
+	sizes := map[int]int{}
+	for _, c := range comps {
+		sizes[len(c)]++
+	}
+	if sizes[3] != 1 || sizes[2] != 1 || sizes[1] != 1 {
+		t.Errorf("component sizes wrong: %v", comps)
+	}
+}
+
+func TestLouvainTwoCliques(t *testing.T) {
+	g := New(8)
+	clique(t, g, []int{0, 1, 2, 3}, 1)
+	clique(t, g, []int{4, 5, 6, 7}, 1)
+	if err := g.AddEdge(3, 4, 0.1); err != nil { // weak bridge
+		t.Fatal(err)
+	}
+	labels := g.Louvain(1)
+	if labels[0] != labels[1] || labels[1] != labels[2] || labels[2] != labels[3] {
+		t.Errorf("first clique split: %v", labels)
+	}
+	if labels[4] != labels[5] || labels[5] != labels[6] || labels[6] != labels[7] {
+		t.Errorf("second clique split: %v", labels)
+	}
+	if labels[0] == labels[4] {
+		t.Errorf("cliques merged despite weak bridge: %v", labels)
+	}
+}
+
+func TestLouvainDeterministic(t *testing.T) {
+	g := New(20)
+	rng := stats.NewRand(3, "graph")
+	for i := 0; i < 60; i++ {
+		u, v := rng.Intn(20), rng.Intn(20)
+		if u != v {
+			if err := g.AddEdge(u, v, 1+rng.Float64()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	a := g.Louvain(7)
+	b := g.Louvain(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic Louvain at node %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestLouvainImprovesModularity(t *testing.T) {
+	// Property: on random graphs the Louvain partition's modularity must be
+	// >= the singleton partition's modularity (which is <= 0).
+	f := func(seed int64, edges []uint16) bool {
+		n := 16
+		g := New(n)
+		for _, e := range edges {
+			u, v := int(e>>8)%n, int(e&0xff)%n
+			if u != v {
+				_ = g.AddEdge(u, v, 1)
+			}
+		}
+		labels := g.Louvain(seed)
+		singleton := make([]int, n)
+		for i := range singleton {
+			singleton[i] = i
+		}
+		return g.Modularity(labels) >= g.Modularity(singleton)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLouvainRing(t *testing.T) {
+	// Ring of 4 cliques of 5 nodes: the canonical Louvain test topology.
+	g := New(20)
+	for c := 0; c < 4; c++ {
+		nodes := make([]int, 5)
+		for i := range nodes {
+			nodes[i] = c*5 + i
+		}
+		clique(t, g, nodes, 1)
+	}
+	for c := 0; c < 4; c++ {
+		if err := g.AddEdge(c*5, ((c+1)%4)*5, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	labels := g.Louvain(11)
+	groups := Communities(labels)
+	if len(groups) != 4 {
+		t.Fatalf("found %d communities, want 4: %v", len(groups), labels)
+	}
+	q := g.Modularity(labels)
+	if q < 0.5 {
+		t.Errorf("modularity %g too low for ring of cliques", q)
+	}
+}
+
+func TestModularityEmptyGraph(t *testing.T) {
+	g := New(4)
+	if got := g.Modularity([]int{0, 1, 2, 3}); got != 0 {
+		t.Errorf("empty graph modularity = %g, want 0", got)
+	}
+	labels := g.Louvain(5)
+	if len(labels) != 4 {
+		t.Fatalf("labels = %v", labels)
+	}
+}
+
+func TestModularityBounds(t *testing.T) {
+	f := func(seed int64, edges []uint16, labelSeed uint8) bool {
+		n := 12
+		g := New(n)
+		for _, e := range edges {
+			u, v := int(e>>8)%n, int(e&0xff)%n
+			if u != v {
+				_ = g.AddEdge(u, v, 1)
+			}
+		}
+		rng := stats.NewRand(int64(labelSeed), "labels")
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = rng.Intn(4)
+		}
+		q := g.Modularity(labels)
+		return q >= -1-1e-9 && q <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubgraphDensity(t *testing.T) {
+	g := New(5)
+	clique(t, g, []int{0, 1, 2}, 1)
+	if got := g.SubgraphDensity([]int{0, 1, 2}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("triangle density = %g, want 1", got)
+	}
+	if got := g.SubgraphDensity([]int{0, 1, 2, 3}); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("triangle+isolate density = %g, want 0.5", got)
+	}
+	if got := g.SubgraphDensity([]int{4}); got != 0 {
+		t.Errorf("singleton density = %g, want 0", got)
+	}
+	// Parallel edges must not inflate density.
+	if err := g.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.SubgraphDensity([]int{0, 1, 2}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("density with parallel edge = %g, want 1", got)
+	}
+}
+
+func TestCommunities(t *testing.T) {
+	groups := Communities([]int{0, 1, 0, 2, 1})
+	if len(groups) != 3 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if len(groups[0]) != 2 || groups[0][0] != 0 || groups[0][1] != 2 {
+		t.Errorf("group 0 = %v", groups[0])
+	}
+}
+
+func TestLouvainSingletonNoise(t *testing.T) {
+	// Isolated nodes stay singleton; a dense herd among noise is recovered.
+	g := New(30)
+	clique(t, g, []int{10, 11, 12, 13, 14, 15}, 1)
+	labels := g.Louvain(2)
+	herd := labels[10]
+	for _, v := range []int{11, 12, 13, 14, 15} {
+		if labels[v] != herd {
+			t.Errorf("herd member %d has label %d, want %d", v, labels[v], herd)
+		}
+	}
+	for v := 0; v < 10; v++ {
+		if labels[v] == herd {
+			t.Errorf("isolated node %d joined the herd", v)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package ids provides the ground-truth labelling oracles used to evaluate
+// SMASH: a signature-matching intrusion detection engine with two frozen
+// signature snapshots (standing in for the paper's commercial IDS with early
+// 2012 and June 2013 signature sets) and a collection of blacklist services
+// (standing in for Malware Domain List, Phishtank, ZeuS Tracker, etc.),
+// including a WhatIsMyIPAddress-style aggregator that requires at least two
+// member-list hits to confirm a server.
+//
+// The paper uses these services only as labelling oracles with known
+// coverage gaps; simulating them with controlled coverage reproduces the
+// evaluation's IDS-total / IDS-partial / Blacklist / New-Server accounting
+// (see DESIGN.md substitution table).
+package ids
+
+import (
+	"sort"
+
+	"smash/internal/trace"
+)
+
+// Signature is one IDS rule: it fires on a server when the server matches
+// every non-empty field. URIFile matches against the server's observed URI
+// files; UserAgent against observed User-Agent strings.
+type Signature struct {
+	// ThreatID names the threat the signature detects (e.g. "Bagle").
+	ThreatID string
+	// Server is the exact server key to match; empty matches any server.
+	Server string
+	// URIFile is the exact URI file to require; empty matches any.
+	URIFile string
+	// UserAgent is the exact User-Agent to require; empty matches any.
+	UserAgent string
+}
+
+// matches reports whether the signature fires on the server's traffic.
+func (s *Signature) matches(key string, info *trace.ServerInfo) bool {
+	if s.Server != "" && s.Server != key {
+		return false
+	}
+	if s.URIFile != "" {
+		if _, ok := info.Files[s.URIFile]; !ok {
+			return false
+		}
+	}
+	if s.UserAgent != "" {
+		if _, ok := info.UserAgents[s.UserAgent]; !ok {
+			return false
+		}
+	}
+	// A signature with no constraining field never fires.
+	return s.Server != "" || s.URIFile != "" || s.UserAgent != ""
+}
+
+// Engine is a signature IDS with a frozen rule set.
+type Engine struct {
+	name     string
+	byServer map[string][]Signature
+	generic  []Signature // signatures without a server constraint
+}
+
+// NewEngine builds an engine named name over the given signatures.
+func NewEngine(name string, sigs []Signature) *Engine {
+	e := &Engine{name: name, byServer: make(map[string][]Signature)}
+	for _, s := range sigs {
+		if s.Server != "" {
+			e.byServer[s.Server] = append(e.byServer[s.Server], s)
+		} else {
+			e.generic = append(e.generic, s)
+		}
+	}
+	return e
+}
+
+// Name returns the engine's label (e.g. "IDS2012").
+func (e *Engine) Name() string { return e.name }
+
+// RuleCount reports the number of loaded signatures.
+func (e *Engine) RuleCount() int {
+	n := len(e.generic)
+	for _, sigs := range e.byServer {
+		n += len(sigs)
+	}
+	return n
+}
+
+// Labels maps server key -> sorted threat IDs that fired on it.
+type Labels map[string][]string
+
+// Detected reports whether any signature fired on the server.
+func (l Labels) Detected(server string) bool { return len(l[server]) > 0 }
+
+// Servers returns the sorted list of labelled servers.
+func (l Labels) Servers() []string {
+	out := make([]string, 0, len(l))
+	for s := range l {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ThreatGroups groups labelled servers by threat ID — the paper's ground
+// truth for false-negative analysis (servers sharing a threat identifier
+// are assumed to belong to one malicious campaign).
+func (l Labels) ThreatGroups() map[string][]string {
+	groups := make(map[string][]string)
+	for server, threats := range l {
+		for _, t := range threats {
+			groups[t] = append(groups[t], server)
+		}
+	}
+	for t := range groups {
+		sort.Strings(groups[t])
+	}
+	return groups
+}
+
+// Scan runs the engine over an aggregated traffic index and returns the
+// fired labels.
+func (e *Engine) Scan(idx *trace.Index) Labels {
+	labels := make(Labels)
+	for key, info := range idx.Servers {
+		var fired []string
+		for _, s := range e.byServer[key] {
+			if s.matches(key, info) {
+				fired = append(fired, s.ThreatID)
+			}
+		}
+		for _, s := range e.generic {
+			if s.matches(key, info) {
+				fired = append(fired, s.ThreatID)
+			}
+		}
+		if len(fired) > 0 {
+			sort.Strings(fired)
+			fired = dedupSorted(fired)
+			labels[key] = fired
+		}
+	}
+	return labels
+}
+
+func dedupSorted(s []string) []string {
+	out := s[:1]
+	for _, v := range s[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Blacklist is one blacklist service: a named set of known-bad servers.
+type Blacklist struct {
+	// Name identifies the service (e.g. "MalwareDomainList").
+	Name string
+	// Servers is the blacklisted server set.
+	Servers map[string]struct{}
+}
+
+// NewBlacklist builds a blacklist from a server list.
+func NewBlacklist(name string, servers []string) *Blacklist {
+	set := make(map[string]struct{}, len(servers))
+	for _, s := range servers {
+		set[s] = struct{}{}
+	}
+	return &Blacklist{Name: name, Servers: set}
+}
+
+// Contains reports whether the server is blacklisted.
+func (b *Blacklist) Contains(server string) bool {
+	_, ok := b.Servers[server]
+	return ok
+}
+
+// BlacklistSet models the paper's verification policy: a server is
+// confirmed malicious if any direct blacklist lists it, or if at least
+// MinAggregatedHits of the aggregator's member lists report it
+// (WhatIsMyIPAddress integrates 78 lists and the paper requires >= 2).
+type BlacklistSet struct {
+	// Direct holds the individually trusted blacklists.
+	Direct []*Blacklist
+	// AggregatedHits maps server -> number of aggregator member lists
+	// reporting it.
+	AggregatedHits map[string]int
+	// MinAggregatedHits is the aggregator confirmation threshold
+	// (default 2 when zero).
+	MinAggregatedHits int
+}
+
+// NewBlacklistSet returns an empty set with the default aggregator policy.
+func NewBlacklistSet() *BlacklistSet {
+	return &BlacklistSet{AggregatedHits: make(map[string]int), MinAggregatedHits: 2}
+}
+
+// Confirmed reports whether the policy confirms the server as malicious.
+func (bs *BlacklistSet) Confirmed(server string) bool {
+	for _, b := range bs.Direct {
+		if b.Contains(server) {
+			return true
+		}
+	}
+	min := bs.MinAggregatedHits
+	if min <= 0 {
+		min = 2
+	}
+	return bs.AggregatedHits[server] >= min
+}
+
+// Sources returns the names of direct lists containing the server, sorted.
+func (bs *BlacklistSet) Sources(server string) []string {
+	var out []string
+	for _, b := range bs.Direct {
+		if b.Contains(server) {
+			out = append(out, b.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,226 @@
+// Package prune implements the noise-pruning stage of SMASH (§III-D). Two
+// kinds of benign herds survive correlation and must be collapsed:
+//
+//   - Redirection groups: servers on one redirection chain share exactly the
+//     same clients, IP addresses and sometimes URI files. When the chain
+//     members also share IPs, URI files or whois records, the whole chain is
+//     replaced by its landing (final) server rather than dropped.
+//   - Referrer groups: servers embedded in or referred by a common landing
+//     page share the landing page's visitors. All members referred by the
+//     same landing server are replaced by that landing server.
+//
+// After replacement, herds left with fewer than two distinct servers are
+// removed from the candidate set.
+package prune
+
+import (
+	"sort"
+
+	"smash/internal/correlate"
+	"smash/internal/trace"
+	"smash/internal/webprobe"
+	"smash/internal/whois"
+)
+
+// Options tunes pruning.
+type Options struct {
+	// MinReferrerShare is the minimum fraction of a server's requests that
+	// must come from one referrer for it to count as "referred by" that
+	// landing server. Zero uses DefaultMinReferrerShare.
+	MinReferrerShare float64
+	// Prober answers redirection-chain questions; nil uses NullProber
+	// (passive-only pruning).
+	Prober webprobe.Prober
+	// Whois resolves registration records for the shared-whois test on
+	// redirection chains; may be nil.
+	Whois whois.Registry
+}
+
+// DefaultMinReferrerShare requires a dominant referrer to account for at
+// least 80% of a server's requests.
+const DefaultMinReferrerShare = 0.8
+
+func (o Options) normalized() Options {
+	if o.MinReferrerShare == 0 {
+		o.MinReferrerShare = DefaultMinReferrerShare
+	}
+	if o.Prober == nil {
+		o.Prober = webprobe.NullProber{}
+	}
+	return o
+}
+
+// PrunedASH is a candidate malicious herd after noise pruning.
+type PrunedASH struct {
+	// Suspicious is the correlated herd this candidate came from.
+	Suspicious *correlate.SuspiciousASH
+	// Servers is the surviving (possibly replaced) sorted server list.
+	Servers []string
+	// ReplacedReferrer counts members replaced via referrer grouping.
+	ReplacedReferrer int
+	// ReplacedRedirect counts members replaced via redirection chains.
+	ReplacedRedirect int
+}
+
+// Stats summarizes what pruning did across all herds.
+type Stats struct {
+	// In and Out count herds before/after pruning.
+	In, Out int
+	// ReferrerGroups counts herds where referrer replacement fired.
+	ReferrerGroups int
+	// RedirectGroups counts herds where redirection replacement fired.
+	RedirectGroups int
+	// Dropped counts herds removed entirely (one or zero servers left).
+	Dropped int
+}
+
+// Prune applies §III-D to the correlated herds.
+func Prune(herds []correlate.SuspiciousASH, idx *trace.Index, opts Options) ([]PrunedASH, Stats) {
+	opts = opts.normalized()
+	var out []PrunedASH
+	st := Stats{In: len(herds)}
+	for i := range herds {
+		h := &herds[i]
+		p := pruneOne(h, idx, opts)
+		if p.ReplacedReferrer > 0 {
+			st.ReferrerGroups++
+		}
+		if p.ReplacedRedirect > 0 {
+			st.RedirectGroups++
+		}
+		if len(p.Servers) < 2 {
+			st.Dropped++
+			continue
+		}
+		out = append(out, p)
+	}
+	st.Out = len(out)
+	return out, st
+}
+
+func pruneOne(h *correlate.SuspiciousASH, idx *trace.Index, opts Options) PrunedASH {
+	p := PrunedASH{Suspicious: h}
+	members := append([]string(nil), h.Servers...)
+
+	// Referrer grouping: members whose requests are dominated by a common
+	// external landing server are collapsed into that landing server.
+	byLanding := make(map[string][]string)
+	var independent []string
+	for _, s := range members {
+		info := idx.Servers[s]
+		if info == nil {
+			independent = append(independent, s)
+			continue
+		}
+		ref, share := info.DominantReferrer()
+		if ref != "" && share >= opts.MinReferrerShare && !contains(h.Servers, ref) {
+			byLanding[ref] = append(byLanding[ref], s)
+			continue
+		}
+		independent = append(independent, s)
+	}
+	replaced := independent
+	for landing, referred := range byLanding {
+		if len(referred) >= 2 {
+			// A genuine referrer group: the landing server stands in for
+			// all its referred members.
+			replaced = append(replaced, landing)
+			p.ReplacedReferrer += len(referred)
+		} else {
+			replaced = append(replaced, referred...)
+		}
+	}
+	members = replaced
+
+	// Redirection chains: members that redirect (per the prober) are walked
+	// to their landing. The chain is collapsed only when its members share
+	// IPs, URI files or whois records (§III-D's condition), which correlated
+	// herds normally do; otherwise members are kept as-is.
+	final := members[:0]
+	memberSet := make(map[string]struct{}, len(members))
+	for _, s := range members {
+		memberSet[s] = struct{}{}
+	}
+	for _, s := range members {
+		landing, hops := followChain(s, opts.Prober, 8)
+		if hops == 0 || landing == s {
+			final = append(final, s)
+			continue
+		}
+		if chainShares(s, landing, idx, opts.Whois) {
+			final = append(final, landing)
+			p.ReplacedRedirect++
+		} else {
+			final = append(final, s)
+		}
+	}
+
+	// Deduplicate and sort.
+	seen := make(map[string]struct{}, len(final))
+	uniq := final[:0]
+	for _, s := range final {
+		if _, ok := seen[s]; ok {
+			continue
+		}
+		seen[s] = struct{}{}
+		uniq = append(uniq, s)
+	}
+	sort.Strings(uniq)
+	p.Servers = append([]string(nil), uniq...)
+	return p
+}
+
+// followChain walks redirects from s up to maxHops, returning the landing
+// server and the number of hops taken. Cycles terminate at the first repeat.
+func followChain(s string, prober webprobe.Prober, maxHops int) (string, int) {
+	visited := map[string]struct{}{s: {}}
+	cur := s
+	hops := 0
+	for hops < maxHops {
+		next, ok := prober.RedirectTarget(cur)
+		if !ok || next == "" {
+			break
+		}
+		if _, seen := visited[next]; seen {
+			break
+		}
+		visited[next] = struct{}{}
+		cur = next
+		hops++
+	}
+	return cur, hops
+}
+
+// chainShares reports whether two servers on a redirection chain share IP
+// addresses, URI files, or whois records — the paper's condition for
+// replacing a chain by its landing server instead of keeping the members.
+func chainShares(a, b string, idx *trace.Index, reg whois.Registry) bool {
+	ia, ib := idx.Servers[a], idx.Servers[b]
+	if ia != nil && ib != nil {
+		for ip := range ia.IPs {
+			if _, ok := ib.IPs[ip]; ok {
+				return true
+			}
+		}
+		for f := range ia.Files {
+			if _, ok := ib.Files[f]; ok {
+				return true
+			}
+		}
+	}
+	if reg != nil {
+		ra, okA := reg.Lookup(a)
+		rb, okB := reg.Lookup(b)
+		if okA && okB && whois.SharedFields(ra, rb) >= whois.MinSharedFields {
+			return true
+		}
+	}
+	// A landing server never observed in the trace (external landing) still
+	// legitimately stands in for the chain.
+	return ib == nil
+}
+
+func contains(sorted []string, s string) bool {
+	i := sort.SearchStrings(sorted, s)
+	return i < len(sorted) && sorted[i] == s
+}

@@ -1,0 +1,200 @@
+package prune
+
+import (
+	"testing"
+	"time"
+
+	"smash/internal/correlate"
+	"smash/internal/trace"
+	"smash/internal/webprobe"
+	"smash/internal/whois"
+)
+
+func susp(servers ...string) []correlate.SuspiciousASH {
+	return []correlate.SuspiciousASH{{Servers: servers, Score: 1.5}}
+}
+
+// indexFromReqs builds an index from (client, host, ip, path, referrer).
+func indexFromReqs(rows [][5]string) *trace.Index {
+	tr := &trace.Trace{}
+	for _, r := range rows {
+		tr.Requests = append(tr.Requests, trace.Request{
+			Time: time.Unix(0, 0), Client: r[0], Host: r[1], ServerIP: r[2],
+			Path: r[3], Referrer: r[4], Status: 200,
+		})
+	}
+	return trace.BuildIndex(tr)
+}
+
+func TestReferrerGroupCollapsed(t *testing.T) {
+	// ad1/ad2/ad3 are embedded in landing.com pages: all their requests
+	// carry the landing referrer. The group collapses to landing.com alone
+	// and is then dropped (single server).
+	idx := indexFromReqs([][5]string{
+		{"c1", "ad1.com", "1.1.1.1", "/pixel.gif", "landing.com"},
+		{"c1", "ad2.com", "1.1.1.2", "/pixel.gif", "landing.com"},
+		{"c1", "ad3.com", "1.1.1.3", "/pixel.gif", "landing.com"},
+		{"c2", "ad1.com", "1.1.1.1", "/pixel.gif", "landing.com"},
+		{"c2", "ad2.com", "1.1.1.2", "/pixel.gif", "landing.com"},
+		{"c2", "ad3.com", "1.1.1.3", "/pixel.gif", "landing.com"},
+	})
+	out, st := Prune(susp("ad1.com", "ad2.com", "ad3.com"), idx, Options{})
+	if len(out) != 0 {
+		t.Errorf("referrer group not dropped: %+v", out)
+	}
+	if st.ReferrerGroups != 1 || st.Dropped != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestReferrerGroupPartial(t *testing.T) {
+	// Two members referred by a landing page, two genuinely independent
+	// malicious servers: the herd survives with landing + the two others.
+	idx := indexFromReqs([][5]string{
+		{"c1", "ad1.com", "1.1.1.1", "/p.gif", "landing.com"},
+		{"c1", "ad2.com", "1.1.1.2", "/p.gif", "landing.com"},
+		{"c1", "evil1.com", "9.9.9.9", "/login.php", ""},
+		{"c1", "evil2.com", "9.9.9.9", "/login.php", ""},
+	})
+	out, st := Prune(susp("ad1.com", "ad2.com", "evil1.com", "evil2.com"), idx, Options{})
+	if len(out) != 1 {
+		t.Fatalf("herds = %d, want 1", len(out))
+	}
+	got := out[0].Servers
+	want := []string{"evil1.com", "evil2.com", "landing.com"}
+	if len(got) != len(want) {
+		t.Fatalf("servers = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("servers = %v, want %v", got, want)
+		}
+	}
+	if st.ReferrerGroups != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestSingleReferredMemberKept(t *testing.T) {
+	// Only one member referred by some landing page: not a referrer group,
+	// member is kept.
+	idx := indexFromReqs([][5]string{
+		{"c1", "a.com", "1.1.1.1", "/x.php", "portal.com"},
+		{"c1", "b.com", "1.1.1.1", "/x.php", ""},
+	})
+	out, _ := Prune(susp("a.com", "b.com"), idx, Options{})
+	if len(out) != 1 || len(out[0].Servers) != 2 {
+		t.Errorf("herd changed unexpectedly: %+v", out)
+	}
+}
+
+func TestRedirectionChainCollapsed(t *testing.T) {
+	// r1 -> r2 -> landing.com; all share an IP, so the chain collapses to
+	// the landing server; evil.com is untouched.
+	idx := indexFromReqs([][5]string{
+		{"c1", "r1.com", "5.5.5.5", "/go", ""},
+		{"c1", "r2.com", "5.5.5.5", "/go", ""},
+		{"c1", "landing.com", "5.5.5.5", "/home", ""},
+		{"c1", "evil.com", "9.9.9.9", "/login.php", ""},
+	})
+	prober := webprobe.NewMapProber()
+	prober.Redirects["r1.com"] = "r2.com"
+	prober.Redirects["r2.com"] = "landing.com"
+	out, st := Prune(susp("evil.com", "landing.com", "r1.com", "r2.com"), idx, Options{Prober: prober})
+	if len(out) != 1 {
+		t.Fatalf("herds = %d, want 1", len(out))
+	}
+	got := out[0].Servers
+	want := []string{"evil.com", "landing.com"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("servers = %v, want %v", got, want)
+	}
+	if st.RedirectGroups != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if out[0].ReplacedRedirect != 2 {
+		t.Errorf("ReplacedRedirect = %d, want 2", out[0].ReplacedRedirect)
+	}
+}
+
+func TestRedirectionWithoutSharingKept(t *testing.T) {
+	// A redirect between servers that share nothing (different IPs, files,
+	// no whois) must NOT collapse — the sharing condition gates replacement.
+	idx := indexFromReqs([][5]string{
+		{"c1", "a.com", "1.1.1.1", "/x.php", ""},
+		{"c1", "b.com", "2.2.2.2", "/y.php", ""},
+	})
+	prober := webprobe.NewMapProber()
+	prober.Redirects["a.com"] = "b.com"
+	out, _ := Prune(susp("a.com", "b.com"), idx, Options{Prober: prober})
+	if len(out) != 1 || len(out[0].Servers) != 2 {
+		t.Errorf("unrelated redirect collapsed: %+v", out)
+	}
+}
+
+func TestRedirectionSharedWhoisCollapses(t *testing.T) {
+	idx := indexFromReqs([][5]string{
+		{"c1", "a.com", "1.1.1.1", "/x.php", ""},
+		{"c1", "b.com", "2.2.2.2", "/y.php", ""},
+		{"c1", "other.com", "3.3.3.3", "/z.php", ""},
+	})
+	reg := whois.NewMapRegistry()
+	reg.Add(whois.Record{Domain: "a.com", Phone: "+7", Address: "Evil St"})
+	reg.Add(whois.Record{Domain: "b.com", Phone: "+7", Address: "Evil St"})
+	prober := webprobe.NewMapProber()
+	prober.Redirects["a.com"] = "b.com"
+	out, _ := Prune(susp("a.com", "b.com", "other.com"), idx, Options{Prober: prober, Whois: reg})
+	if len(out) != 1 {
+		t.Fatalf("out = %+v", out)
+	}
+	got := out[0].Servers
+	if len(got) != 2 || got[0] != "b.com" || got[1] != "other.com" {
+		t.Errorf("servers = %v, want [b.com other.com]", got)
+	}
+}
+
+func TestRedirectCycleTerminates(t *testing.T) {
+	idx := indexFromReqs([][5]string{
+		{"c1", "a.com", "1.1.1.1", "/x", ""},
+		{"c1", "b.com", "1.1.1.1", "/x", ""},
+	})
+	prober := webprobe.NewMapProber()
+	prober.Redirects["a.com"] = "b.com"
+	prober.Redirects["b.com"] = "a.com"
+	out, _ := Prune(susp("a.com", "b.com"), idx, Options{Prober: prober})
+	// a -> b (stops: a seen), b -> a (stops: b seen); both collapse to the
+	// other and dedupe to {a, b}. The key property: no infinite loop.
+	if len(out) != 1 {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestCleanHerdUntouched(t *testing.T) {
+	idx := indexFromReqs([][5]string{
+		{"bot1", "cc1.com", "9.9.9.1", "/login.php", ""},
+		{"bot1", "cc2.com", "9.9.9.2", "/login.php", ""},
+		{"bot2", "cc1.com", "9.9.9.1", "/login.php", ""},
+		{"bot2", "cc2.com", "9.9.9.2", "/login.php", ""},
+	})
+	out, st := Prune(susp("cc1.com", "cc2.com"), idx, Options{})
+	if len(out) != 1 || len(out[0].Servers) != 2 {
+		t.Fatalf("clean herd modified: %+v", out)
+	}
+	if st.ReferrerGroups != 0 || st.RedirectGroups != 0 || st.Dropped != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.In != 1 || st.Out != 1 {
+		t.Errorf("in/out = %d/%d", st.In, st.Out)
+	}
+}
+
+func TestUnknownServerInHerd(t *testing.T) {
+	// A herd member absent from the index (edge case) must not panic.
+	idx := indexFromReqs([][5]string{
+		{"c1", "known.com", "1.1.1.1", "/x", ""},
+	})
+	out, _ := Prune(susp("known.com", "ghost.com"), idx, Options{})
+	if len(out) != 1 || len(out[0].Servers) != 2 {
+		t.Errorf("out = %+v", out)
+	}
+}

@@ -1,0 +1,86 @@
+package similarity
+
+import (
+	"strconv"
+
+	"smash/internal/sparse"
+	"smash/internal/trace"
+)
+
+// DimPayload names the optional payload-similarity secondary dimension
+// suggested in the paper's Extensions discussion (§VI): malware download
+// tiers serve the same binary (possibly under different names) from many
+// servers, so shared payload digests of the captured response prefixes link
+// them even when every other dimension is randomized.
+const DimPayload = "payload"
+
+// BuildPayloadGraph connects servers whose observed payload-digest sets are
+// similar (eq. 1 form over digests). Digests served by more than MaxFanout
+// servers (shared CDN assets, common libraries) are skipped.
+func BuildPayloadGraph(idx *trace.Index, opts Options) *ServerGraph {
+	opts = opts.normalized()
+	sg := newServerGraph(idx)
+	inc := sparse.NewIncidence()
+	for _, name := range sg.Names {
+		_ = inc.RowID(name)
+		for d := range idx.Servers[name].Payloads {
+			inc.Set(name, d)
+		}
+	}
+	for _, p := range inc.CoOccurrence(opts.MaxFanout) {
+		a, b := int(p.A), int(p.B)
+		sim := SetSim(int(p.Count),
+			len(idx.Servers[sg.Names[a]].Payloads),
+			len(idx.Servers[sg.Names[b]].Payloads))
+		if sim >= opts.MinSimilarity {
+			_ = sg.G.AddEdge(a, b, sim)
+		}
+	}
+	return sg
+}
+
+// DimTemporal names the optional temporal co-occurrence secondary dimension
+// (§VI Extensions, after Gao et al.): servers that one client contacts
+// within the same short time window are temporally related — bots cycle
+// through their C&C pool in bursts.
+const DimTemporal = "temporal"
+
+// TemporalWindow is the co-occurrence bucket width in seconds.
+const TemporalWindow = 60
+
+// BuildTemporalGraph connects servers that share (client, time-window)
+// co-occurrences, weighted by the eq. 1 form over the servers' window sets.
+// It needs the raw trace for timestamps; servers absent from idx (e.g.
+// filtered by preprocessing) are ignored.
+func BuildTemporalGraph(t *trace.Trace, idx *trace.Index, opts Options) *ServerGraph {
+	opts = opts.normalized()
+	sg := newServerGraph(idx)
+	inc := sparse.NewIncidence()
+	windows := make(map[string]map[string]struct{}, len(sg.Names)) // server -> window tokens
+	for _, name := range sg.Names {
+		_ = inc.RowID(name)
+		windows[name] = make(map[string]struct{})
+	}
+	for i := range t.Requests {
+		r := &t.Requests[i]
+		key := r.ServerKey()
+		set, ok := windows[key]
+		if !ok {
+			continue
+		}
+		token := r.Client + "@" + strconv.FormatInt(r.Time.Unix()/TemporalWindow, 10)
+		if _, seen := set[token]; seen {
+			continue
+		}
+		set[token] = struct{}{}
+		inc.Set(key, token)
+	}
+	for _, p := range inc.CoOccurrence(opts.MaxFanout) {
+		a, b := int(p.A), int(p.B)
+		sim := SetSim(int(p.Count), len(windows[sg.Names[a]]), len(windows[sg.Names[b]]))
+		if sim >= opts.MinSimilarity {
+			_ = sg.G.AddEdge(a, b, sim)
+		}
+	}
+	return sg
+}

@@ -1,0 +1,39 @@
+package similarity
+
+import (
+	"smash/internal/sparse"
+	"smash/internal/trace"
+)
+
+// DimQuery names the optional query-parameter-pattern secondary dimension.
+// The paper's false-negative analysis (§V-A2) finds 40 missed servers
+// (Cycbot, FakeAV, Tidserv) that share no built-in secondary dimension but
+// do share URI parameter patterns, and suggests extending the URI-file
+// dimension with parameter patterns; this dimension is that extension,
+// pluggable via core.WithExtraDimension.
+const DimQuery = "querypattern"
+
+// BuildQueryGraph connects servers whose query-parameter-pattern sets are
+// similar (eq. 1 form over patterns such as "e&id&p"). Patterns seen on
+// more than MaxFanout servers are ignored as too generic.
+func BuildQueryGraph(idx *trace.Index, opts Options) *ServerGraph {
+	opts = opts.normalized()
+	sg := newServerGraph(idx)
+	inc := sparse.NewIncidence()
+	for _, name := range sg.Names {
+		_ = inc.RowID(name)
+		for q := range idx.Servers[name].Queries {
+			inc.Set(name, q)
+		}
+	}
+	for _, p := range inc.CoOccurrence(opts.MaxFanout) {
+		a, b := int(p.A), int(p.B)
+		sim := SetSim(int(p.Count),
+			len(idx.Servers[sg.Names[a]].Queries),
+			len(idx.Servers[sg.Names[b]].Queries))
+		if sim >= opts.MinSimilarity {
+			_ = sg.G.AddEdge(a, b, sim)
+		}
+	}
+	return sg
+}

@@ -1,0 +1,428 @@
+// Package similarity implements the four relationship dimensions of SMASH
+// (§III-B): the main client-similarity dimension (eq. 1) and the secondary
+// URI-file (eqs. 2-7), IP-address-set (eq. 8) and whois dimensions. Each
+// builder turns a trace.Index into a weighted server-similarity graph on
+// which the herd miner runs Louvain community detection.
+//
+// Pairwise similarity is never computed densely: set-valued dimensions go
+// through the sparse co-occurrence product (see internal/sparse), so only
+// server pairs that actually share a client/IP/file/whois token are touched.
+package similarity
+
+import (
+	"math"
+	"sort"
+
+	"smash/internal/graph"
+	"smash/internal/sparse"
+	"smash/internal/trace"
+	"smash/internal/whois"
+)
+
+// Dimension names used across the pipeline. Client is the main dimension;
+// the rest are secondary (§III-B).
+const (
+	DimClient = "client"
+	DimFile   = "urifile"
+	DimIP     = "ipset"
+	DimWhois  = "whois"
+)
+
+// SecondaryDimensions lists the secondary dimension names in canonical order.
+func SecondaryDimensions() []string {
+	return []string{DimFile, DimIP, DimWhois}
+}
+
+// SetSim is the importance-weighted set similarity used by both the client
+// dimension (eq. 1) and the IP dimension (eq. 8):
+//
+//	sim = (|A∩B|/|A|) · (|A∩B|/|B|)
+//
+// Two servers are similar when their common elements are important to both.
+func SetSim(intersection, sizeA, sizeB int) float64 {
+	if sizeA == 0 || sizeB == 0 || intersection == 0 {
+		return 0
+	}
+	i := float64(intersection)
+	return (i / float64(sizeA)) * (i / float64(sizeB))
+}
+
+// DefaultLenThreshold is the paper's len parameter (Appendix B): filenames
+// of at most 25 characters are compared exactly; longer (likely obfuscated)
+// names are compared by character distribution.
+const DefaultLenThreshold = 25
+
+// DefaultCosineThreshold is the paper's cosine cutoff for long filenames.
+const DefaultCosineThreshold = 0.8
+
+// FileNameSim implements eqs. (2)-(6): 1 if the two URI files are "similar",
+// else 0. Short names (<= lenThreshold) must match exactly; long names are
+// similar when the cosine of their byte-frequency distributions exceeds
+// cosThreshold.
+func FileNameSim(fi, fj string, lenThreshold int, cosThreshold float64) float64 {
+	if fi == fj {
+		return 1
+	}
+	if len(fi) <= lenThreshold || len(fj) <= lenThreshold {
+		return 0
+	}
+	if CharCosine(fi, fj) > cosThreshold {
+		return 1
+	}
+	return 0
+}
+
+// CharCosine returns the cosine similarity of the byte-frequency vectors of
+// two strings (the CharSet vectors of eq. 6).
+func CharCosine(a, b string) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	var fa, fb [256]float64
+	for i := 0; i < len(a); i++ {
+		fa[a[i]]++
+	}
+	for i := 0; i < len(b); i++ {
+		fb[b[i]]++
+	}
+	dot, na, nb := 0.0, 0.0, 0.0
+	for i := 0; i < 256; i++ {
+		dot += fa[i] * fb[i]
+		na += fa[i] * fa[i]
+		nb += fb[i] * fb[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// ServerFileSim implements eq. (7): the product of (fraction of Si's files
+// that have a similar file on Sj) and the converse fraction.
+func ServerFileSim(filesA, filesB []string, lenThreshold int, cosThreshold float64) float64 {
+	if len(filesA) == 0 || len(filesB) == 0 {
+		return 0
+	}
+	setB := make(map[string]struct{}, len(filesB))
+	var longB []string
+	for _, f := range filesB {
+		setB[f] = struct{}{}
+		if len(f) > lenThreshold {
+			longB = append(longB, f)
+		}
+	}
+	setA := make(map[string]struct{}, len(filesA))
+	var longA []string
+	for _, f := range filesA {
+		setA[f] = struct{}{}
+		if len(f) > lenThreshold {
+			longA = append(longA, f)
+		}
+	}
+	matched := func(f string, exact map[string]struct{}, longOther []string) bool {
+		if _, ok := exact[f]; ok {
+			return true
+		}
+		if len(f) <= lenThreshold {
+			return false
+		}
+		for _, g := range longOther {
+			if CharCosine(f, g) > cosThreshold {
+				return true
+			}
+		}
+		return false
+	}
+	ma := 0
+	for _, f := range filesA {
+		if matched(f, setB, longB) {
+			ma++
+		}
+	}
+	mb := 0
+	for _, f := range filesB {
+		if matched(f, setA, longA) {
+			mb++
+		}
+	}
+	return (float64(ma) / float64(len(filesA))) * (float64(mb) / float64(len(filesB)))
+}
+
+// ServerGraph is a similarity graph whose nodes are server keys.
+type ServerGraph struct {
+	// G is the weighted similarity graph.
+	G *graph.Graph
+	// Names maps node id -> server key.
+	Names []string
+	// IDs maps server key -> node id.
+	IDs map[string]int
+}
+
+// newServerGraph allocates a ServerGraph over the sorted server keys of idx
+// so node ids are deterministic.
+func newServerGraph(idx *trace.Index) *ServerGraph {
+	names := idx.ServerKeys()
+	ids := make(map[string]int, len(names))
+	for i, n := range names {
+		ids[n] = i
+	}
+	return &ServerGraph{G: graph.New(len(names)), Names: names, IDs: ids}
+}
+
+// Options tunes the similarity graph builders.
+type Options struct {
+	// MinSimilarity is the minimum edge weight to keep (edges below it are
+	// dropped, keeping the graphs sparse). Zero uses DefaultMinSimilarity.
+	MinSimilarity float64
+	// MaxFanout skips features (clients, IPs, file tokens, whois tokens)
+	// shared by more than this many servers when generating candidate
+	// pairs. Zero uses DefaultMaxFanout; negative disables the cap.
+	MaxFanout int
+	// LenThreshold is the filename length above which the cosine test is
+	// used. Zero uses DefaultLenThreshold.
+	LenThreshold int
+	// CosineThreshold is the cosine cutoff for long filenames. Zero uses
+	// DefaultCosineThreshold.
+	CosineThreshold float64
+	// MinSharedFeatures is the minimum number of shared features for a
+	// pair to receive an edge. The client dimension uses 2 so that a
+	// single shared visitor cannot link servers (servers visited by only
+	// one client are handled by the dedicated single-client ASHs instead,
+	// per Appendix C of the paper). Zero uses 1.
+	MinSharedFeatures int
+}
+
+// Default thresholds. The paper keeps every nonzero-similarity edge in the
+// secondary dimensions and relies on weighted Louvain modularity to
+// separate weakly-attached servers, so the default cutoff is only an
+// epsilon guarding numeric noise; raising it is an ablation knob (see
+// bench_test.go). The main client dimension uses a stronger cutoff: eq. (1)
+// demands that the common clients be important to *both* servers, and a
+// popular benign server sharing two bots with a C&C pool has sim of about
+// 2/|C| — noise that would otherwise bridge campaign cliques into
+// sprawling benign communities. The fan-out cap mirrors the paper's IDF
+// spirit for features.
+const (
+	DefaultMinSimilarity       = 0.01
+	DefaultClientMinSimilarity = 0.1
+	DefaultMaxFanout           = 500
+)
+
+func (o Options) normalized() Options {
+	if o.MinSimilarity == 0 {
+		o.MinSimilarity = DefaultMinSimilarity
+	}
+	if o.MaxFanout == 0 {
+		o.MaxFanout = DefaultMaxFanout
+	}
+	if o.MaxFanout < 0 {
+		o.MaxFanout = 0 // sparse package convention: 0 = uncapped
+	}
+	if o.LenThreshold == 0 {
+		o.LenThreshold = DefaultLenThreshold
+	}
+	if o.CosineThreshold == 0 {
+		o.CosineThreshold = DefaultCosineThreshold
+	}
+	if o.MinSharedFeatures <= 0 {
+		o.MinSharedFeatures = 1
+	}
+	return o
+}
+
+// BuildClientGraph builds the main-dimension similarity graph: servers are
+// connected with weight Client(Si,Sj) from eq. (1) when they share clients.
+func BuildClientGraph(idx *trace.Index, opts Options) *ServerGraph {
+	opts = opts.normalized()
+	sg := newServerGraph(idx)
+	inc := sparse.NewIncidence()
+	for _, name := range sg.Names {
+		// Intern rows in node-id order so incidence row ids == node ids.
+		rid := inc.RowID(name)
+		_ = rid
+		for c := range idx.Servers[name].Clients {
+			inc.Set(name, c)
+		}
+	}
+	for _, p := range inc.CoOccurrence(opts.MaxFanout) {
+		if int(p.Count) < opts.MinSharedFeatures {
+			continue
+		}
+		a, b := int(p.A), int(p.B)
+		sim := SetSim(int(p.Count), len(idx.Servers[sg.Names[a]].Clients), len(idx.Servers[sg.Names[b]].Clients))
+		if sim >= opts.MinSimilarity {
+			_ = sg.G.AddEdge(a, b, sim)
+		}
+	}
+	return sg
+}
+
+// BuildIPGraph builds the IP-address-set secondary dimension graph (eq. 8).
+func BuildIPGraph(idx *trace.Index, opts Options) *ServerGraph {
+	opts = opts.normalized()
+	sg := newServerGraph(idx)
+	inc := sparse.NewIncidence()
+	for _, name := range sg.Names {
+		_ = inc.RowID(name)
+		for ip := range idx.Servers[name].IPs {
+			inc.Set(name, ip)
+		}
+	}
+	for _, p := range inc.CoOccurrence(opts.MaxFanout) {
+		a, b := int(p.A), int(p.B)
+		sim := SetSim(int(p.Count), len(idx.Servers[sg.Names[a]].IPs), len(idx.Servers[sg.Names[b]].IPs))
+		if sim >= opts.MinSimilarity {
+			_ = sg.G.AddEdge(a, b, sim)
+		}
+	}
+	return sg
+}
+
+// BuildFileGraph builds the URI-file secondary dimension graph. Candidate
+// server pairs are generated from shared file tokens (exact for short
+// names, a distribution bucket for long names); each candidate pair is then
+// scored with the full eq. (7) similarity.
+func BuildFileGraph(idx *trace.Index, opts Options) *ServerGraph {
+	opts = opts.normalized()
+	sg := newServerGraph(idx)
+	inc := sparse.NewIncidence()
+
+	// Long (possibly obfuscated) filenames: cluster them by cosine
+	// similarity so that similar-but-unequal names map to one token.
+	longNames := make(map[string][]int) // long file -> server node ids
+	for id, name := range sg.Names {
+		_ = inc.RowID(name)
+		for f := range idx.Servers[name].Files {
+			if len(f) > opts.LenThreshold {
+				longNames[f] = append(longNames[f], id)
+				continue
+			}
+			inc.Set(name, "x:"+f)
+		}
+	}
+	if len(longNames) > 0 {
+		files := make([]string, 0, len(longNames))
+		for f := range longNames {
+			files = append(files, f)
+		}
+		sort.Strings(files)
+		groups := clusterLongNames(files, opts.CosineThreshold)
+		for gi, members := range groups {
+			token := "g:" + itoa(gi)
+			for _, fi := range members {
+				for _, server := range longNames[files[fi]] {
+					inc.Set(sg.Names[server], token)
+				}
+			}
+		}
+	}
+
+	for _, p := range inc.CoOccurrence(opts.MaxFanout) {
+		a, b := int(p.A), int(p.B)
+		sim := ServerFileSim(
+			idx.Servers[sg.Names[a]].FileList(),
+			idx.Servers[sg.Names[b]].FileList(),
+			opts.LenThreshold, opts.CosineThreshold)
+		if sim >= opts.MinSimilarity {
+			_ = sg.G.AddEdge(a, b, sim)
+		}
+	}
+	return sg
+}
+
+// clusterLongNames groups long filenames into connected components of the
+// "cosine > threshold" relation using a union-find over pairwise checks.
+// The population of long names is small in practice (they only appear in
+// obfuscating campaigns), so the quadratic pass is cheap; a hard cap guards
+// pathological inputs.
+func clusterLongNames(files []string, cosThreshold float64) [][]int {
+	const maxPairwise = 4096
+	parent := make([]int, len(files))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	n := len(files)
+	if n > maxPairwise {
+		n = maxPairwise
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if CharCosine(files[i], files[j]) > cosThreshold {
+				ri, rj := find(i), find(j)
+				if ri != rj {
+					parent[ri] = rj
+				}
+			}
+		}
+	}
+	groups := make(map[int][]int)
+	for i := range files {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	out := make([][]int, 0, len(groups))
+	for _, r := range roots {
+		out = append(out, groups[r])
+	}
+	return out
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// BuildWhoisGraph builds the whois secondary dimension graph: servers whose
+// registration records share at least whois.MinSharedFields fields are
+// connected with the field-overlap similarity. Candidate pairs come from
+// shared field-signature tokens.
+func BuildWhoisGraph(idx *trace.Index, reg whois.Registry, opts Options) *ServerGraph {
+	opts = opts.normalized()
+	sg := newServerGraph(idx)
+	if reg == nil {
+		return sg
+	}
+	records := make(map[int]whois.Record)
+	inc := sparse.NewIncidence()
+	for id, name := range sg.Names {
+		_ = inc.RowID(name)
+		rec, ok := reg.Lookup(name)
+		if !ok {
+			continue
+		}
+		records[id] = rec
+		for _, token := range whois.FieldSignature(rec) {
+			inc.Set(name, token)
+		}
+	}
+	for _, p := range inc.CoOccurrence(opts.MaxFanout) {
+		a, b := int(p.A), int(p.B)
+		sim := whois.Similarity(records[a], records[b])
+		if sim > 0 {
+			_ = sg.G.AddEdge(a, b, sim)
+		}
+	}
+	return sg
+}

@@ -1,0 +1,298 @@
+package similarity
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"smash/internal/trace"
+	"smash/internal/whois"
+)
+
+func TestSetSim(t *testing.T) {
+	tests := []struct {
+		name          string
+		inter, na, nb int
+		want          float64
+	}{
+		{"identical sets", 5, 5, 5, 1.0},
+		{"half overlap both", 5, 10, 10, 0.25},
+		{"no overlap", 0, 10, 10, 0},
+		{"empty side", 3, 0, 10, 0},
+		{"asymmetric importance", 2, 2, 8, 0.25},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := SetSim(tt.inter, tt.na, tt.nb); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("SetSim(%d,%d,%d) = %g, want %g", tt.inter, tt.na, tt.nb, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSetSimBoundsAndSymmetry(t *testing.T) {
+	f := func(i, a, b uint8) bool {
+		inter := int(i)
+		na, nb := int(a), int(b)
+		if inter > na {
+			inter = na
+		}
+		if inter > nb {
+			inter = nb
+		}
+		s1 := SetSim(inter, na, nb)
+		s2 := SetSim(inter, nb, na)
+		return s1 == s2 && s1 >= 0 && s1 <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCharCosine(t *testing.T) {
+	if got := CharCosine("abc", "abc"); math.Abs(got-1) > 1e-12 {
+		t.Errorf("identical cosine = %g, want 1", got)
+	}
+	if got := CharCosine("abc", "cba"); math.Abs(got-1) > 1e-12 {
+		t.Errorf("permutation cosine = %g, want 1", got)
+	}
+	if got := CharCosine("aaa", "bbb"); got != 0 {
+		t.Errorf("disjoint cosine = %g, want 0", got)
+	}
+	if got := CharCosine("", "abc"); got != 0 {
+		t.Errorf("empty cosine = %g, want 0", got)
+	}
+}
+
+func TestCharCosineBounds(t *testing.T) {
+	f := func(a, b string) bool {
+		c := CharCosine(a, b)
+		return c >= 0 && c <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFileNameSim(t *testing.T) {
+	long1 := "ab0cd1ef2gh3ij4kl5mn6op7qr8st9"    // 30 chars
+	long2 := "ba0dc1fe2hg3ji4lk5nm6po7rq8ts9"    // same multiset
+	longDiff := "zzzzzzzzzzzzzzzzzzzzzzzzzzzzzz" // disjoint
+	tests := []struct {
+		name   string
+		fi, fj string
+		want   float64
+	}{
+		{"exact short match", "login.php", "login.php", 1},
+		{"short mismatch", "login.php", "news.php", 0},
+		{"short vs long mismatch", "a.php", long1, 0},
+		{"long permuted match", long1, long2, 1},
+		{"long disjoint", long1, longDiff, 0},
+		{"long exact", long1, long1, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := FileNameSim(tt.fi, tt.fj, DefaultLenThreshold, DefaultCosineThreshold)
+			if got != tt.want {
+				t.Errorf("FileNameSim(%q,%q) = %g, want %g", tt.fi, tt.fj, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestServerFileSim(t *testing.T) {
+	// Both servers expose only the shared C&C script: full similarity.
+	if got := ServerFileSim([]string{"login.php"}, []string{"login.php"}, 25, 0.8); got != 1 {
+		t.Errorf("identical single-file = %g, want 1", got)
+	}
+	// Server A has 2 files, one shared; server B has 1 file, shared:
+	// (1/2)*(1/1) = 0.5.
+	got := ServerFileSim([]string{"login.php", "x.gif"}, []string{"login.php"}, 25, 0.8)
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("partial = %g, want 0.5", got)
+	}
+	if got := ServerFileSim(nil, []string{"a"}, 25, 0.8); got != 0 {
+		t.Errorf("empty side = %g, want 0", got)
+	}
+}
+
+func TestServerFileSimSymmetric(t *testing.T) {
+	a := []string{"login.php", "setup.php", "x.gif"}
+	b := []string{"setup.php", "y.gif"}
+	s1 := ServerFileSim(a, b, 25, 0.8)
+	s2 := ServerFileSim(b, a, 25, 0.8)
+	if math.Abs(s1-s2) > 1e-12 {
+		t.Errorf("asymmetric: %g vs %g", s1, s2)
+	}
+}
+
+// buildIndex creates an index from compact specs: each spec is
+// (client, host, ip, path).
+func buildIndex(specs [][4]string) *trace.Index {
+	tr := &trace.Trace{}
+	for _, s := range specs {
+		tr.Requests = append(tr.Requests, trace.Request{
+			Time: time.Unix(0, 0), Client: s[0], Host: s[1], ServerIP: s[2], Path: s[3], Status: 200,
+		})
+	}
+	return trace.BuildIndex(tr)
+}
+
+func TestBuildClientGraph(t *testing.T) {
+	idx := buildIndex([][4]string{
+		// bot1, bot2 contact both C&C domains; a benign user visits news.com.
+		{"bot1", "cc1.com", "9.9.9.1", "/login.php"},
+		{"bot1", "cc2.com", "9.9.9.2", "/login.php"},
+		{"bot2", "cc1.com", "9.9.9.1", "/login.php"},
+		{"bot2", "cc2.com", "9.9.9.2", "/login.php"},
+		{"user", "news.com", "8.8.8.8", "/index.html"},
+	})
+	sg := BuildClientGraph(idx, Options{})
+	a, b := sg.IDs["cc1.com"], sg.IDs["cc2.com"]
+	found := false
+	sg.G.Neighbors(a, func(v int, w float64) {
+		if v == b {
+			found = true
+			if math.Abs(w-1.0) > 1e-12 {
+				t.Errorf("edge weight = %g, want 1 (identical client sets)", w)
+			}
+		}
+	})
+	if !found {
+		t.Fatal("C&C pair not connected in client graph")
+	}
+	n := sg.IDs["news.com"]
+	sg.G.Neighbors(n, func(v int, w float64) {
+		t.Errorf("news.com should be isolated, connected to %s", sg.Names[v])
+	})
+}
+
+func TestBuildIPGraph(t *testing.T) {
+	idx := buildIndex([][4]string{
+		// Domain-flux: two domains resolving to the same IP.
+		{"c1", "flux1.com", "6.6.6.6", "/a"},
+		{"c2", "flux2.com", "6.6.6.6", "/b"},
+		{"c3", "other.com", "7.7.7.7", "/c"},
+	})
+	sg := BuildIPGraph(idx, Options{})
+	a, b := sg.IDs["flux1.com"], sg.IDs["flux2.com"]
+	found := false
+	sg.G.Neighbors(a, func(v int, w float64) {
+		if v == b && w == 1.0 {
+			found = true
+		}
+	})
+	if !found {
+		t.Error("flux pair not connected with weight 1 in IP graph")
+	}
+}
+
+func TestBuildFileGraphShortNames(t *testing.T) {
+	idx := buildIndex([][4]string{
+		// ZmEu scan: different victims, same vulnerable file, different paths.
+		{"bot", "victim1.com", "1.1.1.1", "/phpmyadmin/scripts/setup.php"},
+		{"bot", "victim2.com", "1.1.1.2", "/pma/setup.php"},
+		{"u", "normal.com", "2.2.2.2", "/about.html"},
+	})
+	sg := BuildFileGraph(idx, Options{})
+	a, b := sg.IDs["victim1.com"], sg.IDs["victim2.com"]
+	found := false
+	sg.G.Neighbors(a, func(v int, w float64) {
+		if v == b {
+			found = true
+		}
+	})
+	if !found {
+		t.Error("scan victims not connected in file graph")
+	}
+}
+
+func TestBuildFileGraphObfuscatedNames(t *testing.T) {
+	// Two servers with obfuscated (long, permuted) filenames must connect.
+	f1 := "a1b2c3d4e5f6g7h8i9j0k1l2m3n4.php"
+	f2 := "4n3m2l1k0j9i8h7g6f5e4d3c2b1a.php"
+	idx := buildIndex([][4]string{
+		{"bot", "obf1.com", "3.3.3.1", "/" + f1},
+		{"bot", "obf2.com", "3.3.3.2", "/" + f2},
+	})
+	sg := BuildFileGraph(idx, Options{})
+	a, b := sg.IDs["obf1.com"], sg.IDs["obf2.com"]
+	found := false
+	sg.G.Neighbors(a, func(v int, w float64) {
+		if v == b {
+			found = true
+		}
+	})
+	if !found {
+		t.Error("obfuscated-name servers not connected in file graph")
+	}
+}
+
+func TestBuildWhoisGraph(t *testing.T) {
+	idx := buildIndex([][4]string{
+		{"c", "evil1.com", "1.1.1.1", "/"},
+		{"c", "evil2.com", "1.1.1.2", "/"},
+		{"c", "clean.com", "2.2.2.2", "/"},
+	})
+	reg := whois.NewMapRegistry()
+	reg.Add(whois.Record{Domain: "evil1.com", Phone: "+7-1", Address: "1 Bad St", NameServers: []string{"ns1.bad.net"}})
+	reg.Add(whois.Record{Domain: "evil2.com", Phone: "+7-1", Address: "1 Bad St", NameServers: []string{"ns1.bad.net"}})
+	reg.Add(whois.Record{Domain: "clean.com", Phone: "+1-555", Address: "Main St", NameServers: []string{"ns.clean.com"}})
+	sg := BuildWhoisGraph(idx, reg, Options{})
+	a, b := sg.IDs["evil1.com"], sg.IDs["evil2.com"]
+	found := false
+	sg.G.Neighbors(a, func(v int, w float64) {
+		if v == b {
+			found = true
+			if w < 0.5 {
+				t.Errorf("whois edge weight = %g, want >= 0.6 (3/5 fields)", w)
+			}
+		}
+	})
+	if !found {
+		t.Error("whois-linked domains not connected")
+	}
+	c := sg.IDs["clean.com"]
+	sg.G.Neighbors(c, func(v int, w float64) {
+		t.Errorf("clean.com should be isolated, connected to %s", sg.Names[v])
+	})
+}
+
+func TestBuildWhoisGraphNilRegistry(t *testing.T) {
+	idx := buildIndex([][4]string{{"c", "a.com", "1.1.1.1", "/"}})
+	sg := BuildWhoisGraph(idx, nil, Options{})
+	if sg.G.N() != 1 || sg.G.EdgeCount() != 0 {
+		t.Error("nil registry should produce an edgeless graph")
+	}
+}
+
+func TestFanoutCapInClientGraph(t *testing.T) {
+	// A "client" shared by very many servers (e.g. a crawler) must not
+	// create a clique when MaxFanout is small.
+	var specs [][4]string
+	for i := 0; i < 20; i++ {
+		specs = append(specs, [4]string{"crawler", "s" + string(rune('a'+i)) + ".com", "1.1.1.1", "/"})
+	}
+	idx := buildIndex(specs)
+	sg := BuildClientGraph(idx, Options{MaxFanout: 10})
+	if got := sg.G.EdgeCount(); got != 0 {
+		t.Errorf("crawler created %d edges despite fan-out cap", got)
+	}
+	sgAll := BuildClientGraph(idx, Options{MaxFanout: -1})
+	if got := sgAll.G.EdgeCount(); got != 20*19/2 {
+		t.Errorf("uncapped edges = %d, want %d", got, 20*19/2)
+	}
+}
+
+func TestSecondaryDimensions(t *testing.T) {
+	dims := SecondaryDimensions()
+	if len(dims) != 3 {
+		t.Fatalf("dims = %v", dims)
+	}
+	for _, d := range dims {
+		if d == DimClient {
+			t.Error("main dimension listed as secondary")
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package similarity
+
+import (
+	"smash/internal/sparse"
+	"smash/internal/trace"
+)
+
+// DimUserAgent names the optional User-Agent secondary dimension. It is not
+// part of the paper's three built-in secondary dimensions but demonstrates
+// the extensibility hook (§III-B: "SMASH ... can easily incorporate new
+// dimensions"): malware families often use one distinctive User-Agent
+// string across all their servers (e.g. Sality's "KUKU v5.05exp").
+const DimUserAgent = "useragent"
+
+// BuildUserAgentGraph connects servers whose observed User-Agent sets are
+// similar (eq. 1 form over UA sets). The fan-out cap naturally excludes
+// ubiquitous browser UAs, leaving the rare malware-specific strings as the
+// discriminating features.
+func BuildUserAgentGraph(idx *trace.Index, opts Options) *ServerGraph {
+	opts = opts.normalized()
+	sg := newServerGraph(idx)
+	inc := sparse.NewIncidence()
+	for _, name := range sg.Names {
+		_ = inc.RowID(name)
+		for ua := range idx.Servers[name].UserAgents {
+			inc.Set(name, ua)
+		}
+	}
+	for _, p := range inc.CoOccurrence(opts.MaxFanout) {
+		a, b := int(p.A), int(p.B)
+		sim := SetSim(int(p.Count),
+			len(idx.Servers[sg.Names[a]].UserAgents),
+			len(idx.Servers[sg.Names[b]].UserAgents))
+		if sim >= opts.MinSimilarity {
+			_ = sg.G.AddEdge(a, b, sim)
+		}
+	}
+	return sg
+}

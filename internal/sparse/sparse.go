@@ -1,0 +1,174 @@
+// Package sparse implements the sparse-matrix substrate the paper cites
+// (Buluç & Gilbert) for taming the N² cost of pairwise server similarity.
+//
+// The set-valued dimensions (client sets, IP sets, URI file sets) are all
+// incidence relations: a boolean matrix M with rows = servers and columns =
+// features. The pairwise intersection sizes |A∩B| needed by the similarity
+// equations are exactly the nonzero entries of M·Mᵀ, which can be computed
+// by iterating features (columns) and emitting only co-occurring row pairs —
+// never materializing the dense N×N product.
+//
+// A per-feature fan-out cap skips extremely popular features: a feature
+// shared by f rows contributes f(f-1)/2 pairs, so an unbounded hub feature
+// (e.g. the URI file "index.html") would dominate cost while carrying almost
+// no discriminating signal. The cap plays the same role for features that
+// the paper's IDF filter plays for servers.
+package sparse
+
+import "sort"
+
+// Incidence accumulates a rows×features boolean incidence relation with
+// string-keyed rows and features, assigning dense integer ids.
+type Incidence struct {
+	rowIDs     map[string]int
+	rowNames   []string
+	featIDs    map[string]int
+	featRows   [][]int32 // feature id -> row ids (unsorted until finalize)
+	rowDegrees []int32   // row id -> number of distinct features
+	finalized  bool
+}
+
+// NewIncidence returns an empty incidence relation.
+func NewIncidence() *Incidence {
+	return &Incidence{
+		rowIDs:  make(map[string]int),
+		featIDs: make(map[string]int),
+	}
+}
+
+// RowID interns a row name and returns its dense id.
+func (m *Incidence) RowID(name string) int {
+	if id, ok := m.rowIDs[name]; ok {
+		return id
+	}
+	id := len(m.rowNames)
+	m.rowIDs[name] = id
+	m.rowNames = append(m.rowNames, name)
+	m.rowDegrees = append(m.rowDegrees, 0)
+	return id
+}
+
+// RowName returns the name of a dense row id.
+func (m *Incidence) RowName(id int) string { return m.rowNames[id] }
+
+// Rows reports the number of interned rows.
+func (m *Incidence) Rows() int { return len(m.rowNames) }
+
+// Features reports the number of interned features.
+func (m *Incidence) Features() int { return len(m.featRows) }
+
+// RowDegree returns the number of distinct features set for the row.
+func (m *Incidence) RowDegree(id int) int { return int(m.rowDegrees[id]) }
+
+// Set marks (row, feature) as present. Duplicate Set calls for the same pair
+// are deduplicated at Finalize time.
+func (m *Incidence) Set(row, feature string) {
+	r := m.RowID(row)
+	f, ok := m.featIDs[feature]
+	if !ok {
+		f = len(m.featRows)
+		m.featIDs[feature] = f
+		m.featRows = append(m.featRows, nil)
+	}
+	m.featRows[f] = append(m.featRows[f], int32(r))
+	m.finalized = false
+}
+
+// Finalize sorts and deduplicates the per-feature row lists and recomputes
+// row degrees. It is called automatically by CoOccurrence.
+func (m *Incidence) Finalize() {
+	if m.finalized {
+		return
+	}
+	for i := range m.rowDegrees {
+		m.rowDegrees[i] = 0
+	}
+	for f, rows := range m.featRows {
+		if len(rows) > 1 {
+			sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+			out := rows[:1]
+			for _, r := range rows[1:] {
+				if r != out[len(out)-1] {
+					out = append(out, r)
+				}
+			}
+			rows = out
+			m.featRows[f] = rows
+		}
+		for _, r := range rows {
+			m.rowDegrees[r]++
+		}
+	}
+	m.finalized = true
+}
+
+// Pair is one co-occurring row pair with its intersection count.
+type Pair struct {
+	A, B  int32 // row ids, A < B
+	Count int32 // number of shared features
+}
+
+// CoOccurrence computes, for every pair of rows sharing at least one
+// feature, the number of shared features — i.e. the strictly-upper-triangle
+// nonzeros of M·Mᵀ. Features whose fan-out exceeds maxFanout are skipped
+// (0 or negative means no cap). The result is sorted by (A, B).
+func (m *Incidence) CoOccurrence(maxFanout int) []Pair {
+	m.Finalize()
+	counts := make(map[uint64]int32)
+	for _, rows := range m.featRows {
+		if maxFanout > 0 && len(rows) > maxFanout {
+			continue
+		}
+		for i := 0; i < len(rows); i++ {
+			for j := i + 1; j < len(rows); j++ {
+				key := uint64(rows[i])<<32 | uint64(rows[j])
+				counts[key]++
+			}
+		}
+	}
+	pairs := make([]Pair, 0, len(counts))
+	for key, c := range counts {
+		pairs = append(pairs, Pair{A: int32(key >> 32), B: int32(key & 0xffffffff), Count: c})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+	return pairs
+}
+
+// CoOccurrenceFunc streams co-occurring pairs to fn without materializing
+// the pair list, for callers that aggregate on the fly. Pairs arrive in
+// unspecified order and a pair may be visited multiple times (once per
+// shared feature); fn receives the per-feature increment.
+func (m *Incidence) CoOccurrenceFunc(maxFanout int, fn func(a, b int32)) {
+	m.Finalize()
+	for _, rows := range m.featRows {
+		if maxFanout > 0 && len(rows) > maxFanout {
+			continue
+		}
+		for i := 0; i < len(rows); i++ {
+			for j := i + 1; j < len(rows); j++ {
+				fn(rows[i], rows[j])
+			}
+		}
+	}
+}
+
+// SkippedFeatures reports how many features exceed the fan-out cap, for
+// diagnostics.
+func (m *Incidence) SkippedFeatures(maxFanout int) int {
+	if maxFanout <= 0 {
+		return 0
+	}
+	m.Finalize()
+	n := 0
+	for _, rows := range m.featRows {
+		if len(rows) > maxFanout {
+			n++
+		}
+	}
+	return n
+}

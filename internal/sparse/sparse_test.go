@@ -1,0 +1,159 @@
+package sparse
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCoOccurrenceBasic(t *testing.T) {
+	m := NewIncidence()
+	// s1 and s2 share clients c1, c2; s3 shares only c2 with both.
+	m.Set("s1", "c1")
+	m.Set("s1", "c2")
+	m.Set("s2", "c1")
+	m.Set("s2", "c2")
+	m.Set("s3", "c2")
+	pairs := m.CoOccurrence(0)
+	if len(pairs) != 3 {
+		t.Fatalf("got %d pairs, want 3: %+v", len(pairs), pairs)
+	}
+	byNames := make(map[[2]string]int32)
+	for _, p := range pairs {
+		byNames[[2]string{m.RowName(int(p.A)), m.RowName(int(p.B))}] = p.Count
+	}
+	if byNames[[2]string{"s1", "s2"}] != 2 {
+		t.Errorf("s1,s2 count = %d, want 2", byNames[[2]string{"s1", "s2"}])
+	}
+	if byNames[[2]string{"s1", "s3"}] != 1 {
+		t.Errorf("s1,s3 count = %d, want 1", byNames[[2]string{"s1", "s3"}])
+	}
+}
+
+func TestCoOccurrenceDedup(t *testing.T) {
+	m := NewIncidence()
+	m.Set("s1", "c1")
+	m.Set("s1", "c1") // duplicate must not double-count
+	m.Set("s2", "c1")
+	pairs := m.CoOccurrence(0)
+	if len(pairs) != 1 || pairs[0].Count != 1 {
+		t.Fatalf("pairs = %+v, want one pair with count 1", pairs)
+	}
+	if m.RowDegree(m.RowID("s1")) != 1 {
+		t.Errorf("s1 degree = %d, want 1", m.RowDegree(m.RowID("s1")))
+	}
+}
+
+func TestFanoutCap(t *testing.T) {
+	m := NewIncidence()
+	// Popular feature shared by 5 rows; rare feature shared by 2.
+	for _, r := range []string{"a", "b", "c", "d", "e"} {
+		m.Set(r, "popular")
+	}
+	m.Set("a", "rare")
+	m.Set("b", "rare")
+	if got := len(m.CoOccurrence(0)); got != 10 {
+		t.Errorf("uncapped pairs = %d, want 10", got)
+	}
+	capped := m.CoOccurrence(4)
+	if len(capped) != 1 {
+		t.Fatalf("capped pairs = %+v, want only the rare pair", capped)
+	}
+	if m.SkippedFeatures(4) != 1 {
+		t.Errorf("SkippedFeatures = %d, want 1", m.SkippedFeatures(4))
+	}
+	if m.SkippedFeatures(0) != 0 {
+		t.Errorf("SkippedFeatures(0) = %d, want 0", m.SkippedFeatures(0))
+	}
+}
+
+func TestCoOccurrenceMatchesBruteForce(t *testing.T) {
+	// Property: the sparse product must equal the brute-force pairwise
+	// set-intersection computation on random incidence relations.
+	f := func(edges []uint16) bool {
+		m := NewIncidence()
+		sets := make(map[int]map[int]bool)
+		rowName := func(i int) string { return string(rune('A' + i)) }
+		for _, e := range edges {
+			r := int(e>>8) % 8
+			c := int(e & 0xff % 32)
+			m.Set(rowName(r), string(rune('0'+c)))
+			if sets[r] == nil {
+				sets[r] = make(map[int]bool)
+			}
+			sets[r][c] = true
+		}
+		want := make(map[[2]string]int32)
+		for a := 0; a < 8; a++ {
+			for b := a + 1; b < 8; b++ {
+				n := int32(0)
+				for c := range sets[a] {
+					if sets[b][c] {
+						n++
+					}
+				}
+				if n > 0 {
+					ka, kb := rowName(a), rowName(b)
+					ia, ib := m.RowID(ka), m.RowID(kb)
+					if ia > ib {
+						ka, kb = kb, ka
+					}
+					want[[2]string{ka, kb}] = n
+				}
+			}
+		}
+		got := make(map[[2]string]int32)
+		for _, p := range m.CoOccurrence(0) {
+			got[[2]string{m.RowName(int(p.A)), m.RowName(int(p.B))}] = p.Count
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k, v := range want {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoOccurrenceFunc(t *testing.T) {
+	m := NewIncidence()
+	m.Set("s1", "c1")
+	m.Set("s2", "c1")
+	m.Set("s1", "c2")
+	m.Set("s2", "c2")
+	total := 0
+	m.CoOccurrenceFunc(0, func(a, b int32) { total++ })
+	if total != 2 {
+		t.Errorf("visits = %d, want 2 (one per shared feature)", total)
+	}
+}
+
+func TestCoOccurrenceSorted(t *testing.T) {
+	m := NewIncidence()
+	for _, r := range []string{"z", "m", "a"} {
+		m.Set(r, "f1")
+		m.Set(r, "f2")
+	}
+	pairs := m.CoOccurrence(0)
+	for i := 1; i < len(pairs); i++ {
+		prev, cur := pairs[i-1], pairs[i]
+		if prev.A > cur.A || (prev.A == cur.A && prev.B >= cur.B) {
+			t.Fatalf("pairs not sorted: %+v", pairs)
+		}
+	}
+}
+
+func TestEmptyIncidence(t *testing.T) {
+	m := NewIncidence()
+	if got := m.CoOccurrence(0); len(got) != 0 {
+		t.Errorf("empty incidence produced pairs: %v", got)
+	}
+	if m.Rows() != 0 || m.Features() != 0 {
+		t.Error("empty incidence reports nonzero dims")
+	}
+}

@@ -1,0 +1,240 @@
+// Package stats provides the deterministic numerical substrate used across
+// SMASH: the erf-based sigma normalizer from eq. (9) of the paper, seeded
+// random number generation, a bounded Zipf sampler for the synthetic traffic
+// model, and histogram/CDF helpers used to reproduce the paper's figures.
+//
+// Everything in this package is deterministic given explicit seeds; no global
+// mutable state and no wall-clock dependence.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Sigma is the "S"-shaped normalizer from eq. (9):
+//
+//	sigma(x) = 1/2 * (1 + erf((x-mu)/beta))
+//
+// The paper sets mu=4 and beta=5.5 so that groups with fewer than four
+// servers receive a low score and must be cross-checked against additional
+// dimensions to accumulate suspicion.
+func Sigma(x, mu, beta float64) float64 {
+	if beta == 0 {
+		if x >= mu {
+			return 1
+		}
+		return 0
+	}
+	return 0.5 * (1 + math.Erf((x-mu)/beta))
+}
+
+// DefaultMu and DefaultBeta are the paper's empirical sigma parameters.
+const (
+	DefaultMu   = 4.0
+	DefaultBeta = 5.5
+)
+
+// SplitMix64 advances a splitmix64 state and returns the next value. It is
+// used to derive independent, reproducible sub-seeds from a master seed so
+// that changing one component of the synthetic world does not perturb the
+// random streams of the others.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// DeriveSeed deterministically derives a named sub-seed from a master seed.
+// Identical (seed, name) pairs always produce the same result.
+func DeriveSeed(seed int64, name string) int64 {
+	state := uint64(seed) ^ 0x6a09e667f3bcc908
+	for i := 0; i < len(name); i++ {
+		state ^= uint64(name[i]) << uint((i%8)*8)
+		SplitMix64(&state)
+	}
+	return int64(SplitMix64(&state))
+}
+
+// NewRand returns a seeded *rand.Rand for the given master seed and stream
+// name. Separate names yield statistically independent streams.
+func NewRand(seed int64, name string) *rand.Rand {
+	return rand.New(rand.NewSource(DeriveSeed(seed, name)))
+}
+
+// Zipf samples integers in [0, n) with probability proportional to
+// 1/(rank+1)^s. It precomputes the cumulative mass so sampling is O(log n).
+// The standard library Zipf generator does not allow s <= 1, which the web
+// popularity literature needs (s around 0.8-1.2), so we implement our own.
+type Zipf struct {
+	cum []float64
+	rng *rand.Rand
+}
+
+// NewZipf builds a bounded Zipf sampler over n ranks with exponent s > 0.
+func NewZipf(rng *rand.Rand, n int, s float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("zipf: n must be positive, got %d", n)
+	}
+	if s <= 0 {
+		return nil, fmt.Errorf("zipf: exponent must be positive, got %g", s)
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &Zipf{cum: cum, rng: rng}, nil
+}
+
+// N reports the number of ranks in the sampler's support.
+func (z *Zipf) N() int { return len(z.cum) }
+
+// Sample draws one rank in [0, N()).
+func (z *Zipf) Sample() int {
+	u := z.rng.Float64()
+	return sort.SearchFloat64s(z.cum, u)
+}
+
+// Histogram is an integer-valued frequency histogram used by the figure
+// reproductions (IDF distribution, filename length distribution, campaign
+// size distribution).
+type Histogram struct {
+	counts map[int]int
+	total  int
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[int]int)}
+}
+
+// Add records one observation of value v.
+func (h *Histogram) Add(v int) {
+	h.counts[v]++
+	h.total++
+}
+
+// AddN records n observations of value v.
+func (h *Histogram) AddN(v, n int) {
+	if n <= 0 {
+		return
+	}
+	h.counts[v] += n
+	h.total += n
+}
+
+// Total reports the number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Max returns the largest observed value, or 0 for an empty histogram.
+func (h *Histogram) Max() int {
+	maxV := 0
+	for v := range h.counts {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	return maxV
+}
+
+// CDF returns the empirical cumulative distribution as sorted (value,
+// fraction<=value) points.
+func (h *Histogram) CDF() []CDFPoint {
+	if h.total == 0 {
+		return nil
+	}
+	values := make([]int, 0, len(h.counts))
+	for v := range h.counts {
+		values = append(values, v)
+	}
+	sort.Ints(values)
+	points := make([]CDFPoint, 0, len(values))
+	run := 0
+	for _, v := range values {
+		run += h.counts[v]
+		points = append(points, CDFPoint{Value: v, Fraction: float64(run) / float64(h.total)})
+	}
+	return points
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Value    int
+	Fraction float64
+}
+
+// Quantile returns the smallest value v such that at least fraction q of the
+// observations are <= v. q is clamped to [0, 1].
+func (h *Histogram) Quantile(q float64) int {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	for _, p := range h.CDF() {
+		if p.Fraction >= q {
+			return p.Value
+		}
+	}
+	return h.Max()
+}
+
+// FractionAtMost reports the fraction of observations <= v.
+func (h *Histogram) FractionAtMost(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	run := 0
+	for value, c := range h.counts {
+		if value <= v {
+			run += c
+		}
+	}
+	return float64(run) / float64(h.total)
+}
+
+// RenderCDF renders the CDF as an aligned text table for reports, sampling
+// at most maxRows evenly spaced points.
+func (h *Histogram) RenderCDF(label string, maxRows int) string {
+	points := h.CDF()
+	if len(points) == 0 {
+		return label + ": (empty)\n"
+	}
+	if maxRows > 0 && len(points) > maxRows {
+		sampled := make([]CDFPoint, 0, maxRows)
+		step := float64(len(points)-1) / float64(maxRows-1)
+		for i := 0; i < maxRows; i++ {
+			sampled = append(sampled, points[int(float64(i)*step+0.5)])
+		}
+		points = sampled
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (n=%d)\n", label, h.total)
+	for _, p := range points {
+		fmt.Fprintf(&b, "  <= %6d : %6.2f%%\n", p.Value, 100*p.Fraction)
+	}
+	return b.String()
+}
+
+// Mean returns the arithmetic mean of the observations, or 0 if empty.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	sum := 0.0
+	for v, c := range h.counts {
+		sum += float64(v) * float64(c)
+	}
+	return sum / float64(h.total)
+}

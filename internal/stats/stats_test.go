@@ -1,0 +1,232 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSigmaShape(t *testing.T) {
+	tests := []struct {
+		name string
+		x    float64
+		want func(v float64) bool
+	}{
+		{"at mu it is one half", DefaultMu, func(v float64) bool { return math.Abs(v-0.5) < 1e-12 }},
+		{"far below mu is near zero", -30, func(v float64) bool { return v < 1e-6 }},
+		{"far above mu is near one", 60, func(v float64) bool { return v > 1-1e-6 }},
+		{"small groups score low", 1, func(v float64) bool { return v < 0.5 }},
+		{"large groups score high", 10, func(v float64) bool { return v > 0.5 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Sigma(tt.x, DefaultMu, DefaultBeta)
+			if !tt.want(got) {
+				t.Errorf("Sigma(%g) = %g, shape constraint failed", tt.x, got)
+			}
+		})
+	}
+}
+
+func TestSigmaMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return Sigma(lo, DefaultMu, DefaultBeta) <= Sigma(hi, DefaultMu, DefaultBeta)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSigmaBounds(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		v := Sigma(x, DefaultMu, DefaultBeta)
+		return v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSigmaZeroBeta(t *testing.T) {
+	if got := Sigma(3, 4, 0); got != 0 {
+		t.Errorf("Sigma(3,4,0) = %g, want 0", got)
+	}
+	if got := Sigma(5, 4, 0); got != 1 {
+		t.Errorf("Sigma(5,4,0) = %g, want 1", got)
+	}
+}
+
+func TestDeriveSeedDeterministic(t *testing.T) {
+	a := DeriveSeed(42, "clients")
+	b := DeriveSeed(42, "clients")
+	c := DeriveSeed(42, "servers")
+	d := DeriveSeed(43, "clients")
+	if a != b {
+		t.Errorf("same inputs produced different seeds: %d vs %d", a, b)
+	}
+	if a == c {
+		t.Errorf("different names produced same seed %d", a)
+	}
+	if a == d {
+		t.Errorf("different master seeds produced same seed %d", a)
+	}
+}
+
+func TestNewRandIndependentStreams(t *testing.T) {
+	r1 := NewRand(7, "a")
+	r2 := NewRand(7, "a")
+	r3 := NewRand(7, "b")
+	same, diff := 0, 0
+	for i := 0; i < 100; i++ {
+		v1, v2, v3 := r1.Int63(), r2.Int63(), r3.Int63()
+		if v1 == v2 {
+			same++
+		}
+		if v1 == v3 {
+			diff++
+		}
+	}
+	if same != 100 {
+		t.Errorf("identical streams diverged: only %d/100 equal", same)
+	}
+	if diff > 1 {
+		t.Errorf("distinct streams collided %d/100 times", diff)
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	rng := NewRand(1, "zipf")
+	if _, err := NewZipf(rng, 0, 1); err == nil {
+		t.Error("NewZipf(0 ranks) should error")
+	}
+	if _, err := NewZipf(rng, 10, 0); err == nil {
+		t.Error("NewZipf(exponent 0) should error")
+	}
+	if _, err := NewZipf(rng, 10, -1); err == nil {
+		t.Error("NewZipf(negative exponent) should error")
+	}
+}
+
+func TestZipfRange(t *testing.T) {
+	rng := NewRand(1, "zipf-range")
+	z, err := NewZipf(rng, 50, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		v := z.Sample()
+		if v < 0 || v >= 50 {
+			t.Fatalf("sample %d out of range [0,50)", v)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	rng := NewRand(2, "zipf-skew")
+	z, err := NewZipf(rng, 100, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 100)
+	for i := 0; i < 50000; i++ {
+		counts[z.Sample()]++
+	}
+	if counts[0] <= counts[50] {
+		t.Errorf("rank 0 (%d draws) should dominate rank 50 (%d draws)", counts[0], counts[50])
+	}
+	if counts[0] < 5*counts[99] {
+		t.Errorf("rank 0 (%d) should be >> rank 99 (%d)", counts[0], counts[99])
+	}
+}
+
+func TestHistogramCDF(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int{1, 1, 2, 3, 3, 3, 10} {
+		h.Add(v)
+	}
+	cdf := h.CDF()
+	if len(cdf) != 4 {
+		t.Fatalf("CDF has %d points, want 4", len(cdf))
+	}
+	last := cdf[len(cdf)-1]
+	if last.Value != 10 || math.Abs(last.Fraction-1) > 1e-12 {
+		t.Errorf("last CDF point = %+v, want {10 1}", last)
+	}
+	if got := h.FractionAtMost(3); math.Abs(got-6.0/7.0) > 1e-12 {
+		t.Errorf("FractionAtMost(3) = %g, want 6/7", got)
+	}
+	if got := h.Quantile(0.5); got != 3 {
+		t.Errorf("Quantile(0.5) = %d, want 3", got)
+	}
+	if got := h.Max(); got != 10 {
+		t.Errorf("Max = %d, want 10", got)
+	}
+}
+
+func TestHistogramCDFMonotone(t *testing.T) {
+	f := func(values []uint8) bool {
+		h := NewHistogram()
+		for _, v := range values {
+			h.Add(int(v))
+		}
+		prevV, prevF := -1, 0.0
+		for _, p := range h.CDF() {
+			if p.Value <= prevV || p.Fraction < prevF {
+				return false
+			}
+			prevV, prevF = p.Value, p.Fraction
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.CDF() != nil {
+		t.Error("empty histogram CDF should be nil")
+	}
+	if h.Mean() != 0 {
+		t.Error("empty histogram mean should be 0")
+	}
+	if h.FractionAtMost(5) != 0 {
+		t.Error("empty histogram FractionAtMost should be 0")
+	}
+}
+
+func TestHistogramAddN(t *testing.T) {
+	h := NewHistogram()
+	h.AddN(4, 3)
+	h.AddN(4, -1) // ignored
+	h.AddN(2, 1)
+	if h.Total() != 4 {
+		t.Errorf("Total = %d, want 4", h.Total())
+	}
+	if got := h.Mean(); math.Abs(got-3.5) > 1e-12 {
+		t.Errorf("Mean = %g, want 3.5", got)
+	}
+}
+
+func TestHistogramRenderCDF(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 100; i++ {
+		h.Add(i)
+	}
+	out := h.RenderCDF("test", 5)
+	if out == "" {
+		t.Fatal("empty render")
+	}
+	empty := NewHistogram()
+	if got := empty.RenderCDF("x", 5); got != "x: (empty)\n" {
+		t.Errorf("empty render = %q", got)
+	}
+}

@@ -1,0 +1,328 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"smash/internal/stats"
+	"smash/internal/trace"
+	"smash/internal/whois"
+)
+
+// generator carries all state across the generation phases.
+type generator struct {
+	cfg    Config
+	world  *World
+	truth  *Truth
+	assign *botAssigner
+
+	benign  []*benignServer
+	zipf    *stats.Zipf
+	plans   []*campaignPlan
+	clock   time.Time
+	clockNS int64
+
+	// Special benign structures.
+	widgetLanding  string
+	widgets        []string
+	widgetClients  []string
+	usedVictims    map[int]bool
+	freshVictims   int
+	chainMembers   []string
+	chainLanding   string
+	chainClients   []string
+	torrentClients []string
+	tvClients      []string
+	nicheClusters  [][]string // server groups visited by fixed niche client sets
+	nicheClients   [][]string
+}
+
+type benignServer struct {
+	name  string
+	ip    string
+	pages []string
+}
+
+const browserUA = "Mozilla/5.0 (Windows NT 6.1) AppleWebKit/537"
+
+var genericPages = []string{"index.html", "style.css", "logo.png"}
+
+// buildBenignPopulation creates the benign servers, their pages, IPs and
+// whois records, plus the widget/redirect/niche structures that exercise
+// SMASH's pruning and main-dimension taxonomy.
+func (g *generator) buildBenignPopulation() {
+	rng := g.rng("benign")
+	n := g.cfg.BenignServers
+	g.benign = make([]*benignServer, n)
+	registrars := []string{"GoDaddy", "Namecheap", "Tucows", "eNom", "OVH"}
+	for i := 0; i < n; i++ {
+		s := &benignServer{name: benignName(i), ip: benignIP(i)}
+		// Shared hosting: every 17th server shares its block's IP.
+		if i%17 == 0 && i > 0 {
+			s.ip = benignIP(i - i%170)
+		}
+		// Pages: generic pool plus site-specific pages so benign file
+		// similarity stays diluted (eq. 7 stays below edge threshold).
+		s.pages = append(s.pages, genericPages...)
+		own := 3 + rng.Intn(4)
+		for p := 0; p < own; p++ {
+			s.pages = append(s.pages, fmt.Sprintf("page%d_%d.html", i, p))
+		}
+		if rng.Float64() < 0.15 { // WordPress installs (iframe victims pool)
+			s.pages = append(s.pages, "wp-login.php")
+		}
+		g.benign[i] = s
+		g.world.Whois.Add(whois.Record{
+			Domain:      s.name,
+			Registrant:  fmt.Sprintf("Owner %d", i),
+			Email:       fmt.Sprintf("admin@%s", s.name),
+			Phone:       fmt.Sprintf("+1-555-%07d", i),
+			Address:     fmt.Sprintf("%d Main St", i),
+			Registrar:   registrars[i%len(registrars)],
+			NameServers: []string{fmt.Sprintf("ns1.%s", s.name)},
+			Created:     g.cfg.BaseTime.AddDate(-2, 0, -i%600),
+		})
+	}
+	zipf, err := stats.NewZipf(g.rng("zipf"), n, 1.0)
+	if err != nil {
+		panic(fmt.Sprintf("synth: zipf over %d servers: %v", n, err)) // unreachable: n >= 1
+	}
+	g.zipf = zipf
+
+	// Widget referrer group: a landing blog embeds fixed third-party
+	// widgets; visitors fetch them with the landing referrer. The client
+	// sets of all special structures come from the same disjoint assigner
+	// as campaign bots so the ground truth stays unambiguous.
+	g.widgetLanding = "blogring.com"
+	for i := 0; i < 5; i++ {
+		g.widgets = append(g.widgets, fmt.Sprintf("widget%d.com", i))
+	}
+	g.widgetClients = g.assign.take(6)
+	g.chainClients = g.assign.take(5)
+	g.torrentClients = g.assign.take(5)
+	g.tvClients = g.assign.take(4)
+
+	// Redirection chain: two URL shorteners hop to a landing site; all
+	// three share an IP (the §III-D replacement condition).
+	g.chainMembers = []string{"shrt0.com", "shrt1.com"}
+	g.chainLanding = "chainlanding.com"
+	g.world.Prober.Redirects["shrt0.com"] = "shrt1.com"
+	g.world.Prober.Redirects["shrt1.com"] = "chainlanding.com"
+
+	// Niche clusters (§V-C1's "similar content" and "unknown" groups):
+	// fixed small client sets visiting fixed server groups with no
+	// secondary-dimension overlap.
+	for c := 0; c < 3; c++ {
+		var servers []string
+		for s := 0; s < 8; s++ {
+			servers = append(servers, fmt.Sprintf("niche%d-%d.com", c, s))
+		}
+		g.nicheClusters = append(g.nicheClusters, servers)
+		g.nicheClients = append(g.nicheClients, g.assign.take(4))
+	}
+}
+
+// emitDay generates one day's trace: benign browsing, special structures,
+// active campaigns, and noise.
+func (g *generator) emitDay(day int) {
+	name := g.cfg.Name
+	if g.cfg.Days > 1 {
+		name = fmt.Sprintf("%s-day%d", g.cfg.Name, day+1)
+	}
+	t := &trace.Trace{Name: name}
+	g.clock = g.cfg.BaseTime.AddDate(0, 0, day)
+	g.clockNS = 0
+
+	g.emitBenign(day, t)
+	g.emitWidgets(day, t)
+	g.emitChain(day, t)
+	g.emitNiche(day, t)
+	for _, plan := range g.plans {
+		plan.emit(g, day, t)
+	}
+	if !g.cfg.DisableNoise {
+		g.emitTorrentNoise(day, t)
+		g.emitTeamViewerNoise(day, t)
+	}
+	g.world.Days = append(g.world.Days, t)
+}
+
+// now returns a monotonically increasing timestamp within the day.
+func (g *generator) now() time.Time {
+	g.clockNS += 1_000_000 // 1ms per request
+	return g.clock.Add(time.Duration(g.clockNS))
+}
+
+// addReq appends a request with the generator clock.
+func (g *generator) addReq(t *trace.Trace, client, host, ip, path, query, ua, referrer string, status int) {
+	g.addReqPayload(t, client, host, ip, path, query, ua, referrer, status, "")
+}
+
+// addReqPayload appends a request carrying a payload digest.
+func (g *generator) addReqPayload(t *trace.Trace, client, host, ip, path, query, ua, referrer string, status int, digest string) {
+	t.Requests = append(t.Requests, trace.Request{
+		Time: g.now(), Client: client, Host: host, ServerIP: ip,
+		Path: path, Query: query, UserAgent: ua, Referrer: referrer,
+		Status: status, PayloadDigest: digest,
+	})
+}
+
+// benignDigest derives a stable payload digest for a benign page. The
+// generic static assets share one digest across all sites (a common
+// framework file — the fan-out-cap case); site pages digest per site.
+func benignDigest(server, page string) string {
+	for _, generic := range genericPages {
+		if page == generic {
+			return "sha1:asset-" + page
+		}
+	}
+	return "sha1:" + server + "/" + page
+}
+
+// emitBenign generates the background browsing of every client.
+func (g *generator) emitBenign(day int, t *trace.Trace) {
+	rng := g.rng(fmt.Sprintf("browse-day%d", day))
+	for c := 0; c < g.cfg.Clients; c++ {
+		client := clientName(c)
+		// Per-client request volume: exponential around the mean.
+		reqs := 1 + int(rng.ExpFloat64()*float64(g.cfg.MeanRequests))
+		if reqs > 6*g.cfg.MeanRequests {
+			reqs = 6 * g.cfg.MeanRequests
+		}
+		for reqs > 0 {
+			srv := g.benign[g.zipf.Sample()]
+			// A browsing session: a few pages from one site.
+			session := 1 + rng.Intn(4)
+			if session > reqs {
+				session = reqs
+			}
+			for s := 0; s < session; s++ {
+				page := srv.pages[rng.Intn(len(srv.pages))]
+				status := 200
+				if rng.Float64() < 0.03 {
+					status = 404
+				}
+				g.addReqPayload(t, client, srv.name, srv.ip, "/"+page, "", browserUA, "", status,
+					benignDigest(srv.name, page))
+			}
+			reqs -= session
+		}
+	}
+}
+
+// emitWidgets generates the widget referrer group: a subset of clients read
+// the landing blog and pull its embedded widgets.
+func (g *generator) emitWidgets(day int, t *trace.Trace) {
+	rng := g.rng(fmt.Sprintf("widgets-day%d", day))
+	landingIP := "150.0.0.1"
+	for _, client := range g.widgetClients {
+		g.addReq(t, client, g.widgetLanding, landingIP, "/posts.html", "", browserUA, "", 200)
+		for wi, w := range g.widgets {
+			if rng.Float64() < 0.9 {
+				g.addReq(t, client, w, fmt.Sprintf("150.0.1.%d", wi), "/widget.js", "", browserUA, g.widgetLanding, 200)
+			}
+		}
+	}
+}
+
+// emitChain generates redirection-chain traffic: the same clients touch
+// every hop (identical client sets, shared IP, same file).
+func (g *generator) emitChain(day int, t *trace.Trace) {
+	const chainIP = "150.0.2.1"
+	for _, client := range g.chainClients {
+		for _, hop := range g.chainMembers {
+			g.addReq(t, client, hop, chainIP, "/go.php", "u=abc", browserUA, "", 302)
+		}
+		g.addReq(t, client, g.chainLanding, chainIP, "/go.php", "", browserUA, "", 200)
+	}
+}
+
+// emitNiche generates the niche browsing clusters: shared client sets but
+// per-server unique files and IPs, so only the main dimension links them.
+func (g *generator) emitNiche(day int, t *trace.Trace) {
+	rng := g.rng(fmt.Sprintf("niche-day%d", day))
+	for ci, servers := range g.nicheClusters {
+		for si, srv := range servers {
+			ip := fmt.Sprintf("150.%d.3.%d", ci, si)
+			for _, client := range g.nicheClients[ci] {
+				page := fmt.Sprintf("/content%d_%d.html", si, rng.Intn(5))
+				g.addReq(t, client, srv, ip, page, "", browserUA, "", 200)
+			}
+		}
+	}
+}
+
+// emitTorrentNoise generates the paper's first FP class: several P2P
+// clients hitting many tracker servers, all requesting scrape.php, with
+// some trackers sharing IPs.
+func (g *generator) emitTorrentNoise(day int, t *trace.Trace) {
+	rng := g.rng(fmt.Sprintf("torrent-day%d", day))
+	const trackers = 30
+	for ti := 0; ti < trackers; ti++ {
+		srv := fmt.Sprintf("tracker%02d.net", ti)
+		ip := fmt.Sprintf("160.0.%d.%d", ti%4, ti) // several trackers per IP block
+		if ti%3 == 0 {
+			ip = fmt.Sprintf("160.0.9.%d", ti%5) // shared IPs
+		}
+		g.truth.Servers[srv] = ServerTruth{Category: CatNoise, Noise: true}
+		for _, client := range g.torrentClients {
+			hash := randomLabel(rng, 20)
+			g.addReq(t, client, srv, ip, "/scrape.php", "info_hash="+hash, "Transmission/2.84", "", 200)
+		}
+	}
+}
+
+// emitTeamViewerNoise generates the paper's second FP class: a large pool
+// of IP-addressed servers sharing one path, contacted by ordinary clients.
+func (g *generator) emitTeamViewerNoise(day int, t *trace.Trace) {
+	const poolSize = 25
+	for pi := 0; pi < poolSize; pi++ {
+		ip := fmt.Sprintf("170.0.%d.%d", pi/250, pi%250)
+		g.truth.Servers[ip] = ServerTruth{Category: CatNoise, Noise: true}
+		for _, client := range g.tvClients {
+			g.addReq(t, client, "", ip, "/din.aspx", "id=client", "TV/8.0", "", 200)
+		}
+	}
+}
+
+// pickVictims selects n distinct benign web servers for an attack campaign.
+// Attackers pick targets from the whole internet, so roughly 80% of victims
+// are sites the monitored clients never browse (only the attack traffic is
+// visible at the vantage point) and 20% come from the browsed population's
+// unpopular tail (their benign pages then dilute the observed file sets —
+// the partial-detection path). Victims claimed by another campaign are
+// skipped so ground-truth attribution stays unique.
+func (g *generator) pickVictims(rng *rand.Rand, n int) []*benignServer {
+	if g.usedVictims == nil {
+		g.usedVictims = make(map[int]bool)
+	}
+	out := make([]*benignServer, 0, n)
+	total := len(g.benign)
+	start := 2 * total / 3 // deep tail of the browsed population
+	browsed := n / 5
+	for len(out) < browsed && len(g.usedVictims) < total-start {
+		i := start + rng.Intn(total-start)
+		if g.usedVictims[i] {
+			continue
+		}
+		g.usedVictims[i] = true
+		out = append(out, g.benign[i])
+	}
+	for len(out) < n {
+		// Fresh victims extend the site namespace beyond the browsed
+		// population; they get whois records but no benign visitors.
+		i := total + g.freshVictims
+		g.freshVictims++
+		s := &benignServer{name: benignName(i), ip: benignIP(i)}
+		g.world.Whois.Add(whois.Record{
+			Domain:     s.name,
+			Registrant: fmt.Sprintf("Owner %d", i),
+			Email:      "admin@" + s.name,
+			Phone:      fmt.Sprintf("+1-555-%07d", i),
+			Address:    fmt.Sprintf("%d Main St", i),
+		})
+		out = append(out, s)
+	}
+	return out
+}

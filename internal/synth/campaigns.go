@@ -1,0 +1,413 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"smash/internal/trace"
+	"smash/internal/whois"
+)
+
+// campaignPlan is the executable form of a CampaignSpec.
+type campaignPlan struct {
+	spec  CampaignSpec
+	index int
+	bots  []string
+	truth *CampaignTruth
+
+	// For persistent campaigns the tiers are generated once; agile
+	// campaigns regenerate them per day.
+	tiersByDay map[int][]tier
+	// base character multiset for obfuscated filenames.
+	obfBase string
+	// victims are pre-selected benign servers for attack campaigns.
+	victims []*benignServer
+}
+
+// tier is one server tier of a campaign on one day.
+type tier struct {
+	category Category
+	servers  []campaignServer
+	files    []string // URI files used by the tier (pre-obfuscated)
+	paths    []string // path templates containing %s for the file
+	query    string
+	ua       string
+	// errRate is the probability a request returns an error status.
+	errRate float64
+}
+
+type campaignServer struct {
+	name  string
+	ips   []string // IP pool; requests rotate through it so IP sets match
+	files []string // URI files bots request from this server
+}
+
+// DefaultCampaigns returns a campaign mix patterned on the paper's
+// evaluation: the named case studies (Bagle, Sality, Zeus, ZmEu scanning,
+// iframe injection), additional flux/communication pools, low-coverage
+// attack campaigns, and a population of single-client campaigns for the
+// Appendix C tables.
+func DefaultCampaigns() []CampaignSpec {
+	specs := []CampaignSpec{
+		{
+			Name: "bagle", Kind: KindTwoTier, Servers: 12, SecondaryServers: 10,
+			Bots: 3, SharedWhois: true,
+			Coverage2012: 0.1, Coverage2013: 0.25, BlacklistCoverage: 0.15,
+			DeadFraction: 0.3,
+		},
+		{
+			Name: "sality", Kind: KindSality, Servers: 2, SecondaryServers: 10,
+			Bots: 2, SharedIP: true, SharedWhois: true,
+			Coverage2012: 1.0, Coverage2013: 1.0, BlacklistCoverage: 0.6,
+		},
+		{
+			Name: "zeus", Kind: KindDGA, Servers: 8, Bots: 2, SharedIP: true,
+			Coverage2012: 0, Coverage2013: 1.0, BlacklistCoverage: 0.12,
+			DeadFraction: 0.5,
+		},
+		{
+			Name: "fluxnet", Kind: KindDomainFlux, Servers: 20, Bots: 4,
+			Agile: true, SharedIP: true, SharedWhois: true,
+			Coverage2012: 0.05, Coverage2013: 0.2, BlacklistCoverage: 0.2,
+			DeadFraction: 0.4,
+		},
+		{
+			Name: "conficker", Kind: KindDomainFlux, Servers: 14, Bots: 3,
+			Agile: true, SharedIP: true, ObfuscatedNames: true,
+			Coverage2012: 0.1, Coverage2013: 0.3, BlacklistCoverage: 0.2,
+			DeadFraction: 0.3,
+		},
+		{
+			Name: "tdss", Kind: KindTwoTier, Servers: 6, SecondaryServers: 5,
+			Bots: 2, Agile: true, SharedIP: true,
+			Coverage2012: 0.1, Coverage2013: 0.4, BlacklistCoverage: 0.25,
+			DeadFraction: 0.25,
+		},
+		{
+			Name: "zmeu-scan", Kind: KindScanner, Servers: 25, Bots: 2,
+			Agile: true, Coverage2012: 0.08, Coverage2013: 0.12,
+		},
+		{
+			Name: "iframe-inject", Kind: KindIframe, Servers: 150, Bots: 2,
+			Agile: true, Coverage2012: 0.01, Coverage2013: 0.03,
+		},
+		{
+			Name: "dropzone", Kind: KindDropZone, Servers: 3, Bots: 2,
+			SharedIP: true, SharedWhois: true,
+			Coverage2013: 0.3, BlacklistCoverage: 0.3, DeadFraction: 0.5,
+		},
+		{
+			Name: "phish-kit", Kind: KindPhishing, Servers: 5, Bots: 1,
+			SharedWhois: true, BlacklistCoverage: 0.4, DeadFraction: 0.6,
+		},
+	}
+	// Single-client communication campaigns (Appendix C population).
+	for i := 0; i < 6; i++ {
+		specs = append(specs, CampaignSpec{
+			Name: fmt.Sprintf("lone-flux-%d", i), Kind: KindDomainFlux,
+			Servers: 4 + i, Bots: 1, Agile: i%2 == 1, SharedIP: i%2 == 0, SharedWhois: true,
+			BlacklistCoverage: 0.2, DeadFraction: 0.4,
+			ObfuscatedNames: i%3 == 0,
+		})
+	}
+	// A campaign that only appears mid-week (new servers + new clients in
+	// the Fig. 7 accounting).
+	specs = append(specs, CampaignSpec{
+		Name: "late-riser", Kind: KindDomainFlux, Servers: 8, Bots: 2,
+		StartDay: 2, SharedIP: true, SharedWhois: true,
+		Coverage2013: 0.2, BlacklistCoverage: 0.3, DeadFraction: 0.3,
+	})
+	return specs
+}
+
+// buildCampaignPlans assigns bots and initializes per-campaign state.
+func (g *generator) buildCampaignPlans() {
+	for i, spec := range g.cfg.Campaigns {
+		plan := &campaignPlan{
+			spec:       spec,
+			index:      i,
+			bots:       g.assign.take(spec.Bots),
+			tiersByDay: make(map[int][]tier),
+		}
+		plan.truth = &CampaignTruth{Spec: spec, Bots: plan.bots}
+		if spec.ObfuscatedNames {
+			plan.obfBase = randomLabel(g.rng("obf-"+spec.Name), 28)
+		}
+		switch spec.Kind {
+		case KindScanner, KindIframe, KindSality:
+			n := spec.Servers
+			if spec.Kind == KindSality {
+				n = spec.SecondaryServers
+			}
+			// Agile attack campaigns hit a fresh victim set every day.
+			if spec.Agile {
+				n *= g.cfg.Days
+			}
+			plan.victims = g.pickVictims(g.rng("victims-"+spec.Name), n)
+		}
+		g.plans = append(g.plans, plan)
+		g.truth.Campaigns[spec.Name] = plan.truth
+	}
+}
+
+// tiersFor returns (building if needed) the campaign's tiers for a day.
+func (p *campaignPlan) tiersFor(g *generator, day int) []tier {
+	genDay := 0
+	if p.spec.Agile {
+		genDay = day
+	}
+	if t, ok := p.tiersByDay[genDay]; ok {
+		return t
+	}
+	tiers := p.build(g, genDay)
+	p.tiersByDay[genDay] = tiers
+	// Record truth for every server of the tier set.
+	for _, tr := range tiers {
+		for _, s := range tr.servers {
+			g.truth.Servers[s.name] = ServerTruth{Campaign: p.spec.Name, Category: tr.category}
+			p.truth.Servers = appendUnique(p.truth.Servers, s.name)
+		}
+	}
+	return tiers
+}
+
+func appendUnique(list []string, s string) []string {
+	for _, v := range list {
+		if v == s {
+			return list
+		}
+	}
+	return append(list, s)
+}
+
+// build constructs the campaign's tiers for a generation day, registering
+// whois records, IPs and prober liveness.
+func (p *campaignPlan) build(g *generator, genDay int) []tier {
+	rng := g.rng(fmt.Sprintf("campaign-%s-gen%d", p.spec.Name, genDay))
+	switch p.spec.Kind {
+	case KindDomainFlux:
+		return []tier{p.domainTier(g, rng, genDay, CatC2, "login.php",
+			[]string{"/%s"}, "p="+itoa(rng)+"&id="+itoa(rng), "MSIE 6.0", 0.05)}
+	case KindDGA:
+		return []tier{p.dgaTier(g, rng, genDay)}
+	case KindTwoTier:
+		cc := p.domainTier(g, rng, genDay, CatC2, "news.php",
+			[]string{"/images/%s"}, "p="+itoa(rng)+"&id="+itoa(rng)+"&e=0", "Internet Exploder", 0.05)
+		dl := p.downloadTier(g, rng, genDay)
+		return []tier{cc, dl}
+	case KindSality:
+		cc := p.domainTier(g, rng, genDay, CatC2, "/",
+			[]string{"%s"}, "exp="+itoa(rng), "KUKU v5.05exp", 0.05)
+		dl := p.compromisedGifTier(g, rng)
+		return []tier{cc, dl}
+	case KindScanner:
+		return []tier{p.victimTier(g, genDay, CatScanVictim, "setup.php",
+			[]string{"/phpmyadmin/scripts/%s", "/pma/%s", "/phpMyAdmin/scripts/%s", "/mysql/%s"},
+			"", "ZmEu", 0.9)}
+	case KindIframe:
+		return []tier{p.victimTier(g, genDay, CatIframeVictim, "sm3.php",
+			[]string{"/images/%s", "/wp-content/uploads/%s"},
+			"", "-", 0.6)}
+	case KindPhishing:
+		return []tier{p.domainTier(g, rng, genDay, CatPhishing, "verify.php",
+			[]string{"/secure/%s"}, "acct=x", browserUA, 0.05)}
+	case KindDropZone:
+		return []tier{p.domainTier(g, rng, genDay, CatDropZone, "gate.php",
+			[]string{"/%s"}, "data="+randomLabel(rng, 12), "MSIE 7.0", 0.05)}
+	default:
+		return nil
+	}
+}
+
+func itoa(rng *rand.Rand) string { return fmt.Sprintf("%d", 10000+rng.Intn(89999)) }
+
+// domainTier creates a tier of registered malicious domains.
+func (p *campaignPlan) domainTier(g *generator, rng *rand.Rand, genDay int, cat Category, file string, paths []string, query, ua string, errRate float64) tier {
+	t := tier{category: cat, paths: paths, query: query, ua: ua, errRate: errRate}
+	tlds := []string{".com", ".net", ".info", ".biz", ".org"}
+	sharedIPs := []string{
+		fmt.Sprintf("66.%d.%d.1", p.index, genDay),
+		fmt.Sprintf("66.%d.%d.2", p.index, genDay),
+	}
+	for i := 0; i < p.spec.Servers; i++ {
+		name := randomLabel(rng, 6+rng.Intn(5)) + tlds[i%len(tlds)]
+		ips := []string{fmt.Sprintf("66.%d.%d.%d", p.index, genDay, 10+i)}
+		if p.spec.SharedIP {
+			// Every server resolves through the whole shared pool so the
+			// per-server IP sets coincide (domain flux, eq. 8).
+			ips = sharedIPs
+		}
+		f := file
+		if p.spec.ObfuscatedNames {
+			f = shuffledName(rng, p.obfBase, ".php")
+		}
+		if p.spec.RandomFilePerServer {
+			// File-dimension evasion (§VI): every server gets its own
+			// handler name, unrelated character distributions included.
+			f = randomLabel(rng, 8+rng.Intn(6)) + ".php"
+		}
+		t.servers = append(t.servers, campaignServer{name: name, ips: ips, files: []string{f}})
+		t.files = append(t.files, f)
+		p.registerDomain(g, rng, name)
+	}
+	return t
+}
+
+// dgaTier creates a Zeus-style pool of generated names on a free-hosting
+// effective TLD, all resolving to the same IPs and serving login.php.
+func (p *campaignPlan) dgaTier(g *generator, rng *rand.Rand, genDay int) tier {
+	t := tier{category: CatC2, paths: []string{"/%s"}, query: "", ua: "MSIE 6.0", errRate: 0.05}
+	base := randomLabel(rng, 4)
+	sharedIP := fmt.Sprintf("66.%d.%d.7", p.index, genDay)
+	for i := 0; i < p.spec.Servers; i++ {
+		name := fmt.Sprintf("%s%d%dm.cz.cc", base, i+1, (i+1)*11%100)
+		t.servers = append(t.servers, campaignServer{name: name, ips: []string{sharedIP}, files: []string{"login.php"}})
+		t.files = append(t.files, "login.php")
+		p.registerDomain(g, rng, name)
+	}
+	return t
+}
+
+// downloadTier creates a Bagle-style tier of compromised-looking download
+// hosts with distinct IPs and whois.
+func (p *campaignPlan) downloadTier(g *generator, rng *rand.Rand, genDay int) tier {
+	t := tier{category: CatDownload, paths: []string{"/images/%s"}, ua: "Mozilla/4.0 (compatible; MSIE 6.0)", errRate: 0.05}
+	words := []string{"lajuve", "shayestegansch", "bigdaybreaker", "holidaysun", "artcraft",
+		"gardenweb", "cityline", "bluewave", "sunpeak", "oldmill", "rivervale", "crafted"}
+	for i := 0; i < p.spec.SecondaryServers; i++ {
+		name := fmt.Sprintf("%s%d.org", words[i%len(words)], p.index*1000+genDay*100+i)
+		ip := fmt.Sprintf("77.%d.%d.%d", p.index, genDay, 10+i)
+		t.servers = append(t.servers, campaignServer{name: name, ips: []string{ip}, files: []string{"file.txt"}})
+		t.files = append(t.files, "file.txt")
+		// Compromised sites keep independent registrations.
+		g.world.Whois.Add(whois.Record{
+			Domain:     name,
+			Registrant: fmt.Sprintf("Legit Owner %s", name),
+			Email:      "admin@" + name,
+			Phone:      fmt.Sprintf("+1-777-%06d", rng.Intn(999999)),
+			Address:    fmt.Sprintf("%d Oak Ave", rng.Intn(9999)),
+		})
+		g.truth.Servers[name] = ServerTruth{Campaign: p.spec.Name, Category: CatDownload}
+	}
+	return t
+}
+
+// compromisedGifTier creates a Sality-style download tier hosted on
+// existing benign (compromised) sites serving shared .gif payloads.
+func (p *campaignPlan) compromisedGifTier(g *generator, rng *rand.Rand) tier {
+	t := tier{category: CatDownload, paths: []string{"/images/%s"}, ua: "KUKU v5.05exp", errRate: 0.05}
+	// Every compromised host serves the same payload pair (Table VIII:
+	// logos.gif / mainf.gif), so the victims' observed file sets coincide.
+	gifs := []string{"logos.gif", "mainf.gif"}
+	for _, v := range p.victims {
+		t.servers = append(t.servers, campaignServer{name: v.name, ips: []string{v.ip}, files: gifs})
+		t.files = append(t.files, gifs...)
+	}
+	_ = rng
+	return t
+}
+
+// victimTier creates an attack tier over pre-selected benign victims. For
+// agile campaigns the victim pool is Days times larger and each generation
+// day uses its own slice.
+func (p *campaignPlan) victimTier(g *generator, genDay int, cat Category, file string, paths []string, query, ua string, errRate float64) tier {
+	t := tier{category: cat, paths: paths, query: query, ua: ua, errRate: errRate}
+	victims := p.victims
+	if p.spec.Agile {
+		per := p.spec.Servers
+		lo := genDay * per
+		if lo >= len(victims) {
+			lo = len(victims) - per
+		}
+		hi := lo + per
+		if hi > len(victims) {
+			hi = len(victims)
+		}
+		victims = victims[lo:hi]
+	}
+	for _, v := range victims {
+		t.servers = append(t.servers, campaignServer{name: v.name, ips: []string{v.ip}, files: []string{file}})
+		t.files = append(t.files, file)
+	}
+	return t
+}
+
+// registerDomain records whois (shared fields when configured) and dead
+// status for a malicious domain.
+func (p *campaignPlan) registerDomain(g *generator, rng *rand.Rand, name string) {
+	rec := whois.Record{
+		Domain:     name,
+		Registrant: fmt.Sprintf("Registrant %s", randomLabel(rng, 5)),
+		Email:      randomLabel(rng, 6) + "@mailbox.ru",
+		Created:    g.cfg.BaseTime.AddDate(0, 0, -rng.Intn(30)),
+	}
+	if p.spec.SharedWhois {
+		rec.Phone = fmt.Sprintf("+7-495-%04d", 1000+p.index)
+		rec.Address = fmt.Sprintf("%d Lenina St, Bldg %d", p.index+1, p.index+2)
+		rec.NameServers = []string{
+			fmt.Sprintf("ns1.park%d.net", p.index),
+			fmt.Sprintf("ns2.park%d.net", p.index),
+		}
+	} else {
+		rec.Phone = fmt.Sprintf("+7-495-%07d", rng.Intn(9999999))
+		rec.Address = fmt.Sprintf("%d %s St", rng.Intn(999), randomLabel(rng, 6))
+		rec.NameServers = []string{"ns1." + name}
+	}
+	g.world.Whois.Add(rec)
+	if rng.Float64() < p.spec.DeadFraction {
+		g.world.Prober.Dead[name] = true
+	}
+}
+
+// emit generates the campaign's traffic for one day.
+func (p *campaignPlan) emit(g *generator, day int, t *trace.Trace) {
+	if day < p.spec.StartDay {
+		return
+	}
+	tiers := p.tiersFor(g, day)
+	if p.truth.ServersByDay == nil {
+		p.truth.ServersByDay = make([][]string, g.cfg.Days)
+	}
+	var todays []string
+	rng := g.rng(fmt.Sprintf("emit-%s-day%d", p.spec.Name, day))
+	if p.spec.EvadeMain && len(tiers) > 0 && len(tiers[0].files) > 0 {
+		// Main-dimension evasion (§VI): bots request the campaign's file
+		// from random benign domains, trying to drag them into the herd.
+		// The benign domains answer 404 and keep their own visitors, which
+		// is exactly the counter-evidence the paper's defense relies on.
+		file := tiers[0].files[0]
+		for _, bot := range p.bots {
+			for k := 0; k < 6; k++ {
+				v := g.benign[rng.Intn(len(g.benign))]
+				g.addReq(t, bot, v.name, v.ip, "/"+file, "", tiers[0].ua, "", 404)
+			}
+		}
+	}
+	for _, tr := range tiers {
+		for _, s := range tr.servers {
+			todays = append(todays, s.name)
+			for _, bot := range p.bots {
+				hits := 1 + rng.Intn(3)
+				if tr.category == CatScanVictim || tr.category == CatIframeVictim {
+					hits = 1 // one probe per victim per bot
+				}
+				for h := 0; h < hits; h++ {
+					for fi, file := range s.files {
+						path := fmt.Sprintf(tr.paths[rng.Intn(len(tr.paths))], file)
+						status := 200
+						if rng.Float64() < tr.errRate {
+							status = 404
+						}
+						// Attack probes mostly fail; successful uploads 200.
+						if tr.errRate >= 0.5 && status == 200 && rng.Float64() < 0.5 {
+							status = 403
+						}
+						ip := s.ips[(h+fi)%len(s.ips)]
+						g.addReq(t, bot, s.name, ip, path, tr.query, tr.ua, "", status)
+					}
+				}
+			}
+		}
+	}
+	p.truth.ServersByDay[day] = todays
+}

@@ -1,0 +1,136 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+
+	"smash/internal/ids"
+	"smash/internal/stats"
+)
+
+// Oracles bundles the simulated ground-truth services built from a world:
+// the two IDS signature snapshots and the blacklist ecosystem.
+type Oracles struct {
+	// IDS2012 is the early-2012 signature snapshot.
+	IDS2012 *ids.Engine
+	// IDS2013 is the June-2013 snapshot (a strict superset in coverage,
+	// modelling signature updates and hence the zero-day experiment).
+	IDS2013 *ids.Engine
+	// Blacklists is the online blacklist ecosystem with the paper's
+	// confirmation policy.
+	Blacklists *ids.BlacklistSet
+}
+
+var blacklistNames = []string{
+	"MalwareDomainBlocklist", "MalwareDomainList", "Phishtank",
+	"SpyEyeTracker", "ZeusTracker",
+}
+
+// BuildOracles derives the IDS signature sets and blacklists from the
+// world's ground truth with each campaign's configured coverage fractions.
+// Selection is deterministic in the world's seed.
+func BuildOracles(w *World) *Oracles {
+	var sigs2012, sigs2013 []ids.Signature
+	bl := ids.NewBlacklistSet()
+	listed := make(map[string][]string, 8) // list name -> servers
+	names := make([]string, 0, len(w.Truth.Campaigns))
+	for name := range w.Truth.Campaigns {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ct := w.Truth.Campaigns[name]
+		servers := append([]string(nil), ct.Servers...)
+		sort.Strings(servers)
+		// One deterministic shuffle per campaign; coverage prefixes make
+		// the 2013 labelled set a superset of the 2012 set.
+		rng := stats.NewRand(w.Config.Seed, "oracle-"+name)
+		rng.Shuffle(len(servers), func(i, j int) { servers[i], servers[j] = servers[j], servers[i] })
+		n2012 := roundCoverage(ct.Spec.Coverage2012, len(servers))
+		n2013 := roundCoverage(ct.Spec.Coverage2013, len(servers))
+		if n2013 < n2012 {
+			n2013 = n2012
+		}
+		for i := 0; i < n2013; i++ {
+			sig := ids.Signature{ThreatID: threatID(name), Server: servers[i]}
+			sigs2013 = append(sigs2013, sig)
+			if i < n2012 {
+				sigs2012 = append(sigs2012, sig)
+			}
+		}
+		nBL := roundCoverage(ct.Spec.BlacklistCoverage, len(servers))
+		// Blacklist from the end of the shuffled order so the IDS and
+		// blacklist coverages overlap only partially, like real feeds.
+		for i := 0; i < nBL; i++ {
+			s := servers[len(servers)-1-i]
+			list := blacklistNames[(i+len(name))%len(blacklistNames)]
+			listed[list] = append(listed[list], s)
+		}
+		// Aggregator hits: a further slice of servers get 1-3 hits in the
+		// WhatIsMyIPAddress-style aggregation (>= 2 confirms).
+		nAgg := roundCoverage(ct.Spec.BlacklistCoverage/2, len(servers))
+		for i := 0; i < nAgg; i++ {
+			s := servers[(n2013+i)%len(servers)]
+			bl.AggregatedHits[s] = 1 + (i+len(name))%3
+		}
+	}
+	for _, list := range blacklistNames {
+		if servers := listed[list]; len(servers) > 0 {
+			bl.Direct = append(bl.Direct, ids.NewBlacklist(list, servers))
+		}
+	}
+	return &Oracles{
+		IDS2012:    ids.NewEngine("IDS2012", sigs2012),
+		IDS2013:    ids.NewEngine("IDS2013", sigs2013),
+		Blacklists: bl,
+	}
+}
+
+// roundCoverage converts a fraction into a server count, guaranteeing at
+// least one server once the fraction is positive and the pool non-empty.
+func roundCoverage(frac float64, n int) int {
+	if frac <= 0 || n == 0 {
+		return 0
+	}
+	c := int(frac*float64(n) + 0.5)
+	if c == 0 {
+		c = 1
+	}
+	if c > n {
+		c = n
+	}
+	return c
+}
+
+func threatID(campaign string) string { return "threat/" + campaign }
+
+// CampaignOfThreat inverts threatID for evaluation joins.
+func CampaignOfThreat(threat string) string {
+	const prefix = "threat/"
+	if len(threat) > len(prefix) && threat[:len(prefix)] == prefix {
+		return threat[len(prefix):]
+	}
+	return threat
+}
+
+// DayProfile returns a Config resembling one of the paper's datasets. Known
+// names: "Data2011day", "Data2012day", "Data2012week". Other names return a
+// default single-day profile with that name.
+func DayProfile(name string, seed int64) Config {
+	switch name {
+	case "Data2011day":
+		return Config{Name: name, Seed: seed, Days: 1, Clients: 1200, BenignServers: 4000, MeanRequests: 40}
+	case "Data2012day":
+		return Config{Name: name, Seed: seed + 1, Days: 1, Clients: 1500, BenignServers: 5000, MeanRequests: 45}
+	case "Data2012week":
+		return Config{Name: name, Seed: seed + 2, Days: 7, Clients: 1500, BenignServers: 5000, MeanRequests: 35}
+	default:
+		return Config{Name: name, Seed: seed, Days: 1}
+	}
+}
+
+// String renders a short oracle summary for logs.
+func (o *Oracles) String() string {
+	return fmt.Sprintf("oracles{ids2012=%d rules, ids2013=%d rules, blacklists=%d}",
+		o.IDS2012.RuleCount(), o.IDS2013.RuleCount(), len(o.Blacklists.Direct))
+}

@@ -1,0 +1,357 @@
+// Package synth generates the synthetic ISP world that stands in for the
+// paper's 9 days of ISP PCAP traces (see DESIGN.md substitution table).
+//
+// SMASH is purely a function of the relational structure of HTTP traffic —
+// which clients talk to which servers, with which URI files, resolving to
+// which IPs, registered by whom. The generator reproduces those relations:
+//
+//   - a benign web population with Zipf server popularity, per-site page
+//     sets, shared hosting, tracker/widget referrer groups, redirection
+//     chains, and niche browsing clusters (the paper's "similar content" and
+//     "unknown" main-dimension groups);
+//   - malware campaigns injected with the exact server-side correlation
+//     structure the paper describes: domain-flux C&C pools, DGA pools,
+//     two-tier download+C&C botnets (Bagle), compromised-site download tiers
+//     (Sality), web scanners (ZmEu), iframe injection, phishing and drop
+//     zones — including obfuscated long filenames and multi-day
+//     persistent/agile evolution;
+//   - the two benign false-positive classes the paper identifies (Torrent
+//     trackers sharing scrape.php, TeamViewer-style server pools);
+//   - a ground-truth manifest plus simulated IDS signature sets (2012 and
+//     2013 snapshots) and blacklist services with controlled coverage.
+//
+// All generation is deterministic for a fixed Config.Seed.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"smash/internal/stats"
+	"smash/internal/trace"
+	"smash/internal/webprobe"
+	"smash/internal/whois"
+)
+
+// Kind enumerates campaign archetypes.
+type Kind int
+
+// Campaign archetypes, mirroring the paper's case studies and categories.
+const (
+	// KindDomainFlux is a pool of C&C domains sharing IPs and a handler
+	// script, contacted by the same bots (Fig. 1a).
+	KindDomainFlux Kind = iota + 1
+	// KindDGA is a Zeus-style pool of algorithmically generated domains
+	// (Table X).
+	KindDGA
+	// KindTwoTier is a Bagle-style campaign with a download tier and a
+	// C&C tier visited by the same bots (Table VII).
+	KindTwoTier
+	// KindSality is a Sality-style campaign: two C&C domains sharing IP
+	// and whois plus a tier of compromised benign download sites
+	// (Table VIII).
+	KindSality
+	// KindScanner is a ZmEu-style scanning campaign: bots probing benign
+	// servers for one vulnerable file (Fig. 1b).
+	KindScanner
+	// KindIframe is an iframe/webshell injection campaign against benign
+	// WordPress sites (Table IX).
+	KindIframe
+	// KindPhishing is a phishing domain pool.
+	KindPhishing
+	// KindDropZone is a small data-exfiltration drop zone pool.
+	KindDropZone
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case KindDomainFlux:
+		return "domainflux"
+	case KindDGA:
+		return "dga"
+	case KindTwoTier:
+		return "twotier"
+	case KindSality:
+		return "sality"
+	case KindScanner:
+		return "scanner"
+	case KindIframe:
+		return "iframe"
+	case KindPhishing:
+		return "phishing"
+	case KindDropZone:
+		return "dropzone"
+	default:
+		return "unknown"
+	}
+}
+
+// Category classifies a server's role, matching the paper's Table IV rows.
+type Category string
+
+// Server categories.
+const (
+	CatC2           Category = "C&C"
+	CatDownload     Category = "Download"
+	CatWebExploit   Category = "Web exploit"
+	CatPhishing     Category = "Phishing"
+	CatDropZone     Category = "Drop zone"
+	CatOtherMal     Category = "Other malicious"
+	CatScanVictim   Category = "Web scanner"
+	CatIframeVictim Category = "Iframe injection"
+	CatNoise        Category = "Noise"
+	CatBenign       Category = "Benign"
+)
+
+// CampaignSpec describes one campaign to inject.
+type CampaignSpec struct {
+	// Name identifies the campaign (unique within a config).
+	Name string
+	// Kind selects the archetype.
+	Kind Kind
+	// Servers is the primary tier size (C&C pool, victim pool, ...).
+	Servers int
+	// SecondaryServers is the download tier size for two-tier archetypes.
+	SecondaryServers int
+	// Bots is the number of infected clients driving the campaign.
+	Bots int
+	// StartDay is the first day (0-based) the campaign is active.
+	StartDay int
+	// Agile rotates the campaign's server pool every day (same bots).
+	Agile bool
+	// ObfuscatedNames makes the campaign use long randomized URI files
+	// drawn from one character multiset (exercising the cosine path).
+	ObfuscatedNames bool
+	// SharedIP makes the campaign servers share a small IP pool.
+	SharedIP bool
+	// SharedWhois registers the campaign domains with overlapping whois
+	// contact fields.
+	SharedWhois bool
+	// Coverage2012/Coverage2013 are the fractions of campaign servers the
+	// respective IDS signature snapshot can label.
+	Coverage2012, Coverage2013 float64
+	// BlacklistCoverage is the fraction of servers on blacklists.
+	BlacklistCoverage float64
+	// DeadFraction is the fraction of campaign domains that no longer
+	// resolve at verification time (short-lived registrations).
+	DeadFraction float64
+	// EvadeMain makes the campaign's bots also visit benign domains with
+	// the campaign's URI file — the paper's main-dimension evasion attempt
+	// (§VI): the attacker tries to drag benign servers into the herd.
+	EvadeMain bool
+	// RandomFilePerServer gives every campaign server its own random
+	// handler filename — the URI-file-dimension evasion attempt (§VI).
+	RandomFilePerServer bool
+}
+
+// Config parameterizes world generation.
+type Config struct {
+	// Name labels the generated traces (e.g. "Data2011day").
+	Name string
+	// Seed drives all randomness.
+	Seed int64
+	// Days is the number of observation days to generate (>= 1).
+	Days int
+	// Clients is the monitored client population size.
+	Clients int
+	// BenignServers is the benign server population size.
+	BenignServers int
+	// MeanRequests is the mean number of benign requests per client/day.
+	MeanRequests int
+	// Campaigns lists the campaigns to inject. Nil uses DefaultCampaigns.
+	Campaigns []CampaignSpec
+	// DisableNoise suppresses the Torrent/TeamViewer FP-noise classes.
+	DisableNoise bool
+	// BaseTime is the first day's start; zero uses 2011-10-01 UTC.
+	BaseTime time.Time
+}
+
+func (c Config) normalized() Config {
+	if c.Days <= 0 {
+		c.Days = 1
+	}
+	if c.Clients <= 0 {
+		c.Clients = 1200
+	}
+	if c.BenignServers <= 0 {
+		c.BenignServers = 4000
+	}
+	if c.MeanRequests <= 0 {
+		c.MeanRequests = 40
+	}
+	if c.Campaigns == nil {
+		c.Campaigns = DefaultCampaigns()
+	}
+	if c.BaseTime.IsZero() {
+		c.BaseTime = time.Date(2011, 10, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if c.Name == "" {
+		c.Name = "synthetic"
+	}
+	return c
+}
+
+// ServerTruth is the ground truth for one server.
+type ServerTruth struct {
+	// Campaign names the campaign the server belongs to ("" for pure
+	// benign background).
+	Campaign string
+	// Category is the server's role.
+	Category Category
+	// Noise marks the Torrent/TeamViewer benign FP classes.
+	Noise bool
+}
+
+// CampaignTruth is the ground truth for one injected campaign.
+type CampaignTruth struct {
+	// Spec is the generating spec.
+	Spec CampaignSpec
+	// Servers is every server the campaign used across all days.
+	Servers []string
+	// ServersByDay records the active server set per day.
+	ServersByDay [][]string
+	// Bots lists the campaign's client identities.
+	Bots []string
+}
+
+// Truth is the world's ground-truth manifest.
+type Truth struct {
+	// Servers maps server key -> truth. Benign background servers are
+	// absent.
+	Servers map[string]ServerTruth
+	// Campaigns maps campaign name -> truth.
+	Campaigns map[string]*CampaignTruth
+}
+
+// MaliciousServers returns all ground-truth campaign servers (victims
+// included, noise excluded), sorted.
+func (t *Truth) MaliciousServers() []string {
+	out := make([]string, 0, len(t.Servers))
+	for s, st := range t.Servers {
+		if st.Campaign != "" && !st.Noise {
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// World is a fully generated synthetic environment.
+type World struct {
+	// Config echoes the (normalized) generating config.
+	Config Config
+	// Days holds one trace per observation day.
+	Days []*trace.Trace
+	// Whois is the registration database.
+	Whois *whois.MapRegistry
+	// Prober answers redirection/liveness probes from the topology.
+	Prober *webprobe.MapProber
+	// Truth is the ground-truth manifest.
+	Truth *Truth
+}
+
+// Trace returns the single-day trace; it panics only via index bounds if
+// the world has multiple days (callers use Days directly then).
+func (w *World) Trace() *trace.Trace { return w.Days[0] }
+
+// Generate builds a world from the config. It is deterministic in
+// Config.Seed.
+func Generate(cfg Config) (*World, error) {
+	cfg = cfg.normalized()
+	if err := validate(cfg); err != nil {
+		return nil, err
+	}
+	g := &generator{
+		cfg:    cfg,
+		world:  &World{Config: cfg, Whois: whois.NewMapRegistry(), Prober: webprobe.NewMapProber()},
+		truth:  &Truth{Servers: make(map[string]ServerTruth), Campaigns: make(map[string]*CampaignTruth)},
+		assign: newBotAssigner(cfg),
+	}
+	g.world.Truth = g.truth
+	g.buildBenignPopulation()
+	g.buildCampaignPlans()
+	for day := 0; day < cfg.Days; day++ {
+		g.emitDay(day)
+	}
+	return g.world, nil
+}
+
+func validate(cfg Config) error {
+	names := make(map[string]bool, len(cfg.Campaigns))
+	totalBots := 0
+	for _, spec := range cfg.Campaigns {
+		if spec.Name == "" {
+			return fmt.Errorf("synth: campaign with empty name")
+		}
+		if names[spec.Name] {
+			return fmt.Errorf("synth: duplicate campaign name %q", spec.Name)
+		}
+		names[spec.Name] = true
+		if spec.Servers <= 0 {
+			return fmt.Errorf("synth: campaign %q has no servers", spec.Name)
+		}
+		if spec.Bots <= 0 {
+			return fmt.Errorf("synth: campaign %q has no bots", spec.Name)
+		}
+		totalBots += spec.Bots
+	}
+	// The special benign structures (widgets, chain, noise, niche
+	// clusters) reserve a further block of dedicated clients.
+	const specialClients = 32
+	if totalBots+specialClients > cfg.Clients/2 {
+		return fmt.Errorf("synth: %d bots + %d special clients exceed half the client population (%d)",
+			totalBots, specialClients, cfg.Clients)
+	}
+	return nil
+}
+
+// botAssigner hands out disjoint client identities to campaigns so that
+// distinct campaigns have distinct (but realistic, browsing) bot machines.
+type botAssigner struct {
+	next    int
+	clients int
+}
+
+func newBotAssigner(cfg Config) *botAssigner {
+	return &botAssigner{clients: cfg.Clients}
+}
+
+// take returns n client names starting after previously assigned ones.
+func (b *botAssigner) take(n int) []string {
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = clientName(b.next % b.clients)
+		b.next++
+	}
+	return out
+}
+
+func clientName(i int) string { return fmt.Sprintf("10.%d.%d.%d", i/65536, i/256%256, i%256) }
+func benignName(i int) string { return fmt.Sprintf("site%04d.com", i) }
+func benignIP(i int) string   { return fmt.Sprintf("100.%d.%d.%d", i/65536%256, i/256%256, i%256) }
+
+// randomLabel produces a lowercase alphanumeric label of length n.
+func randomLabel(rng *rand.Rand, n int) string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return string(b)
+}
+
+// shuffledName builds an obfuscated filename by shuffling a campaign's base
+// character multiset, keeping the byte distribution (so CharCosine between
+// two such names is 1) while the names differ.
+func shuffledName(rng *rand.Rand, base string, ext string) string {
+	b := []byte(base)
+	rng.Shuffle(len(b), func(i, j int) { b[i], b[j] = b[j], b[i] })
+	return string(b) + ext
+}
+
+func (g *generator) rng(name string) *rand.Rand {
+	return stats.NewRand(g.cfg.Seed, name)
+}

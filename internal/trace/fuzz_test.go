@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReader must never panic on arbitrary input, and every request it
+// accepts must survive a write/read round trip.
+func FuzzReader(f *testing.F) {
+	f.Add("1\tc\th.com\t1.1.1.1\t/\t-\t-\t-\t200\tsha1:x\n")
+	f.Add("# trace foo\n99\tc\t-\t-\t/a?b=1\tq=2\tua\tref.com\t404\n")
+	f.Add("garbage\nmore\tgarbage\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		r := NewReader(strings.NewReader(input))
+		for i := 0; i < 1000; i++ {
+			req, err := r.Read()
+			if err != nil {
+				return
+			}
+			var buf bytes.Buffer
+			w := NewWriter(&buf)
+			if err := w.Write(&req); err != nil {
+				t.Fatalf("rewrite accepted request failed: %v", err)
+			}
+			if err := w.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			back, err := NewReader(&buf).Read()
+			if err != nil {
+				t.Fatalf("reread failed: %v (request %+v)", err, req)
+			}
+			_ = back
+		}
+	})
+}
+
+// FuzzURIFile must never panic and must keep its output invariants.
+func FuzzURIFile(f *testing.F) {
+	f.Add("/images/news.php")
+	f.Add("")
+	f.Add("/a/b/c?d=e")
+	f.Fuzz(func(t *testing.T, path string) {
+		got := URIFileOf(path)
+		if got == "" {
+			t.Errorf("empty URI file for %q", path)
+		}
+		if got != "/" && strings.ContainsAny(got, "/?") {
+			t.Errorf("URIFileOf(%q) = %q contains separator", path, got)
+		}
+	})
+}
+
+// FuzzQueryPattern must never panic and must be idempotent over its own
+// output treated as a query of bare parameters.
+func FuzzQueryPattern(f *testing.F) {
+	f.Add("p=1&id=2&e=3")
+	f.Add("")
+	f.Add("&&&")
+	f.Fuzz(func(t *testing.T, q string) {
+		p := QueryPattern(q)
+		if QueryPattern(p) != p {
+			t.Errorf("QueryPattern not idempotent on %q: %q vs %q", q, p, QueryPattern(p))
+		}
+	})
+}

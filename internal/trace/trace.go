@@ -1,0 +1,390 @@
+// Package trace defines SMASH's HTTP traffic data model: individual HTTP
+// request records as observed at the edge of an ISP or enterprise network,
+// whole traces, and the aggregated per-server index that every downstream
+// pipeline stage (preprocessing, similarity mining, pruning) consumes.
+//
+// A "server" in SMASH's sense is a logical endpoint keyed by second-level
+// domain when a hostname is known, or by the literal IP address otherwise,
+// matching the paper's aggregation rule (§III-A).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"smash/internal/domain"
+)
+
+// Request is one HTTP request observed on the wire.
+type Request struct {
+	// Time is when the request was observed.
+	Time time.Time
+	// Client identifies the internal client host (e.g. its IP address).
+	Client string
+	// Host is the HTTP Host header value (hostname or IP literal).
+	Host string
+	// ServerIP is the destination IP address of the TCP connection.
+	ServerIP string
+	// Path is the URI path, without the query string.
+	Path string
+	// Query is the raw query string, without the leading '?'.
+	Query string
+	// UserAgent is the User-Agent header value ("-" when absent).
+	UserAgent string
+	// Referrer is the Referer header's host part ("" when absent).
+	Referrer string
+	// Status is the HTTP response status code (0 when no response seen).
+	Status int
+	// PayloadDigest is an opaque digest of the response payload prefix
+	// (the paper's monitor captured the first 5000 bytes per connection);
+	// empty when unavailable. It feeds the optional payload-similarity
+	// dimension suggested in §VI Extensions.
+	PayloadDigest string
+}
+
+// ServerKey returns the logical server identity of the request: the SLD of
+// the Host header, or the destination IP when no hostname was seen.
+func (r *Request) ServerKey() string {
+	if r.Host != "" {
+		return domain.SLD(r.Host)
+	}
+	return r.ServerIP
+}
+
+// URIFile extracts the "URI file" as defined in §III-B2 of the paper: the
+// substring of the URI from the last '/' to the end, stopping before any
+// '?' — usually the file or script handling the request. The query part is
+// never included; a trailing slash yields "/" (matching the Sality C&C
+// example where the shared filename is "/").
+func (r *Request) URIFile() string {
+	return URIFileOf(r.Path)
+}
+
+// URIFileOf extracts the URI file from a raw path string.
+func URIFileOf(path string) string {
+	if i := strings.IndexByte(path, '?'); i >= 0 {
+		path = path[:i]
+	}
+	if path == "" {
+		return "/"
+	}
+	i := strings.LastIndexByte(path, '/')
+	if i < 0 {
+		return path
+	}
+	file := path[i+1:]
+	if file == "" {
+		return "/"
+	}
+	return file
+}
+
+// Trace is an ordered collection of requests, typically one observation day.
+type Trace struct {
+	// Name labels the trace (e.g. "Data2011day").
+	Name string
+	// Requests holds the observed requests in arrival order.
+	Requests []Request
+}
+
+// Stats summarizes a trace in the shape of the paper's Table I.
+type Stats struct {
+	Name     string
+	Clients  int
+	Requests int
+	Servers  int
+	URIFiles int
+}
+
+// ComputeStats scans the trace once and returns Table-I style statistics.
+// Servers are counted after SLD aggregation; URI files are counted as
+// distinct (server, file) pairs to match the paper's per-server file notion.
+func (t *Trace) ComputeStats() Stats {
+	clients := make(map[string]struct{})
+	servers := make(map[string]struct{})
+	files := make(map[string]struct{})
+	for i := range t.Requests {
+		r := &t.Requests[i]
+		clients[r.Client] = struct{}{}
+		key := r.ServerKey()
+		servers[key] = struct{}{}
+		files[key+"\x00"+r.URIFile()] = struct{}{}
+	}
+	return Stats{
+		Name:     t.Name,
+		Clients:  len(clients),
+		Requests: len(t.Requests),
+		Servers:  len(servers),
+		URIFiles: len(files),
+	}
+}
+
+// Render formats the stats as one row of a Table-I style report.
+func (s Stats) Render() string {
+	return fmt.Sprintf("%-16s clients=%-8d requests=%-10d servers=%-8d uriFiles=%d",
+		s.Name, s.Clients, s.Requests, s.Servers, s.URIFiles)
+}
+
+// ServerInfo aggregates everything SMASH needs to know about one logical
+// server, accumulated over a trace.
+type ServerInfo struct {
+	// Key is the server identity (SLD or IP literal).
+	Key string
+	// Clients is the set of client identities that contacted the server.
+	Clients map[string]struct{}
+	// IPs is the set of destination IPs observed for the server.
+	IPs map[string]struct{}
+	// Files maps URI file -> request count.
+	Files map[string]int
+	// Referrers maps referring server key -> request count, for referrer
+	// group pruning.
+	Referrers map[string]int
+	// UserAgents maps User-Agent -> request count.
+	UserAgents map[string]int
+	// Queries maps query-parameter patterns (sorted parameter names, e.g.
+	// "e&id&p") -> request count, used for campaign pattern matching.
+	Queries map[string]int
+	// Payloads maps payload digests -> request count (empty digests are
+	// not recorded).
+	Payloads map[string]int
+	// Requests is the total number of requests to this server.
+	Requests int
+	// ErrorRequests counts requests whose status was >= 400.
+	ErrorRequests int
+	// Hosts is the set of raw hostnames aggregated into this server.
+	Hosts map[string]struct{}
+}
+
+// IDF is the server's popularity measure from Appendix A: the number of
+// distinct clients that contacted it.
+func (s *ServerInfo) IDF() int { return len(s.Clients) }
+
+// FileList returns the server's URI files sorted lexicographically.
+func (s *ServerInfo) FileList() []string {
+	out := make([]string, 0, len(s.Files))
+	for f := range s.Files {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DominantReferrer returns the referrer server responsible for the largest
+// share of this server's requests and that share in [0,1]. It returns
+// ("", 0) when no request carried a referrer.
+func (s *ServerInfo) DominantReferrer() (string, float64) {
+	best, bestN := "", 0
+	for ref, n := range s.Referrers {
+		if n > bestN || (n == bestN && ref < best) {
+			best, bestN = ref, n
+		}
+	}
+	if bestN == 0 || s.Requests == 0 {
+		return "", 0
+	}
+	return best, float64(bestN) / float64(s.Requests)
+}
+
+// ErrorFraction reports the fraction of this server's requests that returned
+// an error status (>= 400), used by the "suspicious campaign" verification.
+func (s *ServerInfo) ErrorFraction() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.ErrorRequests) / float64(s.Requests)
+}
+
+// Index is the aggregated per-server view of a trace after SLD aggregation.
+type Index struct {
+	// Servers maps server key -> accumulated info.
+	Servers map[string]*ServerInfo
+	// ClientServers maps client -> set of server keys it contacted.
+	ClientServers map[string]map[string]struct{}
+	// RequestCount is the total number of requests indexed.
+	RequestCount int
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{
+		Servers:       make(map[string]*ServerInfo),
+		ClientServers: make(map[string]map[string]struct{}),
+	}
+}
+
+// BuildIndex aggregates a trace into an Index. Hostnames are SLD-aggregated;
+// servers without hostnames are keyed by IP.
+func BuildIndex(t *Trace) *Index {
+	idx := NewIndex()
+	for i := range t.Requests {
+		idx.Add(&t.Requests[i])
+	}
+	return idx
+}
+
+// Add incorporates one request into the index.
+func (idx *Index) Add(r *Request) {
+	key := r.ServerKey()
+	if key == "" {
+		return
+	}
+	info := idx.Servers[key]
+	if info == nil {
+		info = &ServerInfo{
+			Key:        key,
+			Clients:    make(map[string]struct{}),
+			IPs:        make(map[string]struct{}),
+			Files:      make(map[string]int),
+			Referrers:  make(map[string]int),
+			UserAgents: make(map[string]int),
+			Queries:    make(map[string]int),
+			Payloads:   make(map[string]int),
+			Hosts:      make(map[string]struct{}),
+		}
+		idx.Servers[key] = info
+	}
+	info.Clients[r.Client] = struct{}{}
+	if r.ServerIP != "" {
+		info.IPs[r.ServerIP] = struct{}{}
+	}
+	info.Files[r.URIFile()]++
+	if r.Referrer != "" {
+		refKey := domain.SLD(r.Referrer)
+		if refKey != key {
+			info.Referrers[refKey]++
+		}
+	}
+	if r.UserAgent != "" {
+		info.UserAgents[r.UserAgent]++
+	}
+	if r.Query != "" {
+		info.Queries[QueryPattern(r.Query)]++
+	}
+	if r.PayloadDigest != "" {
+		info.Payloads[r.PayloadDigest]++
+	}
+	if r.Host != "" {
+		info.Hosts[domain.Normalize(r.Host)] = struct{}{}
+	}
+	info.Requests++
+	if r.Status >= 400 {
+		info.ErrorRequests++
+	}
+	cs := idx.ClientServers[r.Client]
+	if cs == nil {
+		cs = make(map[string]struct{})
+		idx.ClientServers[r.Client] = cs
+	}
+	cs[key] = struct{}{}
+	idx.RequestCount++
+}
+
+// ServerKeys returns all server keys in sorted order (for deterministic
+// iteration downstream).
+func (idx *Index) ServerKeys() []string {
+	keys := make([]string, 0, len(idx.Servers))
+	for k := range idx.Servers {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Remove deletes a server from the index, including its entries in the
+// client->servers map. Used by the preprocessing IDF filter.
+func (idx *Index) Remove(key string) {
+	info := idx.Servers[key]
+	if info == nil {
+		return
+	}
+	for c := range info.Clients {
+		if cs := idx.ClientServers[c]; cs != nil {
+			delete(cs, key)
+			if len(cs) == 0 {
+				delete(idx.ClientServers, c)
+			}
+		}
+	}
+	idx.RequestCount -= info.Requests
+	delete(idx.Servers, key)
+}
+
+// Clone returns a deep copy of the index. The preprocessing stage filters a
+// clone so the raw index remains available for figure reproduction.
+func (idx *Index) Clone() *Index {
+	out := NewIndex()
+	out.RequestCount = idx.RequestCount
+	for k, info := range idx.Servers {
+		c := &ServerInfo{
+			Key:           info.Key,
+			Clients:       make(map[string]struct{}, len(info.Clients)),
+			IPs:           make(map[string]struct{}, len(info.IPs)),
+			Files:         make(map[string]int, len(info.Files)),
+			Referrers:     make(map[string]int, len(info.Referrers)),
+			UserAgents:    make(map[string]int, len(info.UserAgents)),
+			Queries:       make(map[string]int, len(info.Queries)),
+			Payloads:      make(map[string]int, len(info.Payloads)),
+			Hosts:         make(map[string]struct{}, len(info.Hosts)),
+			Requests:      info.Requests,
+			ErrorRequests: info.ErrorRequests,
+		}
+		for x := range info.Clients {
+			c.Clients[x] = struct{}{}
+		}
+		for x := range info.IPs {
+			c.IPs[x] = struct{}{}
+		}
+		for x, n := range info.Files {
+			c.Files[x] = n
+		}
+		for x, n := range info.Referrers {
+			c.Referrers[x] = n
+		}
+		for x, n := range info.UserAgents {
+			c.UserAgents[x] = n
+		}
+		for x, n := range info.Queries {
+			c.Queries[x] = n
+		}
+		for x, n := range info.Payloads {
+			c.Payloads[x] = n
+		}
+		for x := range info.Hosts {
+			c.Hosts[x] = struct{}{}
+		}
+		out.Servers[k] = c
+	}
+	for c, set := range idx.ClientServers {
+		cp := make(map[string]struct{}, len(set))
+		for s := range set {
+			cp[s] = struct{}{}
+		}
+		out.ClientServers[c] = cp
+	}
+	return out
+}
+
+// QueryPattern normalizes a raw query string into its parameter-name
+// pattern: parameter names sorted and joined with '&', values dropped. The
+// paper uses such patterns ("p=[]&id=[]&e=[]") to link servers handled by
+// the same malware kit even when the values differ.
+func QueryPattern(query string) string {
+	if query == "" {
+		return ""
+	}
+	parts := strings.Split(query, "&")
+	names := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if i := strings.IndexByte(p, '='); i >= 0 {
+			p = p[:i]
+		}
+		if p == "" {
+			continue // value without a name ("=x") carries no pattern
+		}
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	return strings.Join(names, "&")
+}

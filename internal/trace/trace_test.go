@@ -1,0 +1,265 @@
+package trace
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func req(client, host, ip, path string) Request {
+	return Request{
+		Time:     time.Unix(1000, 0).UTC(),
+		Client:   client,
+		Host:     host,
+		ServerIP: ip,
+		Path:     path,
+		Status:   200,
+	}
+}
+
+func TestURIFile(t *testing.T) {
+	tests := []struct {
+		path string
+		want string
+	}{
+		{"/images/news.php", "news.php"},
+		{"/login.php", "login.php"},
+		{"/", "/"},
+		{"", "/"},
+		{"/wp-content/uploads/sm3.php", "sm3.php"},
+		{"/a/b/", "/"},
+		{"setup.php", "setup.php"},
+		{"/scrape.php?info_hash=xyz", "scrape.php"},
+		{"/images/file.txt", "file.txt"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.path, func(t *testing.T) {
+			if got := URIFileOf(tt.path); got != tt.want {
+				t.Errorf("URIFileOf(%q) = %q, want %q", tt.path, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestURIFileNeverContainsSlashOrQuery(t *testing.T) {
+	f := func(path string) bool {
+		got := URIFileOf(path)
+		if got == "/" {
+			return true
+		}
+		for i := 0; i < len(got); i++ {
+			if got[i] == '/' || got[i] == '?' {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestServerKey(t *testing.T) {
+	r := req("c1", "a.xyz.com", "1.2.3.4", "/x")
+	if got := r.ServerKey(); got != "xyz.com" {
+		t.Errorf("ServerKey = %q, want xyz.com", got)
+	}
+	r2 := req("c1", "", "1.2.3.4", "/x")
+	if got := r2.ServerKey(); got != "1.2.3.4" {
+		t.Errorf("ServerKey = %q, want 1.2.3.4", got)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	tr := &Trace{Name: "T", Requests: []Request{
+		req("c1", "a.xyz.com", "1.1.1.1", "/p/a.php"),
+		req("c1", "b.xyz.com", "1.1.1.2", "/q/a.php"),
+		req("c2", "other.net", "2.2.2.2", "/b.php"),
+		req("c2", "other.net", "2.2.2.2", "/b.php"),
+	}}
+	s := tr.ComputeStats()
+	if s.Clients != 2 {
+		t.Errorf("Clients = %d, want 2", s.Clients)
+	}
+	if s.Requests != 4 {
+		t.Errorf("Requests = %d, want 4", s.Requests)
+	}
+	if s.Servers != 2 {
+		t.Errorf("Servers = %d, want 2 (SLD aggregation)", s.Servers)
+	}
+	if s.URIFiles != 2 {
+		t.Errorf("URIFiles = %d, want 2", s.URIFiles)
+	}
+	if s.Render() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestBuildIndexAggregation(t *testing.T) {
+	tr := &Trace{Requests: []Request{
+		req("c1", "a.xyz.com", "1.1.1.1", "/a.php"),
+		req("c2", "b.xyz.com", "1.1.1.2", "/b.php"),
+		req("c1", "other.net", "2.2.2.2", "/c.php"),
+	}}
+	idx := BuildIndex(tr)
+	if len(idx.Servers) != 2 {
+		t.Fatalf("servers = %d, want 2", len(idx.Servers))
+	}
+	xyz := idx.Servers["xyz.com"]
+	if xyz == nil {
+		t.Fatal("xyz.com missing")
+	}
+	if len(xyz.Clients) != 2 {
+		t.Errorf("xyz.com clients = %d, want 2", len(xyz.Clients))
+	}
+	if len(xyz.IPs) != 2 {
+		t.Errorf("xyz.com IPs = %d, want 2", len(xyz.IPs))
+	}
+	if len(xyz.Hosts) != 2 {
+		t.Errorf("xyz.com hosts = %d, want 2", len(xyz.Hosts))
+	}
+	if xyz.IDF() != 2 {
+		t.Errorf("IDF = %d, want 2", xyz.IDF())
+	}
+	if got := idx.ClientServers["c1"]; len(got) != 2 {
+		t.Errorf("c1 contacted %d servers, want 2", len(got))
+	}
+}
+
+func TestIndexReferrerAndErrors(t *testing.T) {
+	r1 := req("c1", "victim.com", "3.3.3.3", "/x.php")
+	r1.Referrer = "landing.com"
+	r1.Status = 404
+	r2 := req("c2", "victim.com", "3.3.3.3", "/x.php")
+	r2.Referrer = "www.landing.com"
+	tr := &Trace{Requests: []Request{r1, r2}}
+	idx := BuildIndex(tr)
+	v := idx.Servers["victim.com"]
+	ref, share := v.DominantReferrer()
+	if ref != "landing.com" || share != 1.0 {
+		t.Errorf("DominantReferrer = %q %g, want landing.com 1.0", ref, share)
+	}
+	if got := v.ErrorFraction(); got != 0.5 {
+		t.Errorf("ErrorFraction = %g, want 0.5", got)
+	}
+}
+
+func TestSelfReferrerIgnored(t *testing.T) {
+	r := req("c1", "a.example.com", "1.1.1.1", "/x")
+	r.Referrer = "b.example.com" // same SLD -> not an external referrer
+	idx := BuildIndex(&Trace{Requests: []Request{r}})
+	if n := len(idx.Servers["example.com"].Referrers); n != 0 {
+		t.Errorf("self-referrer recorded: %d entries", n)
+	}
+}
+
+func TestIndexRemove(t *testing.T) {
+	tr := &Trace{Requests: []Request{
+		req("c1", "a.com", "1.1.1.1", "/x"),
+		req("c1", "b.com", "1.1.1.2", "/y"),
+		req("c2", "a.com", "1.1.1.1", "/x"),
+	}}
+	idx := BuildIndex(tr)
+	idx.Remove("a.com")
+	if _, ok := idx.Servers["a.com"]; ok {
+		t.Fatal("a.com still present")
+	}
+	if idx.RequestCount != 1 {
+		t.Errorf("RequestCount = %d, want 1", idx.RequestCount)
+	}
+	if _, ok := idx.ClientServers["c2"]; ok {
+		t.Error("c2 should have been dropped (no remaining servers)")
+	}
+	if got := idx.ClientServers["c1"]; len(got) != 1 {
+		t.Errorf("c1 servers = %d, want 1", len(got))
+	}
+	idx.Remove("missing") // no-op must not panic
+}
+
+func TestIndexClone(t *testing.T) {
+	tr := &Trace{Requests: []Request{req("c1", "a.com", "1.1.1.1", "/x")}}
+	idx := BuildIndex(tr)
+	cl := idx.Clone()
+	cl.Remove("a.com")
+	if _, ok := idx.Servers["a.com"]; !ok {
+		t.Error("clone removal mutated original")
+	}
+	if idx.RequestCount != 1 {
+		t.Errorf("original RequestCount = %d, want 1", idx.RequestCount)
+	}
+}
+
+func TestFileListSorted(t *testing.T) {
+	info := &ServerInfo{Files: map[string]int{"z.php": 1, "a.php": 2, "m.gif": 1}}
+	got := info.FileList()
+	want := []string{"a.php", "m.gif", "z.php"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FileList = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDominantReferrerEmpty(t *testing.T) {
+	info := &ServerInfo{Referrers: map[string]int{}, Requests: 5}
+	if ref, share := info.DominantReferrer(); ref != "" || share != 0 {
+		t.Errorf("DominantReferrer on empty = %q %g", ref, share)
+	}
+}
+
+func TestServerKeysSorted(t *testing.T) {
+	tr := &Trace{Requests: []Request{
+		req("c1", "zzz.com", "1.1.1.1", "/"),
+		req("c1", "aaa.com", "1.1.1.2", "/"),
+	}}
+	idx := BuildIndex(tr)
+	keys := idx.ServerKeys()
+	if len(keys) != 2 || keys[0] != "aaa.com" || keys[1] != "zzz.com" {
+		t.Errorf("ServerKeys = %v", keys)
+	}
+}
+
+func TestQueryPattern(t *testing.T) {
+	tests := []struct {
+		query string
+		want  string
+	}{
+		{"p=16435&id=21799517&e=0", "e&id&p"},
+		{"id=1&p=2&e=3", "e&id&p"}, // order-insensitive
+		{"single=x", "single"},
+		{"", ""},
+		{"flag", "flag"},    // bare parameter
+		{"a=1&&b=2", "a&b"}, // empty segment skipped
+	}
+	for _, tt := range tests {
+		if got := QueryPattern(tt.query); got != tt.want {
+			t.Errorf("QueryPattern(%q) = %q, want %q", tt.query, got, tt.want)
+		}
+	}
+}
+
+func TestQueryPatternValueIndependent(t *testing.T) {
+	f := func(a, b uint32) bool {
+		q1 := fmt.Sprintf("p=%d&id=%d", a, b)
+		q2 := fmt.Sprintf("p=%d&id=%d", b, a)
+		return QueryPattern(q1) == QueryPattern(q2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexTracksQueries(t *testing.T) {
+	r := req("c1", "a.com", "1.1.1.1", "/x.php")
+	r.Query = "p=1&id=2"
+	idx := BuildIndex(&Trace{Requests: []Request{r}})
+	info := idx.Servers["a.com"]
+	if info.Queries["id&p"] != 1 {
+		t.Errorf("Queries = %v", info.Queries)
+	}
+	cl := idx.Clone()
+	if cl.Servers["a.com"].Queries["id&p"] != 1 {
+		t.Error("Clone dropped queries")
+	}
+}

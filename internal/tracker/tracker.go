@@ -1,0 +1,219 @@
+// Package tracker implements SMASH's daily-operation layer. The paper
+// positions SMASH as a system that "can be run everyday to detect daily
+// malicious activities" (§I) and studies how campaigns evolve across days
+// (§V-B): persistent campaigns keep their server pools, agile campaigns
+// rotate servers daily while the infected client population stays put.
+//
+// Tracker consumes one pipeline Report per day and links each inferred
+// campaign to a cross-day lineage by client-set overlap (the main
+// dimension's insight applied across time): rotating domains do not change
+// who is infected. Each lineage records its server/client history and
+// whether it behaves agilely.
+package tracker
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"smash/internal/campaign"
+	"smash/internal/core"
+)
+
+// Lineage is one cross-day campaign identity.
+type Lineage struct {
+	// ID is the stable tracker-assigned identity.
+	ID int
+	// FirstDay and LastDay are 0-based observation days (inclusive).
+	FirstDay, LastDay int
+	// DaysActive counts days with at least one matched campaign.
+	DaysActive int
+	// Servers maps server -> number of days it appeared.
+	Servers map[string]int
+	// Clients maps client -> number of days it appeared.
+	Clients map[string]int
+	// AgileDays counts days the lineage matched by clients while its
+	// server set had churned (< 50% overlap with everything seen before).
+	AgileDays int
+	// Kind is the most recent activity classification.
+	Kind campaign.Kind
+}
+
+// Agile reports whether the lineage rotated servers on most matched days —
+// the paper's "agile malicious campaign".
+func (l *Lineage) Agile() bool {
+	return l.DaysActive > 1 && l.AgileDays*2 >= l.DaysActive-1
+}
+
+// ServerCount returns the number of distinct servers ever seen.
+func (l *Lineage) ServerCount() int { return len(l.Servers) }
+
+// Render formats the lineage summary.
+func (l *Lineage) Render() string {
+	kind := "persistent"
+	if l.Agile() {
+		kind = "agile"
+	}
+	return fmt.Sprintf("lineage %d [%s/%s] days %d-%d (%d active): %d servers, %d clients",
+		l.ID, l.Kind, kind, l.FirstDay+1, l.LastDay+1, l.DaysActive,
+		len(l.Servers), len(l.Clients))
+}
+
+// MatchKind explains how a day's campaign joined a lineage.
+type MatchKind int
+
+// Match kinds.
+const (
+	// MatchClients means the campaign's clients overlap an existing
+	// lineage (agile or persistent continuation).
+	MatchClients MatchKind = iota + 1
+	// MatchServers means the servers overlap (client churn).
+	MatchServers
+	// MatchNew means a new lineage was created.
+	MatchNew
+)
+
+// String names the match kind.
+func (m MatchKind) String() string {
+	switch m {
+	case MatchClients:
+		return "clients"
+	case MatchServers:
+		return "servers"
+	case MatchNew:
+		return "new"
+	default:
+		return "unknown"
+	}
+}
+
+// Match records the assignment of one day-campaign to a lineage.
+type Match struct {
+	// Lineage is the assigned lineage.
+	Lineage *Lineage
+	// Kind explains the assignment.
+	Kind MatchKind
+	// ServerOverlap is the fraction of the campaign's servers already
+	// known to the lineage (0 for new lineages).
+	ServerOverlap float64
+}
+
+// Tracker links daily reports into lineages.
+type Tracker struct {
+	day      int
+	lineages []*Lineage
+	// MinClientOverlap is the minimum fraction of a campaign's clients
+	// that must be known to a lineage to match it (default 0.5).
+	MinClientOverlap float64
+}
+
+// New returns an empty tracker.
+func New() *Tracker {
+	return &Tracker{MinClientOverlap: 0.5}
+}
+
+// Lineages returns all lineages ordered by ID.
+func (tk *Tracker) Lineages() []*Lineage { return tk.lineages }
+
+// Day returns the number of days observed so far.
+func (tk *Tracker) Day() int { return tk.day }
+
+// Observe consumes one day's report and returns the per-campaign matches,
+// in the order of report.AllCampaigns().
+func (tk *Tracker) Observe(report *core.Report) []Match {
+	day := tk.day
+	tk.day++
+	campaigns := report.AllCampaigns()
+	matches := make([]Match, 0, len(campaigns))
+	// Track which lineages were already claimed today so two same-day
+	// campaigns do not merge through one lineage.
+	claimed := make(map[*Lineage]bool)
+	for i := range campaigns {
+		c := &campaigns[i]
+		best, kind, overlap := tk.findLineage(c, claimed)
+		if best == nil {
+			best = &Lineage{
+				ID:       len(tk.lineages),
+				FirstDay: day,
+				Servers:  make(map[string]int),
+				Clients:  make(map[string]int),
+			}
+			tk.lineages = append(tk.lineages, best)
+			kind = MatchNew
+		}
+		claimed[best] = true
+		if kind == MatchClients && overlap < 0.5 && day > best.LastDay {
+			best.AgileDays++
+		}
+		best.LastDay = day
+		best.DaysActive++
+		best.Kind = c.Kind
+		for _, s := range c.Servers {
+			best.Servers[s]++
+		}
+		for _, cl := range c.Clients {
+			best.Clients[cl]++
+		}
+		matches = append(matches, Match{Lineage: best, Kind: kind, ServerOverlap: overlap})
+	}
+	return matches
+}
+
+// findLineage picks the best matching unclaimed lineage for a campaign.
+func (tk *Tracker) findLineage(c *campaign.Campaign, claimed map[*Lineage]bool) (*Lineage, MatchKind, float64) {
+	minClient := tk.MinClientOverlap
+	if minClient <= 0 {
+		minClient = 0.5
+	}
+	var best *Lineage
+	bestKind := MatchNew
+	bestScore := 0.0
+	for _, l := range tk.lineages {
+		if claimed[l] {
+			continue
+		}
+		clientOv := overlapFrac(c.Clients, l.Clients)
+		serverOv := overlapFrac(c.Servers, l.Servers)
+		switch {
+		case clientOv >= minClient && clientOv > bestScore:
+			best, bestKind, bestScore = l, MatchClients, clientOv
+		case bestKind != MatchClients && serverOv >= 0.5 && serverOv > bestScore:
+			best, bestKind, bestScore = l, MatchServers, serverOv
+		}
+	}
+	if best == nil {
+		return nil, MatchNew, 0
+	}
+	return best, bestKind, overlapFrac(c.Servers, best.Servers)
+}
+
+// overlapFrac is the fraction of items already present in the lineage map.
+func overlapFrac(items []string, known map[string]int) float64 {
+	if len(items) == 0 {
+		return 0
+	}
+	hit := 0
+	for _, s := range items {
+		if known[s] > 0 {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(items))
+}
+
+// Summary renders all lineages, persistent first, then agile, by ID.
+func (tk *Tracker) Summary() string {
+	ordered := append([]*Lineage(nil), tk.lineages...)
+	sort.Slice(ordered, func(i, j int) bool {
+		if ordered[i].Agile() != ordered[j].Agile() {
+			return !ordered[i].Agile()
+		}
+		return ordered[i].ID < ordered[j].ID
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "tracker: %d lineages over %d day(s)\n", len(tk.lineages), tk.day)
+	for _, l := range ordered {
+		b.WriteString("  " + l.Render() + "\n")
+	}
+	return b.String()
+}

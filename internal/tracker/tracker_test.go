@@ -1,0 +1,161 @@
+package tracker
+
+import (
+	"strings"
+	"testing"
+
+	"smash/internal/core"
+	"smash/internal/synth"
+)
+
+// weekReports runs the detector over a small multi-day world once.
+func weekReports(t *testing.T) (*synth.World, []*core.Report) {
+	t.Helper()
+	w, err := synth.Generate(synth.Config{
+		Name: "trackertest", Seed: 17, Days: 4,
+		Clients: 350, BenignServers: 1000, MeanRequests: 15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports []*core.Report
+	for _, day := range w.Days {
+		det := core.New(core.WithSeed(5), core.WithWhois(w.Whois), core.WithProber(w.Prober))
+		r, err := det.Run(day)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, r)
+	}
+	return w, reports
+}
+
+// lineageFor finds the lineage containing the most servers of a ground
+// truth campaign.
+func lineageFor(tk *Tracker, servers []string) *Lineage {
+	var best *Lineage
+	bestN := 0
+	for _, l := range tk.Lineages() {
+		n := 0
+		for _, s := range servers {
+			if l.Servers[s] > 0 {
+				n++
+			}
+		}
+		if n > bestN {
+			best, bestN = l, n
+		}
+	}
+	return best
+}
+
+func TestTrackerLinksAcrossDays(t *testing.T) {
+	w, reports := weekReports(t)
+	tk := New()
+	for _, r := range reports {
+		matches := tk.Observe(r)
+		if len(matches) != len(r.AllCampaigns()) {
+			t.Fatalf("matches = %d, campaigns = %d", len(matches), len(r.AllCampaigns()))
+		}
+	}
+	if tk.Day() != len(reports) {
+		t.Errorf("Day = %d", tk.Day())
+	}
+
+	// The agile fluxnet campaign: one lineage spanning all days, flagged
+	// agile, accumulating a rotated server population.
+	flux := w.Truth.Campaigns["fluxnet"]
+	l := lineageFor(tk, flux.Servers)
+	if l == nil {
+		t.Fatal("fluxnet has no lineage")
+	}
+	if l.DaysActive < len(reports) {
+		t.Errorf("fluxnet lineage active %d days, want %d", l.DaysActive, len(reports))
+	}
+	if !l.Agile() {
+		t.Errorf("fluxnet lineage not agile: %s", l.Render())
+	}
+	if l.ServerCount() < flux.Spec.Servers*2 {
+		t.Errorf("fluxnet lineage accumulated only %d servers over %d days",
+			l.ServerCount(), len(reports))
+	}
+
+	// Sality is persistent: one lineage, same servers daily, not agile.
+	sality := w.Truth.Campaigns["sality"]
+	sl := lineageFor(tk, sality.Servers)
+	if sl == nil {
+		t.Fatal("sality has no lineage")
+	}
+	if sl.Agile() {
+		t.Errorf("persistent sality flagged agile: %s", sl.Render())
+	}
+	if sl.DaysActive < len(reports)-1 {
+		t.Errorf("sality active only %d days", sl.DaysActive)
+	}
+
+	// The late riser appears on day 3 (index 2).
+	late := w.Truth.Campaigns["late-riser"]
+	ll := lineageFor(tk, late.Servers)
+	if ll == nil {
+		t.Fatal("late-riser has no lineage")
+	}
+	if ll.FirstDay < 2 {
+		t.Errorf("late-riser FirstDay = %d, want >= 2", ll.FirstDay)
+	}
+}
+
+func TestTrackerSummary(t *testing.T) {
+	_, reports := weekReports(t)
+	tk := New()
+	for _, r := range reports {
+		tk.Observe(r)
+	}
+	out := tk.Summary()
+	if !strings.Contains(out, "lineage") {
+		t.Errorf("summary = %q", out)
+	}
+	if !strings.Contains(out, "agile") {
+		t.Error("summary missing agile lineages")
+	}
+}
+
+func TestTrackerSameDayCampaignsStaySeparate(t *testing.T) {
+	_, reports := weekReports(t)
+	tk := New()
+	matches := tk.Observe(reports[0])
+	seen := make(map[*Lineage]int)
+	for _, m := range matches {
+		seen[m.Lineage]++
+		if m.Kind != MatchNew {
+			t.Errorf("day-0 campaign matched kind %v", m.Kind)
+		}
+	}
+	for l, n := range seen {
+		if n > 1 {
+			t.Errorf("lineage %d claimed by %d same-day campaigns", l.ID, n)
+		}
+	}
+}
+
+func TestMatchKindStrings(t *testing.T) {
+	for _, m := range []MatchKind{MatchClients, MatchServers, MatchNew, MatchKind(0)} {
+		if m.String() == "" {
+			t.Errorf("kind %d empty", m)
+		}
+	}
+}
+
+func TestLineageAgileLogic(t *testing.T) {
+	l := &Lineage{DaysActive: 1}
+	if l.Agile() {
+		t.Error("single-day lineage cannot be agile")
+	}
+	l = &Lineage{DaysActive: 4, AgileDays: 3}
+	if !l.Agile() {
+		t.Error("mostly-churning lineage should be agile")
+	}
+	l = &Lineage{DaysActive: 4, AgileDays: 0}
+	if l.Agile() {
+		t.Error("stable lineage flagged agile")
+	}
+}

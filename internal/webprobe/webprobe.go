@@ -1,0 +1,150 @@
+// Package webprobe abstracts the active HTTP probing SMASH's pruning stage
+// performs (§III-D): following redirection chains of inferred servers and
+// checking whether an inferred domain still exists. The production system
+// sends live HTTP requests; the synthetic evaluation world answers from its
+// generated topology (see DESIGN.md substitution table). Both sit behind
+// the Prober interface so the pipeline is identical in either mode.
+package webprobe
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"time"
+
+	"smash/internal/domain"
+)
+
+// Prober answers the two active questions the pruning and verification
+// stages ask about a server.
+type Prober interface {
+	// RedirectTarget returns the server an HTTP request to the given
+	// server is redirected to (the next hop of its redirection chain),
+	// or ("", false) if it does not redirect.
+	RedirectTarget(server string) (string, bool)
+	// Exists reports whether the server still responds at all. The
+	// "suspicious campaign" verification treats dead domains as evidence
+	// of a short-lived malicious registration.
+	Exists(server string) bool
+}
+
+// MapProber is an in-memory Prober driven by explicit tables; the synthetic
+// world builds one from its redirect topology.
+type MapProber struct {
+	// Redirects maps server -> next hop.
+	Redirects map[string]string
+	// Dead marks servers that no longer exist.
+	Dead map[string]bool
+}
+
+var _ Prober = (*MapProber)(nil)
+
+// NewMapProber returns an empty MapProber (everything exists, no redirects).
+func NewMapProber() *MapProber {
+	return &MapProber{Redirects: make(map[string]string), Dead: make(map[string]bool)}
+}
+
+// RedirectTarget implements Prober.
+func (m *MapProber) RedirectTarget(server string) (string, bool) {
+	t, ok := m.Redirects[server]
+	return t, ok
+}
+
+// Exists implements Prober.
+func (m *MapProber) Exists(server string) bool { return !m.Dead[server] }
+
+// NullProber answers "no redirect, exists" for everything; pruning then
+// falls back to passive (referrer-based) evidence only.
+type NullProber struct{}
+
+var _ Prober = NullProber{}
+
+// RedirectTarget implements Prober.
+func (NullProber) RedirectTarget(string) (string, bool) { return "", false }
+
+// Exists implements Prober.
+func (NullProber) Exists(string) bool { return true }
+
+// HTTPProber is a live Prober backed by net/http, for real deployments. It
+// issues HEAD requests with redirects disabled and a short timeout.
+type HTTPProber struct {
+	// Client is the HTTP client to use; nil uses a 5-second-timeout client
+	// that does not follow redirects.
+	Client *http.Client
+	// Scheme is "http" or "https"; empty means "http".
+	Scheme string
+}
+
+var _ Prober = (*HTTPProber)(nil)
+
+func (p *HTTPProber) client() *http.Client {
+	if p.Client != nil {
+		return p.Client
+	}
+	return &http.Client{
+		Timeout: 5 * time.Second,
+		CheckRedirect: func(*http.Request, []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
+}
+
+func (p *HTTPProber) scheme() string {
+	if p.Scheme == "" {
+		return "http"
+	}
+	return p.Scheme
+}
+
+func (p *HTTPProber) head(server string) (*http.Response, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodHead, p.scheme()+"://"+server+"/", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := p.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// RedirectTarget implements Prober: a 3xx response with a Location header
+// pointing at a different SLD is a redirect.
+func (p *HTTPProber) RedirectTarget(server string) (string, bool) {
+	resp, err := p.head(server)
+	if err != nil {
+		return "", false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 300 || resp.StatusCode >= 400 {
+		return "", false
+	}
+	loc, err := resp.Location()
+	if err != nil || loc.Host == "" {
+		return "", false
+	}
+	target := domain.SLD(loc.Host)
+	if target == "" || target == domain.SLD(server) {
+		return "", false
+	}
+	return target, true
+}
+
+// Exists implements Prober: any HTTP response at all counts as existing;
+// transport errors (NXDOMAIN, refused, timeout) count as dead.
+func (p *HTTPProber) Exists(server string) bool {
+	resp, err := p.head(server)
+	if err != nil {
+		var netErr interface{ Timeout() bool }
+		// Timeouts are ambiguous; err on the side of "exists" so slow
+		// servers are not misclassified as takedowns.
+		if errors.As(err, &netErr) && netErr.Timeout() {
+			return true
+		}
+		return false
+	}
+	resp.Body.Close()
+	return true
+}

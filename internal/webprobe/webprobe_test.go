@@ -1,0 +1,80 @@
+package webprobe
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+)
+
+func TestMapProber(t *testing.T) {
+	p := NewMapProber()
+	p.Redirects["a.com"] = "b.com"
+	p.Dead["gone.com"] = true
+	if target, ok := p.RedirectTarget("a.com"); !ok || target != "b.com" {
+		t.Errorf("RedirectTarget = %q %v", target, ok)
+	}
+	if _, ok := p.RedirectTarget("b.com"); ok {
+		t.Error("unexpected redirect for b.com")
+	}
+	if p.Exists("gone.com") {
+		t.Error("dead server exists")
+	}
+	if !p.Exists("a.com") {
+		t.Error("live server dead")
+	}
+}
+
+func TestNullProber(t *testing.T) {
+	var p NullProber
+	if _, ok := p.RedirectTarget("x.com"); ok {
+		t.Error("NullProber redirected")
+	}
+	if !p.Exists("x.com") {
+		t.Error("NullProber said dead")
+	}
+}
+
+func TestHTTPProberRedirect(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Redirect(w, r, "http://landing.example.com/home", http.StatusFound)
+	}))
+	defer srv.Close()
+	u, err := url.Parse(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &HTTPProber{}
+	// The test server's host is 127.0.0.1:port; the prober strips the port
+	// and resolves the Location header's SLD.
+	target, ok := p.RedirectTarget(u.Host)
+	if !ok || target != "example.com" {
+		t.Errorf("RedirectTarget = %q %v, want example.com true", target, ok)
+	}
+	if !p.Exists(u.Host) {
+		t.Error("live test server reported dead")
+	}
+}
+
+func TestHTTPProberNoRedirect(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+	u, err := url.Parse(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &HTTPProber{}
+	if _, ok := p.RedirectTarget(u.Host); ok {
+		t.Error("200 response treated as redirect")
+	}
+}
+
+func TestHTTPProberDead(t *testing.T) {
+	// Port 1 on localhost is almost certainly closed: connection refused.
+	p := &HTTPProber{}
+	if p.Exists("127.0.0.1:1") {
+		t.Skip("something is listening on port 1; skipping")
+	}
+}

@@ -1,0 +1,158 @@
+// Package whois models domain registration records and the whois-similarity
+// dimension of SMASH (§III-B2): malicious campaign domains are frequently
+// registered with overlapping contact details (same postal address, phone
+// number, or name servers) even when the registrant names differ, as in the
+// paper's Fig. 5 example.
+//
+// In the original deployment these records come from live whois lookups; the
+// synthetic world populates a Registry directly (see DESIGN.md substitution
+// table). The similarity code only depends on the Registry interface, so a
+// live resolver can be dropped in unchanged.
+package whois
+
+import (
+	"sort"
+	"strings"
+	"time"
+)
+
+// Record is a normalized whois registration record.
+type Record struct {
+	Domain      string    `json:"domain"`
+	Registrant  string    `json:"registrant"`
+	Email       string    `json:"email"`
+	Phone       string    `json:"phone"`
+	Address     string    `json:"address"`
+	Registrar   string    `json:"registrar"`
+	NameServers []string  `json:"nameServers"`
+	Created     time.Time `json:"created"`
+}
+
+// fieldCount is the number of comparable whois fields (registrant, email,
+// phone, address, name-server set).
+const fieldCount = 5
+
+// MinSharedFields is the paper's rule: two servers must share at least two
+// whois fields to be considered associated, so that merely using the same
+// registration proxy does not link them.
+const MinSharedFields = 2
+
+// Registry resolves server keys (second-level domains) to whois records.
+type Registry interface {
+	// Lookup returns the record for a domain and whether one exists.
+	Lookup(domain string) (Record, bool)
+}
+
+// MapRegistry is an in-memory Registry.
+type MapRegistry struct {
+	records map[string]Record
+}
+
+var _ Registry = (*MapRegistry)(nil)
+
+// NewMapRegistry returns an empty in-memory registry.
+func NewMapRegistry() *MapRegistry {
+	return &MapRegistry{records: make(map[string]Record)}
+}
+
+// Add stores a record keyed by its (lowercased) domain.
+func (m *MapRegistry) Add(r Record) {
+	m.records[strings.ToLower(r.Domain)] = r
+}
+
+// Lookup implements Registry.
+func (m *MapRegistry) Lookup(domain string) (Record, bool) {
+	r, ok := m.records[strings.ToLower(domain)]
+	return r, ok
+}
+
+// Len reports the number of stored records.
+func (m *MapRegistry) Len() int { return len(m.records) }
+
+// Domains returns the registered domains in sorted order.
+func (m *MapRegistry) Domains() []string {
+	out := make([]string, 0, len(m.records))
+	for d := range m.records {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SharedFields counts how many of the comparable fields two records share.
+// Name servers count as one field, shared when the (sorted) sets intersect.
+// Empty fields never match.
+func SharedFields(a, b Record) int {
+	n := 0
+	if eqNonEmpty(a.Registrant, b.Registrant) {
+		n++
+	}
+	if eqNonEmpty(a.Email, b.Email) {
+		n++
+	}
+	if eqNonEmpty(a.Phone, b.Phone) {
+		n++
+	}
+	if eqNonEmpty(a.Address, b.Address) {
+		n++
+	}
+	if nsIntersect(a.NameServers, b.NameServers) {
+		n++
+	}
+	return n
+}
+
+func eqNonEmpty(a, b string) bool {
+	return a != "" && strings.EqualFold(a, b)
+}
+
+func nsIntersect(a, b []string) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	set := make(map[string]struct{}, len(a))
+	for _, s := range a {
+		set[strings.ToLower(s)] = struct{}{}
+	}
+	for _, s := range b {
+		if _, ok := set[strings.ToLower(s)]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Similarity is the whois similarity of two records: the number of shared
+// fields over the number of comparable fields, but 0 unless at least
+// MinSharedFields are shared (the registration-proxy guard).
+func Similarity(a, b Record) float64 {
+	shared := SharedFields(a, b)
+	if shared < MinSharedFields {
+		return 0
+	}
+	return float64(shared) / float64(fieldCount)
+}
+
+// FieldSignature returns stable string tokens, one per non-empty comparable
+// field, used to bucket candidate record pairs without O(N²) comparisons:
+// records sharing at least one signature token are candidates for the ≥2
+// shared field test.
+func FieldSignature(r Record) []string {
+	var sig []string
+	if r.Registrant != "" {
+		sig = append(sig, "reg:"+strings.ToLower(r.Registrant))
+	}
+	if r.Email != "" {
+		sig = append(sig, "email:"+strings.ToLower(r.Email))
+	}
+	if r.Phone != "" {
+		sig = append(sig, "phone:"+strings.ToLower(r.Phone))
+	}
+	if r.Address != "" {
+		sig = append(sig, "addr:"+strings.ToLower(r.Address))
+	}
+	for _, ns := range r.NameServers {
+		sig = append(sig, "ns:"+strings.ToLower(ns))
+	}
+	return sig
+}

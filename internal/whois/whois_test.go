@@ -1,0 +1,115 @@
+package whois
+
+import (
+	"testing"
+	"time"
+)
+
+func rec(domain, registrant, email, phone, addr string, ns ...string) Record {
+	return Record{
+		Domain:      domain,
+		Registrant:  registrant,
+		Email:       email,
+		Phone:       phone,
+		Address:     addr,
+		NameServers: ns,
+		Created:     time.Unix(0, 0),
+	}
+}
+
+func TestSharedFields(t *testing.T) {
+	// The paper's Fig. 5: different registrants but same address, phone and
+	// name servers.
+	a := rec("skolewcho.com", "ivan p", "a@x.com", "+7-123", "1 Evil St", "ns1.bad.net")
+	b := rec("switcho81.com", "pyotr q", "b@y.com", "+7-123", "1 Evil St", "ns1.bad.net", "ns2.bad.net")
+	if got := SharedFields(a, b); got != 3 {
+		t.Errorf("SharedFields = %d, want 3 (phone, address, NS)", got)
+	}
+}
+
+func TestSharedFieldsEmptyNeverMatch(t *testing.T) {
+	a := rec("a.com", "", "", "", "")
+	b := rec("b.com", "", "", "", "")
+	if got := SharedFields(a, b); got != 0 {
+		t.Errorf("empty fields matched: %d", got)
+	}
+}
+
+func TestSharedFieldsCaseInsensitive(t *testing.T) {
+	a := rec("a.com", "Evil Corp", "X@EVIL.COM", "", "")
+	b := rec("b.com", "evil corp", "x@evil.com", "", "")
+	if got := SharedFields(a, b); got != 2 {
+		t.Errorf("SharedFields = %d, want 2", got)
+	}
+}
+
+func TestSimilarityProxyGuard(t *testing.T) {
+	// Only one shared field (a common registration proxy email) must yield 0.
+	a := rec("a.com", "alice", "proxy@registrar.com", "1", "addr-a")
+	b := rec("b.com", "bob", "proxy@registrar.com", "2", "addr-b")
+	if got := Similarity(a, b); got != 0 {
+		t.Errorf("proxy-only similarity = %g, want 0", got)
+	}
+}
+
+func TestSimilarityValue(t *testing.T) {
+	a := rec("a.com", "x", "e@e.com", "123", "addr", "ns1.z.com")
+	b := rec("b.com", "x", "e@e.com", "999", "other", "ns9.q.com")
+	if got := Similarity(a, b); got != 2.0/5.0 {
+		t.Errorf("similarity = %g, want 0.4", got)
+	}
+	if got := Similarity(a, a); got != 1.0 {
+		t.Errorf("self similarity = %g, want 1", got)
+	}
+}
+
+func TestSimilaritySymmetric(t *testing.T) {
+	a := rec("a.com", "x", "e@e.com", "1", "q", "ns1.a.com")
+	b := rec("b.com", "x", "other", "1", "q")
+	if Similarity(a, b) != Similarity(b, a) {
+		t.Error("similarity not symmetric")
+	}
+}
+
+func TestMapRegistry(t *testing.T) {
+	reg := NewMapRegistry()
+	reg.Add(rec("Example.COM", "x", "", "", ""))
+	got, ok := reg.Lookup("example.com")
+	if !ok {
+		t.Fatal("lookup failed")
+	}
+	if got.Registrant != "x" {
+		t.Errorf("record = %+v", got)
+	}
+	if _, ok := reg.Lookup("missing.com"); ok {
+		t.Error("missing domain found")
+	}
+	if reg.Len() != 1 {
+		t.Errorf("Len = %d", reg.Len())
+	}
+	reg.Add(rec("aaa.com", "y", "", "", ""))
+	d := reg.Domains()
+	if len(d) != 2 || d[0] != "aaa.com" {
+		t.Errorf("Domains = %v", d)
+	}
+}
+
+func TestFieldSignature(t *testing.T) {
+	r := rec("a.com", "X", "E@e.com", "", "Addr", "NS1.z.com", "ns2.z.com")
+	sig := FieldSignature(r)
+	want := map[string]bool{
+		"reg:x": true, "email:e@e.com": true, "addr:addr": true,
+		"ns:ns1.z.com": true, "ns:ns2.z.com": true,
+	}
+	if len(sig) != len(want) {
+		t.Fatalf("signature = %v", sig)
+	}
+	for _, s := range sig {
+		if !want[s] {
+			t.Errorf("unexpected token %q", s)
+		}
+	}
+	if got := FieldSignature(Record{Domain: "b.com"}); len(got) != 0 {
+		t.Errorf("empty record signature = %v", got)
+	}
+}
