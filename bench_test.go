@@ -13,8 +13,10 @@ package smash_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"smash/internal/core"
 	"smash/internal/eval"
@@ -22,6 +24,7 @@ import (
 	"smash/internal/similarity"
 	"smash/internal/sparse"
 	"smash/internal/stats"
+	"smash/internal/stream"
 	"smash/internal/synth"
 	"smash/internal/trace"
 )
@@ -220,6 +223,45 @@ func BenchmarkPipeline(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkStreamThroughput measures sustained events/sec through the full
+// streaming path: bounded ingestion, sharded incremental indexing, window
+// sealing, and windowed detection on a worker pool. The week world is
+// replayed as one continuous stream cut into 1-day tumbling windows.
+func BenchmarkStreamThroughput(b *testing.B) {
+	_, _, wk := benchWorlds(b)
+	var events []trace.Request
+	for _, day := range wk.Days {
+		events = append(events, day.Requests...)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng, err := stream.New(stream.Config{
+			Window:  24 * time.Hour,
+			Workers: runtime.GOMAXPROCS(0),
+			Detector: []core.Option{
+				core.WithSeed(1), core.WithWhois(wk.Whois), core.WithProber(wk.Prober),
+			},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		windows := 0
+		for range eng.Start(&stream.SliceSource{Requests: events}) {
+			windows++
+		}
+		if err := eng.Err(); err != nil {
+			b.Fatal(err)
+		}
+		if windows != len(wk.Days) {
+			b.Fatalf("windows = %d, want %d", windows, len(wk.Days))
+		}
+	}
+	b.StopTimer()
+	perSec := float64(b.N) * float64(len(events)) / b.Elapsed().Seconds()
+	b.ReportMetric(perSec, "events/s")
 }
 
 // --- Overhead substrate: sparse product vs dense N² (§VI Overhead) --------

@@ -1,0 +1,180 @@
+// Command smashd is the streaming SMASH daemon: it ingests HTTP request
+// events from TSV trace files (or stdin), rotates tumbling/sliding time
+// windows, runs the detection pipeline on each sealed window, and reports
+// campaign lineage deltas — appear, persist, rotate — as they happen.
+//
+// Usage:
+//
+//	smashd [-window 24h] [-stride 0] [-watermark 0] [-workers 1]
+//	       [-shards 4] [-speedup 0] [-seed 1] [-idf 200]
+//	       [-threshold 0.8] [-single-threshold 1.0] [-json] [-v]
+//	       [trace.tsv ...]
+//
+// With no file arguments (or "-"), events are read from stdin, so a live
+// feed can be piped straight in. Files are replayed in argument order as
+// one continuous stream. -stride 0 means tumbling windows (stride =
+// window); a smaller stride yields overlapping sliding windows. -speedup N
+// paces replay at N× recorded time (0 replays as fast as possible).
+// -watermark bounds how out-of-order events may arrive before being
+// dropped.
+//
+// Text mode prints one line per window plus its deltas; -json emits one
+// JSON object per window (NDJSON) for downstream tooling. SIGINT/SIGTERM
+// drain cleanly: in-flight windows are sealed, detected and reported
+// before exit.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"smash/internal/core"
+	"smash/internal/stream"
+	"smash/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "smashd:", err)
+		os.Exit(1)
+	}
+}
+
+// windowRecord is the NDJSON shape of one window.
+type windowRecord struct {
+	Window    int            `json:"window"`
+	Start     time.Time      `json:"start"`
+	End       time.Time      `json:"end"`
+	Requests  int            `json:"requests"`
+	Campaigns int            `json:"campaigns"`
+	Deltas    []stream.Delta `json:"deltas,omitempty"`
+}
+
+func run(args []string, stdin io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("smashd", flag.ContinueOnError)
+	var (
+		window       = fs.Duration("window", 24*time.Hour, "detection window size")
+		stride       = fs.Duration("stride", 0, "window stride; 0 means tumbling (stride = window)")
+		watermark    = fs.Duration("watermark", 0, "allowed event lateness before drop")
+		workers      = fs.Int("workers", 1, "detection worker pool size")
+		shards       = fs.Int("shards", 4, "concurrent index builder shards")
+		speedup      = fs.Float64("speedup", 0, "replay pacing: N× recorded time; 0 = as fast as possible")
+		seed         = fs.Int64("seed", 1, "community detection seed")
+		idf          = fs.Int("idf", 200, "IDF popularity filter threshold")
+		threshold    = fs.Float64("threshold", 0.8, "inference threshold for multi-client campaigns")
+		singleThresh = fs.Float64("single-threshold", 1.0, "inference threshold for single-client campaigns")
+		jsonOut      = fs.Bool("json", false, "emit one JSON object per window (NDJSON)")
+		verbose      = fs.Bool("v", false, "print every delta's new servers")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var sources []stream.Source
+	var closers []io.Closer
+	defer func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}()
+	paths := fs.Args()
+	if len(paths) == 0 {
+		paths = []string{"-"}
+	}
+	for _, p := range paths {
+		if p == "-" {
+			sources = append(sources, trace.NewReader(stdin))
+			continue
+		}
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		closers = append(closers, f)
+		sources = append(sources, trace.NewReader(f))
+	}
+	var src stream.Source = &stream.MultiSource{Sources: sources}
+	if *speedup > 0 {
+		src = &stream.PacedSource{Src: src, Speedup: *speedup}
+	}
+
+	eng, err := stream.New(stream.Config{
+		Name:      "smashd",
+		Window:    *window,
+		Stride:    *stride,
+		Watermark: *watermark,
+		Workers:   *workers,
+		Shards:    *shards,
+		Detector: []core.Option{
+			core.WithSeed(*seed),
+			core.WithIDFThreshold(*idf),
+			core.WithThreshold(*threshold),
+			core.WithSingleClientThreshold(*singleThresh),
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	// On SIGINT/SIGTERM, drain instead of dying: Stop seals and emits
+	// every in-flight window, so interrupting a live feed still reports
+	// what was ingested.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	go func() {
+		if _, ok := <-sigCh; ok {
+			fmt.Fprintln(os.Stderr, "smashd: interrupted; draining open windows")
+			eng.Stop()
+		}
+	}()
+
+	enc := json.NewEncoder(out)
+	for w := range eng.Start(src) {
+		if *jsonOut {
+			rec := windowRecord{
+				Window: w.Seq, Start: w.Start, End: w.End,
+				Requests: w.Requests, Deltas: w.Deltas,
+			}
+			if w.Report != nil {
+				rec.Campaigns = len(w.Report.Campaigns) + len(w.Report.SingleClientCampaigns)
+			}
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+			continue
+		}
+		fmt.Fprintln(out, w.Render())
+		for i := range w.Deltas {
+			d := &w.Deltas[i]
+			fmt.Fprintln(out, "  "+d.Render())
+			if *verbose {
+				for _, s := range d.NewServers {
+					fmt.Fprintf(out, "    + %s\n", s)
+				}
+			}
+		}
+	}
+	if err := eng.Err(); err != nil {
+		return err
+	}
+
+	stats := eng.Stats()
+	if *jsonOut {
+		return enc.Encode(map[string]any{
+			"events": stats.Events, "late": stats.Late,
+			"windows": stats.Windows, "emptyWindows": stats.EmptyWindows,
+			"lineages": len(eng.Tracker().Lineages()),
+		})
+	}
+	fmt.Fprintf(out, "ingested %d events (%d late-dropped) into %d windows (%d empty)\n",
+		stats.Events, stats.Late, stats.Windows, stats.EmptyWindows)
+	fmt.Fprint(out, eng.Tracker().Summary())
+	return nil
+}

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"smash/internal/synth"
+	"smash/internal/trace"
+)
+
+// writeWorld materializes a small multi-day world as day TSVs.
+func writeWorld(t *testing.T, days int) (string, []string) {
+	t.Helper()
+	world, err := synth.Generate(synth.Config{
+		Name: "smashd-test", Seed: 9, Days: days,
+		Clients: 250, BenignServers: 600, MeanRequests: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	var paths []string
+	for i, day := range world.Days {
+		p := filepath.Join(dir, "day.tsv")
+		if days > 1 {
+			p = filepath.Join(dir, "day"+string(rune('1'+i))+".tsv")
+		}
+		f, err := os.Create(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.WriteTrace(f, day); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	return dir, paths
+}
+
+func TestRunReplaysDayFiles(t *testing.T) {
+	_, paths := writeWorld(t, 2)
+	var out bytes.Buffer
+	args := append([]string{"-window", "24h", "-workers", "2"}, paths...)
+	if err := run(args, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "window 0 [") || !strings.Contains(text, "window 1 [") {
+		t.Errorf("missing window lines:\n%s", text)
+	}
+	if !strings.Contains(text, "appear") {
+		t.Errorf("no appear deltas over a malicious world:\n%s", text)
+	}
+	if !strings.Contains(text, "lineages over 2 day(s)") {
+		t.Errorf("missing tracker summary:\n%s", text)
+	}
+}
+
+func TestRunStdinJSON(t *testing.T) {
+	_, paths := writeWorld(t, 1)
+	data, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-json", "-window", "24h"}, bytes.NewReader(data), &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 { // one window + trailing stats record
+		t.Fatalf("JSON lines = %d, want 2:\n%s", len(lines), out.String())
+	}
+	var rec struct {
+		Window    int `json:"window"`
+		Requests  int `json:"requests"`
+		Campaigns int `json:"campaigns"`
+		Deltas    []struct {
+			Kind    string `json:"kind"`
+			Lineage int    `json:"lineage"`
+		} `json:"deltas"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("bad window JSON: %v\n%s", err, lines[0])
+	}
+	if rec.Requests == 0 || rec.Campaigns == 0 || len(rec.Deltas) == 0 {
+		t.Errorf("degenerate window record: %+v", rec)
+	}
+	var stats struct {
+		Events   int `json:"events"`
+		Windows  int `json:"windows"`
+		Lineages int `json:"lineages"`
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &stats); err != nil {
+		t.Fatalf("bad stats JSON: %v\n%s", err, lines[1])
+	}
+	if stats.Events == 0 || stats.Windows != 1 || stats.Lineages == 0 {
+		t.Errorf("degenerate stats record: %+v", stats)
+	}
+}
+
+func TestRunSlidingWindows(t *testing.T) {
+	// Two events 12 hours apart: with a 24h window sliding by 12h the
+	// second event overlaps two windows.
+	tr := &trace.Trace{Name: "sliding"}
+	base := time.Date(2011, 10, 1, 0, 0, 0, 0, time.UTC)
+	for i, h := range []int{1, 13} {
+		tr.Requests = append(tr.Requests, trace.Request{
+			Time:   base.Add(time.Duration(h) * time.Hour),
+			Client: "c1", Host: "a.com", ServerIP: "9.9.9.9",
+			Path: "/x" + string(rune('0'+i)), Status: 200,
+		})
+	}
+	p := filepath.Join(t.TempDir(), "sliding.tsv")
+	f, err := os.Create(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteTrace(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-window", "24h", "-stride", "12h", p}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "window 1 [") {
+		t.Errorf("expected a second sliding window:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "into 2 windows") {
+		t.Errorf("expected 2 windows total:\n%s", out.String())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-bogus"}, nil, &out); err == nil {
+		t.Error("bogus flag accepted")
+	}
+	if err := run([]string{"-window", "0s"}, strings.NewReader(""), &out); err == nil {
+		t.Error("zero window accepted")
+	}
+	if err := run([]string{"/nonexistent/trace.tsv"}, nil, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+}

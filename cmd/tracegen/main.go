@@ -4,10 +4,13 @@
 // Usage:
 //
 //	tracegen -out dir [-profile Data2011day] [-seed 42]
-//	         [-clients N] [-servers N] [-days N]
+//	         [-clients N] [-servers N] [-days N] [-sort-by-time]
 //
 // For each day it writes dayN.tsv in the trace TSV format, plus truth.json
 // (ground-truth manifest) and whois.json (registration database).
+// -sort-by-time orders each day's records by timestamp (stable, so records
+// sharing a timestamp keep their generation order) — guaranteeing the TSVs
+// replay through cmd/smashd in arrival order.
 package main
 
 import (
@@ -17,6 +20,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"smash/internal/synth"
 	"smash/internal/trace"
@@ -39,6 +43,7 @@ func run(args []string, out io.Writer) error {
 		clients = fs.Int("clients", 0, "override client count")
 		servers = fs.Int("servers", 0, "override benign server count")
 		days    = fs.Int("days", 0, "override day count")
+		byTime  = fs.Bool("sort-by-time", false, "sort each day's records by timestamp (stable) for streaming replay")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,6 +70,9 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	for i, day := range world.Days {
+		if *byTime {
+			sortByTime(day)
+		}
 		path := filepath.Join(*outDir, fmt.Sprintf("day%d.tsv", i+1))
 		if err := writeTrace(path, day); err != nil {
 			return err
@@ -81,6 +89,15 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "wrote ground truth for %d campaigns, %d labelled servers\n",
 		len(world.Truth.Campaigns), len(world.Truth.Servers))
 	return nil
+}
+
+// sortByTime orders requests by timestamp. The sort is stable, so records
+// sharing a timestamp keep their generation order as the tie-break — the
+// output is deterministic for a fixed seed.
+func sortByTime(t *trace.Trace) {
+	sort.SliceStable(t.Requests, func(i, j int) bool {
+		return t.Requests[i].Time.Before(t.Requests[j].Time)
+	})
 }
 
 func writeTrace(path string, t *trace.Trace) error {

@@ -67,3 +67,29 @@ func TestRunMultiDay(t *testing.T) {
 		}
 	}
 }
+
+func TestRunSortByTime(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{
+		"-out", dir, "-seed", "5", "-sort-by-time",
+		"-clients", "250", "-servers", "600",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "day1.tsv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.ReadTrace(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(tr.Requests); i++ {
+		if tr.Requests[i].Time.Before(tr.Requests[i-1].Time) {
+			t.Fatalf("record %d out of order: %v before %v",
+				i, tr.Requests[i].Time, tr.Requests[i-1].Time)
+		}
+	}
+}

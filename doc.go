@@ -15,6 +15,8 @@
 // Layout:
 //
 //   - internal/core        — the Detector pipeline (public API)
+//   - internal/stream      — streaming ingestion engine: sliding windows,
+//     sharded incremental indexing, watermark, worker pool, lineage deltas
 //   - internal/trace       — HTTP traffic model, TSV codec, server index
 //   - internal/similarity  — the four dimension metrics and graph builders
 //   - internal/graph       — weighted graphs + Louvain community detection
@@ -26,7 +28,8 @@
 //   - internal/synth       — synthetic ISP world (the evaluation substrate)
 //   - internal/ids         — simulated IDS snapshots and blacklists
 //   - internal/eval        — reproduction of every table and figure
-//   - cmd/smash, cmd/tracegen, cmd/smashbench — CLIs
+//   - cmd/smash, cmd/tracegen, cmd/smashbench — batch CLIs
+//   - cmd/smashd           — streaming daemon over TSV files or stdin
 //   - examples/            — runnable scenarios
 //
 // See README.md for a walkthrough, DESIGN.md for the system inventory and

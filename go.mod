@@ -1,0 +1,3 @@
+module smash
+
+go 1.24

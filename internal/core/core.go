@@ -182,12 +182,26 @@ func (d *Detector) Run(t *trace.Trace) (*Report, error) {
 	if t == nil || len(t.Requests) == 0 {
 		return nil, ErrEmptyTrace
 	}
+	return d.RunIndex(trace.BuildIndex(t), t.ComputeStats())
+}
+
+// RunIndex executes the pipeline on a prebuilt raw (pre-filter) index. This
+// is the streaming entry point: internal/stream accumulates each window's
+// index incrementally across shards instead of materializing a Trace, then
+// hands the merged index here. Run is equivalent to
+// RunIndex(trace.BuildIndex(t), t.ComputeStats()). stats labels the report;
+// the index itself is the unit of detection. The caller must not mutate raw
+// afterwards. A Detector is stateless, so concurrent RunIndex calls on one
+// Detector are safe.
+func (d *Detector) RunIndex(raw *trace.Index, stats trace.Stats) (*Report, error) {
+	if raw == nil {
+		return nil, ErrEmptyTrace
+	}
 	cfg := d.cfg
 
-	report := &Report{TraceStats: t.ComputeStats(), SecondaryHerds: make(map[string]int)}
+	report := &Report{TraceStats: stats, SecondaryHerds: make(map[string]int)}
 
-	// Stage 1: preprocessing (SLD aggregation happens inside BuildIndex).
-	raw := trace.BuildIndex(t)
+	// Stage 1: preprocessing (SLD aggregation happened during indexing).
 	report.RawIndex = raw
 	idx := raw.Clone()
 	report.Preprocess = preprocess.FilterIDF(idx, cfg.idfThreshold)

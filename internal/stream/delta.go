@@ -1,0 +1,137 @@
+package stream
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"smash/internal/campaign"
+	"smash/internal/core"
+	"smash/internal/tracker"
+)
+
+// WindowResult is the engine's output for one sealed window, emitted in
+// window order.
+type WindowResult struct {
+	// Seq numbers emitted windows from 0.
+	Seq int
+	// Start and End bound the window's half-open interval [Start, End).
+	Start, End time.Time
+	// Requests is the number of indexed requests in the window.
+	Requests int
+	// Report is the detection report; nil for empty windows.
+	Report *core.Report
+	// Matches are the tracker's lineage assignments, aligned with
+	// Report.AllCampaigns().
+	Matches []tracker.Match
+	// Deltas describe how each campaign moved its lineage this window.
+	Deltas []Delta
+}
+
+// Empty reports whether the window contained no events.
+func (w *WindowResult) Empty() bool { return w.Requests == 0 }
+
+// Render formats the window as a one-line summary.
+func (w *WindowResult) Render() string {
+	campaigns := 0
+	if w.Report != nil {
+		campaigns = len(w.Report.Campaigns) + len(w.Report.SingleClientCampaigns)
+	}
+	return fmt.Sprintf("window %d [%s .. %s) requests=%d campaigns=%d",
+		w.Seq, w.Start.Format(time.RFC3339), w.End.Format(time.RFC3339),
+		w.Requests, campaigns)
+}
+
+// DeltaKind classifies how a campaign moved its lineage in one window.
+type DeltaKind int
+
+// Delta kinds.
+const (
+	// Appear means a new lineage was born: a campaign with no overlap to
+	// any known lineage.
+	Appear DeltaKind = iota + 1
+	// Persist means the campaign continued a lineage keeping most of its
+	// server pool.
+	Persist
+	// Rotate means the lineage's infected clients reappeared behind a
+	// mostly new server pool — the paper's agile campaign signature
+	// (§V-B).
+	Rotate
+)
+
+// String names the delta kind.
+func (k DeltaKind) String() string {
+	switch k {
+	case Appear:
+		return "appear"
+	case Persist:
+		return "persist"
+	case Rotate:
+		return "rotate"
+	default:
+		return "unknown"
+	}
+}
+
+// Delta is one campaign-lineage transition observed in a window.
+type Delta struct {
+	// Window is the emitting window's Seq.
+	Window int `json:"window"`
+	// Kind is the transition type.
+	Kind DeltaKind `json:"-"`
+	// KindName is Kind's name (for JSON output).
+	KindName string `json:"kind"`
+	// Lineage is the tracker lineage ID the campaign joined.
+	Lineage int `json:"lineage"`
+	// Campaign is the campaign's activity classification.
+	Campaign string `json:"campaign"`
+	// Servers and Clients size the campaign this window.
+	Servers int `json:"servers"`
+	Clients int `json:"clients"`
+	// NewServers lists servers the lineage had never seen before.
+	NewServers []string `json:"newServers,omitempty"`
+	// ServerOverlap is the fraction of the campaign's servers already
+	// known to the lineage.
+	ServerOverlap float64 `json:"serverOverlap"`
+}
+
+// Render formats the delta for the text UI.
+func (d *Delta) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-7s lineage %d [%s] servers=%d clients=%d overlap=%.2f",
+		d.Kind, d.Lineage, d.Campaign, d.Servers, d.Clients, d.ServerOverlap)
+	if len(d.NewServers) > 0 {
+		fmt.Fprintf(&b, " new=%d", len(d.NewServers))
+	}
+	return b.String()
+}
+
+// makeDelta classifies one tracker match. The lineage has already absorbed
+// the campaign, so a server seen exactly once by the lineage is new this
+// window.
+func makeDelta(window int, c *campaign.Campaign, m tracker.Match) Delta {
+	kind := Persist
+	switch {
+	case m.Kind == tracker.MatchNew:
+		kind = Appear
+	case m.Kind == tracker.MatchClients && m.ServerOverlap < 0.5:
+		kind = Rotate
+	}
+	var fresh []string
+	for _, s := range c.Servers {
+		if m.Lineage.Servers[s] == 1 {
+			fresh = append(fresh, s)
+		}
+	}
+	return Delta{
+		Window:        window,
+		Kind:          kind,
+		KindName:      kind.String(),
+		Lineage:       m.Lineage.ID,
+		Campaign:      c.Kind.String(),
+		Servers:       len(c.Servers),
+		Clients:       len(c.Clients),
+		NewServers:    fresh,
+		ServerOverlap: m.ServerOverlap,
+	}
+}

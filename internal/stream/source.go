@@ -1,0 +1,82 @@
+package stream
+
+import (
+	"io"
+	"time"
+
+	"smash/internal/trace"
+)
+
+// Source yields HTTP request events in arrival order, returning io.EOF when
+// the stream ends. *trace.Reader satisfies Source, so any TSV trace file
+// (or stdin pipe) is directly ingestible.
+type Source interface {
+	Read() (trace.Request, error)
+}
+
+var _ Source = (*trace.Reader)(nil)
+
+// SliceSource replays an in-memory request slice (e.g. a synthesized
+// trace's Requests) in order.
+type SliceSource struct {
+	Requests []trace.Request
+	pos      int
+}
+
+// Read returns the next request or io.EOF.
+func (s *SliceSource) Read() (trace.Request, error) {
+	if s.pos >= len(s.Requests) {
+		return trace.Request{}, io.EOF
+	}
+	r := s.Requests[s.pos]
+	s.pos++
+	return r, nil
+}
+
+// MultiSource concatenates sources in order, reading each to exhaustion
+// before moving on — how smashd replays day1.tsv day2.tsv … as one stream.
+type MultiSource struct {
+	Sources []Source
+	pos     int
+}
+
+// Read returns the next request across all sources, or io.EOF after the
+// last source ends.
+func (m *MultiSource) Read() (trace.Request, error) {
+	for m.pos < len(m.Sources) {
+		r, err := m.Sources[m.pos].Read()
+		if err == io.EOF {
+			m.pos++
+			continue
+		}
+		return r, err
+	}
+	return trace.Request{}, io.EOF
+}
+
+// PacedSource throttles replay so event spacing approximates recorded time
+// divided by Speedup: Speedup 86400 replays a day per second, Speedup 1 in
+// real time. Speedup <= 0 disables pacing. Gaps are measured between
+// consecutive event timestamps, so out-of-order events never sleep.
+type PacedSource struct {
+	Src     Source
+	Speedup float64
+	prev    time.Time
+}
+
+// Read returns the next request after the paced delay.
+func (p *PacedSource) Read() (trace.Request, error) {
+	r, err := p.Src.Read()
+	if err != nil {
+		return r, err
+	}
+	if p.Speedup > 0 {
+		if !p.prev.IsZero() {
+			if gap := r.Time.Sub(p.prev); gap > 0 {
+				time.Sleep(time.Duration(float64(gap) / p.Speedup))
+			}
+		}
+		p.prev = r.Time
+	}
+	return r, nil
+}

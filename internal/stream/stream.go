@@ -1,0 +1,545 @@
+// Package stream is SMASH's streaming ingestion engine: the piece that
+// turns the batch core.Detector into a long-running detection service. The
+// paper positions SMASH as a system that "can be run everyday to detect
+// daily malicious activities" (§I); this package generalizes "everyday" to
+// arbitrary tumbling or sliding time windows over a continuous event feed.
+//
+// The pipeline is:
+//
+//	Source ──(bounded channel)──▶ windower ──▶ N index shards
+//	                                 │               │ (seal: merge fragments)
+//	                                 └───────────────▶ detection worker pool
+//	                                                        │
+//	                              sequencer ◀───────────────┘
+//	                         (reorders windows, feeds tracker,
+//	                          emits WindowResults with deltas)
+//
+// Events are read one at a time from a Source with bounded-channel
+// backpressure: when downstream detection cannot keep up, reads stall
+// rather than buffering unboundedly. Each event is hashed by server key to
+// one of Config.Shards shard goroutines, which accumulate a partial
+// trace.Index per open window; trace.Index aggregation commutes, so the
+// sharded build is bit-identical to a sequential one. When the watermark
+// (max event time minus Config.Watermark) passes a window's end the window
+// is sealed: shard fragments are merged and the merged index is dispatched
+// to a pool of Config.Workers detector workers running core.RunIndex.
+// Finished windows are re-sequenced into window order, fed through a
+// tracker.Tracker to link campaigns across windows, and emitted on the
+// output channel as WindowResults carrying appear/persist/rotate deltas.
+//
+// The engine is deterministic for a fixed input order and configuration:
+// shard and worker counts change wall-clock time, never output.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"smash/internal/core"
+	"smash/internal/trace"
+	"smash/internal/tracker"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Name labels emitted window reports (default "stream").
+	Name string
+	// Window is the detection window size (required, > 0).
+	Window time.Duration
+	// Stride is the window start spacing. 0 defaults to Window (tumbling
+	// windows); Stride < Window yields overlapping sliding windows, where
+	// one event lands in Window/Stride consecutive windows.
+	Stride time.Duration
+	// Watermark is the allowed event lateness: a window [start, end) seals
+	// only once an event with Time >= end+Watermark arrives (or the stream
+	// ends). Out-of-order events older than the watermark are dropped and
+	// counted in Stats.Late.
+	Watermark time.Duration
+	// Origin anchors window starts (windows begin at Origin + k*Stride,
+	// k >= 0). Zero derives the origin from the first event's time
+	// truncated to Stride — for day-long strides that is UTC midnight.
+	Origin time.Time
+	// Workers is the detection worker pool size (default 1). More workers
+	// overlap detection of distinct windows; output is unaffected.
+	Workers int
+	// Shards is the number of concurrent index-builder shards (default 4).
+	Shards int
+	// Buffer is the ingestion channel capacity bounding how far the source
+	// reader may run ahead of windowing (default 1024).
+	Buffer int
+	// Detector configures the core.Detector run on every sealed window.
+	Detector []core.Option
+	// Tracker overrides the lineage tracker (default tracker.New()).
+	Tracker *tracker.Tracker
+}
+
+// Stats counts engine activity. Read it only after the output channel has
+// closed.
+type Stats struct {
+	// Events is the number of events accepted into windows.
+	Events int
+	// Late is the number of events dropped because every window containing
+	// them had already sealed.
+	Late int
+	// Windows is the number of WindowResults emitted.
+	Windows int
+	// EmptyWindows counts emitted windows that contained no events.
+	EmptyWindows int
+}
+
+// Engine is a running streaming detection pipeline. Create with New, start
+// with Start, consume the returned channel, then inspect Err, Stats and
+// Tracker.
+type Engine struct {
+	cfg Config
+	det *core.Detector
+	tk  *tracker.Tracker
+	out chan WindowResult
+
+	quit     chan struct{}
+	stopOnce sync.Once
+	started  bool
+	// readerState lets the windower's Stop drain distinguish "an event may
+	// still be in flight to the channel" (running) from "the reader is
+	// parked inside Source.Read or gone" — see windower's quit branch.
+	readerState atomic.Int32
+
+	errMu sync.Mutex
+	err   error
+
+	stats Stats
+}
+
+// New validates the config and builds an engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Window <= 0 {
+		return nil, errors.New("stream: Window must be > 0")
+	}
+	if cfg.Stride == 0 {
+		cfg.Stride = cfg.Window
+	}
+	if cfg.Stride < 0 || cfg.Stride > cfg.Window {
+		return nil, errors.New("stream: Stride must be in (0, Window]")
+	}
+	if cfg.Watermark < 0 {
+		return nil, errors.New("stream: Watermark must be >= 0")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 1024
+	}
+	if cfg.Name == "" {
+		cfg.Name = "stream"
+	}
+	if cfg.Tracker == nil {
+		cfg.Tracker = tracker.New()
+	}
+	return &Engine{
+		cfg:  cfg,
+		det:  core.New(cfg.Detector...),
+		tk:   cfg.Tracker,
+		out:  make(chan WindowResult, cfg.Workers),
+		quit: make(chan struct{}),
+	}, nil
+}
+
+// Start launches the pipeline over src and returns the result channel. The
+// channel closes once the source is exhausted (or Stop is called) and every
+// in-flight window has been sealed, detected and emitted. Start may be
+// called once.
+func (e *Engine) Start(src Source) <-chan WindowResult {
+	if e.started {
+		panic("stream: Start called twice")
+	}
+	e.started = true
+
+	events := make(chan trace.Request, e.cfg.Buffer)
+	jobs := make(chan windowJob)
+	results := make(chan windowDone, e.cfg.Workers)
+
+	go e.read(src, events)
+
+	var workerWG sync.WaitGroup
+	workerWG.Add(e.cfg.Workers)
+	for i := 0; i < e.cfg.Workers; i++ {
+		go func() {
+			defer workerWG.Done()
+			e.detect(jobs, results)
+		}()
+	}
+	go func() {
+		workerWG.Wait()
+		close(results)
+	}()
+
+	go e.windower(events, jobs)
+	go e.sequence(results)
+	return e.out
+}
+
+// Stop asks the engine to stop ingesting and drain: every event already
+// handed to the engine is windowed, then open windows are sealed and
+// emitted as if the source had ended. Safe to call concurrently and more
+// than once. A reader blocked inside Source.Read keeps the ingestion
+// goroutine alive until that Read returns, but draining does not wait for
+// it.
+func (e *Engine) Stop() {
+	e.stopOnce.Do(func() { close(e.quit) })
+}
+
+// Err returns the first source or detection error, if any. Valid once the
+// output channel has closed.
+func (e *Engine) Err() error {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	return e.err
+}
+
+// Stats returns ingestion counters. Valid once the output channel has
+// closed.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Tracker exposes the cross-window lineage tracker (for end-of-run
+// summaries). Valid once the output channel has closed.
+func (e *Engine) Tracker() *tracker.Tracker { return e.tk }
+
+func (e *Engine) setErr(err error) {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	if e.err == nil {
+		e.err = err
+	}
+}
+
+// Reader states, for the Stop drain handshake.
+const (
+	readerRunning int32 = iota // between Read returning and the send landing
+	readerParked               // blocked inside Source.Read — nothing in flight
+	readerExited
+)
+
+// read pumps the source into the bounded event channel until EOF, error or
+// Stop.
+func (e *Engine) read(src Source, events chan<- trace.Request) {
+	defer close(events)
+	defer e.readerState.Store(readerExited)
+	for {
+		select {
+		case <-e.quit:
+			return
+		default:
+		}
+		e.readerState.Store(readerParked)
+		req, err := src.Read()
+		e.readerState.Store(readerRunning)
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				e.setErr(fmt.Errorf("stream: source: %w", err))
+			}
+			return
+		}
+		select {
+		case events <- req:
+		case <-e.quit:
+			return
+		}
+	}
+}
+
+// windowJob is one sealed window headed for detection.
+type windowJob struct {
+	seq        int
+	start, end time.Time
+	idx        *trace.Index
+}
+
+// windowDone is one detected window headed for the sequencer.
+type windowDone struct {
+	seq        int
+	start, end time.Time
+	requests   int
+	report     *core.Report // nil for empty windows
+}
+
+// shardMsg is either an event assignment (reply nil) or a seal barrier
+// asking the shard to hand over (and forget) the given window's fragment.
+type shardMsg struct {
+	req    trace.Request
+	lo, hi int64 // inclusive window-seq range the event belongs to
+	seal   int64
+	reply  chan<- *trace.Index
+}
+
+// shardLoop owns one shard's per-window index fragments. Channel FIFO
+// ordering guarantees a seal barrier arrives after every event assigned to
+// that window.
+func shardLoop(ch <-chan shardMsg) {
+	frags := make(map[int64]*trace.Index)
+	for m := range ch {
+		if m.reply != nil {
+			frag := frags[m.seal]
+			delete(frags, m.seal)
+			if frag == nil {
+				frag = trace.NewIndex()
+			}
+			m.reply <- frag
+			continue
+		}
+		for s := m.lo; s <= m.hi; s++ {
+			frag := frags[s]
+			if frag == nil {
+				frag = trace.NewIndex()
+				frags[s] = frag
+			}
+			frag.Add(&m.req)
+		}
+	}
+}
+
+// windower assigns events to windows, advances the watermark, and seals
+// windows in order. It owns all window bookkeeping; shards only aggregate.
+func (e *Engine) windower(events <-chan trace.Request, jobs chan<- windowJob) {
+	nShards := e.cfg.Shards
+	shardCh := make([]chan shardMsg, nShards)
+	var shardWG sync.WaitGroup
+	for i := range shardCh {
+		shardCh[i] = make(chan shardMsg, 64)
+		shardWG.Add(1)
+		go func(ch <-chan shardMsg) {
+			defer shardWG.Done()
+			shardLoop(ch)
+		}(shardCh[i])
+	}
+
+	var (
+		originSet bool
+		baseSet   bool
+		origin    time.Time
+		maxTime   time.Time
+		base      int64 // seq of the first window; emitted as Seq 0
+		nextSeal  int64 // next window seq to seal
+		maxSeq    int64 // highest window seq holding any event
+		sealWG    sync.WaitGroup
+		// sealSlots bounds sealed-but-undetected windows so a slow
+		// consumer backpressures ingestion instead of growing memory.
+		sealSlots = make(chan struct{}, 2*e.cfg.Workers)
+	)
+
+	seal := func(seq int64) {
+		sealSlots <- struct{}{}
+		replies := make(chan *trace.Index, nShards)
+		for _, ch := range shardCh {
+			ch <- shardMsg{seal: seq, reply: replies}
+		}
+		start := e.cfg.Stride * time.Duration(seq)
+		job := windowJob{
+			seq:   int(seq - base),
+			start: origin.Add(start),
+			end:   origin.Add(start + e.cfg.Window),
+		}
+		sealWG.Add(1)
+		go func() {
+			defer sealWG.Done()
+			defer func() { <-sealSlots }()
+			merged := trace.NewIndex()
+			for i := 0; i < nShards; i++ {
+				merged.Merge(<-replies)
+			}
+			job.idx = merged
+			jobs <- job
+		}()
+	}
+
+	handle := func(req trace.Request) {
+		t := req.Time
+		if !originSet {
+			if e.cfg.Origin.IsZero() {
+				origin = t.Truncate(e.cfg.Stride)
+			} else {
+				origin = e.cfg.Origin
+			}
+			originSet = true
+		}
+		lo, hi := seqRange(t.Sub(origin), e.cfg.Window, e.cfg.Stride)
+		if hi < 0 { // entirely before the window origin
+			e.stats.Late++
+			return
+		}
+		if lo < 0 {
+			lo = 0
+		}
+		if !baseSet {
+			base, nextSeal, maxSeq = lo, lo, lo
+			baseSet = true
+		}
+		if hi < nextSeal { // every containing window already sealed
+			e.stats.Late++
+			return
+		}
+		if lo < nextSeal { // partially late: only still-open windows get it
+			lo = nextSeal
+		}
+		if hi > maxSeq {
+			maxSeq = hi
+		}
+		e.stats.Events++
+		shardCh[shardOf(req.ServerKey(), nShards)] <- shardMsg{req: req, lo: lo, hi: hi}
+
+		if t.After(maxTime) {
+			maxTime = t
+		}
+		watermark := maxTime.Add(-e.cfg.Watermark)
+		for nextSeal <= maxSeq {
+			end := origin.Add(e.cfg.Stride*time.Duration(nextSeal) + e.cfg.Window)
+			if end.After(watermark) {
+				break
+			}
+			seal(nextSeal)
+			nextSeal++
+		}
+	}
+
+ingest:
+	for {
+		select {
+		case req, ok := <-events:
+			if !ok {
+				break ingest
+			}
+			handle(req)
+		case <-e.quit:
+			// Stop: consume everything the reader has committed to the
+			// bounded channel. An empty channel is only quiescent once the
+			// reader is parked in Source.Read or gone — while it is
+			// running, a handed-over event may still be landing, so yield
+			// and re-check rather than dropping it.
+			for {
+				select {
+				case req, ok := <-events:
+					if !ok {
+						break ingest
+					}
+					handle(req)
+				default:
+					if e.readerState.Load() != readerRunning {
+						break ingest
+					}
+					runtime.Gosched()
+				}
+			}
+		}
+	}
+
+	// Source exhausted (or Stop): drain every open window in order.
+	if baseSet {
+		for ; nextSeal <= maxSeq; nextSeal++ {
+			seal(nextSeal)
+		}
+	}
+	for _, ch := range shardCh {
+		close(ch)
+	}
+	shardWG.Wait()
+	sealWG.Wait()
+	close(jobs)
+}
+
+// seqRange returns the inclusive range of window sequence numbers whose
+// half-open interval [seq*stride, seq*stride+window) contains offset dt
+// from the origin. hi < 0 means the event precedes every window.
+func seqRange(dt, window, stride time.Duration) (lo, hi int64) {
+	hi = floorDiv(int64(dt), int64(stride))
+	lo = floorDiv(int64(dt-window), int64(stride)) + 1
+	return lo, hi
+}
+
+// floorDiv is integer division rounding towards negative infinity (b > 0).
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && a < 0 {
+		q--
+	}
+	return q
+}
+
+// shardOf maps a server key to a shard with FNV-1a, so one server's
+// requests always meet in the same fragment.
+func shardOf(key string, n int) int {
+	const offset32, prime32 = 2166136261, 16777619
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return int(h % uint32(n))
+}
+
+// detect runs the batch pipeline over sealed windows. Empty windows skip
+// detection but still flow through so the sequencer can advance the
+// tracker's window clock.
+func (e *Engine) detect(jobs <-chan windowJob, results chan<- windowDone) {
+	for j := range jobs {
+		d := windowDone{seq: j.seq, start: j.start, end: j.end, requests: j.idx.RequestCount}
+		if j.idx.RequestCount > 0 {
+			name := fmt.Sprintf("%s-w%d", e.cfg.Name, j.seq)
+			report, err := e.det.RunIndex(j.idx, j.idx.ComputeStats(name))
+			if err != nil {
+				e.setErr(fmt.Errorf("stream: window %d: %w", j.seq, err))
+			} else {
+				d.report = report
+			}
+		}
+		results <- d
+	}
+}
+
+// sequence restores window order over out-of-order detection completions,
+// feeds each window through the tracker, and emits WindowResults. Running
+// single-threaded here is what makes worker count invisible in the output.
+func (e *Engine) sequence(results <-chan windowDone) {
+	defer close(e.out)
+	pending := make(map[int]windowDone)
+	next := 0
+	for d := range results {
+		pending[d.seq] = d
+		for {
+			d, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			e.emit(d)
+		}
+	}
+}
+
+// emit tracks one in-order window and publishes its result.
+func (e *Engine) emit(d windowDone) {
+	res := WindowResult{Seq: d.seq, Start: d.start, End: d.end, Requests: d.requests, Report: d.report}
+	report := d.report
+	if report == nil {
+		// Observe an empty report so lineage day arithmetic (FirstDay,
+		// LastDay, window gaps) stays aligned with the window sequence.
+		report = &core.Report{}
+		e.stats.EmptyWindows++
+	}
+	matches := e.tk.Observe(report)
+	campaigns := report.AllCampaigns()
+	res.Matches = matches
+	for i := range matches {
+		res.Deltas = append(res.Deltas, makeDelta(d.seq, &campaigns[i], matches[i]))
+	}
+	e.stats.Windows++
+	e.out <- res
+}

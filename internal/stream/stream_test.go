@@ -1,0 +1,407 @@
+package stream
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"smash/internal/core"
+	"smash/internal/synth"
+	"smash/internal/trace"
+	"smash/internal/tracker"
+)
+
+// collect drains the engine and returns every window in emission order.
+func collect(t *testing.T, eng *Engine, src Source) []WindowResult {
+	t.Helper()
+	var out []WindowResult
+	for r := range eng.Start(src) {
+		out = append(out, r)
+	}
+	if err := eng.Err(); err != nil {
+		t.Fatalf("engine error: %v", err)
+	}
+	return out
+}
+
+func evReq(t time.Time, client, host, path string) trace.Request {
+	return trace.Request{Time: t, Client: client, Host: host, ServerIP: "9.9.9.9", Path: path, Status: 200}
+}
+
+func at(hour, min int) time.Time {
+	return time.Date(2011, 10, 1, hour, min, 0, 0, time.UTC)
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("zero Window accepted")
+	}
+	if _, err := New(Config{Window: time.Hour, Stride: 2 * time.Hour}); err == nil {
+		t.Error("Stride > Window accepted")
+	}
+	if _, err := New(Config{Window: time.Hour, Watermark: -time.Minute}); err == nil {
+		t.Error("negative Watermark accepted")
+	}
+	if _, err := New(Config{Window: time.Hour}); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+// Out-of-order events within the watermark land in their window; events
+// older than every open window are dropped and counted.
+func TestOutOfOrderWatermark(t *testing.T) {
+	events := []trace.Request{
+		evReq(at(9, 10), "c1", "a.com", "/x"),
+		evReq(at(9, 50), "c1", "b.com", "/x"),
+		evReq(at(10, 5), "c2", "c.com", "/x"),
+		// 40 minutes out of order, but the 30m watermark holds window
+		// [09:00,10:00) open, so this still counts.
+		evReq(at(9, 40), "c2", "d.com", "/x"),
+		// Jumps the watermark past 11:00, sealing the first two windows.
+		evReq(at(11, 30), "c3", "e.com", "/x"),
+		// Beyond the watermark: every containing window sealed. Dropped.
+		evReq(at(9, 55), "c3", "f.com", "/x"),
+	}
+	eng, err := New(Config{Window: time.Hour, Watermark: 30 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, eng, &SliceSource{Requests: events})
+	if len(got) != 3 {
+		t.Fatalf("windows = %d, want 3", len(got))
+	}
+	wantReqs := []int{3, 1, 1}
+	for i, w := range got {
+		if w.Seq != i {
+			t.Errorf("window %d has Seq %d", i, w.Seq)
+		}
+		if w.Requests != wantReqs[i] {
+			t.Errorf("window %d requests = %d, want %d", i, w.Requests, wantReqs[i])
+		}
+	}
+	if got[0].Start != at(9, 0) || got[0].End != at(10, 0) {
+		t.Errorf("window 0 bounds [%v, %v)", got[0].Start, got[0].End)
+	}
+	stats := eng.Stats()
+	if stats.Events != 5 || stats.Late != 1 {
+		t.Errorf("stats = %+v, want Events=5 Late=1", stats)
+	}
+}
+
+// A gap in the event stream yields empty windows, emitted in order so the
+// tracker's window clock keeps counting.
+func TestEmptyWindows(t *testing.T) {
+	events := []trace.Request{
+		evReq(at(9, 10), "c1", "a.com", "/x"),
+		evReq(at(12, 10), "c1", "a.com", "/x"),
+	}
+	eng, err := New(Config{Window: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, eng, &SliceSource{Requests: events})
+	if len(got) != 4 {
+		t.Fatalf("windows = %d, want 4", len(got))
+	}
+	for i, wantEmpty := range []bool{false, true, true, false} {
+		if got[i].Empty() != wantEmpty {
+			t.Errorf("window %d Empty = %v, want %v", i, got[i].Empty(), wantEmpty)
+		}
+		if wantEmpty && got[i].Report != nil {
+			t.Errorf("window %d: empty window carries a report", i)
+		}
+	}
+	if stats := eng.Stats(); stats.Windows != 4 || stats.EmptyWindows != 2 {
+		t.Errorf("stats = %+v, want Windows=4 EmptyWindows=2", stats)
+	}
+	if eng.Tracker().Day() != 4 {
+		t.Errorf("tracker day = %d, want 4 (empty windows must advance the clock)", eng.Tracker().Day())
+	}
+}
+
+// With sliding windows an interior event lands in every overlapping window,
+// and an event exactly on a boundary belongs to the starting window only
+// (half-open [start, end) semantics).
+func TestSlidingWindowBoundary(t *testing.T) {
+	events := []trace.Request{
+		evReq(at(10, 0), "c1", "a.com", "/x"),
+		evReq(at(11, 0), "c1", "b.com", "/x"),
+		evReq(at(12, 0), "c1", "c.com", "/x"),
+	}
+	eng, err := New(Config{Window: 2 * time.Hour, Stride: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, eng, &SliceSource{Requests: events})
+	if len(got) != 3 {
+		t.Fatalf("windows = %d, want 3", len(got))
+	}
+	// [10,12): 10:00 + 11:00. [11,13): 11:00 + 12:00 (the 11:00 boundary
+	// event is in both sliding windows). [12,14): 12:00 only — the 12:00
+	// event is excluded from [10,12) by the half-open boundary.
+	wantReqs := []int{2, 2, 1}
+	for i, w := range got {
+		if w.Requests != wantReqs[i] {
+			t.Errorf("window %d [%v,%v) requests = %d, want %d",
+				i, w.Start, w.End, w.Requests, wantReqs[i])
+		}
+	}
+	if got[1].Start != at(11, 0) || got[1].End != at(13, 0) {
+		t.Errorf("window 1 bounds [%v, %v)", got[1].Start, got[1].End)
+	}
+}
+
+// blockingSource yields its requests then blocks, signalling ingested once
+// the engine has come back for more — at which point every request has
+// entered the engine.
+type blockingSource struct {
+	reqs     []trace.Request
+	pos      int
+	ingested chan struct{}
+	release  chan struct{}
+	once     sync.Once
+}
+
+func (s *blockingSource) Read() (trace.Request, error) {
+	if s.pos < len(s.reqs) {
+		r := s.reqs[s.pos]
+		s.pos++
+		return r, nil
+	}
+	s.once.Do(func() { close(s.ingested) })
+	<-s.release
+	return trace.Request{}, io.EOF
+}
+
+// Stop must seal and emit in-flight windows even when the watermark never
+// advanced far enough to seal them.
+func TestCleanShutdownDrainsOpenWindows(t *testing.T) {
+	src := &blockingSource{
+		reqs: []trace.Request{
+			evReq(at(9, 10), "c1", "a.com", "/x"),
+			evReq(at(9, 20), "c2", "a.com", "/x"),
+			evReq(at(9, 30), "c1", "b.com", "/x"),
+		},
+		ingested: make(chan struct{}),
+		release:  make(chan struct{}),
+	}
+	defer close(src.release)
+	eng, err := New(Config{Window: time.Hour, Watermark: 24 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := eng.Start(src)
+	<-src.ingested
+	eng.Stop()
+	var got []WindowResult
+	for r := range out {
+		got = append(got, r)
+	}
+	if err := eng.Err(); err != nil {
+		t.Fatalf("engine error: %v", err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("windows = %d, want 1 (drained on Stop)", len(got))
+	}
+	if got[0].Requests != 3 {
+		t.Errorf("drained window requests = %d, want 3", got[0].Requests)
+	}
+	eng.Stop() // idempotent
+}
+
+// lineageSnapshot is the comparable essence of a tracker lineage.
+type lineageSnapshot struct {
+	ID, FirstDay, LastDay, DaysActive, AgileDays int
+	Servers                                      map[string]int
+	Clients                                      map[string]int
+}
+
+func snapshotLineages(tk *tracker.Tracker) []lineageSnapshot {
+	var out []lineageSnapshot
+	for _, l := range tk.Lineages() {
+		out = append(out, lineageSnapshot{
+			ID: l.ID, FirstDay: l.FirstDay, LastDay: l.LastDay,
+			DaysActive: l.DaysActive, AgileDays: l.AgileDays,
+			Servers: l.Servers, Clients: l.Clients,
+		})
+	}
+	return out
+}
+
+// deltaSummary strips a window stream down to its observable decisions.
+func deltaSummary(windows []WindowResult) []string {
+	var out []string
+	for _, w := range windows {
+		for _, d := range w.Deltas {
+			out = append(out, fmt.Sprintf("w%d %s L%d s%d c%d new%d",
+				d.Window, d.Kind, d.Lineage, d.Servers, d.Clients, len(d.NewServers)))
+		}
+	}
+	return out
+}
+
+// Replaying a 4-day world through the streaming engine with 1-day tumbling
+// windows must reproduce the batch Detector + tracker loop exactly — same
+// lineage count, same per-lineage server/client histories — and the worker
+// pool size must change wall-clock only, never output.
+func TestStreamMatchesBatchPipeline(t *testing.T) {
+	world, err := synth.Generate(synth.Config{
+		Name: "stream-eq", Seed: 7, Days: 4,
+		Clients: 250, BenignServers: 600, MeanRequests: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	detOpts := []core.Option{
+		core.WithSeed(1),
+		core.WithWhois(world.Whois),
+		core.WithProber(world.Prober),
+	}
+
+	// Batch reference: one Detector run per day trace, tracked across days.
+	batch := tracker.New()
+	det := core.New(detOpts...)
+	for _, day := range world.Days {
+		report, err := det.Run(day)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch.Observe(report)
+	}
+	want := snapshotLineages(batch)
+	if len(want) == 0 {
+		t.Fatal("batch reference produced no lineages; world too small to test equivalence")
+	}
+
+	var all []trace.Request
+	for _, day := range world.Days {
+		all = append(all, day.Requests...)
+	}
+
+	run := func(workers, shards int) ([]WindowResult, *Engine) {
+		eng, err := New(Config{
+			Window: 24 * time.Hour, Workers: workers, Shards: shards,
+			Detector: detOpts,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return collect(t, eng, &SliceSource{Requests: all}), eng
+	}
+
+	windows1, eng1 := run(1, 1)
+	if got := snapshotLineages(eng1.Tracker()); !reflect.DeepEqual(got, want) {
+		t.Errorf("streamed lineages diverge from batch:\n got %+v\nwant %+v", got, want)
+	}
+	if len(windows1) != 4 {
+		t.Errorf("windows = %d, want 4", len(windows1))
+	}
+	for i, w := range windows1 {
+		if w.Empty() {
+			t.Errorf("window %d unexpectedly empty", i)
+		}
+		wantStats := world.Days[i].ComputeStats()
+		if w.Requests != wantStats.Requests {
+			t.Errorf("window %d requests = %d, want %d", i, w.Requests, wantStats.Requests)
+		}
+		if w.Report.TraceStats.Servers != wantStats.Servers {
+			t.Errorf("window %d servers = %d, want %d", i, w.Report.TraceStats.Servers, wantStats.Servers)
+		}
+	}
+
+	// Per-day campaign sets must match the batch reports exactly.
+	batchDet := core.New(detOpts...)
+	for i, w := range windows1 {
+		ref, err := batchDet.Run(world.Days[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(campaignKeys(ref), campaignKeys(w.Report)) {
+			t.Errorf("window %d campaigns diverge from batch day %d", i, i)
+		}
+	}
+
+	// More workers and shards: identical lineages and identical deltas.
+	windows4, eng4 := run(4, 8)
+	if got := snapshotLineages(eng4.Tracker()); !reflect.DeepEqual(got, want) {
+		t.Error("worker pool size changed lineage output")
+	}
+	if !reflect.DeepEqual(deltaSummary(windows1), deltaSummary(windows4)) {
+		t.Errorf("worker pool size changed delta stream:\n 1: %v\n 4: %v",
+			deltaSummary(windows1), deltaSummary(windows4))
+	}
+}
+
+func campaignKeys(r *core.Report) []string {
+	var out []string
+	for _, c := range r.AllCampaigns() {
+		out = append(out, fmt.Sprintf("%v|%v", c.Servers, c.Clients))
+	}
+	return out
+}
+
+// The delta stream starts every lineage with an appear.
+func TestDeltasStartWithAppear(t *testing.T) {
+	world, err := synth.Generate(synth.Config{
+		Name: "deltas", Seed: 11, Days: 2,
+		Clients: 250, BenignServers: 600, MeanRequests: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []trace.Request
+	for _, day := range world.Days {
+		all = append(all, day.Requests...)
+	}
+	eng, err := New(Config{
+		Window:   24 * time.Hour,
+		Detector: []core.Option{core.WithSeed(1), core.WithWhois(world.Whois), core.WithProber(world.Prober)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows := collect(t, eng, &SliceSource{Requests: all})
+	seen := make(map[int]bool)
+	deltas := 0
+	for _, w := range windows {
+		for _, d := range w.Deltas {
+			deltas++
+			if !seen[d.Lineage] && d.Kind != Appear {
+				t.Errorf("lineage %d first delta is %s, want appear", d.Lineage, d.Kind)
+			}
+			seen[d.Lineage] = true
+			if d.KindName != d.Kind.String() {
+				t.Errorf("KindName %q != Kind %q", d.KindName, d.Kind)
+			}
+		}
+	}
+	if deltas == 0 {
+		t.Fatal("no deltas emitted over a 2-day malicious world")
+	}
+}
+
+func TestMultiSource(t *testing.T) {
+	a := &SliceSource{Requests: []trace.Request{evReq(at(9, 0), "c", "a.com", "/")}}
+	b := &SliceSource{Requests: []trace.Request{
+		evReq(at(9, 1), "c", "b.com", "/"),
+		evReq(at(9, 2), "c", "c.com", "/"),
+	}}
+	m := &MultiSource{Sources: []Source{a, &SliceSource{}, b}}
+	var hosts []string
+	for {
+		r, err := m.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		hosts = append(hosts, r.Host)
+	}
+	if !reflect.DeepEqual(hosts, []string{"a.com", "b.com", "c.com"}) {
+		t.Errorf("hosts = %v", hosts)
+	}
+}

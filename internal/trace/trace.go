@@ -224,6 +224,23 @@ func BuildIndex(t *Trace) *Index {
 	return idx
 }
 
+// newServerInfo builds an empty ServerInfo — the single place the per-field
+// map set is constructed, shared by Add and Merge so a new field cannot be
+// initialized in one path and forgotten in the other.
+func newServerInfo(key string) *ServerInfo {
+	return &ServerInfo{
+		Key:        key,
+		Clients:    make(map[string]struct{}),
+		IPs:        make(map[string]struct{}),
+		Files:      make(map[string]int),
+		Referrers:  make(map[string]int),
+		UserAgents: make(map[string]int),
+		Queries:    make(map[string]int),
+		Payloads:   make(map[string]int),
+		Hosts:      make(map[string]struct{}),
+	}
+}
+
 // Add incorporates one request into the index.
 func (idx *Index) Add(r *Request) {
 	key := r.ServerKey()
@@ -232,17 +249,7 @@ func (idx *Index) Add(r *Request) {
 	}
 	info := idx.Servers[key]
 	if info == nil {
-		info = &ServerInfo{
-			Key:        key,
-			Clients:    make(map[string]struct{}),
-			IPs:        make(map[string]struct{}),
-			Files:      make(map[string]int),
-			Referrers:  make(map[string]int),
-			UserAgents: make(map[string]int),
-			Queries:    make(map[string]int),
-			Payloads:   make(map[string]int),
-			Hosts:      make(map[string]struct{}),
-		}
+		info = newServerInfo(key)
 		idx.Servers[key] = info
 	}
 	info.Clients[r.Client] = struct{}{}
@@ -315,55 +322,81 @@ func (idx *Index) Remove(key string) {
 // clone so the raw index remains available for figure reproduction.
 func (idx *Index) Clone() *Index {
 	out := NewIndex()
-	out.RequestCount = idx.RequestCount
-	for k, info := range idx.Servers {
-		c := &ServerInfo{
-			Key:           info.Key,
-			Clients:       make(map[string]struct{}, len(info.Clients)),
-			IPs:           make(map[string]struct{}, len(info.IPs)),
-			Files:         make(map[string]int, len(info.Files)),
-			Referrers:     make(map[string]int, len(info.Referrers)),
-			UserAgents:    make(map[string]int, len(info.UserAgents)),
-			Queries:       make(map[string]int, len(info.Queries)),
-			Payloads:      make(map[string]int, len(info.Payloads)),
-			Hosts:         make(map[string]struct{}, len(info.Hosts)),
-			Requests:      info.Requests,
-			ErrorRequests: info.ErrorRequests,
-		}
-		for x := range info.Clients {
-			c.Clients[x] = struct{}{}
-		}
-		for x := range info.IPs {
-			c.IPs[x] = struct{}{}
-		}
-		for x, n := range info.Files {
-			c.Files[x] = n
-		}
-		for x, n := range info.Referrers {
-			c.Referrers[x] = n
-		}
-		for x, n := range info.UserAgents {
-			c.UserAgents[x] = n
-		}
-		for x, n := range info.Queries {
-			c.Queries[x] = n
-		}
-		for x, n := range info.Payloads {
-			c.Payloads[x] = n
-		}
-		for x := range info.Hosts {
-			c.Hosts[x] = struct{}{}
-		}
-		out.Servers[k] = c
-	}
-	for c, set := range idx.ClientServers {
-		cp := make(map[string]struct{}, len(set))
-		for s := range set {
-			cp[s] = struct{}{}
-		}
-		out.ClientServers[c] = cp
-	}
+	out.Merge(idx)
 	return out
+}
+
+// Merge folds other into idx. Every aggregate in the index commutes (set
+// unions and counter sums), so merging shard-built partial indexes in any
+// order yields exactly the index a sequential Add of the same requests
+// would have produced. The streaming engine relies on this to build one
+// window index from concurrently filled shards. Clone is Merge into an
+// empty index, so the two stay one implementation. other is left untouched.
+func (idx *Index) Merge(other *Index) {
+	if other == nil {
+		return
+	}
+	for k, src := range other.Servers {
+		dst := idx.Servers[k]
+		if dst == nil {
+			dst = newServerInfo(k)
+			idx.Servers[k] = dst
+		}
+		for x := range src.Clients {
+			dst.Clients[x] = struct{}{}
+		}
+		for x := range src.IPs {
+			dst.IPs[x] = struct{}{}
+		}
+		for x, n := range src.Files {
+			dst.Files[x] += n
+		}
+		for x, n := range src.Referrers {
+			dst.Referrers[x] += n
+		}
+		for x, n := range src.UserAgents {
+			dst.UserAgents[x] += n
+		}
+		for x, n := range src.Queries {
+			dst.Queries[x] += n
+		}
+		for x, n := range src.Payloads {
+			dst.Payloads[x] += n
+		}
+		for x := range src.Hosts {
+			dst.Hosts[x] = struct{}{}
+		}
+		dst.Requests += src.Requests
+		dst.ErrorRequests += src.ErrorRequests
+	}
+	for c, set := range other.ClientServers {
+		cs := idx.ClientServers[c]
+		if cs == nil {
+			cs = make(map[string]struct{}, len(set))
+			idx.ClientServers[c] = cs
+		}
+		for s := range set {
+			cs[s] = struct{}{}
+		}
+	}
+	idx.RequestCount += other.RequestCount
+}
+
+// ComputeStats summarizes the index in the shape of the paper's Table I —
+// the streaming path's equivalent of Trace.ComputeStats. Requests without a
+// server key are not indexed and therefore not counted here.
+func (idx *Index) ComputeStats(name string) Stats {
+	files := 0
+	for _, info := range idx.Servers {
+		files += len(info.Files)
+	}
+	return Stats{
+		Name:     name,
+		Clients:  len(idx.ClientServers),
+		Requests: idx.RequestCount,
+		Servers:  len(idx.Servers),
+		URIFiles: files,
+	}
 }
 
 // QueryPattern normalizes a raw query string into its parameter-name

@@ -263,3 +263,92 @@ func TestIndexTracksQueries(t *testing.T) {
 		t.Error("Clone dropped queries")
 	}
 }
+
+// A sharded build (partial indexes merged in any order) must equal the
+// sequential build — the invariant the streaming engine depends on.
+func TestIndexMergeEqualsSequentialBuild(t *testing.T) {
+	var reqs []Request
+	for i := 0; i < 40; i++ {
+		r := req(fmt.Sprintf("c%d", i%7), fmt.Sprintf("s%d.com", i%5), fmt.Sprintf("9.9.9.%d", i%3), fmt.Sprintf("/f%d.php", i%4))
+		r.Query = "id=1&p=2"
+		r.UserAgent = fmt.Sprintf("ua%d", i%2)
+		r.Referrer = fmt.Sprintf("ref%d.com", i%3)
+		if i%6 == 0 {
+			r.Status = 404
+		}
+		r.PayloadDigest = fmt.Sprintf("sha1:%d", i%4)
+		reqs = append(reqs, r)
+	}
+	want := BuildIndex(&Trace{Requests: reqs})
+
+	shards := []*Index{NewIndex(), NewIndex(), NewIndex()}
+	for i := range reqs {
+		shards[i%3].Add(&reqs[i])
+	}
+	got := NewIndex()
+	// Merge in reverse shard order to exercise commutativity.
+	for i := len(shards) - 1; i >= 0; i-- {
+		got.Merge(shards[i])
+	}
+
+	if got.RequestCount != want.RequestCount {
+		t.Fatalf("RequestCount = %d, want %d", got.RequestCount, want.RequestCount)
+	}
+	if len(got.Servers) != len(want.Servers) {
+		t.Fatalf("servers = %d, want %d", len(got.Servers), len(want.Servers))
+	}
+	for k, w := range want.Servers {
+		g := got.Servers[k]
+		if g == nil {
+			t.Fatalf("server %s missing after merge", k)
+		}
+		if len(g.Clients) != len(w.Clients) || len(g.IPs) != len(w.IPs) ||
+			len(g.Hosts) != len(w.Hosts) || g.Requests != w.Requests ||
+			g.ErrorRequests != w.ErrorRequests {
+			t.Errorf("server %s: merged %+v != sequential %+v", k, g, w)
+		}
+		for f, n := range w.Files {
+			if g.Files[f] != n {
+				t.Errorf("server %s file %s: %d != %d", k, f, g.Files[f], n)
+			}
+		}
+		for q, n := range w.Queries {
+			if g.Queries[q] != n {
+				t.Errorf("server %s query %s: %d != %d", k, q, g.Queries[q], n)
+			}
+		}
+		for re, n := range w.Referrers {
+			if g.Referrers[re] != n {
+				t.Errorf("server %s referrer %s: %d != %d", k, re, g.Referrers[re], n)
+			}
+		}
+		for p, n := range w.Payloads {
+			if g.Payloads[p] != n {
+				t.Errorf("server %s payload %s: %d != %d", k, p, g.Payloads[p], n)
+			}
+		}
+	}
+	if len(got.ClientServers) != len(want.ClientServers) {
+		t.Fatalf("clients = %d, want %d", len(got.ClientServers), len(want.ClientServers))
+	}
+	for c, set := range want.ClientServers {
+		if len(got.ClientServers[c]) != len(set) {
+			t.Errorf("client %s servers = %d, want %d", c, len(got.ClientServers[c]), len(set))
+		}
+	}
+}
+
+// Index.ComputeStats must agree with Trace.ComputeStats whenever every
+// request carries a server key (the only requests an Index retains).
+func TestIndexComputeStatsMatchesTrace(t *testing.T) {
+	tr := &Trace{Name: "idxstats"}
+	for i := 0; i < 30; i++ {
+		tr.Requests = append(tr.Requests,
+			req(fmt.Sprintf("c%d", i%4), fmt.Sprintf("s%d.com", i%6), "8.8.8.8", fmt.Sprintf("/f%d", i%3)))
+	}
+	want := tr.ComputeStats()
+	got := BuildIndex(tr).ComputeStats("idxstats")
+	if got != want {
+		t.Errorf("index stats %+v != trace stats %+v", got, want)
+	}
+}
