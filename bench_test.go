@@ -225,6 +225,33 @@ func BenchmarkPipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkPipelineParallelMining compares sequential dimension mining
+// (1 worker) against the full fan-out (NumCPU workers) on one day trace —
+// the speedup the staged pipeline's WithMiningWorkers buys. Reports are
+// identical for any worker count (see TestParallelMiningEquivalence).
+func BenchmarkPipelineParallelMining(b *testing.B) {
+	world, _, _ := benchWorlds(b)
+	tr := world.Trace()
+	raw, stats := trace.BuildIndex(tr), tr.ComputeStats()
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			det := core.New(
+				core.WithSeed(1),
+				core.WithWhois(world.Whois),
+				core.WithProber(world.Prober),
+				core.WithMiningWorkers(workers),
+			)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := det.RunIndex(raw, stats); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkStreamThroughput measures sustained events/sec through the full
 // streaming path: bounded ingestion, sharded incremental indexing, window
 // sealing, and windowed detection on a worker pool. The week world is

@@ -10,13 +10,21 @@
 // Without -probe the pruning stage runs passively (referrer evidence only);
 // with it, redirection chains and liveness are checked with live HTTP HEAD
 // requests.
+//
+// SIGINT/SIGTERM cancel the run: the pipeline aborts at its next stage
+// boundary (inside mining, at the next dimension) and smash exits with the
+// context error. -v additionally logs per-stage wall-clock timings to
+// stderr through a core.LogObserver.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"smash/internal/core"
 	"smash/internal/trace"
@@ -24,13 +32,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "smash:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("smash", flag.ContinueOnError)
 	var (
 		tracePath    = fs.String("trace", "", "trace file to analyze (required)")
@@ -68,7 +78,10 @@ func run(args []string, out io.Writer) error {
 	if *probe {
 		opts = append(opts, core.WithProber(&webprobe.HTTPProber{}))
 	}
-	report, err := core.New(opts...).Run(tr)
+	if *verbose {
+		opts = append(opts, core.WithObserver(&core.LogObserver{W: os.Stderr, Prefix: "smash: "}))
+	}
+	report, err := core.New(opts...).RunContext(ctx, tr)
 	if err != nil {
 		return err
 	}

@@ -2,7 +2,9 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
@@ -11,6 +13,8 @@ import (
 	"smash/internal/synth"
 	"smash/internal/trace"
 )
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
 
 func writeTestTrace(t *testing.T) string {
 	t.Helper()
@@ -36,7 +40,7 @@ func writeTestTrace(t *testing.T) string {
 func TestRunEndToEnd(t *testing.T) {
 	path := writeTestTrace(t)
 	var out bytes.Buffer
-	if err := run([]string{"-trace", path, "-v"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-trace", path, "-v"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -53,21 +57,52 @@ func TestRunEndToEnd(t *testing.T) {
 
 func TestRunFlagValidation(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(nil, &out); err == nil {
+	if err := run(context.Background(), nil, &out); err == nil {
 		t.Error("missing -trace accepted")
 	}
-	if err := run([]string{"-trace", "/does/not/exist"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-trace", "/does/not/exist"}, &out); err == nil {
 		t.Error("nonexistent trace accepted")
 	}
-	if err := run([]string{"-wat"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-wat"}, &out); err == nil {
 		t.Error("unknown flag accepted")
+	}
+}
+
+// TestRunJSONGolden locks the -json output shape for downstream tooling:
+// the handcrafted testdata/campaign.tsv trace (four servers sharing five
+// clients, one URI file and one IP — score 1.0 across two secondary
+// dimensions) must render exactly testdata/report.golden.json. Regenerate
+// with `go test ./cmd/smash -run Golden -update` after a deliberate
+// format change.
+func TestRunJSONGolden(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-trace", "testdata/campaign.tsv", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "report.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("-json output diverged from golden file\ngot:\n%s\nwant:\n%s", out.Bytes(), want)
+	}
+	for _, server := range []string{"evil-a.test", "evil-b.test", "evil-c.test", "evil-d.test"} {
+		if !strings.Contains(out.String(), server) {
+			t.Errorf("campaign server %s missing from JSON output", server)
+		}
 	}
 }
 
 func TestRunJSONOutput(t *testing.T) {
 	path := writeTestTrace(t)
 	var out bytes.Buffer
-	if err := run([]string{"-trace", path, "-json"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-trace", path, "-json"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	var summary map[string]any

@@ -19,12 +19,15 @@
 // dropped.
 //
 // Text mode prints one line per window plus its deltas; -json emits one
-// JSON object per window (NDJSON) for downstream tooling. SIGINT/SIGTERM
-// drain cleanly: in-flight windows are sealed, detected and reported
-// before exit.
+// JSON object per window (NDJSON) for downstream tooling. The first
+// SIGINT/SIGTERM drains cleanly: in-flight windows are sealed, detected
+// and reported before exit. A second signal cancels the run context,
+// aborting in-flight detections at their next pipeline stage boundary.
+// -v additionally logs per-stage detection timings to stderr.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -40,23 +43,27 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+	if err := run(context.Background(), os.Args[1:], os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "smashd:", err)
 		os.Exit(1)
 	}
 }
 
-// windowRecord is the NDJSON shape of one window.
+// windowRecord is the NDJSON shape of one window. Aborted marks a
+// non-empty window whose detection did not complete (context cancelled or
+// detection error), so downstream tooling can tell it apart from a
+// genuinely analyzed zero-campaign window.
 type windowRecord struct {
 	Window    int            `json:"window"`
 	Start     time.Time      `json:"start"`
 	End       time.Time      `json:"end"`
 	Requests  int            `json:"requests"`
 	Campaigns int            `json:"campaigns"`
+	Aborted   bool           `json:"aborted,omitempty"`
 	Deltas    []stream.Delta `json:"deltas,omitempty"`
 }
 
-func run(args []string, stdin io.Reader, out io.Writer) error {
+func run(ctx context.Context, args []string, stdin io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("smashd", flag.ContinueOnError)
 	var (
 		window       = fs.Duration("window", 24*time.Hour, "detection window size")
@@ -104,6 +111,15 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 		src = &stream.PacedSource{Src: src, Speedup: *speedup}
 	}
 
+	detOpts := []core.Option{
+		core.WithSeed(*seed),
+		core.WithIDFThreshold(*idf),
+		core.WithThreshold(*threshold),
+		core.WithSingleClientThreshold(*singleThresh),
+	}
+	if *verbose {
+		detOpts = append(detOpts, core.WithObserver(&core.LogObserver{W: os.Stderr, Prefix: "smashd: "}))
+	}
 	eng, err := stream.New(stream.Config{
 		Name:      "smashd",
 		Window:    *window,
@@ -111,32 +127,40 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 		Watermark: *watermark,
 		Workers:   *workers,
 		Shards:    *shards,
-		Detector: []core.Option{
-			core.WithSeed(*seed),
-			core.WithIDFThreshold(*idf),
-			core.WithThreshold(*threshold),
-			core.WithSingleClientThreshold(*singleThresh),
-		},
+		Detector:  detOpts,
 	})
 	if err != nil {
 		return err
 	}
 
-	// On SIGINT/SIGTERM, drain instead of dying: Stop seals and emits
-	// every in-flight window, so interrupting a live feed still reports
-	// what was ingested.
-	sigCh := make(chan os.Signal, 1)
+	// Two-phase shutdown: the first SIGINT/SIGTERM drains — Stop seals and
+	// emits every in-flight window, so interrupting a live feed still
+	// reports what was ingested. A second signal cancels the run context,
+	// aborting in-flight detections at their next stage boundary. The
+	// deferred cancel also unparks the goroutine on a signal-free return.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	sigCh := make(chan os.Signal, 2)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sigCh)
 	go func() {
-		if _, ok := <-sigCh; ok {
-			fmt.Fprintln(os.Stderr, "smashd: interrupted; draining open windows")
-			eng.Stop()
+		select {
+		case <-sigCh:
+		case <-ctx.Done():
+			return
+		}
+		fmt.Fprintln(os.Stderr, "smashd: interrupted; draining open windows (signal again to abort)")
+		eng.Stop()
+		select {
+		case <-sigCh:
+			fmt.Fprintln(os.Stderr, "smashd: aborting in-flight detections")
+			cancel()
+		case <-ctx.Done():
 		}
 	}()
 
 	enc := json.NewEncoder(out)
-	for w := range eng.Start(src) {
+	for w := range eng.StartContext(ctx, src) {
 		if *jsonOut {
 			rec := windowRecord{
 				Window: w.Seq, Start: w.Start, End: w.End,
@@ -144,6 +168,8 @@ func run(args []string, stdin io.Reader, out io.Writer) error {
 			}
 			if w.Report != nil {
 				rec.Campaigns = len(w.Report.Campaigns) + len(w.Report.SingleClientCampaigns)
+			} else if w.Requests > 0 {
+				rec.Aborted = true
 			}
 			if err := enc.Encode(rec); err != nil {
 				return err

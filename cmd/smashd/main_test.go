@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -49,7 +50,7 @@ func TestRunReplaysDayFiles(t *testing.T) {
 	_, paths := writeWorld(t, 2)
 	var out bytes.Buffer
 	args := append([]string{"-window", "24h", "-workers", "2"}, paths...)
-	if err := run(args, nil, &out); err != nil {
+	if err := run(context.Background(), args, nil, &out); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -71,7 +72,7 @@ func TestRunStdinJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := run([]string{"-json", "-window", "24h"}, bytes.NewReader(data), &out); err != nil {
+	if err := run(context.Background(), []string{"-json", "-window", "24h"}, bytes.NewReader(data), &out); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
@@ -130,7 +131,7 @@ func TestRunSlidingWindows(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	if err := run([]string{"-window", "24h", "-stride", "12h", p}, nil, &out); err != nil {
+	if err := run(context.Background(), []string{"-window", "24h", "-stride", "12h", p}, nil, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "window 1 [") {
@@ -143,13 +144,13 @@ func TestRunSlidingWindows(t *testing.T) {
 
 func TestRunValidation(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-bogus"}, nil, &out); err == nil {
+	if err := run(context.Background(), []string{"-bogus"}, nil, &out); err == nil {
 		t.Error("bogus flag accepted")
 	}
-	if err := run([]string{"-window", "0s"}, strings.NewReader(""), &out); err == nil {
+	if err := run(context.Background(), []string{"-window", "0s"}, strings.NewReader(""), &out); err == nil {
 		t.Error("zero window accepted")
 	}
-	if err := run([]string{"/nonexistent/trace.tsv"}, nil, &out); err == nil {
+	if err := run(context.Background(), []string{"/nonexistent/trace.tsv"}, nil, &out); err == nil {
 		t.Error("missing file accepted")
 	}
 }

@@ -14,7 +14,9 @@
 //
 // Layout:
 //
-//   - internal/core        — the Detector pipeline (public API)
+//   - internal/core        — the staged detection pipeline (public API):
+//     core.Pipeline with five first-class stages, context cancellation,
+//     parallel dimension mining, Observer hooks; core.Detector wraps it
 //   - internal/stream      — streaming ingestion engine: sliding windows,
 //     sharded incremental indexing, watermark, worker pool, lineage deltas
 //   - internal/trace       — HTTP traffic model, TSV codec, server index
@@ -32,7 +34,7 @@
 //   - cmd/smashd           — streaming daemon over TSV files or stdin
 //   - examples/            — runnable scenarios
 //
-// See README.md for a walkthrough, DESIGN.md for the system inventory and
-// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
-// The benchmarks in bench_test.go regenerate each experiment.
+// See README.md for a walkthrough and DESIGN.md for the staged pipeline
+// API: the stage graph, the Observer contract, and the cancellation
+// semantics. The benchmarks in bench_test.go regenerate each experiment.
 package smash

@@ -1,12 +1,15 @@
 // Quickstart: generate a small synthetic ISP day, run the SMASH pipeline
-// over it, and print the inferred malicious campaigns.
+// over it through the staged core.Pipeline API — with an Observer printing
+// per-stage timings — and print the inferred malicious campaigns.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 
 	"smash/internal/core"
 	"smash/internal/synth"
@@ -33,17 +36,21 @@ func run() error {
 		return err
 	}
 
-	// The detector mirrors Fig. 2 of the paper: preprocessing, per-dimension
-	// ASH mining, correlation, pruning, campaign inference. The whois
-	// registry enables the whois dimension; the prober answers the pruning
-	// stage's redirection/liveness questions from the synthetic topology.
-	detector := core.New(
+	// The pipeline mirrors Fig. 2 of the paper in five first-class stages:
+	// preprocessing, per-dimension ASH mining (fanned out across cores),
+	// correlation, pruning, campaign inference. The whois registry enables
+	// the whois dimension; the prober answers the pruning stage's
+	// redirection/liveness questions from the synthetic topology. The
+	// observer prints each stage's wall-clock time as it finishes, and the
+	// context would let us abort mid-run (^C handling, deadlines).
+	pipeline := core.NewPipeline(
 		core.WithSeed(1),
 		core.WithWhois(world.Whois),
 		core.WithProber(world.Prober),
 		core.WithThreshold(0.8), // the paper's operating point
+		core.WithObserver(&core.LogObserver{W: os.Stderr, Prefix: "quickstart: "}),
 	)
-	report, err := detector.Run(world.Trace())
+	report, err := pipeline.RunTrace(context.Background(), world.Trace())
 	if err != nil {
 		return err
 	}

@@ -12,8 +12,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"smash/internal/core"
@@ -63,8 +66,13 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// The run context makes ^C a hard shutdown: ingestion stops and
+	// in-flight window detections abort at their next stage boundary.
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
+
 	fmt.Println("streaming 4 days through 1-day tumbling windows:")
-	for w := range eng.Start(&stream.SliceSource{Requests: events}) {
+	for w := range eng.StartContext(ctx, &stream.SliceSource{Requests: events}) {
 		fmt.Println(w.Render())
 		for i := range w.Deltas {
 			fmt.Println("  " + w.Deltas[i].Render())

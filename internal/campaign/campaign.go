@@ -40,20 +40,39 @@ func (k Kind) String() string {
 	}
 }
 
-// Campaign is one inferred malicious campaign.
+// MarshalText renders the kind as its display name, so JSON output carries
+// "communication"/"attacking" instead of bare enum integers.
+func (k Kind) MarshalText() ([]byte, error) { return []byte(k.String()), nil }
+
+// UnmarshalText parses a display name back into a Kind; unknown names
+// (including "unknown") decode to the zero Kind.
+func (k *Kind) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "communication":
+		*k = KindCommunication
+	case "attacking":
+		*k = KindAttacking
+	default:
+		*k = 0
+	}
+	return nil
+}
+
+// Campaign is one inferred malicious campaign. The JSON shape is stable
+// and consumed by smash -json and the smashd NDJSON feed.
 type Campaign struct {
 	// ID is a stable identifier within the run.
-	ID int
+	ID int `json:"id"`
 	// Servers is the sorted set of involved servers.
-	Servers []string
+	Servers []string `json:"servers,omitempty"`
 	// Clients is the sorted set of clients contacting those servers.
-	Clients []string
+	Clients []string `json:"clients,omitempty"`
 	// Score is the highest member herd score.
-	Score float64
+	Score float64 `json:"score"`
 	// Herds counts how many pruned herds were merged into the campaign.
-	Herds int
+	Herds int `json:"herds"`
 	// Kind is a heuristic activity classification (see Classify).
-	Kind Kind
+	Kind Kind `json:"kind"`
 }
 
 // Size returns the number of servers in the campaign.

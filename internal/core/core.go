@@ -1,6 +1,6 @@
 // Package core is SMASH's public pipeline: it wires preprocessing, ASH
 // mining, multi-dimension correlation, pruning and campaign inference
-// (Fig. 2 of the paper) behind a single Detector with functional options.
+// (Fig. 2 of the paper) behind a Detector with functional options.
 //
 // Typical use:
 //
@@ -8,12 +8,19 @@
 //	report, err := det.Run(dayTrace)
 //	for _, c := range report.Campaigns { ... }
 //
-// The detector is deterministic for a fixed option set and input trace.
+// The staged form of the same flow is Pipeline: five first-class stages
+// with typed State artifacts, context cancellation end-to-end, parallel
+// dimension mining, and Observer hooks around every stage (see
+// pipeline.go and DESIGN.md). Detector.Run/RunIndex are thin wrappers over
+// Pipeline.Run with a background context.
+//
+// The detector is deterministic for a fixed option set and input trace;
+// mining-worker count changes wall-clock time, never output.
 package core
 
 import (
+	"context"
 	"errors"
-	"fmt"
 
 	"smash/internal/campaign"
 	"smash/internal/correlate"
@@ -40,6 +47,8 @@ type config struct {
 	extraDims       []herd.Dimension
 	disableWhoisDim bool
 	mineFunc        herd.MineFunc
+	mineWorkers     int
+	observers       []Observer
 }
 
 // Option configures a Detector.
@@ -99,6 +108,23 @@ func WithComponentMining() Option {
 	return func(c *config) { c.mineFunc = herd.MineComponents }
 }
 
+// WithMiningWorkers bounds the dimension-mining fan-out of StageMine: the
+// similarity graphs of the main and secondary dimensions are built and
+// mined on a pool of n goroutines. 0 (the default) uses runtime.NumCPU();
+// 1 restores fully sequential mining. The worker count changes wall-clock
+// time only — reports are identical for any value.
+func WithMiningWorkers(n int) Option { return func(c *config) { c.mineWorkers = n } }
+
+// WithObserver registers a stage observer (may be given multiple times;
+// observers fire in registration order).
+func WithObserver(o Observer) Option {
+	return func(c *config) {
+		if o != nil {
+			c.observers = append(c.observers, o)
+		}
+	}
+}
+
 func defaultConfig() config {
 	return config{
 		seed:            1,
@@ -109,45 +135,49 @@ func defaultConfig() config {
 	}
 }
 
-// Detector runs the SMASH pipeline.
+// Detector runs the SMASH pipeline. It is a thin compatibility wrapper
+// over Pipeline: Run/RunIndex execute all five stages with a background
+// context, RunContext/RunIndexContext thread a caller context through.
 type Detector struct {
-	cfg config
+	pipe *Pipeline
 }
 
 // New builds a Detector from options.
 func New(opts ...Option) *Detector {
-	cfg := defaultConfig()
-	for _, o := range opts {
-		o(&cfg)
-	}
-	return &Detector{cfg: cfg}
+	return &Detector{pipe: NewPipeline(opts...)}
 }
 
-// Report is the output of one pipeline run.
+// Pipeline exposes the detector's staged pipeline for per-stage control
+// (observers are shared; both views run the same configuration).
+func (d *Detector) Pipeline() *Pipeline { return d.pipe }
+
+// Report is the output of one pipeline run. The JSON shape is stable:
+// heavyweight internals (indexes, per-dimension herds) are excluded, and
+// empty collections are omitted.
 type Report struct {
 	// TraceStats summarizes the input (Table I row).
-	TraceStats trace.Stats
+	TraceStats trace.Stats `json:"traceStats"`
 	// Preprocess reports the IDF filtering.
-	Preprocess preprocess.Result
+	Preprocess preprocess.Result `json:"preprocess"`
 	// MainHerds counts main-dimension ASHs; SecondaryHerds per dimension.
-	MainHerds      int
-	SecondaryHerds map[string]int
+	MainHerds      int            `json:"mainHerds"`
+	SecondaryHerds map[string]int `json:"secondaryHerds,omitempty"`
 	// Campaigns are inferred campaigns with >= MinClients clients.
-	Campaigns []campaign.Campaign
+	Campaigns []campaign.Campaign `json:"campaigns,omitempty"`
 	// SingleClientCampaigns are campaigns below MinClients, held to the
 	// stricter single-client threshold (Appendix C).
-	SingleClientCampaigns []campaign.Campaign
+	SingleClientCampaigns []campaign.Campaign `json:"singleClientCampaigns,omitempty"`
 	// Scores maps scored servers to their correlation verdicts.
-	Scores map[string]*correlate.ServerScore
+	Scores map[string]*correlate.ServerScore `json:"scores,omitempty"`
 	// PruneStats reports the noise-pruning stage.
-	PruneStats prune.Stats
+	PruneStats prune.Stats `json:"pruneStats"`
 	// Index is the post-preprocessing traffic index (used by evaluation
 	// and verification).
-	Index *trace.Index
+	Index *trace.Index `json:"-"`
 	// RawIndex is the pre-filter index (used by figure reproduction).
-	RawIndex *trace.Index
+	RawIndex *trace.Index `json:"-"`
 	// Mined keeps the per-dimension herds for diagnostics/ablations.
-	Mined *herd.Result
+	Mined *herd.Result `json:"-"`
 }
 
 // AllCampaigns returns multi-client and single-client campaigns together.
@@ -179,10 +209,14 @@ var ErrEmptyTrace = errors.New("core: empty trace")
 
 // Run executes the full pipeline on one trace (typically one day).
 func (d *Detector) Run(t *trace.Trace) (*Report, error) {
-	if t == nil || len(t.Requests) == 0 {
-		return nil, ErrEmptyTrace
-	}
-	return d.RunIndex(trace.BuildIndex(t), t.ComputeStats())
+	return d.RunContext(context.Background(), t)
+}
+
+// RunContext is Run with cooperative cancellation: once ctx is done the
+// pipeline stops at the next stage boundary (inside mining, at the next
+// dimension) and returns ctx.Err().
+func (d *Detector) RunContext(ctx context.Context, t *trace.Trace) (*Report, error) {
+	return d.pipe.RunTrace(ctx, t)
 }
 
 // RunIndex executes the pipeline on a prebuilt raw (pre-filter) index. This
@@ -194,68 +228,13 @@ func (d *Detector) Run(t *trace.Trace) (*Report, error) {
 // afterwards. A Detector is stateless, so concurrent RunIndex calls on one
 // Detector are safe.
 func (d *Detector) RunIndex(raw *trace.Index, stats trace.Stats) (*Report, error) {
-	if raw == nil {
-		return nil, ErrEmptyTrace
-	}
-	cfg := d.cfg
+	return d.RunIndexContext(context.Background(), raw, stats)
+}
 
-	report := &Report{TraceStats: stats, SecondaryHerds: make(map[string]int)}
-
-	// Stage 1: preprocessing (SLD aggregation happened during indexing).
-	report.RawIndex = raw
-	idx := raw.Clone()
-	report.Preprocess = preprocess.FilterIDF(idx, cfg.idfThreshold)
-	report.Index = idx
-
-	// Stage 2: ASH mining over all dimensions.
-	secondary := []herd.Dimension{
-		herd.FileDimension(cfg.simOpts),
-		herd.IPDimension(cfg.simOpts),
-	}
-	if cfg.registry != nil && !cfg.disableWhoisDim {
-		secondary = append(secondary, herd.WhoisDimension(cfg.registry, cfg.simOpts))
-	}
-	secondary = append(secondary, cfg.extraDims...)
-	miner, err := herd.NewMiner(herd.ClientDimension(cfg.simOpts), secondary, cfg.seed)
-	if err != nil {
-		return nil, fmt.Errorf("core: build miner: %w", err)
-	}
-	if cfg.mineFunc != nil {
-		miner.SetMineFunc(cfg.mineFunc)
-	}
-	mined := miner.Mine(idx)
-	report.Mined = mined
-	report.MainHerds = len(mined.Main)
-	for dim, herds := range mined.Secondary {
-		report.SecondaryHerds[dim] = len(herds)
-	}
-
-	// Stage 3: correlation. Score once at the laxer of the two thresholds;
-	// the stricter single-client threshold is applied after campaign
-	// formation when the involved-client count is known (§V, footnote 9).
-	low := cfg.threshold
-	if cfg.singleThreshold < low {
-		low = cfg.singleThreshold
-	}
-	corr := correlate.Correlate(mined, correlate.Options{
-		Mu: cfg.mu, Beta: cfg.beta, Threshold: low,
-	})
-	report.Scores = corr.Scores
-
-	// Stage 4: pruning.
-	pruned, pruneStats := prune.Prune(corr.Herds, idx, prune.Options{
-		Prober: cfg.prober,
-		Whois:  cfg.registry,
-	})
-	report.PruneStats = pruneStats
-
-	// Stage 5: campaign inference + per-population thresholds.
-	campaigns := campaign.Infer(pruned, idx)
-	campaign.Classify(campaigns, idx, 0.5)
-	multi, single := campaign.FilterMinClients(campaigns, cfg.minClients)
-	report.Campaigns = filterByScore(multi, corr.Scores, cfg.threshold)
-	report.SingleClientCampaigns = filterByScore(single, corr.Scores, cfg.singleThreshold)
-	return report, nil
+// RunIndexContext is RunIndex with cooperative cancellation (see
+// RunContext for the semantics).
+func (d *Detector) RunIndexContext(ctx context.Context, raw *trace.Index, stats trace.Stats) (*Report, error) {
+	return d.pipe.Run(ctx, raw, stats)
 }
 
 // filterByScore drops campaign members below the threshold and campaigns

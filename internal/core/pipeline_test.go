@@ -1,0 +1,294 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"smash/internal/similarity"
+	"smash/internal/trace"
+)
+
+// TestPipelineStagesRunIndividually drives the five stages by hand through
+// Pipeline.Stages and checks the assembled report matches a plain Run —
+// the first-class-stage contract partial reruns build on.
+func TestPipelineStagesRunIndividually(t *testing.T) {
+	w := testWorld(t)
+	opts := []Option{WithSeed(7), WithWhois(w.Whois), WithProber(w.Prober)}
+	p := NewPipeline(opts...)
+	tr := w.Trace()
+
+	st := &State{Raw: trace.BuildIndex(tr), Stats: tr.ComputeStats()}
+	for i, s := range p.Stages() {
+		if want := StageNames()[i]; s.Name != want {
+			t.Fatalf("stage %d = %q, want %q", i, s.Name, want)
+		}
+		if err := s.Run(context.Background(), st); err != nil {
+			t.Fatalf("stage %s: %v", s.Name, err)
+		}
+	}
+	if st.Report == nil || st.Mined == nil || st.Correlation == nil {
+		t.Fatal("state artifacts missing after manual stage run")
+	}
+
+	want, err := New(opts...).Run(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st.Report.Summarize(), want.Summarize()) {
+		t.Error("manually staged run diverges from Detector.Run")
+	}
+}
+
+// TestPipelineRunFrom reruns only the downstream stages after correlation
+// with a fresh state seeded from a prior full run.
+func TestPipelineRunFrom(t *testing.T) {
+	w := testWorld(t)
+	p := NewPipeline(WithSeed(7), WithWhois(w.Whois), WithProber(w.Prober))
+	tr := w.Trace()
+
+	st := &State{Raw: trace.BuildIndex(tr), Stats: tr.ComputeStats()}
+	full, err := p.RunFrom(context.Background(), st, StagePreprocess)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rerun from correlation only: upstream artifacts stay, downstream is
+	// recomputed into a fresh report.
+	st2 := &State{Raw: st.Raw, Stats: st.Stats, Index: st.Index, Preprocess: st.Preprocess, Mined: st.Mined}
+	partial, err := p.RunFrom(context.Background(), st2, StageCorrelate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(partial.Campaigns) != len(full.Campaigns) {
+		t.Errorf("partial rerun: %d campaigns, full run: %d", len(partial.Campaigns), len(full.Campaigns))
+	}
+	if _, err := p.RunFrom(context.Background(), &State{}, "bogus"); err == nil {
+		t.Error("unknown stage name accepted")
+	}
+	// A state missing the starting stage's upstream artifacts must be
+	// rejected with an error, not a nil dereference mid-stage.
+	for _, from := range []string{StageMine, StageCorrelate, StagePrune, StageInfer} {
+		if _, err := p.RunFrom(context.Background(), &State{Raw: st.Raw}, from); err == nil {
+			t.Errorf("incomplete state accepted for rerun from %s", from)
+		}
+	}
+}
+
+// stageRecorder captures observer callbacks.
+type stageRecorder struct {
+	mu     sync.Mutex
+	starts []string
+	ends   []StageResult
+}
+
+func (r *stageRecorder) StageStart(stage string, _ int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.starts = append(r.starts, stage)
+}
+
+func (r *stageRecorder) StageEnd(res StageResult) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ends = append(r.ends, res)
+}
+
+// TestObserverSeesEveryStage checks hook ordering, durations and
+// artifacts.
+func TestObserverSeesEveryStage(t *testing.T) {
+	w := testWorld(t)
+	rec := &stageRecorder{}
+	det := New(WithSeed(7), WithWhois(w.Whois), WithProber(w.Prober), WithObserver(rec))
+	if _, err := det.Run(w.Trace()); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rec.starts, StageNames()) {
+		t.Errorf("observed starts = %v, want %v", rec.starts, StageNames())
+	}
+	if len(rec.ends) != len(StageNames()) {
+		t.Fatalf("observed %d ends, want %d", len(rec.ends), len(StageNames()))
+	}
+	for i, res := range rec.ends {
+		if res.Stage != StageNames()[i] || res.Index != i {
+			t.Errorf("end %d = %s/%d", i, res.Stage, res.Index)
+		}
+		if res.Err != nil {
+			t.Errorf("stage %s erred: %v", res.Stage, res.Err)
+		}
+		if res.Duration < 0 {
+			t.Errorf("stage %s has negative duration", res.Stage)
+		}
+		if res.Artifact == nil {
+			t.Errorf("stage %s exposed no artifact", res.Stage)
+		}
+	}
+}
+
+// TestTimingAndLogObservers exercises the two ready-made observers.
+func TestTimingAndLogObservers(t *testing.T) {
+	w := testWorld(t)
+	timing := NewTimingObserver()
+	var logBuf bytes.Buffer
+	det := New(WithSeed(7), WithWhois(w.Whois), WithProber(w.Prober),
+		WithObserver(timing), WithObserver(&LogObserver{W: &logBuf, Prefix: "test: "}))
+	if _, err := det.Run(w.Trace()); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range StageNames() {
+		if d, n := timing.Total(s); n != 1 || d <= 0 {
+			t.Errorf("timing for %s: %v over %d runs", s, d, n)
+		}
+		if !strings.Contains(logBuf.String(), s) {
+			t.Errorf("log observer missing stage %s:\n%s", s, logBuf.String())
+		}
+	}
+	if !strings.Contains(timing.Render(), "mine") {
+		t.Errorf("timing render missing stages:\n%s", timing.Render())
+	}
+}
+
+// TestRunContextCancelledUpFront returns ctx.Err() without running stages.
+func TestRunContextCancelledUpFront(t *testing.T) {
+	w := testWorld(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rec := &stageRecorder{}
+	det := New(WithSeed(7), WithObserver(rec))
+	if _, err := det.RunContext(ctx, w.Trace()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(rec.starts) != 0 {
+		t.Errorf("stages ran under a cancelled context: %v", rec.starts)
+	}
+}
+
+// cancelAfterStage cancels the run context as soon as the named stage ends.
+type cancelAfterStage struct {
+	stage  string
+	cancel context.CancelFunc
+}
+
+func (c *cancelAfterStage) StageStart(string, int) {}
+func (c *cancelAfterStage) StageEnd(res StageResult) {
+	if res.Stage == c.stage {
+		c.cancel()
+	}
+}
+
+// TestRunContextCancelBetweenStages cancels right after preprocessing and
+// expects the run to stop before mining.
+func TestRunContextCancelBetweenStages(t *testing.T) {
+	w := testWorld(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rec := &stageRecorder{}
+	det := New(WithSeed(7),
+		WithObserver(&cancelAfterStage{stage: StagePreprocess, cancel: cancel}),
+		WithObserver(rec))
+	if _, err := det.RunContext(ctx, w.Trace()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !reflect.DeepEqual(rec.starts, []string{StagePreprocess}) {
+		t.Errorf("stages started = %v, want only preprocess", rec.starts)
+	}
+}
+
+// blockingDimension parks its Build until released, signalling when it
+// starts — the hook for cancelling mid-mining.
+type blockingDimension struct {
+	name    string
+	started chan struct{}
+	release chan struct{}
+}
+
+func (d *blockingDimension) Name() string { return d.name }
+
+func (d *blockingDimension) Build(idx *trace.Index) *similarity.ServerGraph {
+	close(d.started)
+	<-d.release
+	return similarity.BuildUserAgentGraph(idx, similarity.Options{})
+}
+
+// TestRunContextCancelMidMining cancels while a dimension build is in
+// flight: the run must return ctx.Err() promptly — waiting out at most the
+// in-flight dimension — without starting the remaining dimensions.
+func TestRunContextCancelMidMining(t *testing.T) {
+	w := testWorld(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	slow := &blockingDimension{name: "slowdim", started: make(chan struct{}), release: make(chan struct{})}
+	done := make(chan error, 1)
+	det := New(WithSeed(7), WithMiningWorkers(1), WithExtraDimension(slow))
+	go func() {
+		_, err := det.RunContext(ctx, w.Trace())
+		done <- err
+	}()
+
+	select {
+	case <-slow.started:
+	case <-time.After(30 * time.Second):
+		t.Fatal("mining never reached the blocking dimension")
+	}
+	cancel()
+	close(slow.release)
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunContext did not return after cancellation")
+	}
+}
+
+// TestParallelMiningEquivalence is the determinism guard for the mining
+// fan-out: a parallel run must produce a byte-identical report to the
+// legacy sequential path on the same day trace.
+func TestParallelMiningEquivalence(t *testing.T) {
+	w := testWorld(t)
+	tr := w.Trace()
+	raw, stats := trace.BuildIndex(tr), tr.ComputeStats()
+	base := []Option{WithSeed(7), WithWhois(w.Whois), WithProber(w.Prober)}
+
+	seq, err := New(append(base, WithMiningWorkers(1))...).RunIndex(raw, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers := runtime.NumCPU()
+	if workers < 2 {
+		workers = 2
+	}
+	par, err := New(append(base, WithMiningWorkers(workers))...).
+		RunIndexContext(context.Background(), raw, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seqJSON, err := json.Marshal(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parJSON, err := json.Marshal(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(seqJSON, parJSON) {
+		t.Errorf("parallel mining (workers=%d) diverges from sequential run", workers)
+	}
+	if !reflect.DeepEqual(seq.Summarize(), par.Summarize()) {
+		t.Error("parallel mining summary diverges from sequential run")
+	}
+	if !reflect.DeepEqual(seq.Mined.Secondary, par.Mined.Secondary) {
+		t.Error("parallel mining herds diverge from sequential run")
+	}
+}

@@ -48,16 +48,18 @@ func (o Options) normalized() Options {
 	return o
 }
 
-// ServerScore is the correlation verdict for one server.
+// ServerScore is the correlation verdict for one server. The JSON shape is
+// stable and consumed by smash -json and the smashd NDJSON feed; the herd
+// pointer stays internal.
 type ServerScore struct {
 	// Server is the server key.
-	Server string
+	Server string `json:"server"`
 	// Score is the accumulated suspicious score S(Si).
-	Score float64
+	Score float64 `json:"score"`
 	// Dimensions lists the secondary dimensions that contributed, sorted.
-	Dimensions []string
+	Dimensions []string `json:"dimensions,omitempty"`
 	// MainHerd identifies the server's main-dimension herd.
-	MainHerd *herd.ASH
+	MainHerd *herd.ASH `json:"-"`
 }
 
 // SuspiciousASH is a correlated herd: the servers of one main-dimension herd

@@ -32,6 +32,10 @@ type Env struct {
 	World *synth.World
 	// Oracles are the ground-truth labelling services.
 	Oracles *synth.Oracles
+	// ExtraOptions are appended to every detector Run builds — the hook
+	// smashbench uses to install a core.TimingObserver across all
+	// experiments. Set before the first Run; cached reports are not rerun.
+	ExtraOptions []core.Option
 
 	reports map[reportKey]*core.Report
 	labels  map[int]labelPair // day -> IDS scan results
@@ -88,14 +92,15 @@ func (e *Env) Run(day int, thresh, singleThresh float64) (*core.Report, error) {
 	if day < 0 || day >= len(e.World.Days) {
 		return nil, fmt.Errorf("eval: day %d out of range [0,%d)", day, len(e.World.Days))
 	}
-	det := core.New(
+	opts := []core.Option{
 		core.WithSeed(e.World.Config.Seed),
 		core.WithWhois(e.World.Whois),
 		core.WithProber(e.World.Prober),
 		core.WithThreshold(thresh),
 		core.WithSingleClientThreshold(singleThresh),
-	)
-	report, err := det.Run(e.World.Days[day])
+	}
+	opts = append(opts, e.ExtraOptions...)
+	report, err := core.New(opts...).Run(e.World.Days[day])
 	if err != nil {
 		return nil, fmt.Errorf("eval: run day %d: %w", day, err)
 	}

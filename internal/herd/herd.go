@@ -7,7 +7,9 @@
 package herd
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -242,9 +244,10 @@ type Result struct {
 }
 
 // Mine builds every dimension's similarity graph and extracts its ASHs.
-// The dimensions are independent, so they are mined concurrently (one
-// goroutine per dimension, joined before returning); results are collected
-// positionally so the output is identical to a sequential run.
+// The dimensions are independent, so they are mined concurrently; results
+// are collected positionally so the output is identical to a sequential
+// run. Mine is MineContext without cancellation, with one worker per
+// dimension.
 //
 // The main dimension additionally receives the single-client ASHs: for
 // every client, the servers visited by that client alone form one herd
@@ -252,28 +255,75 @@ type Result struct {
 // which no pairwise similarity edge can express once edges require two
 // shared clients).
 func (m *Miner) Mine(idx *trace.Index) *Result {
-	res := &Result{
-		MainDimension: m.main.Name(),
-		Secondary:     make(map[string][]ASH, len(m.secondary)),
-		Graphs:        make(map[string]*similarity.ServerGraph, 1+len(m.secondary)),
-	}
+	res, _ := m.MineContext(context.Background(), idx, 1+len(m.secondary))
+	return res
+}
+
+// MineContext mines every dimension on a bounded worker pool. workers <= 0
+// uses runtime.NumCPU(); the pool never exceeds the dimension count. The
+// fan-out is deterministic: per-dimension results land in fixed slots
+// keyed by registration order (dimension names are unique per NewMiner),
+// so the Result is identical for any worker count.
+//
+// Cancellation is cooperative with per-dimension granularity: once ctx is
+// done no further dimension build starts, in-flight builds finish, and
+// MineContext returns (nil, ctx.Err()). A caller therefore waits at most
+// one dimension's build beyond cancellation.
+func (m *Miner) MineContext(ctx context.Context, idx *trace.Index, workers int) (*Result, error) {
 	dims := append([]Dimension{m.main}, m.secondary...)
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(dims) {
+		workers = len(dims)
+	}
 	type mined struct {
 		graph *similarity.ServerGraph
 		herds []ASH
 	}
 	results := make([]mined, len(dims))
+	jobs := make(chan int)
 	var wg sync.WaitGroup
-	for i, d := range dims {
-		i, d := i, d
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sg := d.Build(idx)
-			results[i] = mined{graph: sg, herds: m.mine(d.Name(), sg, m.seed)}
+			for i := range jobs {
+				// Drain without building once cancelled, so a job that
+				// raced past the feeder's check cannot start a build.
+				if ctx.Err() != nil {
+					continue
+				}
+				d := dims[i]
+				sg := d.Build(idx)
+				results[i] = mined{graph: sg, herds: m.mine(d.Name(), sg, m.seed)}
+			}
 		}()
 	}
+feed:
+	for i := range dims {
+		// Checked before the select: when both cases are ready the select
+		// picks randomly, which could keep feeding after cancellation.
+		if ctx.Err() != nil {
+			break
+		}
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		MainDimension: m.main.Name(),
+		Secondary:     make(map[string][]ASH, len(m.secondary)),
+		Graphs:        make(map[string]*similarity.ServerGraph, 1+len(m.secondary)),
+	}
 	res.Graphs[m.main.Name()] = results[0].graph
 	res.Main = results[0].herds
 	res.Main = append(res.Main, SingleClientASHes(m.main.Name(), idx, len(res.Main))...)
@@ -281,7 +331,7 @@ func (m *Miner) Mine(idx *trace.Index) *Result {
 		res.Graphs[d.Name()] = results[i+1].graph
 		res.Secondary[d.Name()] = results[i+1].herds
 	}
-	return res
+	return res, nil
 }
 
 // SingleClientASHes groups servers visited by exactly one client into one

@@ -32,6 +32,7 @@
 package stream
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -101,6 +102,11 @@ type Engine struct {
 	tk  *tracker.Tracker
 	out chan WindowResult
 
+	// ctx is the run context given to StartContext; its cancellation
+	// stops ingestion and aborts in-flight window detections.
+	ctx  context.Context
+	done chan struct{} // closed once the output channel has closed
+
 	quit     chan struct{}
 	stopOnce sync.Once
 	started  bool
@@ -149,6 +155,7 @@ func New(cfg Config) (*Engine, error) {
 		det:  core.New(cfg.Detector...),
 		tk:   cfg.Tracker,
 		out:  make(chan WindowResult, cfg.Workers),
+		done: make(chan struct{}),
 		quit: make(chan struct{}),
 	}, nil
 }
@@ -156,12 +163,33 @@ func New(cfg Config) (*Engine, error) {
 // Start launches the pipeline over src and returns the result channel. The
 // channel closes once the source is exhausted (or Stop is called) and every
 // in-flight window has been sealed, detected and emitted. Start may be
-// called once.
+// called once. Start is StartContext with a background context.
 func (e *Engine) Start(src Source) <-chan WindowResult {
+	return e.StartContext(context.Background(), src)
+}
+
+// StartContext is Start bound to a context: when ctx is cancelled the
+// engine stops ingesting (as if Stop had been called) AND cancels in-flight
+// window detections — each detection worker's core pipeline aborts at its
+// next stage boundary, the affected windows are emitted without reports,
+// and Err reports ctx.Err(). This is the hard-shutdown path; Stop alone
+// remains the graceful drain that lets in-flight detections finish.
+func (e *Engine) StartContext(ctx context.Context, src Source) <-chan WindowResult {
 	if e.started {
 		panic("stream: Start called twice")
 	}
 	e.started = true
+	e.ctx = ctx
+	if ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				e.setErr(ctx.Err())
+				e.Stop()
+			case <-e.done:
+			}
+		}()
+	}
 
 	events := make(chan trace.Request, e.cfg.Buffer)
 	jobs := make(chan windowJob)
@@ -197,8 +225,8 @@ func (e *Engine) Stop() {
 	e.stopOnce.Do(func() { close(e.quit) })
 }
 
-// Err returns the first source or detection error, if any. Valid once the
-// output channel has closed.
+// Err returns the first source, detection or context error, if any. Valid
+// once the output channel has closed.
 func (e *Engine) Err() error {
 	e.errMu.Lock()
 	defer e.errMu.Unlock()
@@ -486,17 +514,31 @@ func shardOf(key string, n int) int {
 
 // detect runs the batch pipeline over sealed windows. Empty windows skip
 // detection but still flow through so the sequencer can advance the
-// tracker's window clock.
+// tracker's window clock. The run context cancels in-flight detections;
+// cancelled windows flow through report-less so the sequencer still
+// closes the output promptly.
 func (e *Engine) detect(jobs <-chan windowJob, results chan<- windowDone) {
+	ctx := e.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	for j := range jobs {
 		d := windowDone{seq: j.seq, start: j.start, end: j.end, requests: j.idx.RequestCount}
-		if j.idx.RequestCount > 0 {
+		switch {
+		case ctx.Err() != nil:
+			// Hard shutdown: don't pay ComputeStats for a detection that
+			// would abort before its first stage — flow through report-less.
+			e.setErr(ctx.Err())
+		case j.idx.RequestCount > 0:
 			name := fmt.Sprintf("%s-w%d", e.cfg.Name, j.seq)
-			report, err := e.det.RunIndex(j.idx, j.idx.ComputeStats(name))
-			if err != nil {
-				e.setErr(fmt.Errorf("stream: window %d: %w", j.seq, err))
-			} else {
+			report, err := e.det.RunIndexContext(ctx, j.idx, j.idx.ComputeStats(name))
+			switch {
+			case err == nil:
 				d.report = report
+			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+				e.setErr(err)
+			default:
+				e.setErr(fmt.Errorf("stream: window %d: %w", j.seq, err))
 			}
 		}
 		results <- d
@@ -507,6 +549,7 @@ func (e *Engine) detect(jobs <-chan windowJob, results chan<- windowDone) {
 // feeds each window through the tracker, and emits WindowResults. Running
 // single-threaded here is what makes worker count invisible in the output.
 func (e *Engine) sequence(results <-chan windowDone) {
+	defer close(e.done)
 	defer close(e.out)
 	pending := make(map[int]windowDone)
 	next := 0

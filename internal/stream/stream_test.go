@@ -1,6 +1,8 @@
 package stream
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"reflect"
@@ -9,6 +11,7 @@ import (
 	"time"
 
 	"smash/internal/core"
+	"smash/internal/similarity"
 	"smash/internal/synth"
 	"smash/internal/trace"
 	"smash/internal/tracker"
@@ -403,5 +406,170 @@ func TestMultiSource(t *testing.T) {
 	}
 	if !reflect.DeepEqual(hosts, []string{"a.com", "b.com", "c.com"}) {
 		t.Errorf("hosts = %v", hosts)
+	}
+}
+
+// dayEvents builds a simple two-day event feed: enough traffic per day for
+// a non-empty detection window, with day 2 sealing day 1's window.
+func dayEvents() []trace.Request {
+	var all []trace.Request
+	for day := 0; day < 2; day++ {
+		for hour := 1; hour < 6; hour++ {
+			for _, c := range []string{"c1", "c2", "c3"} {
+				for _, h := range []string{"a.com", "b.com", "c.com"} {
+					ts := time.Date(2011, 10, 1+day, hour, 0, 0, 0, time.UTC)
+					all = append(all, evReq(ts, c, h, "/x"))
+				}
+			}
+		}
+	}
+	return all
+}
+
+// TestStartContextCancelledUpFront: a context cancelled before Start acts
+// as an immediate hard shutdown — the output channel still closes, every
+// emitted window is report-less, and Err reports the context error.
+func TestStartContextCancelledUpFront(t *testing.T) {
+	eng, err := New(Config{Window: 24 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	done := make(chan []WindowResult, 1)
+	go func() {
+		var out []WindowResult
+		for r := range eng.StartContext(ctx, &SliceSource{Requests: dayEvents()}) {
+			out = append(out, r)
+		}
+		done <- out
+	}()
+	select {
+	case out := <-done:
+		for _, w := range out {
+			if w.Report != nil {
+				t.Errorf("window %d carries a report despite cancelled context", w.Seq)
+			}
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("output channel did not close under a cancelled context")
+	}
+	if err := eng.Err(); !errors.Is(err, context.Canceled) {
+		t.Errorf("Err() = %v, want context.Canceled", err)
+	}
+}
+
+// slowDim parks the first Build until released, signalling when detection
+// has reached it; later builds pass straight through.
+type slowDim struct {
+	started chan struct{}
+	release chan struct{}
+	once    sync.Once
+}
+
+func (d *slowDim) Name() string { return "slowdim" }
+
+func (d *slowDim) Build(idx *trace.Index) *similarity.ServerGraph {
+	d.once.Do(func() { close(d.started) })
+	<-d.release
+	return similarity.BuildUserAgentGraph(idx, similarity.Options{})
+}
+
+// TestStartContextCancelsInFlightDetection cancels the run context while a
+// window's mining stage is blocked inside a dimension build: the engine
+// must abort that detection (report-less window), close the output
+// promptly, and surface ctx.Err().
+func TestStartContextCancelsInFlightDetection(t *testing.T) {
+	slow := &slowDim{started: make(chan struct{}), release: make(chan struct{})}
+	eng, err := New(Config{
+		Window:   24 * time.Hour,
+		Workers:  1,
+		Detector: []core.Option{core.WithSeed(1), core.WithExtraDimension(slow)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	done := make(chan []WindowResult, 1)
+	go func() {
+		var out []WindowResult
+		for r := range eng.StartContext(ctx, &SliceSource{Requests: dayEvents()}) {
+			out = append(out, r)
+		}
+		done <- out
+	}()
+
+	select {
+	case <-slow.started:
+	case <-time.After(30 * time.Second):
+		t.Fatal("detection never reached the blocking dimension")
+	}
+	cancel()
+	close(slow.release)
+
+	select {
+	case out := <-done:
+		if len(out) == 0 {
+			t.Fatal("no windows emitted")
+		}
+		for _, w := range out {
+			if w.Report != nil {
+				t.Errorf("window %d carries a report despite mid-detection cancel", w.Seq)
+			}
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("output channel did not close after cancellation")
+	}
+	if err := eng.Err(); !errors.Is(err, context.Canceled) {
+		t.Errorf("Err() = %v, want context.Canceled", err)
+	}
+}
+
+// TestStopStillDrainsGracefully guards the Stop/cancel distinction: Stop
+// without context cancellation lets in-flight detections finish and their
+// windows keep their reports.
+func TestStopStillDrainsGracefully(t *testing.T) {
+	slow := &slowDim{started: make(chan struct{}), release: make(chan struct{})}
+	eng, err := New(Config{
+		Window:   24 * time.Hour,
+		Workers:  1,
+		Detector: []core.Option{core.WithSeed(1), core.WithExtraDimension(slow)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan []WindowResult, 1)
+	go func() {
+		var out []WindowResult
+		for r := range eng.StartContext(context.Background(), &SliceSource{Requests: dayEvents()}) {
+			out = append(out, r)
+		}
+		done <- out
+	}()
+
+	select {
+	case <-slow.started:
+	case <-time.After(30 * time.Second):
+		t.Fatal("detection never reached the blocking dimension")
+	}
+	eng.Stop()
+	close(slow.release)
+
+	select {
+	case out := <-done:
+		if len(out) == 0 {
+			t.Fatal("no windows emitted")
+		}
+		if out[0].Report == nil {
+			t.Error("graceful Stop dropped the in-flight window's report")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("output channel did not close after Stop")
+	}
+	if err := eng.Err(); err != nil {
+		t.Errorf("Err() = %v, want nil after graceful Stop", err)
 	}
 }
