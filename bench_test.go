@@ -18,12 +18,14 @@ import (
 	"testing"
 	"time"
 
+	"smash/internal/campaign"
 	"smash/internal/core"
 	"smash/internal/eval"
 	"smash/internal/graph"
 	"smash/internal/similarity"
 	"smash/internal/sparse"
 	"smash/internal/stats"
+	"smash/internal/store"
 	"smash/internal/stream"
 	"smash/internal/synth"
 	"smash/internal/trace"
@@ -289,6 +291,115 @@ func BenchmarkStreamThroughput(b *testing.B) {
 	b.StopTimer()
 	perSec := float64(b.N) * float64(len(events)) / b.Elapsed().Seconds()
 	b.ReportMetric(perSec, "events/s")
+}
+
+// --- Durability: campaign-state store append and restore ------------------
+
+// benchWindowResult fabricates one window's result with churning campaign
+// membership, the shape the store persists per window.
+func benchWindowResult(seq int) *stream.WindowResult {
+	report := &core.Report{}
+	for c := 0; c < 4; c++ {
+		camp := campaign.Campaign{ID: c, Kind: campaign.KindCommunication}
+		for s := 0; s < 12; s++ {
+			camp.Servers = append(camp.Servers, fmt.Sprintf("srv-%d-%d.test", c, (seq+s)%40))
+		}
+		for cl := 0; cl < 25; cl++ {
+			camp.Clients = append(camp.Clients, fmt.Sprintf("client-%d-%d", c, cl))
+		}
+		report.Campaigns = append(report.Campaigns, camp)
+	}
+	base := time.Date(2020, 9, 13, 0, 0, 0, 0, time.UTC)
+	return &stream.WindowResult{
+		Seq:      seq,
+		Start:    base.AddDate(0, 0, seq),
+		End:      base.AddDate(0, 0, seq+1),
+		Requests: 5000,
+		Report:   report,
+	}
+}
+
+// BenchmarkStoreAppend measures the per-window durability cost of the
+// campaign-state store — mirror apply only (memory), plus WAL append, plus
+// fsync — including the periodic snapshot+compaction at the default
+// cadence.
+func BenchmarkStoreAppend(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		cfg  func(b *testing.B) store.Config
+	}{
+		{"memory", func(b *testing.B) store.Config { return store.Config{} }},
+		{"wal", func(b *testing.B) store.Config { return store.Config{Dir: b.TempDir()} }},
+		{"wal-fsync", func(b *testing.B) store.Config { return store.Config{Dir: b.TempDir(), Sync: true} }},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			st, err := store.Open(mode.cfg(b))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := st.Consume(benchWindowResult(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRestore measures recovery: reopening a state directory holding
+// benchRestoreWindows windows, either as a pure WAL replay (the kill -9
+// path) or from a clean snapshot (the graceful-shutdown path).
+func BenchmarkRestore(b *testing.B) {
+	const benchRestoreWindows = 256
+	for _, mode := range []struct {
+		name  string
+		clean bool // Close before reopening: snapshot, empty WAL
+	}{
+		{"wal-replay", false},
+		{"snapshot", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cfg := store.Config{Dir: b.TempDir(), SnapshotEvery: 1 << 30}
+				st, err := store.Open(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for w := 0; w < benchRestoreWindows; w++ {
+					if err := st.Consume(benchWindowResult(w)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if mode.clean {
+					if err := st.Close(); err != nil {
+						b.Fatal(err)
+					}
+				} else {
+					st.Abandon() // the kill -9 analogue
+				}
+				b.StartTimer()
+
+				st2, err := store.Open(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tk := st2.Restore()
+				b.StopTimer()
+				if tk.Day() != benchRestoreWindows {
+					b.Fatalf("restored %d windows, want %d", tk.Day(), benchRestoreWindows)
+				}
+				if err := st2.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+			}
+		})
+	}
 }
 
 // --- Overhead substrate: sparse product vs dense N² (§VI Overhead) --------

@@ -8,6 +8,8 @@
 //	smashd [-window 24h] [-stride 0] [-watermark 0] [-workers 1]
 //	       [-shards 4] [-speedup 0] [-seed 1] [-idf 200]
 //	       [-threshold 0.8] [-single-threshold 1.0] [-json] [-v]
+//	       [-state-dir DIR] [-listen ADDR] [-retire-after N]
+//	       [-snapshot-every 64] [-wal-sync=true]
 //	       [trace.tsv ...]
 //
 // With no file arguments (or "-"), events are read from stdin, so a live
@@ -18,28 +20,47 @@
 // -watermark bounds how out-of-order events may arrive before being
 // dropped.
 //
+// -state-dir makes campaign lineages durable: every window is appended to
+// a write-ahead log and snapshotted periodically (internal/store), and a
+// restarted smashd pointed at the same directory resumes its lineages
+// exactly where the previous process — even one killed with SIGKILL —
+// left off. -retire-after N retires lineages idle for more than N windows
+// (excluded from matching, member history pruned, scalar summary kept for
+// reporting), bounding tracker memory on endless streams.
+//
+// -listen ADDR exposes the HTTP query/ops API (internal/serve) while the
+// daemon runs: /v1/lineages, /v1/lineages/{id}, /v1/windows/latest,
+// /v1/stats, /healthz and Prometheus /metrics. The server shuts down
+// gracefully after the stream drains.
+//
 // Text mode prints one line per window plus its deltas; -json emits one
 // JSON object per window (NDJSON) for downstream tooling. The first
-// SIGINT/SIGTERM drains cleanly: in-flight windows are sealed, detected
-// and reported before exit. A second signal cancels the run context,
-// aborting in-flight detections at their next pipeline stage boundary.
-// -v additionally logs per-stage detection timings to stderr.
+// SIGINT/SIGTERM drains cleanly: in-flight windows are sealed, detected,
+// reported and persisted before exit. A second signal cancels the run
+// context, aborting in-flight detections at their next pipeline stage
+// boundary. -v additionally logs per-stage detection timings to stderr.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"smash/internal/core"
+	"smash/internal/serve"
+	"smash/internal/store"
 	"smash/internal/stream"
 	"smash/internal/trace"
+	"smash/internal/tracker"
 )
 
 func main() {
@@ -48,6 +69,10 @@ func main() {
 		os.Exit(1)
 	}
 }
+
+// onListen, when set (tests), receives the HTTP listener's bound address —
+// the way a test using -listen 127.0.0.1:0 learns the chosen port.
+var onListen func(net.Addr)
 
 // windowRecord is the NDJSON shape of one window. Aborted marks a
 // non-empty window whose detection did not complete (context cancelled or
@@ -78,6 +103,11 @@ func run(ctx context.Context, args []string, stdin io.Reader, out io.Writer) err
 		singleThresh = fs.Float64("single-threshold", 1.0, "inference threshold for single-client campaigns")
 		jsonOut      = fs.Bool("json", false, "emit one JSON object per window (NDJSON)")
 		verbose      = fs.Bool("v", false, "print every delta's new servers")
+		stateDir     = fs.String("state-dir", "", "durable campaign-state directory (snapshot + WAL); empty disables persistence")
+		listen       = fs.String("listen", "", "HTTP query/ops API address (e.g. :8080); empty disables serving")
+		retireAfter  = fs.Int("retire-after", 0, "retire lineages idle for more than N windows (0 = never)")
+		snapEvery    = fs.Int("snapshot-every", 64, "windows between state snapshots / WAL compactions")
+		walSync      = fs.Bool("wal-sync", true, "fsync the WAL after every window (survives machine death, not just process death)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -120,7 +150,16 @@ func run(ctx context.Context, args []string, stdin io.Reader, out io.Writer) err
 	if *verbose {
 		detOpts = append(detOpts, core.WithObserver(&core.LogObserver{W: os.Stderr, Prefix: "smashd: "}))
 	}
-	eng, err := stream.New(stream.Config{
+	var timing *core.TimingObserver
+	if *listen != "" {
+		timing = core.NewTimingObserver()
+		detOpts = append(detOpts, core.WithObserver(timing))
+	}
+
+	// The store is the durability layer and the HTTP read model: with
+	// -state-dir it restores lineage state from snapshot + WAL and keeps
+	// persisting; with only -listen it mirrors state in memory for serving.
+	engCfg := stream.Config{
 		Name:      "smashd",
 		Window:    *window,
 		Stride:    *stride,
@@ -128,7 +167,35 @@ func run(ctx context.Context, args []string, stdin io.Reader, out io.Writer) err
 		Workers:   *workers,
 		Shards:    *shards,
 		Detector:  detOpts,
-	})
+	}
+	var st *store.Store
+	if *stateDir != "" || *listen != "" {
+		var err error
+		st, err = store.Open(store.Config{
+			Dir:           *stateDir,
+			SnapshotEvery: *snapEvery,
+			Sync:          *walSync,
+			NewTracker: func() *tracker.Tracker {
+				tk := tracker.New()
+				tk.RetireAfter = *retireAfter
+				return tk
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		if restored := st.Applied(); restored > 0 {
+			fmt.Fprintf(os.Stderr, "smashd: restored %d windows (%d WAL records) from %s\n",
+				restored, st.Stats().Replayed, *stateDir)
+		}
+		engCfg.Tracker = st.Restore()
+		engCfg.Sinks = []stream.Sink{st}
+	} else if *retireAfter > 0 {
+		engCfg.Tracker = tracker.New()
+		engCfg.Tracker.RetireAfter = *retireAfter
+	}
+	eng, err := stream.New(engCfg)
 	if err != nil {
 		return err
 	}
@@ -140,6 +207,37 @@ func run(ctx context.Context, args []string, stdin io.Reader, out io.Writer) err
 	// deferred cancel also unparks the goroutine on a signal-free return.
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+
+	// The ops API serves live state for the whole run and shuts down
+	// gracefully once the stream has drained. Its shutdown context is the
+	// run context: a second signal (hard abort) also cuts serving short.
+	var httpSrv *http.Server
+	if *listen != "" {
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			return err
+		}
+		httpSrv = &http.Server{Handler: serve.NewHandler(serve.Config{
+			Store:       st,
+			Timing:      timing,
+			EngineStats: eng.Stats,
+			Started:     time.Now(),
+		})}
+		fmt.Fprintf(os.Stderr, "smashd: http api listening on %s\n", ln.Addr())
+		if onListen != nil {
+			onListen(ln.Addr())
+		}
+		httpErr := make(chan error, 1)
+		go func() { httpErr <- httpSrv.Serve(ln) }()
+		defer func() {
+			sctx, scancel := context.WithTimeout(ctx, 3*time.Second)
+			defer scancel()
+			httpSrv.Shutdown(sctx)
+			if err := <-httpErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "smashd: http:", err)
+			}
+		}()
+	}
 	sigCh := make(chan os.Signal, 2)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sigCh)
@@ -189,6 +287,13 @@ func run(ctx context.Context, args []string, stdin io.Reader, out io.Writer) err
 	}
 	if err := eng.Err(); err != nil {
 		return err
+	}
+	// Final snapshot + WAL compaction, so the next start restores without
+	// replay. The deferred Close is then a no-op.
+	if st != nil {
+		if err := st.Close(); err != nil {
+			return err
+		}
 	}
 
 	stats := eng.Stats()

@@ -18,7 +18,12 @@
 //     core.Pipeline with five first-class stages, context cancellation,
 //     parallel dimension mining, Observer hooks; core.Detector wraps it
 //   - internal/stream      — streaming ingestion engine: sliding windows,
-//     sharded incremental indexing, watermark, worker pool, lineage deltas
+//     sharded incremental indexing, watermark, worker pool, lineage
+//     deltas, pluggable result sinks
+//   - internal/store       — durable campaign-state store: snapshot +
+//     NDJSON WAL with compaction, crash-safe restore, live mirror
+//   - internal/serve       — embedded HTTP query/ops API over the store:
+//     /v1/lineages, /v1/windows/latest, /v1/stats, /healthz, /metrics
 //   - internal/trace       — HTTP traffic model, TSV codec, server index
 //   - internal/similarity  — the four dimension metrics and graph builders
 //   - internal/graph       — weighted graphs + Louvain community detection
@@ -31,7 +36,8 @@
 //   - internal/ids         — simulated IDS snapshots and blacklists
 //   - internal/eval        — reproduction of every table and figure
 //   - cmd/smash, cmd/tracegen, cmd/smashbench — batch CLIs
-//   - cmd/smashd           — streaming daemon over TSV files or stdin
+//   - cmd/smashd           — streaming daemon over TSV files or stdin,
+//     with durable state (-state-dir) and the ops API (-listen)
 //   - examples/            — runnable scenarios
 //
 // See README.md for a walkthrough and DESIGN.md for the staged pipeline

@@ -1,0 +1,255 @@
+// Package serve is smashd's embedded HTTP query/ops API: the read path
+// over the campaign-state store (internal/store) that lets operators ask
+// "what campaigns are live right now" while the detector runs.
+//
+// Endpoints:
+//
+//	GET /healthz              liveness probe
+//	GET /metrics              Prometheus text metrics: store counters,
+//	                          lineage gauges, live engine counters, and
+//	                          per-stage pipeline totals from the
+//	                          core.Observer hooks
+//	GET /v1/lineages          all lineages (summaries, ordered by ID)
+//	GET /v1/lineages/{id}     one lineage with full server/client history
+//	GET /v1/windows/latest    the most recently applied window record
+//	GET /v1/stats             store + engine counters
+//
+// All /v1 responses are stable, indentation-formatted JSON (golden-tested);
+// map keys serialize sorted, so output is deterministic for a fixed state.
+// Handlers read the store's mutex-guarded mirror and lock-free atomic
+// engine counters. Store reads are cheap (scalar copies; member maps are
+// cloned only for single-lineage detail), but they share one mutex with
+// the persistence path: a scrape can briefly wait on an in-progress WAL
+// fsync or snapshot, and window emission can briefly wait on a burst of
+// scrapes. The detection pipeline itself (windowing, mining, scoring)
+// never touches that lock.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"smash/internal/core"
+	"smash/internal/store"
+	"smash/internal/stream"
+	"smash/internal/tracker"
+)
+
+// Config wires the handler's data sources.
+type Config struct {
+	// Store is the campaign-state store backing every /v1 endpoint
+	// (required).
+	Store *store.Store
+	// Timing, when set, contributes per-stage pipeline totals to /metrics.
+	// Install the same observer on the detector (core.WithObserver).
+	Timing *core.TimingObserver
+	// EngineStats, when set, contributes live engine ingestion counters to
+	// /v1/stats and /metrics (use Engine.Stats).
+	EngineStats func() stream.Stats
+	// Started stamps the /healthz uptime; zero disables the field.
+	Started time.Time
+}
+
+// NewHandler builds the API's http.Handler.
+func NewHandler(cfg Config) http.Handler {
+	if cfg.Store == nil {
+		panic("serve: Config.Store is required")
+	}
+	s := &server{cfg: cfg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.healthz)
+	mux.HandleFunc("GET /metrics", s.metrics)
+	mux.HandleFunc("GET /v1/lineages", s.lineages)
+	mux.HandleFunc("GET /v1/lineages/{id}", s.lineage)
+	mux.HandleFunc("GET /v1/windows/latest", s.latestWindow)
+	mux.HandleFunc("GET /v1/stats", s.stats)
+	return mux
+}
+
+type server struct {
+	cfg Config
+}
+
+// lineageSummary is the list-view JSON shape of one lineage.
+type lineageSummary struct {
+	ID       int    `json:"id"`
+	Kind     string `json:"kind"`
+	Behavior string `json:"behavior"`
+	Retired  bool   `json:"retired,omitempty"`
+	// FirstWindow/LastWindow are 0-based global window sequence numbers;
+	// WindowsActive counts windows with a matched campaign.
+	FirstWindow   int `json:"firstWindow"`
+	LastWindow    int `json:"lastWindow"`
+	WindowsActive int `json:"windowsActive"`
+	Servers       int `json:"servers"`
+	Clients       int `json:"clients"`
+}
+
+// lineageDetail adds the full per-server/per-client window counts.
+type lineageDetail struct {
+	lineageSummary
+	// ServerWindows/ClientWindows map each member to the number of
+	// windows it appeared in.
+	ServerWindows map[string]int `json:"serverWindows,omitempty"`
+	ClientWindows map[string]int `json:"clientWindows,omitempty"`
+}
+
+func summarize(l *tracker.Lineage) lineageSummary {
+	behavior := "persistent"
+	if l.Agile() {
+		behavior = "agile"
+	}
+	return lineageSummary{
+		ID:            l.ID,
+		Kind:          l.Kind.String(),
+		Behavior:      behavior,
+		Retired:       l.Retired,
+		FirstWindow:   l.FirstDay,
+		LastWindow:    l.LastDay,
+		WindowsActive: l.DaysActive,
+		Servers:       l.ServerCount(),
+		Clients:       l.ClientCount(),
+	}
+}
+
+func (s *server) lineages(w http.ResponseWriter, r *http.Request) {
+	all := s.cfg.Store.LineageSummaries()
+	out := struct {
+		Count    int              `json:"count"`
+		Retired  int              `json:"retired"`
+		Lineages []lineageSummary `json:"lineages"`
+	}{Count: len(all), Lineages: make([]lineageSummary, 0, len(all))}
+	for _, l := range all {
+		if l.Retired {
+			out.Retired++
+		}
+		out.Lineages = append(out.Lineages, summarize(l))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) lineage(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "lineage id must be an integer")
+		return
+	}
+	l := s.cfg.Store.Lineage(id)
+	if l == nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no lineage %d", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, lineageDetail{
+		lineageSummary: summarize(l),
+		ServerWindows:  l.Servers,
+		ClientWindows:  l.Clients,
+	})
+}
+
+func (s *server) latestWindow(w http.ResponseWriter, r *http.Request) {
+	rec := s.cfg.Store.LastWindow()
+	if rec == nil {
+		writeError(w, http.StatusNotFound, "no window applied yet")
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+func (s *server) stats(w http.ResponseWriter, r *http.Request) {
+	out := struct {
+		Store  store.Stats   `json:"store"`
+		Engine *stream.Stats `json:"engine,omitempty"`
+	}{Store: s.cfg.Store.Stats()}
+	if s.cfg.EngineStats != nil {
+		es := s.cfg.EngineStats()
+		out.Engine = &es
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
+	out := map[string]any{"status": "ok"}
+	if !s.cfg.Started.IsZero() {
+		out["uptimeSeconds"] = int(time.Since(s.cfg.Started) / time.Second)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// metrics renders Prometheus text exposition format by hand — counters and
+// gauges only, no dependency needed.
+func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
+	st := s.cfg.Store.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+
+	p("# HELP smash_store_windows_total Windows applied to the campaign-state store.\n")
+	p("# TYPE smash_store_windows_total counter\n")
+	p("smash_store_windows_total %d\n", st.Windows)
+	p("# HELP smash_store_requests_total Requests summed over applied windows.\n")
+	p("# TYPE smash_store_requests_total counter\n")
+	p("smash_store_requests_total %d\n", st.Requests)
+	p("# HELP smash_store_campaigns_total Campaigns summed over applied windows.\n")
+	p("# TYPE smash_store_campaigns_total counter\n")
+	p("smash_store_campaigns_total %d\n", st.Campaigns)
+	p("# HELP smash_store_deltas_total Lineage transitions by kind.\n")
+	p("# TYPE smash_store_deltas_total counter\n")
+	p("smash_store_deltas_total{kind=\"appear\"} %d\n", st.Appeared)
+	p("smash_store_deltas_total{kind=\"persist\"} %d\n", st.Persisted)
+	p("smash_store_deltas_total{kind=\"rotate\"} %d\n", st.Rotated)
+	p("# HELP smash_lineages Current lineage count by state.\n")
+	p("# TYPE smash_lineages gauge\n")
+	p("smash_lineages{state=\"active\"} %d\n", st.Lineages-st.RetiredLineages)
+	p("smash_lineages{state=\"retired\"} %d\n", st.RetiredLineages)
+
+	if s.cfg.EngineStats != nil {
+		es := s.cfg.EngineStats()
+		p("# HELP smash_engine_events_total Events accepted into windows.\n")
+		p("# TYPE smash_engine_events_total counter\n")
+		p("smash_engine_events_total %d\n", es.Events)
+		p("# HELP smash_engine_late_events_total Events dropped beyond the watermark.\n")
+		p("# TYPE smash_engine_late_events_total counter\n")
+		p("smash_engine_late_events_total %d\n", es.Late)
+		p("# HELP smash_engine_windows_total Windows emitted by the engine this run.\n")
+		p("# TYPE smash_engine_windows_total counter\n")
+		p("smash_engine_windows_total %d\n", es.Windows)
+	}
+
+	if s.cfg.Timing != nil {
+		stages := core.StageNames()
+		sort.Strings(stages)
+		durations := make([]time.Duration, len(stages))
+		runs := make([]int, len(stages))
+		for i, stage := range stages {
+			durations[i], runs[i] = s.cfg.Timing.Total(stage)
+		}
+		p("# HELP smash_pipeline_stage_seconds_total Wall-clock per detection stage.\n")
+		p("# TYPE smash_pipeline_stage_seconds_total counter\n")
+		for i, stage := range stages {
+			p("smash_pipeline_stage_seconds_total{stage=%q} %g\n", stage, durations[i].Seconds())
+		}
+		p("# HELP smash_pipeline_stage_runs_total Completed runs per detection stage.\n")
+		p("# TYPE smash_pipeline_stage_runs_total counter\n")
+		for i, stage := range stages {
+			p("smash_pipeline_stage_runs_total{stage=%q} %d\n", stage, runs[i])
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]any{"error": msg})
+}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// flock is a no-op on platforms without BSD flock semantics: the lock
+// file is still created, but double-start protection is unix-only.
+func flock(*os.File) error { return nil }

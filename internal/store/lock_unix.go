@@ -1,0 +1,15 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// flock takes a non-blocking exclusive lock on f. The kernel releases it
+// when the process dies, so a kill -9'd daemon never wedges its state
+// dir.
+func flock(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}

@@ -1,0 +1,587 @@
+// Package store is smashd's durability layer: a campaign-state store that
+// makes cross-window lineage tracking survive process restarts and serves
+// as the read model for the HTTP API (internal/serve).
+//
+// The store consumes the same per-window results the CLI prints — it plugs
+// into internal/stream as a stream.Sink — and persists them with the
+// classic snapshot + write-ahead-log pattern:
+//
+//	state-dir/
+//	  snapshot.json   full tracker state + cumulative counters, written
+//	                  atomically (tmp + rename) every SnapshotEvery
+//	                  windows and on Close
+//	  wal.ndjson      one JSON record per window applied since the last
+//	                  snapshot (append-only; flushed per record, fsynced
+//	                  when Sync is set)
+//	  lock            flock held for the store's lifetime, so a second
+//	                  process cannot corrupt the directory; released by
+//	                  the kernel on process death
+//
+// Every record carries a global monotonic sequence number (the tracker's
+// window clock), and the snapshot records how many windows it has applied.
+// Replay skips WAL records older than the snapshot, so a crash between
+// "snapshot renamed" and "WAL truncated" double-applies nothing: recovery
+// is idempotent. A torn final WAL line (the kill -9 case) is detected and
+// truncated away on open.
+//
+// Restore rebuilds a tracker.Tracker that is byte-identical — Summary and
+// all future Observe decisions — to the tracker of a process that never
+// died, because the WAL records exactly the ordered campaign sets the
+// original tracker observed and tracker.Observe is deterministic.
+//
+// The store also keeps an in-memory mirror tracker fed by the same records
+// (live and replayed), guarded by a mutex, so HTTP handlers can query
+// lineage state concurrently while the engine's own tracker keeps running
+// lock-free on the hot path.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"smash/internal/campaign"
+	"smash/internal/core"
+	"smash/internal/stream"
+	"smash/internal/tracker"
+)
+
+const (
+	snapshotFile = "snapshot.json"
+	walFile      = "wal.ndjson"
+	lockFile     = "lock"
+	// formatVersion guards the on-disk schema.
+	formatVersion = 1
+)
+
+// Config parameterizes a Store.
+type Config struct {
+	// Dir is the state directory. Empty means memory-only: the store still
+	// mirrors state for serving, but persists nothing.
+	Dir string
+	// SnapshotEvery is the number of windows between snapshots (and WAL
+	// compactions). Default 64.
+	SnapshotEvery int
+	// Sync fsyncs the WAL after every appended record. Without it a record
+	// survives process death (the file write has happened) but not
+	// necessarily OS/machine death.
+	Sync bool
+	// NewTracker builds the mirror (and Restore) trackers, carrying policy
+	// knobs like RetireAfter. Default tracker.New.
+	NewTracker func() *tracker.Tracker
+}
+
+// Record is one window's durable state change: everything needed to replay
+// the tracker's Observe call and to serve /v1/windows/latest. The JSON
+// shape is stable; one Record per line in the WAL.
+type Record struct {
+	// Seq is the global window sequence — the tracker's window clock. It
+	// keeps counting across restarts, unlike Window.
+	Seq int `json:"seq"`
+	// Window is the emitting engine's per-run window Seq.
+	Window int `json:"window"`
+	// Start and End bound the window interval.
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+	// Requests counts indexed requests in the window.
+	Requests int `json:"requests"`
+	// Aborted marks a non-empty window emitted without a report (hard
+	// shutdown mid-detection).
+	Aborted bool `json:"aborted,omitempty"`
+	// Campaigns are the window's campaigns in tracker observation order
+	// (multi-client first, then single-client).
+	Campaigns []campaign.Campaign `json:"campaigns,omitempty"`
+	// Deltas are the lineage transitions the tracker derived.
+	Deltas []stream.Delta `json:"deltas,omitempty"`
+}
+
+// Counters are the store's cumulative activity counters. They span
+// restarts: replayed windows count exactly once.
+type Counters struct {
+	// Windows counts applied windows; EmptyWindows those with no requests.
+	Windows      int `json:"windows"`
+	EmptyWindows int `json:"emptyWindows"`
+	// Requests sums window request counts.
+	Requests int `json:"requests"`
+	// Campaigns sums per-window campaign counts.
+	Campaigns int `json:"campaigns"`
+	// Appeared/Persisted/Rotated count deltas by kind.
+	Appeared  int `json:"appeared"`
+	Persisted int `json:"persisted"`
+	Rotated   int `json:"rotated"`
+}
+
+// Stats is the store's live summary, served by /v1/stats.
+type Stats struct {
+	Counters
+	// Lineages and RetiredLineages count the mirror tracker's state.
+	Lineages        int `json:"lineages"`
+	RetiredLineages int `json:"retiredLineages"`
+	// Replayed is the number of WAL records replayed when the store
+	// opened (0 after a clean shutdown, which compacts on Close).
+	Replayed int `json:"replayed"`
+	// Restored is the number of windows recovered at open from snapshot
+	// plus WAL together.
+	Restored int `json:"restored"`
+}
+
+// snapshot is the on-disk snapshot schema.
+type snapshot struct {
+	Version    int           `json:"version"`
+	Applied    int           `json:"applied"`
+	Counters   Counters      `json:"counters"`
+	LastWindow *Record       `json:"lastWindow,omitempty"`
+	Tracker    tracker.State `json:"tracker"`
+}
+
+// Store is a durable campaign-state store. It implements stream.Sink; all
+// methods are safe for concurrent use.
+type Store struct {
+	cfg Config
+
+	mu        sync.Mutex
+	mirror    *tracker.Tracker
+	ctr       Counters
+	last      *Record
+	applied   int // windows applied == mirror.Day()
+	replayed  int
+	restored  int
+	sinceSnap int
+	wal       *os.File
+	walBuf    *bufio.Writer
+	lock      *os.File // flock guarding the state dir against a second process
+}
+
+// Open loads (or creates) the store under cfg.Dir, replaying any snapshot
+// and WAL into the in-memory mirror. With an empty Dir the store is
+// memory-only.
+func Open(cfg Config) (*Store, error) {
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 64
+	}
+	if cfg.NewTracker == nil {
+		cfg.NewTracker = tracker.New
+	}
+	s := &Store{cfg: cfg, mirror: cfg.NewTracker()}
+	if cfg.Dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := s.acquireLock(); err != nil {
+		return nil, err
+	}
+	hadSnapshot, err := s.loadSnapshot()
+	if err != nil {
+		s.releaseLock()
+		return nil, err
+	}
+	if err := s.replayWAL(); err != nil {
+		s.releaseLock()
+		return nil, err
+	}
+	// Policy knobs (RetireAfter, MinClientOverlap) switch to the current
+	// configuration only once recovery is complete: recorded history must
+	// replay under the policy it was observed with — retroactively
+	// retiring a lineage mid-replay would contradict the deltas already in
+	// the WAL — while future windows follow the operator's new settings.
+	fresh := cfg.NewTracker()
+	s.mirror.MinClientOverlap = fresh.MinClientOverlap
+	s.mirror.RetireAfter = fresh.RetireAfter
+	s.restored = s.applied
+	// A birth snapshot records the policy a fresh state dir starts under,
+	// so a crash before the first periodic snapshot still replays its WAL
+	// under the recorded policy on the next open.
+	if !hadSnapshot {
+		if err := s.snapshotLocked(); err != nil {
+			s.wal.Close()
+			s.releaseLock()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// acquireLock flocks DIR/lock so a second process cannot corrupt the WAL
+// and snapshots. The kernel releases the lock on process death, so a
+// kill -9'd daemon never wedges its state dir.
+func (s *Store) acquireLock() error {
+	f, err := os.OpenFile(filepath.Join(s.cfg.Dir, lockFile), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := flock(f); err != nil {
+		f.Close()
+		return fmt.Errorf("store: state dir %s is in use by another process: %w", s.cfg.Dir, err)
+	}
+	s.lock = f
+	return nil
+}
+
+// releaseLock drops the state-dir lock (no-op when memory-only).
+func (s *Store) releaseLock() {
+	if s.lock != nil {
+		s.lock.Close()
+		s.lock = nil
+	}
+}
+
+// loadSnapshot restores mirror, counters and applied count from
+// snapshot.json. It reports whether a snapshot existed.
+func (s *Store) loadSnapshot() (bool, error) {
+	data, err := os.ReadFile(filepath.Join(s.cfg.Dir, snapshotFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("store: %w", err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return false, fmt.Errorf("store: corrupt snapshot: %w", err)
+	}
+	if snap.Version != formatVersion {
+		return false, fmt.Errorf("store: snapshot format v%d, want v%d", snap.Version, formatVersion)
+	}
+	if snap.Tracker.Day != snap.Applied {
+		return false, fmt.Errorf("store: snapshot tracker day %d != applied %d", snap.Tracker.Day, snap.Applied)
+	}
+	s.mirror = tracker.FromState(snap.Tracker)
+	s.ctr = snap.Counters
+	s.last = snap.LastWindow
+	s.applied = snap.Applied
+	return true, nil
+}
+
+// replayWAL applies WAL records newer than the snapshot to the mirror,
+// truncates any torn tail, and leaves the file open for appending.
+func (s *Store) replayWAL() error {
+	path := filepath.Join(s.cfg.Dir, walFile)
+	data, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("store: %w", err)
+	}
+	good := int64(0)
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break // torn tail: a kill mid-append leaves no final newline
+		}
+		line := data[off : off+nl]
+		var rec Record
+		if uerr := json.Unmarshal(line, &rec); uerr != nil {
+			// A newline-terminated line that does not parse is corruption,
+			// not a torn tail — silently truncating here would discard
+			// every valid record after it. Refuse to open.
+			return fmt.Errorf("store: corrupt wal record at byte %d: %w", off, uerr)
+		}
+		off += nl + 1
+		good = int64(off)
+		if rec.Seq < s.applied {
+			continue // already in the snapshot (crash before compaction)
+		}
+		if rec.Seq > s.applied {
+			return fmt.Errorf("store: wal gap: record seq %d, want %d", rec.Seq, s.applied)
+		}
+		s.apply(&rec)
+		s.replayed++
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	s.wal = f
+	s.walBuf = bufio.NewWriter(f)
+	return nil
+}
+
+// apply folds one record into the mirror tracker and counters. Caller
+// holds mu (or is Open, before the store is shared).
+func (s *Store) apply(rec *Record) {
+	s.mirror.Observe(&core.Report{Campaigns: rec.Campaigns})
+	s.ctr.Windows++
+	if rec.Requests == 0 {
+		s.ctr.EmptyWindows++
+	}
+	s.ctr.Requests += rec.Requests
+	s.ctr.Campaigns += len(rec.Campaigns)
+	for i := range rec.Deltas {
+		// Classify by KindName, the field that survives JSON: Delta.Kind
+		// is json:"-", so replayed records carry only the name.
+		switch rec.Deltas[i].KindName {
+		case stream.Appear.String():
+			s.ctr.Appeared++
+		case stream.Persist.String():
+			s.ctr.Persisted++
+		case stream.Rotate.String():
+			s.ctr.Rotated++
+		}
+	}
+	s.last = rec
+	s.applied++
+}
+
+// Consume implements stream.Sink: it records one emitted window — the
+// in-memory mirror first (so the read model and the seq clock stay in
+// lockstep with the engine even when persistence fails), then the WAL
+// append — and snapshots every SnapshotEvery windows. A window visible in
+// the mirror is therefore durable only once Consume has returned nil.
+func (s *Store) Consume(w *stream.WindowResult) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec := &Record{
+		Seq:      s.applied,
+		Window:   w.Seq,
+		Start:    w.Start,
+		End:      w.End,
+		Requests: w.Requests,
+		Aborted:  w.Report == nil && w.Requests > 0,
+		Deltas:   w.Deltas,
+	}
+	if w.Report != nil {
+		rec.Campaigns = w.Report.AllCampaigns()
+	}
+	// Mirror first: the in-memory read model and the seq clock stay
+	// consistent with the engine's tracker even when persistence fails.
+	s.apply(rec)
+	if s.wal == nil {
+		return nil
+	}
+	if err := s.appendWAL(rec); err != nil {
+		// A failed append may have left partial bytes on disk; appending
+		// more records after it would hide good records behind the torn
+		// line and replay records under reused offsets. Disable
+		// persistence for the rest of the process instead — serving stays
+		// correct, the error surfaces through the engine, and the WAL on
+		// disk still recovers everything up to the failure.
+		s.wal.Close()
+		s.wal = nil
+		s.walBuf = nil
+		return err
+	}
+	s.sinceSnap++
+	if s.sinceSnap >= s.cfg.SnapshotEvery {
+		if err := s.snapshotLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendWAL writes one record line, flushing (and fsyncing under
+// Config.Sync). Caller holds mu.
+func (s *Store) appendWAL(rec *Record) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := s.walBuf.Write(line); err != nil {
+		return fmt.Errorf("store: wal append: %w", err)
+	}
+	if err := s.walBuf.Flush(); err != nil {
+		return fmt.Errorf("store: wal flush: %w", err)
+	}
+	if s.cfg.Sync {
+		if err := s.wal.Sync(); err != nil {
+			return fmt.Errorf("store: wal sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Snapshot forces a snapshot + WAL compaction now. No-op when
+// memory-only.
+func (s *Store) Snapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	return s.snapshotLocked()
+}
+
+// snapshotLocked writes snapshot.json atomically, then compacts the WAL.
+// Caller holds mu.
+func (s *Store) snapshotLocked() error {
+	snap := snapshot{
+		Version:    formatVersion,
+		Applied:    s.applied,
+		Counters:   s.ctr,
+		LastWindow: s.last,
+		Tracker:    s.mirror.State(),
+	}
+	data, err := json.Marshal(&snap)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	path := filepath.Join(s.cfg.Dir, snapshotFile)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	// The rename must be durable before the WAL shrinks: without the
+	// directory fsync a machine crash could surface the OLD snapshot next
+	// to the already-compacted WAL — an unrecoverable gap.
+	if err := syncDir(s.cfg.Dir); err != nil {
+		return err
+	}
+	// Compaction: every WAL record is now covered by the snapshot. A crash
+	// before the truncate lands is fine — replay skips seq < applied.
+	if err := s.wal.Truncate(0); err != nil {
+		return fmt.Errorf("store: wal compact: %w", err)
+	}
+	if _, err := s.wal.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("store: wal compact: %w", err)
+	}
+	s.walBuf.Reset(s.wal)
+	s.sinceSnap = 0
+	return nil
+}
+
+// syncDir fsyncs a directory, making a rename within it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Close flushes, snapshots (compacting the WAL) and releases the state
+// directory. The store must not be used afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	defer s.releaseLock()
+	if s.wal == nil {
+		return nil
+	}
+	err := s.snapshotLocked()
+	if cerr := s.wal.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("store: %w", cerr)
+	}
+	s.wal = nil
+	s.walBuf = nil
+	return err
+}
+
+// Abandon simulates process death for tests and benchmarks: the WAL file
+// handle and the state-dir lock are dropped with no final snapshot or
+// compaction — exactly the on-disk state a kill -9 leaves, but with the
+// kernel-held flock released so the same process can reopen the
+// directory. The store must not be used afterwards.
+func (s *Store) Abandon() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal != nil {
+		s.wal.Close()
+		s.wal = nil
+		s.walBuf = nil
+	}
+	s.releaseLock()
+}
+
+// Restore returns a fresh tracker carrying the store's full restored
+// state — the tracker a resuming engine should continue with. The returned
+// tracker shares nothing with the store's mirror: the engine may mutate it
+// freely while the store keeps mirroring via Consume.
+func (s *Store) Restore() *tracker.Tracker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return tracker.FromState(s.mirror.State())
+}
+
+// Stats returns the store's live summary.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Counters:        s.ctr,
+		Lineages:        len(s.mirror.Lineages()),
+		RetiredLineages: s.mirror.Retired(),
+		Replayed:        s.replayed,
+		Restored:        s.restored,
+	}
+}
+
+// LineageSummaries returns scalar-only copies of all lineages ordered by
+// ID — no member maps, so a polling list endpoint costs O(lineages), not
+// O(members), inside the store lock. Use Lineage for one lineage's full
+// member history.
+func (s *Store) LineageSummaries() []*tracker.Lineage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	all := s.mirror.Lineages()
+	out := make([]*tracker.Lineage, len(all))
+	for i, l := range all {
+		c := *l
+		c.Servers, c.Clients = nil, nil
+		out[i] = &c
+	}
+	return out
+}
+
+// Lineage returns a deep copy of one lineage by ID, or nil. Retired
+// lineages have no member maps (pruned at retirement); scalar totals
+// remain.
+func (s *Store) Lineage(id int) *tracker.Lineage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	all := s.mirror.Lineages()
+	if id < 0 || id >= len(all) {
+		return nil
+	}
+	return all[id].Clone()
+}
+
+// LastWindow returns the most recently applied window record, or nil. The
+// record must be treated as read-only.
+func (s *Store) LastWindow() *Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last
+}
+
+// Applied returns the number of windows applied over the store's lifetime
+// (restored plus consumed).
+func (s *Store) Applied() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applied
+}

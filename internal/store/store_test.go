@@ -1,0 +1,451 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"smash/internal/campaign"
+	"smash/internal/core"
+	"smash/internal/stream"
+	"smash/internal/synth"
+	"smash/internal/trace"
+	"smash/internal/tracker"
+)
+
+// worldEvents synthesizes a small multi-day world and returns its events
+// grouped per day, time-ordered within the feed.
+func worldEvents(t testing.TB, days int) [][]trace.Request {
+	t.Helper()
+	w, err := synth.Generate(synth.Config{
+		Name: "storetest", Seed: 21, Days: days,
+		Clients: 250, BenignServers: 600, MeanRequests: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out [][]trace.Request
+	for _, day := range w.Days {
+		out = append(out, day.Requests)
+	}
+	return out
+}
+
+// runDays streams the given day slices through an engine wired to tk
+// (nil for a fresh tracker) and sinks, returning the engine after the run
+// has fully drained.
+func runDays(t testing.TB, days [][]trace.Request, tk *tracker.Tracker, sinks ...stream.Sink) *stream.Engine {
+	t.Helper()
+	var all []trace.Request
+	for _, d := range days {
+		all = append(all, d...)
+	}
+	eng, err := stream.New(stream.Config{
+		Name:     "storetest",
+		Window:   24 * time.Hour,
+		Tracker:  tk,
+		Sinks:    sinks,
+		Detector: []core.Option{core.WithSeed(5)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for range eng.Start(&stream.SliceSource{Requests: all}) {
+	}
+	if err := eng.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestMemoryOnlyStore(t *testing.T) {
+	st, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	days := worldEvents(t, 2)
+	eng := runDays(t, days, nil, st)
+	stats := st.Stats()
+	if stats.Windows != 2 || stats.Lineages == 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if got, want := st.Restore().Summary(), eng.Tracker().Summary(); got != want {
+		t.Errorf("mirror diverged from engine tracker:\n%s\nvs:\n%s", got, want)
+	}
+	if st.LastWindow() == nil || st.LastWindow().Window != 1 {
+		t.Errorf("last window = %+v", st.LastWindow())
+	}
+	if err := st.Close(); err != nil {
+		t.Errorf("memory-only Close: %v", err)
+	}
+}
+
+func TestRoundTripReopen(t *testing.T) {
+	days := worldEvents(t, 4)
+	dir := t.TempDir()
+	st, err := Open(Config{Dir: dir, SnapshotEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := runDays(t, days, nil, st)
+	want := eng.Tracker().Summary()
+	wantStats := st.Stats()
+	if got := st.Restore().Summary(); got != want {
+		t.Fatalf("live mirror diverged:\n%s\nvs:\n%s", got, want)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := st2.Restore().Summary(); got != want {
+		t.Errorf("reopened summary diverged:\n%s\nvs:\n%s", got, want)
+	}
+	gotStats := st2.Stats()
+	if gotStats.Counters != wantStats.Counters {
+		t.Errorf("counters diverged: %+v vs %+v", gotStats.Counters, wantStats.Counters)
+	}
+	if gotStats.Replayed != 0 {
+		t.Errorf("clean shutdown left %d WAL records", gotStats.Replayed)
+	}
+	if st2.Applied() != 4 {
+		t.Errorf("applied = %d, want 4", st2.Applied())
+	}
+}
+
+// The acceptance scenario: a run killed without Close (kill -9 analogue —
+// the WAL is flushed per record but no final snapshot lands), restarted on
+// the remaining input, must end in exactly the state of an uninterrupted
+// run. Exercised over both persistence paths: pure WAL and snapshot+WAL.
+func TestKillRestartEquivalence(t *testing.T) {
+	days := worldEvents(t, 4)
+	uninterrupted := runDays(t, days, nil).Tracker().Summary()
+
+	for _, snapEvery := range []int{1, 100} {
+		dir := t.TempDir()
+		st1, err := Open(Config{Dir: dir, SnapshotEvery: snapEvery})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runDays(t, days[:2], nil, st1)
+		// Kill: no Close, no final snapshot — Abandon leaves exactly the
+		// on-disk state a kill -9 would.
+		st1.Abandon()
+
+		st2, err := Open(Config{Dir: dir, SnapshotEvery: snapEvery})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st2.Applied() != 2 {
+			t.Fatalf("snapEvery=%d: restored %d windows, want 2", snapEvery, st2.Applied())
+		}
+		// Delta-kind counters must survive replay (Kind itself is not
+		// serialized; classification goes by KindName).
+		if st2.Stats().Appeared == 0 {
+			t.Errorf("snapEvery=%d: replay lost appear-delta counters: %+v", snapEvery, st2.Stats().Counters)
+		}
+		eng2 := runDays(t, days[2:], st2.Restore(), st2)
+		got := eng2.Tracker().Summary()
+		if got != uninterrupted {
+			t.Errorf("snapEvery=%d: resumed summary diverged:\n%s\nvs uninterrupted:\n%s",
+				snapEvery, got, uninterrupted)
+		}
+		if mirror := st2.Restore().Summary(); mirror != uninterrupted {
+			t.Errorf("snapEvery=%d: store mirror diverged:\n%s\nvs:\n%s", snapEvery, mirror, uninterrupted)
+		}
+		st2.Close()
+	}
+}
+
+// A torn final WAL line — the canonical kill -9 artifact — is truncated
+// away on open, and appends continue cleanly after it.
+func TestTornWALTailTruncated(t *testing.T) {
+	days := worldEvents(t, 3)
+	dir := t.TempDir()
+	st1, err := Open(Config{Dir: dir, SnapshotEvery: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDays(t, days[:2], nil, st1)
+	st1.Abandon() // killed: no Close, no final snapshot
+
+	wal := filepath.Join(dir, walFile)
+	f, err := os.OpenFile(wal, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":2,"window":9,"req`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	st2, err := Open(Config{Dir: dir, SnapshotEvery: 100})
+	if err != nil {
+		t.Fatalf("torn tail rejected: %v", err)
+	}
+	if st2.Applied() != 2 || st2.Stats().Replayed != 2 {
+		t.Fatalf("applied=%d replayed=%d, want 2/2", st2.Applied(), st2.Stats().Replayed)
+	}
+	eng := runDays(t, days[2:], st2.Restore(), st2)
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := runDays(t, days, nil).Tracker().Summary()
+	if got := eng.Tracker().Summary(); got != want {
+		t.Errorf("post-torn-tail resume diverged:\n%s\nvs:\n%s", got, want)
+	}
+	// The torn bytes are gone from disk.
+	data, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), `"req`) && !strings.Contains(string(data), `"requests"`) {
+		t.Error("torn tail still on disk")
+	}
+}
+
+// A crash between snapshot rename and WAL truncation leaves records the
+// snapshot already covers; replay must skip them instead of double
+// applying.
+func TestCompactionCrashIdempotent(t *testing.T) {
+	days := worldEvents(t, 2)
+	dir := t.TempDir()
+	st1, err := Open(Config{Dir: dir, SnapshotEvery: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDays(t, days, nil, st1)
+	want := st1.Restore().Summary()
+
+	// Save the WAL (2 records), snapshot (which compacts it away), then
+	// put the stale WAL back: exactly the crash-before-truncate state.
+	stale, err := os.ReadFile(filepath.Join(dir, walFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st1.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, walFile), stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st1.Abandon() // crashed process: flock gone, file handles moot
+
+	st2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Applied() != 2 || st2.Stats().Replayed != 0 {
+		t.Errorf("applied=%d replayed=%d, want 2/0 (snapshot covers the WAL)",
+			st2.Applied(), st2.Stats().Replayed)
+	}
+	if got := st2.Restore().Summary(); got != want {
+		t.Errorf("double-applied state:\n%s\nvs:\n%s", got, want)
+	}
+}
+
+// A WAL append failure disables persistence but keeps the in-memory
+// mirror tracking in lockstep with the engine — and everything durable up
+// to the failure still restores.
+func TestWALFailureDisablesPersistenceKeepsMirror(t *testing.T) {
+	days := worldEvents(t, 3)
+	dir := t.TempDir()
+	st, err := Open(Config{Dir: dir, SnapshotEvery: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDays(t, days[:1], nil, st)
+
+	// Break the WAL out from under the store: the next Consume's flush
+	// fails, which must poison persistence (not the store).
+	st.wal.Close()
+	var rest []trace.Request
+	for _, d := range days[1:] {
+		rest = append(rest, d...)
+	}
+	eng, err := stream.New(stream.Config{
+		Name:     "storetest",
+		Window:   24 * time.Hour,
+		Sinks:    []stream.Sink{st},
+		Detector: []core.Option{core.WithSeed(5)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for range eng.Start(&stream.SliceSource{Requests: rest}) {
+	}
+	if err := eng.Err(); err == nil || !strings.Contains(err.Error(), "store:") {
+		t.Errorf("engine error = %v, want surfaced store error", err)
+	}
+	// The mirror observed all 3 windows' campaigns in sequence, so it must
+	// match a continuous tracker over the same days despite the WAL dying.
+	want := runDays(t, days, nil).Tracker().Summary()
+	if got := st.Restore().Summary(); got != want {
+		t.Errorf("mirror fell behind after WAL failure:\n%s\nvs:\n%s", got, want)
+	}
+	if st.Stats().Windows != 3 {
+		t.Errorf("mirror windows = %d, want 3", st.Stats().Windows)
+	}
+	if err := st.Close(); err != nil {
+		t.Errorf("Close after poisoned WAL: %v", err)
+	}
+
+	// Only the pre-failure window survives on disk, cleanly.
+	st2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Applied() != 1 {
+		t.Errorf("restored %d windows, want 1 (up to the failure)", st2.Applied())
+	}
+}
+
+// Changing -retire-after across a restart must not rewrite history:
+// snapshot + WAL replay under the recorded policy, and the new policy
+// takes effect only for windows after recovery.
+func TestPolicyChangeAppliesOnlyForward(t *testing.T) {
+	// SnapshotEvery 3: replay spans snapshot + trailing WAL record.
+	// SnapshotEvery 100: everything after the birth snapshot is WAL-only —
+	// the birth snapshot is what records the original policy.
+	for _, snapEvery := range []int{3, 100} {
+		t.Run(fmt.Sprintf("snapEvery=%d", snapEvery), func(t *testing.T) {
+			testPolicyChange(t, snapEvery)
+		})
+	}
+}
+
+func testPolicyChange(t *testing.T, snapEvery int) {
+	dir := t.TempDir()
+	mk := func(retire int) Config {
+		return Config{Dir: dir, SnapshotEvery: snapEvery, NewTracker: func() *tracker.Tracker {
+			tk := tracker.New()
+			tk.RetireAfter = retire
+			return tk
+		}}
+	}
+	base := time.Date(2020, 9, 13, 0, 0, 0, 0, time.UTC)
+	consume := func(st *Store, seq int, active bool) {
+		t.Helper()
+		w := &stream.WindowResult{
+			Seq:   seq,
+			Start: base.AddDate(0, 0, seq),
+			End:   base.AddDate(0, 0, seq+1),
+		}
+		if active {
+			w.Requests = 10
+			w.Report = &core.Report{Campaigns: []campaign.Campaign{{
+				Servers: []string{"a.test", "b.test"},
+				Clients: []string{"c1", "c2"},
+				Kind:    campaign.KindCommunication,
+			}}}
+		}
+		if err := st.Consume(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Under retire-never: one active window, then three idle ones. The
+	// snapshot lands after window 2 (SnapshotEvery=3), window 3 stays in
+	// the WAL. No Close: the kill -9 state.
+	st1, err := Open(mk(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq, active := range []bool{true, false, false, false} {
+		consume(st1, seq, active)
+	}
+	want := st1.Restore().Summary()
+	st1.Abandon() // killed here
+
+	// Reopen with retire-after 2: the replayed window 3 must NOT
+	// retroactively retire lineage 0 (it was live when recorded).
+	st2, err := Open(mk(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := st2.Restore().Summary(); got != want {
+		t.Errorf("policy change rewrote replayed history:\n%s\nvs:\n%s", got, want)
+	}
+	tk := st2.Restore()
+	if tk.RetireAfter != 2 {
+		t.Errorf("RetireAfter = %d, want the new policy (2)", tk.RetireAfter)
+	}
+	// Going forward the new policy applies: the next window retires the
+	// long-idle lineage.
+	consume(st2, 4, false)
+	if st2.Stats().RetiredLineages != 1 {
+		t.Errorf("new policy not applied forward: %+v", st2.Stats())
+	}
+}
+
+// The state dir is exclusively locked: a second Open fails while the
+// first store lives, and succeeds after Close.
+func TestStateDirLocked(t *testing.T) {
+	dir := t.TempDir()
+	st1, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Config{Dir: dir}); err == nil || !strings.Contains(err.Error(), "in use") {
+		t.Errorf("double open allowed: %v", err)
+	}
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("open after close: %v", err)
+	}
+	st2.Close()
+}
+
+// A corrupt record in the middle of the WAL (newline-terminated but
+// unparsable) must refuse to open rather than silently discarding every
+// valid record after it. Only a torn FINAL line is recoverable.
+func TestCorruptMidWALRejected(t *testing.T) {
+	days := worldEvents(t, 2)
+	dir := t.TempDir()
+	st1, err := Open(Config{Dir: dir, SnapshotEvery: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDays(t, days, nil, st1)
+	st1.Abandon() // killed
+
+	wal := filepath.Join(dir, walFile)
+	data, err := os.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Break the FIRST record's JSON structure, keeping its newline.
+	data[0] = 'X'
+	if err := os.WriteFile(wal, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Config{Dir: dir}); err == nil || !strings.Contains(err.Error(), "corrupt wal") {
+		t.Errorf("mid-file corruption accepted: %v", err)
+	}
+}
+
+// A WAL from the future (gap against the snapshot) is corruption, not
+// something to guess around.
+func TestWALGapRejected(t *testing.T) {
+	dir := t.TempDir()
+	line := `{"seq":7,"window":0,"start":"2020-01-01T00:00:00Z","end":"2020-01-02T00:00:00Z","requests":0}` + "\n"
+	if err := os.WriteFile(filepath.Join(dir, walFile), []byte(line), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Config{Dir: dir}); err == nil || !strings.Contains(err.Error(), "gap") {
+		t.Errorf("gap accepted: %v", err)
+	}
+}

@@ -77,20 +77,24 @@ type Config struct {
 	Detector []core.Option
 	// Tracker overrides the lineage tracker (default tracker.New()).
 	Tracker *tracker.Tracker
+	// Sinks receive every emitted WindowResult in window order, before it
+	// is published on the output channel (see Sink).
+	Sinks []Sink
 }
 
-// Stats counts engine activity. Read it only after the output channel has
-// closed.
+// Stats is a snapshot of the engine's activity counters. Counters are
+// monotonic and safe to read while the engine runs (the live /v1/stats
+// path); they are final once the output channel has closed.
 type Stats struct {
 	// Events is the number of events accepted into windows.
-	Events int
+	Events int `json:"events"`
 	// Late is the number of events dropped because every window containing
 	// them had already sealed.
-	Late int
+	Late int `json:"late"`
 	// Windows is the number of WindowResults emitted.
-	Windows int
+	Windows int `json:"windows"`
 	// EmptyWindows counts emitted windows that contained no events.
-	EmptyWindows int
+	EmptyWindows int `json:"emptyWindows"`
 }
 
 // Engine is a running streaming detection pipeline. Create with New, start
@@ -118,7 +122,9 @@ type Engine struct {
 	errMu sync.Mutex
 	err   error
 
-	stats Stats
+	// Counters are atomics so Stats() may be read live from HTTP serving
+	// goroutines while the windower and sequencer update them.
+	ctrEvents, ctrLate, ctrWindows, ctrEmpty atomic.Int64
 }
 
 // New validates the config and builds an engine.
@@ -233,9 +239,17 @@ func (e *Engine) Err() error {
 	return e.err
 }
 
-// Stats returns ingestion counters. Valid once the output channel has
-// closed.
-func (e *Engine) Stats() Stats { return e.stats }
+// Stats returns a point-in-time snapshot of the ingestion counters. Safe
+// to call at any time, including while the engine runs; final once the
+// output channel has closed.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Events:       int(e.ctrEvents.Load()),
+		Late:         int(e.ctrLate.Load()),
+		Windows:      int(e.ctrWindows.Load()),
+		EmptyWindows: int(e.ctrEmpty.Load()),
+	}
+}
 
 // Tracker exposes the cross-window lineage tracker (for end-of-run
 // summaries). Valid once the output channel has closed.
@@ -400,7 +414,7 @@ func (e *Engine) windower(events <-chan trace.Request, jobs chan<- windowJob) {
 		}
 		lo, hi := seqRange(t.Sub(origin), e.cfg.Window, e.cfg.Stride)
 		if hi < 0 { // entirely before the window origin
-			e.stats.Late++
+			e.ctrLate.Add(1)
 			return
 		}
 		if lo < 0 {
@@ -411,7 +425,7 @@ func (e *Engine) windower(events <-chan trace.Request, jobs chan<- windowJob) {
 			baseSet = true
 		}
 		if hi < nextSeal { // every containing window already sealed
-			e.stats.Late++
+			e.ctrLate.Add(1)
 			return
 		}
 		if lo < nextSeal { // partially late: only still-open windows get it
@@ -420,7 +434,7 @@ func (e *Engine) windower(events <-chan trace.Request, jobs chan<- windowJob) {
 		if hi > maxSeq {
 			maxSeq = hi
 		}
-		e.stats.Events++
+		e.ctrEvents.Add(1)
 		shardCh[shardOf(req.ServerKey(), nShards)] <- shardMsg{req: req, lo: lo, hi: hi}
 
 		if t.After(maxTime) {
@@ -567,7 +581,8 @@ func (e *Engine) sequence(results <-chan windowDone) {
 	}
 }
 
-// emit tracks one in-order window and publishes its result.
+// emit tracks one in-order window, feeds every sink, and publishes the
+// result.
 func (e *Engine) emit(d windowDone) {
 	res := WindowResult{Seq: d.seq, Start: d.start, End: d.end, Requests: d.requests, Report: d.report}
 	report := d.report
@@ -575,7 +590,10 @@ func (e *Engine) emit(d windowDone) {
 		// Observe an empty report so lineage day arithmetic (FirstDay,
 		// LastDay, window gaps) stays aligned with the window sequence.
 		report = &core.Report{}
-		e.stats.EmptyWindows++
+		if d.requests == 0 {
+			// Report-less windows WITH requests are aborted, not empty.
+			e.ctrEmpty.Add(1)
+		}
 	}
 	matches := e.tk.Observe(report)
 	campaigns := report.AllCampaigns()
@@ -583,6 +601,11 @@ func (e *Engine) emit(d windowDone) {
 	for i := range matches {
 		res.Deltas = append(res.Deltas, makeDelta(d.seq, &campaigns[i], matches[i]))
 	}
-	e.stats.Windows++
+	for _, s := range e.cfg.Sinks {
+		if err := s.Consume(&res); err != nil {
+			e.setErr(fmt.Errorf("stream: sink: %w", err))
+		}
+	}
+	e.ctrWindows.Add(1)
 	e.out <- res
 }

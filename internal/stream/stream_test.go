@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -571,5 +572,97 @@ func TestStopStillDrainsGracefully(t *testing.T) {
 	}
 	if err := eng.Err(); err != nil {
 		t.Errorf("Err() = %v, want nil after graceful Stop", err)
+	}
+}
+
+// recordingSink captures window sequence numbers and can inject an error.
+type recordingSink struct {
+	seqs     []int
+	errOn    int           // window seq to fail on; -1 disables
+	consumed chan struct{} // if non-nil, signalled per Consume
+}
+
+func (s *recordingSink) Consume(w *WindowResult) error {
+	s.seqs = append(s.seqs, w.Seq)
+	if s.consumed != nil {
+		s.consumed <- struct{}{}
+	}
+	if w.Seq == s.errOn {
+		return fmt.Errorf("sink boom on window %d", w.Seq)
+	}
+	return nil
+}
+
+// Sinks see every window, in order, before the channel reader does, and
+// sink output matches channel output exactly.
+func TestSinkSeesWindowsInOrder(t *testing.T) {
+	sink := &recordingSink{errOn: -1}
+	eng, err := New(Config{Window: 24 * time.Hour, Workers: 2, Sinks: []Sink{sink}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, eng, &SliceSource{Requests: dayEvents()})
+	if len(got) == 0 {
+		t.Fatal("no windows")
+	}
+	if len(sink.seqs) != len(got) {
+		t.Fatalf("sink saw %d windows, channel %d", len(sink.seqs), len(got))
+	}
+	for i := range got {
+		if sink.seqs[i] != got[i].Seq {
+			t.Errorf("sink order %v != channel order", sink.seqs)
+			break
+		}
+	}
+}
+
+// A failing sink surfaces through Err but does not stop the stream.
+func TestSinkErrorDoesNotStopStream(t *testing.T) {
+	sink := &recordingSink{errOn: 0}
+	eng, err := New(Config{Window: 24 * time.Hour, Sinks: []Sink{sink}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []WindowResult
+	for r := range eng.Start(&SliceSource{Requests: dayEvents()}) {
+		got = append(got, r)
+	}
+	if len(got) != 2 {
+		t.Fatalf("windows = %d, want 2 (stream must continue past sink error)", len(got))
+	}
+	if err := eng.Err(); err == nil || !strings.Contains(err.Error(), "sink boom") {
+		t.Errorf("Err() = %v, want sink error", err)
+	}
+}
+
+// Stats is safe and monotonic while the engine runs.
+func TestStatsReadableLive(t *testing.T) {
+	sink := &recordingSink{errOn: -1, consumed: make(chan struct{})}
+	eng, err := New(Config{Window: 24 * time.Hour, Sinks: []Sink{sink}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := eng.Start(&SliceSource{Requests: dayEvents()})
+	<-sink.consumed // unblock window 0's emit
+	first := <-out  // sent after the counter increment: Windows >= 1...
+	// ...while window 1's emit is parked in Consume before its increment,
+	// so exactly 1.
+	mid := eng.Stats()
+	if first.Seq != 0 || mid.Windows != 1 {
+		t.Errorf("live Windows = %d, want 1", mid.Windows)
+	}
+	if mid.Events == 0 {
+		t.Error("live Events = 0")
+	}
+	go func() {
+		for range sink.consumed {
+		}
+	}()
+	for range out {
+	}
+	close(sink.consumed)
+	final := eng.Stats()
+	if final.Windows != 2 || final.Events < mid.Events {
+		t.Errorf("final stats regressed: %+v vs %+v", final, mid)
 	}
 }

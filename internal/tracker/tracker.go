@@ -20,23 +20,36 @@ import (
 	"smash/internal/core"
 )
 
-// Lineage is one cross-day campaign identity.
+// Lineage is one cross-day campaign identity. The JSON shape is stable:
+// it is the unit of persistence for internal/store snapshots and the
+// payload of the /v1/lineages API.
 type Lineage struct {
 	// ID is the stable tracker-assigned identity.
-	ID int
+	ID int `json:"id"`
 	// FirstDay and LastDay are 0-based observation days (inclusive).
-	FirstDay, LastDay int
+	FirstDay int `json:"firstDay"`
+	LastDay  int `json:"lastDay"`
 	// DaysActive counts days with at least one matched campaign.
-	DaysActive int
-	// Servers maps server -> number of days it appeared.
-	Servers map[string]int
-	// Clients maps client -> number of days it appeared.
-	Clients map[string]int
+	DaysActive int `json:"daysActive"`
+	// Servers maps server -> number of days it appeared. Nil once the
+	// lineage is retired (member history is pruned; totals remain).
+	Servers map[string]int `json:"servers,omitempty"`
+	// Clients maps client -> number of days it appeared. Nil once
+	// retired.
+	Clients map[string]int `json:"clients,omitempty"`
+	// ServerTotal and ClientTotal count distinct members ever seen; they
+	// survive retirement's map pruning.
+	ServerTotal int `json:"serverTotal,omitempty"`
+	ClientTotal int `json:"clientTotal,omitempty"`
 	// AgileDays counts days the lineage matched by clients while its
 	// server set had churned (< 50% overlap with everything seen before).
-	AgileDays int
+	AgileDays int `json:"agileDays,omitempty"`
 	// Kind is the most recent activity classification.
-	Kind campaign.Kind
+	Kind campaign.Kind `json:"kind"`
+	// Retired marks a lineage idle beyond the tracker's RetireAfter
+	// policy: it is excluded from matching but kept for reporting. A
+	// campaign returning after retirement starts a new lineage.
+	Retired bool `json:"retired,omitempty"`
 }
 
 // Agile reports whether the lineage rotated servers on most matched days —
@@ -46,7 +59,10 @@ func (l *Lineage) Agile() bool {
 }
 
 // ServerCount returns the number of distinct servers ever seen.
-func (l *Lineage) ServerCount() int { return len(l.Servers) }
+func (l *Lineage) ServerCount() int { return l.ServerTotal }
+
+// ClientCount returns the number of distinct clients ever seen.
+func (l *Lineage) ClientCount() int { return l.ClientTotal }
 
 // Render formats the lineage summary.
 func (l *Lineage) Render() string {
@@ -54,9 +70,13 @@ func (l *Lineage) Render() string {
 	if l.Agile() {
 		kind = "agile"
 	}
-	return fmt.Sprintf("lineage %d [%s/%s] days %d-%d (%d active): %d servers, %d clients",
+	suffix := ""
+	if l.Retired {
+		suffix = " (retired)"
+	}
+	return fmt.Sprintf("lineage %d [%s/%s] days %d-%d (%d active): %d servers, %d clients%s",
 		l.ID, l.Kind, kind, l.FirstDay+1, l.LastDay+1, l.DaysActive,
-		len(l.Servers), len(l.Clients))
+		l.ServerCount(), l.ClientCount(), suffix)
 }
 
 // MatchKind explains how a day's campaign joined a lineage.
@@ -105,6 +125,12 @@ type Tracker struct {
 	// MinClientOverlap is the minimum fraction of a campaign's clients
 	// that must be known to a lineage to match it (default 0.5).
 	MinClientOverlap float64
+	// RetireAfter bounds lineage liveness: a lineage idle for more than
+	// RetireAfter consecutive days (windows) is retired — excluded from
+	// matching, member maps pruned (scalar totals remain), kept in
+	// Lineages for reporting. 0 (the default) never retires, which means
+	// unbounded matching state on an endless stream.
+	RetireAfter int
 }
 
 // New returns an empty tracker.
@@ -118,11 +144,32 @@ func (tk *Tracker) Lineages() []*Lineage { return tk.lineages }
 // Day returns the number of days observed so far.
 func (tk *Tracker) Day() int { return tk.day }
 
+// Retired returns the number of retired lineages.
+func (tk *Tracker) Retired() int {
+	n := 0
+	for _, l := range tk.lineages {
+		if l.Retired {
+			n++
+		}
+	}
+	return n
+}
+
 // Observe consumes one day's report and returns the per-campaign matches,
 // in the order of report.AllCampaigns().
 func (tk *Tracker) Observe(report *core.Report) []Match {
 	day := tk.day
 	tk.day++
+	if tk.RetireAfter > 0 {
+		for _, l := range tk.lineages {
+			if !l.Retired && day-l.LastDay > tk.RetireAfter {
+				l.Retired = true
+				// Prune member history: retired lineages keep only
+				// scalar state, so idle lineages stop holding memory.
+				l.Servers, l.Clients = nil, nil
+			}
+		}
+	}
 	campaigns := report.AllCampaigns()
 	matches := make([]Match, 0, len(campaigns))
 	// Track which lineages were already claimed today so two same-day
@@ -149,9 +196,15 @@ func (tk *Tracker) Observe(report *core.Report) []Match {
 		best.DaysActive++
 		best.Kind = c.Kind
 		for _, s := range c.Servers {
+			if best.Servers[s] == 0 {
+				best.ServerTotal++
+			}
 			best.Servers[s]++
 		}
 		for _, cl := range c.Clients {
+			if best.Clients[cl] == 0 {
+				best.ClientTotal++
+			}
 			best.Clients[cl]++
 		}
 		matches = append(matches, Match{Lineage: best, Kind: kind, ServerOverlap: overlap})
@@ -169,7 +222,7 @@ func (tk *Tracker) findLineage(c *campaign.Campaign, claimed map[*Lineage]bool) 
 	bestKind := MatchNew
 	bestScore := 0.0
 	for _, l := range tk.lineages {
-		if claimed[l] {
+		if claimed[l] || l.Retired {
 			continue
 		}
 		clientOv := overlapFrac(c.Clients, l.Clients)
@@ -211,9 +264,90 @@ func (tk *Tracker) Summary() string {
 		return ordered[i].ID < ordered[j].ID
 	})
 	var b strings.Builder
-	fmt.Fprintf(&b, "tracker: %d lineages over %d day(s)\n", len(tk.lineages), tk.day)
+	if n := tk.Retired(); n > 0 {
+		fmt.Fprintf(&b, "tracker: %d lineages (%d retired) over %d day(s)\n", len(tk.lineages), n, tk.day)
+	} else {
+		fmt.Fprintf(&b, "tracker: %d lineages over %d day(s)\n", len(tk.lineages), tk.day)
+	}
 	for _, l := range ordered {
 		b.WriteString("  " + l.Render() + "\n")
 	}
 	return b.String()
+}
+
+// State is the serializable form of a Tracker: the snapshot payload of
+// internal/store. The JSON shape is stable.
+type State struct {
+	// Day is the number of days (windows) observed.
+	Day int `json:"day"`
+	// MinClientOverlap and RetireAfter mirror the tracker's policy knobs.
+	MinClientOverlap float64 `json:"minClientOverlap"`
+	RetireAfter      int     `json:"retireAfter,omitempty"`
+	// Lineages are all lineages ordered by ID.
+	Lineages []*Lineage `json:"lineages,omitempty"`
+}
+
+// State returns a deep copy of the tracker's full state. The copy shares
+// nothing with the tracker, so it may be serialized or mutated while the
+// tracker keeps observing.
+func (tk *Tracker) State() State {
+	s := State{
+		Day:              tk.day,
+		MinClientOverlap: tk.MinClientOverlap,
+		RetireAfter:      tk.RetireAfter,
+	}
+	if len(tk.lineages) > 0 {
+		s.Lineages = make([]*Lineage, len(tk.lineages))
+		for i, l := range tk.lineages {
+			s.Lineages[i] = l.Clone()
+		}
+	}
+	return s
+}
+
+// FromState reconstructs a tracker from a State deep copy. A tracker
+// rebuilt from State() is indistinguishable from the original: Summary is
+// byte-identical and future Observe calls assign identically.
+func FromState(s State) *Tracker {
+	tk := &Tracker{
+		day:              s.Day,
+		MinClientOverlap: s.MinClientOverlap,
+		RetireAfter:      s.RetireAfter,
+	}
+	if tk.MinClientOverlap <= 0 {
+		tk.MinClientOverlap = 0.5
+	}
+	if len(s.Lineages) > 0 {
+		tk.lineages = make([]*Lineage, len(s.Lineages))
+		for i, l := range s.Lineages {
+			tk.lineages[i] = l.Clone()
+		}
+	}
+	return tk
+}
+
+// Clone deep-copies the lineage. Nil member maps (retired lineages) stay
+// nil; totals missing from legacy serialized states are derived from the
+// maps.
+func (l *Lineage) Clone() *Lineage {
+	c := *l
+	if l.Servers != nil {
+		c.Servers = make(map[string]int, len(l.Servers))
+		for k, v := range l.Servers {
+			c.Servers[k] = v
+		}
+	}
+	if l.Clients != nil {
+		c.Clients = make(map[string]int, len(l.Clients))
+		for k, v := range l.Clients {
+			c.Clients[k] = v
+		}
+	}
+	if c.ServerTotal == 0 {
+		c.ServerTotal = len(l.Servers)
+	}
+	if c.ClientTotal == 0 {
+		c.ClientTotal = len(l.Clients)
+	}
+	return &c
 }

@@ -1,9 +1,11 @@
 package tracker
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
+	"smash/internal/campaign"
 	"smash/internal/core"
 	"smash/internal/synth"
 )
@@ -142,6 +144,120 @@ func TestMatchKindStrings(t *testing.T) {
 		if m.String() == "" {
 			t.Errorf("kind %d empty", m)
 		}
+	}
+}
+
+// report builds a one-campaign report from raw server/client sets.
+func report(servers, clients []string) *core.Report {
+	return &core.Report{Campaigns: []campaign.Campaign{{
+		Servers: servers, Clients: clients, Kind: campaign.KindCommunication,
+	}}}
+}
+
+func TestRetirementPolicy(t *testing.T) {
+	tk := New()
+	tk.RetireAfter = 2
+	servers := []string{"a.test", "b.test"}
+	clients := []string{"c1", "c2"}
+	tk.Observe(report(servers, clients)) // day 0: lineage 0 born
+	empty := &core.Report{}
+	tk.Observe(empty) // day 1: idle 1
+	tk.Observe(empty) // day 2: idle 2 — still live
+	if got := tk.Retired(); got != 0 {
+		t.Fatalf("retired after %d idle days = %d, want 0", 2, got)
+	}
+	tk.Observe(empty) // day 3: idle 3 > RetireAfter — retired
+	if got := tk.Retired(); got != 1 {
+		t.Fatalf("retired = %d, want 1", got)
+	}
+
+	// The same clients return: a retired lineage must not match, so a new
+	// lineage is born — but the retired one stays in Lineages.
+	matches := tk.Observe(report(servers, clients))
+	if matches[0].Kind != MatchNew {
+		t.Errorf("campaign matched retired lineage: %v", matches[0].Kind)
+	}
+	if len(tk.Lineages()) != 2 {
+		t.Errorf("lineages = %d, want 2 (retired one kept)", len(tk.Lineages()))
+	}
+	if !tk.Lineages()[0].Retired {
+		t.Error("lineage 0 should stay retired")
+	}
+	if tk.Lineages()[0].Servers != nil || tk.Lineages()[0].Clients != nil {
+		t.Error("retired lineage kept member maps")
+	}
+	if tk.Lineages()[0].ServerCount() != 2 || tk.Lineages()[0].ClientCount() != 2 {
+		t.Errorf("retired lineage lost totals: %s", tk.Lineages()[0].Render())
+	}
+	sum := tk.Summary()
+	if !strings.Contains(sum, "(1 retired)") || !strings.Contains(sum, "(retired)") {
+		t.Errorf("summary does not report retirement:\n%s", sum)
+	}
+}
+
+func TestRetirementKeepsActiveLineagesLive(t *testing.T) {
+	tk := New()
+	tk.RetireAfter = 3
+	servers := []string{"a.test", "b.test"}
+	clients := []string{"c1", "c2"}
+	for i := 0; i < 10; i++ {
+		matches := tk.Observe(report(servers, clients))
+		if matches[0].Lineage.ID != 0 {
+			t.Fatalf("day %d: active lineage retired or lost", i)
+		}
+	}
+	if tk.Retired() != 0 {
+		t.Errorf("active lineage retired")
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	_, reports := weekReports(t)
+	tk := New()
+	tk.RetireAfter = 7
+	for _, r := range reports[:2] {
+		tk.Observe(r)
+	}
+
+	// JSON round trip through the serialized state must reproduce the
+	// tracker exactly: same summary now, same assignments later.
+	data, err := json.Marshal(tk.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s State
+	if err := json.Unmarshal(data, &s); err != nil {
+		t.Fatal(err)
+	}
+	tk2 := FromState(s)
+	if tk2.Summary() != tk.Summary() {
+		t.Errorf("summary diverged:\n%s\nvs:\n%s", tk2.Summary(), tk.Summary())
+	}
+	if tk2.RetireAfter != 7 {
+		t.Errorf("RetireAfter = %d", tk2.RetireAfter)
+	}
+	for _, r := range reports[2:] {
+		tk.Observe(r)
+		tk2.Observe(r)
+	}
+	if tk2.Summary() != tk.Summary() {
+		t.Errorf("post-restore observations diverged:\n%s\nvs:\n%s", tk2.Summary(), tk.Summary())
+	}
+}
+
+func TestStateIsDeepCopy(t *testing.T) {
+	tk := New()
+	tk.Observe(report([]string{"a.test"}, []string{"c1"}))
+	s := tk.State()
+	s.Lineages[0].Servers["mutant.test"] = 9
+	s.Lineages[0].ID = 99
+	if tk.Lineages()[0].Servers["mutant.test"] != 0 || tk.Lineages()[0].ID != 0 {
+		t.Error("State shares memory with the tracker")
+	}
+	tk2 := FromState(s)
+	s.Lineages[0].Servers["second.test"] = 1
+	if tk2.Lineages()[0].Servers["second.test"] != 0 {
+		t.Error("FromState shares memory with its input")
 	}
 }
 
