@@ -1,0 +1,121 @@
+// Command benchjson converts `go test -bench` output into the repo's
+// machine-readable bench-trajectory format: a JSON document listing, per
+// benchmark, iterations, ns/op, allocs/op, B/op and any custom metrics
+// (events/s, recall, ...). The CI bench job pipes the benchmark run
+// through it and publishes BENCH_<pr>.json so the performance trajectory
+// of the project accumulates one snapshot per PR.
+//
+// Usage:
+//
+//	go test -run xxx -bench . -benchtime 1x -benchmem . | benchjson -out BENCH_4.json
+//
+// Lines that are not benchmark results (headers, PASS/ok) populate the env
+// block or are ignored, so the raw `go test` stream can be piped in
+// unfiltered. benchjson exits nonzero when the stream contains no
+// benchmark results at all — a run that failed to build or bench produces
+// no silent empty trajectory entry.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name     string             `json:"name"`
+	Iters    int64              `json:"iters"`
+	NsPerOp  float64            `json:"ns_op"`
+	BytesOp  *float64           `json:"b_op,omitempty"`
+	AllocsOp *float64           `json:"allocs_op,omitempty"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Document is the emitted file.
+type Document struct {
+	Env     map[string]string `json:"env,omitempty"`
+	Results []Result          `json:"results"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func parse(lines *bufio.Scanner) (*Document, error) {
+	doc := &Document{Env: map[string]string{}}
+	for lines.Scan() {
+		line := strings.TrimRight(lines.Text(), "\r\n")
+		for _, envKey := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, envKey+": "); ok {
+				doc.Env[envKey] = v
+			}
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := Result{Name: strings.TrimPrefix(m[1], "Benchmark"), Iters: iters}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad value %q in %q", fields[i], line)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = val
+			case "B/op":
+				res.BytesOp = &val
+			case "allocs/op":
+				res.AllocsOp = &val
+			default:
+				if res.Metrics == nil {
+					res.Metrics = map[string]float64{}
+				}
+				res.Metrics[unit] = val
+			}
+		}
+		doc.Results = append(doc.Results, res)
+	}
+	if err := lines.Err(); err != nil {
+		return nil, err
+	}
+	if len(doc.Results) == 0 {
+		return nil, fmt.Errorf("benchjson: no benchmark results in input")
+	}
+	return doc, nil
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	doc, err := parse(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

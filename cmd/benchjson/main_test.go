@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: smash
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkStreamThroughput/sliding          	       2	3788274749 ns/op	     25958 events/s	1535490940 B/op	 2404627 allocs/op
+BenchmarkTableI-8                	       2	  62089336 ns/op	21754920 B/op	  510988 allocs/op
+PASS
+ok  	smash	15.031s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Env["goos"] != "linux" || doc.Env["cpu"] == "" {
+		t.Errorf("env = %v", doc.Env)
+	}
+	if len(doc.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(doc.Results))
+	}
+	r := doc.Results[0]
+	if r.Name != "StreamThroughput/sliding" || r.Iters != 2 {
+		t.Errorf("result 0 = %+v", r)
+	}
+	if r.NsPerOp != 3788274749 {
+		t.Errorf("ns_op = %g", r.NsPerOp)
+	}
+	if r.Metrics["events/s"] != 25958 {
+		t.Errorf("events/s = %g", r.Metrics["events/s"])
+	}
+	if r.AllocsOp == nil || *r.AllocsOp != 2404627 {
+		t.Errorf("allocs_op = %v", r.AllocsOp)
+	}
+	// The -8 GOMAXPROCS suffix must be stripped.
+	if doc.Results[1].Name != "TableI" {
+		t.Errorf("result 1 name = %q", doc.Results[1].Name)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := parse(bufio.NewScanner(strings.NewReader("PASS\nok smash 1s\n"))); err == nil {
+		t.Error("empty benchmark stream accepted")
+	}
+}

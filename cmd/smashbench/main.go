@@ -5,10 +5,12 @@
 // Usage:
 //
 //	smashbench [-scale 1.0] [-seed 42] [-out report.txt]
+//	           [-cpuprofile FILE] [-memprofile FILE]
 //
 // -scale < 1 shrinks the worlds proportionally for quick runs; absolute
 // counts then shrink too, but the shapes the paper reports (who wins, FP
-// monotonicity, dimension dominance) persist.
+// monotonicity, dimension dominance) persist. -cpuprofile/-memprofile
+// capture pprof profiles of the whole run for hot-path analysis.
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 
 	"smash/internal/core"
 	"smash/internal/eval"
+	"smash/internal/profiling"
 	"smash/internal/synth"
 )
 
@@ -33,13 +36,20 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("smashbench", flag.ContinueOnError)
 	var (
-		scale   = fs.Float64("scale", 1.0, "world scale factor (clients/servers)")
-		seed    = fs.Int64("seed", 42, "generation seed")
-		outPath = fs.String("out", "", "also write the report to this file")
+		scale      = fs.Float64("scale", 1.0, "world scale factor (clients/servers)")
+		seed       = fs.Int64("seed", 42, "generation seed")
+		outPath    = fs.String("out", "", "also write the report to this file")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 
 	out := stdout
 	var file *os.File

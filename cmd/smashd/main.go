@@ -10,6 +10,7 @@
 //	       [-threshold 0.8] [-single-threshold 1.0] [-json] [-v]
 //	       [-state-dir DIR] [-listen ADDR] [-retire-after N]
 //	       [-snapshot-every 64] [-wal-sync=true]
+//	       [-cpuprofile FILE] [-memprofile FILE]
 //	       [trace.tsv ...]
 //
 // With no file arguments (or "-"), events are read from stdin, so a live
@@ -56,6 +57,7 @@ import (
 	"time"
 
 	"smash/internal/core"
+	"smash/internal/profiling"
 	"smash/internal/serve"
 	"smash/internal/store"
 	"smash/internal/stream"
@@ -108,10 +110,17 @@ func run(ctx context.Context, args []string, stdin io.Reader, out io.Writer) err
 		retireAfter  = fs.Int("retire-after", 0, "retire lineages idle for more than N windows (0 = never)")
 		snapEvery    = fs.Int("snapshot-every", 64, "windows between state snapshots / WAL compactions")
 		walSync      = fs.Bool("wal-sync", true, "fsync the WAL after every window (survives machine death, not just process death)")
+		cpuProfile   = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile   = fs.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 
 	var sources []stream.Source
 	var closers []io.Closer

@@ -24,10 +24,14 @@
 //     NDJSON WAL with compaction, crash-safe restore, live mirror
 //   - internal/serve       — embedded HTTP query/ops API over the store:
 //     /v1/lineages, /v1/windows/latest, /v1/stats, /healthz, /metrics
-//   - internal/trace       — HTTP traffic model, TSV codec, server index
+//   - internal/trace       — HTTP traffic model, TSV codec, interned-ID
+//     server index (shared symbol tables, counted aggregates with exact
+//     Merge/Unmerge)
+//   - internal/intern      — dense string↔uint32 interning tables
 //   - internal/similarity  — the four dimension metrics and graph builders
 //   - internal/graph       — weighted graphs + Louvain community detection
-//   - internal/sparse      — sparse co-occurrence products (pairwise sims)
+//   - internal/sparse      — pooled row-wise co-occurrence products over
+//     interned feature ids (pairwise sims)
 //   - internal/herd        — ASH mining over dimension graphs
 //   - internal/correlate   — eq. (9) multi-dimension scoring
 //   - internal/prune       — redirection/referrer noise pruning
@@ -35,12 +39,17 @@
 //   - internal/synth       — synthetic ISP world (the evaluation substrate)
 //   - internal/ids         — simulated IDS snapshots and blacklists
 //   - internal/eval        — reproduction of every table and figure
+//   - internal/profiling   — pprof wiring for the CLIs' -cpuprofile /
+//     -memprofile flags
 //   - cmd/smash, cmd/tracegen, cmd/smashbench — batch CLIs
 //   - cmd/smashd           — streaming daemon over TSV files or stdin,
 //     with durable state (-state-dir) and the ops API (-listen)
+//   - cmd/benchjson        — bench output -> BENCH_<pr>.json trajectory
 //   - examples/            — runnable scenarios
 //
 // See README.md for a walkthrough and DESIGN.md for the staged pipeline
-// API: the stage graph, the Observer contract, and the cancellation
-// semantics. The benchmarks in bench_test.go regenerate each experiment.
+// API (stage graph, Observer contract, cancellation semantics) and the
+// Performance section (interned-ID data plane, incremental sliding
+// windows, scratch reuse). The benchmarks in bench_test.go regenerate
+// each experiment.
 package smash

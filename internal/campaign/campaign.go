@@ -183,7 +183,7 @@ func firstServer(pruned []prune.PrunedASH, idxs []int) string {
 }
 
 func clientsOf(servers []string, idx *trace.Index) []string {
-	set := make(map[string]struct{})
+	set := make(map[uint32]struct{})
 	for _, s := range servers {
 		info := idx.Servers[s]
 		if info == nil {
@@ -193,9 +193,10 @@ func clientsOf(servers []string, idx *trace.Index) []string {
 			set[c] = struct{}{}
 		}
 	}
+	names := idx.Syms.Clients.Names()
 	out := make([]string, 0, len(set))
 	for c := range set {
-		out = append(out, c)
+		out = append(out, names[c])
 	}
 	sort.Strings(out)
 	return out

@@ -168,6 +168,14 @@ type Observer interface {
 // concurrent runs.
 type Pipeline struct {
 	cfg config
+
+	// The miner is part of the pipeline's per-Detector scratch: dimensions
+	// and miner are immutable once built, so one instance serves every run
+	// (the streaming engine runs one detection per window) instead of
+	// being reconstructed per window.
+	mineOnce sync.Once
+	miner    *herd.Miner
+	mineErr  error
 }
 
 // NewPipeline builds a Pipeline from the same options as New.
@@ -272,9 +280,8 @@ func (p *Pipeline) runPreprocess(_ context.Context, st *State) error {
 	return nil
 }
 
-// runMine is stage 2: ASH mining over all dimensions, fanned out on a
-// bounded worker pool (WithMiningWorkers) with per-dimension cancellation.
-func (p *Pipeline) runMine(ctx context.Context, st *State) error {
+// buildMiner assembles the dimension set and miner from the configuration.
+func (p *Pipeline) buildMiner() (*herd.Miner, error) {
 	cfg := p.cfg
 	secondary := []herd.Dimension{
 		herd.FileDimension(cfg.simOpts),
@@ -286,12 +293,22 @@ func (p *Pipeline) runMine(ctx context.Context, st *State) error {
 	secondary = append(secondary, cfg.extraDims...)
 	miner, err := herd.NewMiner(herd.ClientDimension(cfg.simOpts), secondary, cfg.seed)
 	if err != nil {
-		return fmt.Errorf("core: build miner: %w", err)
+		return nil, fmt.Errorf("core: build miner: %w", err)
 	}
 	if cfg.mineFunc != nil {
 		miner.SetMineFunc(cfg.mineFunc)
 	}
-	mined, err := miner.MineContext(ctx, st.Index, cfg.mineWorkers)
+	return miner, nil
+}
+
+// runMine is stage 2: ASH mining over all dimensions, fanned out on a
+// bounded worker pool (WithMiningWorkers) with per-dimension cancellation.
+func (p *Pipeline) runMine(ctx context.Context, st *State) error {
+	p.mineOnce.Do(func() { p.miner, p.mineErr = p.buildMiner() })
+	if p.mineErr != nil {
+		return p.mineErr
+	}
+	mined, err := p.miner.MineContext(ctx, st.Index, p.cfg.mineWorkers)
 	if err != nil {
 		return err
 	}

@@ -96,9 +96,9 @@ func BuildCaseStudy(e *Env, name string) (*CaseStudy, error) {
 			Category: string(e.World.Truth.Servers[s].Category),
 		}
 		if info != nil {
-			row.URIFile = topKey(info.Files)
-			row.UserAgent = topKey(info.UserAgents)
-			row.Params = topKey(info.Queries)
+			row.URIFile = info.TopFile()
+			row.UserAgent = info.TopUserAgent()
+			row.Params = info.TopQuery()
 		}
 		cs.Rows = append(cs.Rows, row)
 	}
@@ -109,18 +109,6 @@ func BuildCaseStudy(e *Env, name string) (*CaseStudy, error) {
 		return cs.Rows[i].Server < cs.Rows[j].Server
 	})
 	return cs, nil
-}
-
-// topKey returns the most frequent key of a count map (ties broken
-// lexicographically), or "".
-func topKey(m map[string]int) string {
-	best, bestN := "", -1
-	for k, n := range m {
-		if n > bestN || (n == bestN && k < best) {
-			best, bestN = k, n
-		}
-	}
-	return best
 }
 
 // Render formats the case study.

@@ -7,7 +7,7 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"smash/internal/stats"
 )
@@ -187,6 +187,13 @@ func (g *Graph) Louvain(seed int64) []int {
 
 // louvainLocal performs one local-move phase. It returns whether any node
 // changed community and the (compacted) community label of each node.
+//
+// The per-node neighbor-community weights accumulate into a dense scratch
+// array indexed by community id (community ids stay < n), with a touched
+// list swept in sorted order — the candidate visit order is therefore the
+// same sorted-community order the original map-based implementation used,
+// keeping results identical while removing all hashing and allocation from
+// the innermost loop.
 func (g *Graph) louvainLocal(seed int64) (bool, []int) {
 	n := g.N()
 	community := make([]int, n)
@@ -209,32 +216,33 @@ func (g *Graph) louvainLocal(seed int64) (bool, []int) {
 	rng := stats.NewRand(seed, "order")
 	rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
 
-	neighWeight := make(map[int]float64, 16)
+	neighW := make([]float64, n) // community -> weight from u (dense scratch)
+	seen := make([]bool, n)      // community touched by u's neighbors
+	touched := make([]int32, 0, 64)
 	improvedAny := false
 	for pass := 0; pass < 100; pass++ {
 		improved := false
 		for _, u := range order {
 			cu := community[u]
 			// Weight from u to each neighboring community.
-			for c := range neighWeight {
-				delete(neighWeight, c)
-			}
 			for _, e := range g.adj[u] {
-				neighWeight[community[e.to]] += e.w
+				c := community[e.to]
+				if !seen[c] {
+					seen[c] = true
+					touched = append(touched, int32(c))
+				}
+				neighW[c] += e.w
 			}
 			// Remove u from its community.
 			tot[cu] -= degree[u]
 			// Best community by modularity gain. The constant parts of
 			// the gain cancel, so compare k_i,in - tot_c*k_i/m2.
-			bestC, bestGain := cu, neighWeight[cu]-tot[cu]*degree[u]/m2
-			// Deterministic iteration: sort candidate communities.
-			cands := make([]int, 0, len(neighWeight))
-			for c := range neighWeight {
-				cands = append(cands, c)
-			}
-			sort.Ints(cands)
-			for _, c := range cands {
-				gain := neighWeight[c] - tot[c]*degree[u]/m2
+			bestC, bestGain := cu, neighW[cu]-tot[cu]*degree[u]/m2
+			// Deterministic iteration: candidates in sorted order.
+			slices.Sort(touched)
+			for _, c32 := range touched {
+				c := int(c32)
+				gain := neighW[c] - tot[c]*degree[u]/m2
 				if gain > bestGain+1e-12 {
 					bestC, bestGain = c, gain
 				}
@@ -245,6 +253,11 @@ func (g *Graph) louvainLocal(seed int64) (bool, []int) {
 				improved = true
 				improvedAny = true
 			}
+			for _, c := range touched {
+				neighW[c] = 0
+				seen[c] = false
+			}
+			touched = touched[:0]
 		}
 		if !improved {
 			break

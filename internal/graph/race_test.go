@@ -1,0 +1,8 @@
+//go:build race
+
+package graph
+
+// raceEnabled flags that the race detector is instrumenting allocations;
+// the AllocsPerRun guards skip themselves because instrumented runs
+// allocate on paths the production build does not.
+const raceEnabled = true

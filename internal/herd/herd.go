@@ -339,13 +339,14 @@ feed:
 // fully associated through their single shared visitor. Herd IDs start at
 // baseID to stay unique within the dimension.
 func SingleClientASHes(dim string, idx *trace.Index, baseID int) []ASH {
+	clientNames := idx.Syms.Clients.Names()
 	byClient := make(map[string][]string)
 	for key, info := range idx.Servers {
 		if len(info.Clients) != 1 {
 			continue
 		}
 		for c := range info.Clients {
-			byClient[c] = append(byClient[c], key)
+			byClient[clientNames[c]] = append(byClient[clientNames[c]], key)
 		}
 	}
 	clients := make([]string, 0, len(byClient))

@@ -37,15 +37,11 @@ func (s *Signature) matches(key string, info *trace.ServerInfo) bool {
 	if s.Server != "" && s.Server != key {
 		return false
 	}
-	if s.URIFile != "" {
-		if _, ok := info.Files[s.URIFile]; !ok {
-			return false
-		}
+	if s.URIFile != "" && !info.HasFile(s.URIFile) {
+		return false
 	}
-	if s.UserAgent != "" {
-		if _, ok := info.UserAgents[s.UserAgent]; !ok {
-			return false
-		}
+	if s.UserAgent != "" && !info.HasUserAgent(s.UserAgent) {
+		return false
 	}
 	// A signature with no constraining field never fires.
 	return s.Server != "" || s.URIFile != "" || s.UserAgent != ""

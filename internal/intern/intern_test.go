@@ -1,0 +1,78 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestTableBasics(t *testing.T) {
+	tb := NewTable()
+	if tb.Len() != 0 {
+		t.Fatalf("new table Len = %d", tb.Len())
+	}
+	a := tb.ID("alpha")
+	b := tb.ID("beta")
+	if a == b {
+		t.Fatalf("distinct strings share id %d", a)
+	}
+	if got := tb.ID("alpha"); got != a {
+		t.Errorf("re-intern changed id: %d != %d", got, a)
+	}
+	if tb.Name(a) != "alpha" || tb.Name(b) != "beta" {
+		t.Errorf("Name roundtrip: %q %q", tb.Name(a), tb.Name(b))
+	}
+	if id, ok := tb.Lookup("beta"); !ok || id != b {
+		t.Errorf("Lookup(beta) = %d,%v", id, ok)
+	}
+	if _, ok := tb.Lookup("gamma"); ok {
+		t.Error("Lookup of unknown string succeeded")
+	}
+	if tb.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tb.Len())
+	}
+	names := tb.Names()
+	if len(names) != 2 || names[a] != "alpha" || names[b] != "beta" {
+		t.Errorf("Names snapshot = %v", names)
+	}
+}
+
+// Ids stay dense and consistent under concurrent interning of an
+// overlapping key set — the stream-shard workload.
+func TestTableConcurrent(t *testing.T) {
+	tb := NewTable()
+	const goroutines, keys = 8, 200
+	var wg sync.WaitGroup
+	got := make([][]uint32, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids := make([]uint32, keys)
+			for k := 0; k < keys; k++ {
+				ids[k] = tb.ID(fmt.Sprintf("key-%d", k))
+			}
+			got[g] = ids
+		}(g)
+	}
+	wg.Wait()
+	if tb.Len() != keys {
+		t.Fatalf("Len = %d, want %d", tb.Len(), keys)
+	}
+	for g := 1; g < goroutines; g++ {
+		for k := 0; k < keys; k++ {
+			if got[g][k] != got[0][k] {
+				t.Fatalf("goroutine %d got id %d for key %d, goroutine 0 got %d",
+					g, got[g][k], k, got[0][k])
+			}
+		}
+	}
+	seen := make(map[uint32]bool)
+	for k := 0; k < keys; k++ {
+		id, ok := tb.Lookup(fmt.Sprintf("key-%d", k))
+		if !ok || seen[id] || int(id) >= keys {
+			t.Fatalf("key %d: id=%d ok=%v dup=%v", k, id, ok, seen[id])
+		}
+		seen[id] = true
+	}
+}

@@ -90,13 +90,14 @@ func IDFHistogram(idx *trace.Index) *stats.Histogram {
 // malicious servers to justify len=25). Unknown server keys are skipped.
 func FilenameLengthHistogram(idx *trace.Index, servers []string) *stats.Histogram {
 	h := stats.NewHistogram()
+	names := idx.Syms.Files.Names()
 	for _, key := range servers {
 		info := idx.Servers[key]
 		if info == nil {
 			continue
 		}
 		for f := range info.Files {
-			h.Add(len(f))
+			h.Add(len(names[f]))
 		}
 	}
 	return h

@@ -1,8 +1,6 @@
 package similarity
 
 import (
-	"strconv"
-
 	"smash/internal/sparse"
 	"smash/internal/trace"
 )
@@ -19,19 +17,19 @@ const DimPayload = "payload"
 // servers (shared CDN assets, common libraries) are skipped.
 func BuildPayloadGraph(idx *trace.Index, opts Options) *ServerGraph {
 	opts = opts.normalized()
-	sg := newServerGraph(idx)
-	inc := sparse.NewIncidence()
-	for _, name := range sg.Names {
-		_ = inc.RowID(name)
-		for d := range idx.Servers[name].Payloads {
-			inc.Set(name, d)
+	sg, nodes := newServerGraph(idx)
+	inc := sparse.Get(len(nodes.Infos))
+	defer inc.Release()
+	for id, info := range nodes.Infos {
+		for d := range info.Payloads {
+			inc.Set(id, uint64(d))
 		}
 	}
 	for _, p := range inc.CoOccurrence(opts.MaxFanout) {
 		a, b := int(p.A), int(p.B)
 		sim := SetSim(int(p.Count),
-			len(idx.Servers[sg.Names[a]].Payloads),
-			len(idx.Servers[sg.Names[b]].Payloads))
+			len(nodes.Infos[a].Payloads),
+			len(nodes.Infos[b].Payloads))
 		if sim >= opts.MinSimilarity {
 			_ = sg.G.AddEdge(a, b, sim)
 		}
@@ -51,33 +49,34 @@ const TemporalWindow = 60
 // BuildTemporalGraph connects servers that share (client, time-window)
 // co-occurrences, weighted by the eq. 1 form over the servers' window sets.
 // It needs the raw trace for timestamps; servers absent from idx (e.g.
-// filtered by preprocessing) are ignored.
+// filtered by preprocessing) are ignored. The co-occurrence token packs the
+// interned client id with the time bucket into one uint64 feature.
 func BuildTemporalGraph(t *trace.Trace, idx *trace.Index, opts Options) *ServerGraph {
 	opts = opts.normalized()
-	sg := newServerGraph(idx)
-	inc := sparse.NewIncidence()
-	windows := make(map[string]map[string]struct{}, len(sg.Names)) // server -> window tokens
-	for _, name := range sg.Names {
-		_ = inc.RowID(name)
-		windows[name] = make(map[string]struct{})
+	sg, nodes := newServerGraph(idx)
+	inc := sparse.Get(len(nodes.Infos))
+	defer inc.Release()
+	windows := make([]map[uint64]struct{}, len(nodes.Infos)) // node -> window tokens
+	for id := range nodes.Infos {
+		windows[id] = make(map[uint64]struct{})
 	}
 	for i := range t.Requests {
 		r := &t.Requests[i]
-		key := r.ServerKey()
-		set, ok := windows[key]
+		id, ok := nodes.IDs[idx.Syms.RequestServerKey(r)]
 		if !ok {
 			continue
 		}
-		token := r.Client + "@" + strconv.FormatInt(r.Time.Unix()/TemporalWindow, 10)
-		if _, seen := set[token]; seen {
+		cid := idx.Syms.Clients.ID(r.Client)
+		token := uint64(cid)<<32 | uint64(uint32(r.Time.Unix()/TemporalWindow))
+		if _, seen := windows[id][token]; seen {
 			continue
 		}
-		set[token] = struct{}{}
-		inc.Set(key, token)
+		windows[id][token] = struct{}{}
+		inc.Set(id, token)
 	}
 	for _, p := range inc.CoOccurrence(opts.MaxFanout) {
 		a, b := int(p.A), int(p.B)
-		sim := SetSim(int(p.Count), len(windows[sg.Names[a]]), len(windows[sg.Names[b]]))
+		sim := SetSim(int(p.Count), len(windows[a]), len(windows[b]))
 		if sim >= opts.MinSimilarity {
 			_ = sg.G.AddEdge(a, b, sim)
 		}

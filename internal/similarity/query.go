@@ -18,19 +18,19 @@ const DimQuery = "querypattern"
 // more than MaxFanout servers are ignored as too generic.
 func BuildQueryGraph(idx *trace.Index, opts Options) *ServerGraph {
 	opts = opts.normalized()
-	sg := newServerGraph(idx)
-	inc := sparse.NewIncidence()
-	for _, name := range sg.Names {
-		_ = inc.RowID(name)
-		for q := range idx.Servers[name].Queries {
-			inc.Set(name, q)
+	sg, nodes := newServerGraph(idx)
+	inc := sparse.Get(len(nodes.Infos))
+	defer inc.Release()
+	for id, info := range nodes.Infos {
+		for q := range info.Queries {
+			inc.Set(id, uint64(q))
 		}
 	}
 	for _, p := range inc.CoOccurrence(opts.MaxFanout) {
 		a, b := int(p.A), int(p.B)
 		sim := SetSim(int(p.Count),
-			len(idx.Servers[sg.Names[a]].Queries),
-			len(idx.Servers[sg.Names[b]].Queries))
+			len(nodes.Infos[a].Queries),
+			len(nodes.Infos[b].Queries))
 		if sim >= opts.MinSimilarity {
 			_ = sg.G.AddEdge(a, b, sim)
 		}

@@ -7,10 +7,15 @@
 // Pairwise similarity is never computed densely: set-valued dimensions go
 // through the sparse co-occurrence product (see internal/sparse), so only
 // server pairs that actually share a client/IP/file/whois token are touched.
+// Builders run entirely on interned ids: node ids come from the index's
+// cached NodeTable (built once per index, not once per dimension) and
+// features are the data plane's uint32 symbol ids, so no string is hashed
+// inside a mining loop.
 package similarity
 
 import (
 	"math"
+	"slices"
 	"sort"
 
 	"smash/internal/graph"
@@ -97,76 +102,113 @@ func CharCosine(a, b string) float64 {
 	return dot / (math.Sqrt(na) * math.Sqrt(nb))
 }
 
-// ServerFileSim implements eq. (7): the product of (fraction of Si's files
-// that have a similar file on Sj) and the converse fraction.
-func ServerFileSim(filesA, filesB []string, lenThreshold int, cosThreshold float64) float64 {
-	if len(filesA) == 0 || len(filesB) == 0 {
+// fileSet is one server's URI files prepared for repeated eq. (7)
+// evaluations: the sorted full list plus the long-name sublist. Preparing
+// once per server (not once per candidate pair) is what keeps the file
+// dimension out of the profile.
+type fileSet struct {
+	sorted []string // all files, sorted (FileList order)
+	long   []string // files longer than lenThreshold
+}
+
+func newFileSet(files []string, lenThreshold int) fileSet {
+	fs := fileSet{sorted: files}
+	for _, f := range files {
+		if len(f) > lenThreshold {
+			fs.long = append(fs.long, f)
+		}
+	}
+	return fs
+}
+
+// serverFileSimSets implements eq. (7) over two prepared file sets: the
+// product of (fraction of Si's files with a similar file on Sj) and the
+// converse fraction. Exact matches are found by a sorted merge walk; only
+// long names fall back to the pairwise cosine test.
+func serverFileSimSets(a, b fileSet, lenThreshold int, cosThreshold float64) float64 {
+	na, nb := len(a.sorted), len(b.sorted)
+	if na == 0 || nb == 0 {
 		return 0
 	}
-	setB := make(map[string]struct{}, len(filesB))
-	var longB []string
-	for _, f := range filesB {
-		setB[f] = struct{}{}
-		if len(f) > lenThreshold {
-			longB = append(longB, f)
+	// Exact intersection count via merge walk (lists are sorted and
+	// deduplicated). An exact match satisfies both directions at once.
+	exact := 0
+	for i, j := 0, 0; i < na && j < nb; {
+		switch {
+		case a.sorted[i] == b.sorted[j]:
+			exact++
+			i++
+			j++
+		case a.sorted[i] < b.sorted[j]:
+			i++
+		default:
+			j++
 		}
 	}
-	setA := make(map[string]struct{}, len(filesA))
-	var longA []string
-	for _, f := range filesA {
-		setA[f] = struct{}{}
-		if len(f) > lenThreshold {
-			longA = append(longA, f)
-		}
-	}
-	matched := func(f string, exact map[string]struct{}, longOther []string) bool {
-		if _, ok := exact[f]; ok {
-			return true
-		}
-		if len(f) <= lenThreshold {
-			return false
-		}
-		for _, g := range longOther {
-			if CharCosine(f, g) > cosThreshold {
+	cosMatched := func(f string, other []string) bool {
+		for _, g := range other {
+			if f != g && CharCosine(f, g) > cosThreshold {
 				return true
 			}
 		}
 		return false
 	}
-	ma := 0
-	for _, f := range filesA {
-		if matched(f, setB, longB) {
-			ma++
+	count := func(x, y fileSet) int {
+		m := exact
+		// Long names without an exact partner may still match by cosine.
+		for i, j := 0, 0; i < len(x.long); i++ {
+			f := x.long[i]
+			for j < len(y.sorted) && y.sorted[j] < f {
+				j++
+			}
+			if j < len(y.sorted) && y.sorted[j] == f {
+				continue // already counted as exact
+			}
+			if cosMatched(f, y.long) {
+				m++
+			}
 		}
+		return m
 	}
-	mb := 0
-	for _, f := range filesB {
-		if matched(f, setA, longA) {
-			mb++
-		}
+	return (float64(count(a, b)) / float64(na)) * (float64(count(b, a)) / float64(nb))
+}
+
+// ServerFileSim implements eq. (7): the product of (fraction of Si's files
+// that have a similar file on Sj) and the converse fraction. Inputs are
+// treated as file *sets* (the paper's formulation): they need not be
+// sorted, and duplicate entries collapse before the fractions are taken.
+// Hot paths prepare fileSets once per server and use the internal sorted
+// form instead.
+func ServerFileSim(filesA, filesB []string, lenThreshold int, cosThreshold float64) float64 {
+	dedup := func(files []string) []string {
+		s := append([]string(nil), files...)
+		sort.Strings(s)
+		return slices.Compact(s)
 	}
-	return (float64(ma) / float64(len(filesA))) * (float64(mb) / float64(len(filesB)))
+	return serverFileSimSets(
+		newFileSet(dedup(filesA), lenThreshold),
+		newFileSet(dedup(filesB), lenThreshold),
+		lenThreshold, cosThreshold)
 }
 
 // ServerGraph is a similarity graph whose nodes are server keys.
 type ServerGraph struct {
 	// G is the weighted similarity graph.
 	G *graph.Graph
-	// Names maps node id -> server key.
+	// Names maps node id -> server key. Shared with the index's NodeTable;
+	// treat as read-only.
 	Names []string
-	// IDs maps server key -> node id.
+	// IDs maps server key -> node id. Shared with the index's NodeTable;
+	// treat as read-only.
 	IDs map[string]int
 }
 
-// newServerGraph allocates a ServerGraph over the sorted server keys of idx
-// so node ids are deterministic.
-func newServerGraph(idx *trace.Index) *ServerGraph {
-	names := idx.ServerKeys()
-	ids := make(map[string]int, len(names))
-	for i, n := range names {
-		ids[n] = i
-	}
-	return &ServerGraph{G: graph.New(len(names)), Names: names, IDs: ids}
+// newServerGraph allocates a ServerGraph over the index's cached node
+// table, so node ids are deterministic (sorted server keys) and the sort
+// happens once per index rather than once per dimension.
+func newServerGraph(idx *trace.Index) (*ServerGraph, *trace.NodeTable) {
+	nodes := idx.Nodes()
+	return &ServerGraph{G: graph.New(len(nodes.Names)), Names: nodes.Names, IDs: nodes.IDs}, nodes
 }
 
 // Options tunes the similarity graph builders.
@@ -234,14 +276,12 @@ func (o Options) normalized() Options {
 // connected with weight Client(Si,Sj) from eq. (1) when they share clients.
 func BuildClientGraph(idx *trace.Index, opts Options) *ServerGraph {
 	opts = opts.normalized()
-	sg := newServerGraph(idx)
-	inc := sparse.NewIncidence()
-	for _, name := range sg.Names {
-		// Intern rows in node-id order so incidence row ids == node ids.
-		rid := inc.RowID(name)
-		_ = rid
-		for c := range idx.Servers[name].Clients {
-			inc.Set(name, c)
+	sg, nodes := newServerGraph(idx)
+	inc := sparse.Get(len(nodes.Infos))
+	defer inc.Release()
+	for id, info := range nodes.Infos {
+		for c := range info.Clients {
+			inc.Set(id, uint64(c))
 		}
 	}
 	for _, p := range inc.CoOccurrence(opts.MaxFanout) {
@@ -249,7 +289,7 @@ func BuildClientGraph(idx *trace.Index, opts Options) *ServerGraph {
 			continue
 		}
 		a, b := int(p.A), int(p.B)
-		sim := SetSim(int(p.Count), len(idx.Servers[sg.Names[a]].Clients), len(idx.Servers[sg.Names[b]].Clients))
+		sim := SetSim(int(p.Count), len(nodes.Infos[a].Clients), len(nodes.Infos[b].Clients))
 		if sim >= opts.MinSimilarity {
 			_ = sg.G.AddEdge(a, b, sim)
 		}
@@ -260,17 +300,17 @@ func BuildClientGraph(idx *trace.Index, opts Options) *ServerGraph {
 // BuildIPGraph builds the IP-address-set secondary dimension graph (eq. 8).
 func BuildIPGraph(idx *trace.Index, opts Options) *ServerGraph {
 	opts = opts.normalized()
-	sg := newServerGraph(idx)
-	inc := sparse.NewIncidence()
-	for _, name := range sg.Names {
-		_ = inc.RowID(name)
-		for ip := range idx.Servers[name].IPs {
-			inc.Set(name, ip)
+	sg, nodes := newServerGraph(idx)
+	inc := sparse.Get(len(nodes.Infos))
+	defer inc.Release()
+	for id, info := range nodes.Infos {
+		for ip := range info.IPs {
+			inc.Set(id, uint64(ip))
 		}
 	}
 	for _, p := range inc.CoOccurrence(opts.MaxFanout) {
 		a, b := int(p.A), int(p.B)
-		sim := SetSim(int(p.Count), len(idx.Servers[sg.Names[a]].IPs), len(idx.Servers[sg.Names[b]].IPs))
+		sim := SetSim(int(p.Count), len(nodes.Infos[a].IPs), len(nodes.Infos[b].IPs))
 		if sim >= opts.MinSimilarity {
 			_ = sg.G.AddEdge(a, b, sim)
 		}
@@ -278,26 +318,33 @@ func BuildIPGraph(idx *trace.Index, opts Options) *ServerGraph {
 	return sg
 }
 
+// longGroupBase offsets the synthetic long-name group tokens past the file
+// id space, so the two feature kinds cannot collide in one incidence.
+const longGroupBase = uint64(1) << 40
+
 // BuildFileGraph builds the URI-file secondary dimension graph. Candidate
-// server pairs are generated from shared file tokens (exact for short
-// names, a distribution bucket for long names); each candidate pair is then
-// scored with the full eq. (7) similarity.
+// server pairs are generated from shared file tokens (the interned file id
+// for short names, a distribution bucket for long names); each candidate
+// pair is then scored with the full eq. (7) similarity over file sets
+// prepared once per server.
 func BuildFileGraph(idx *trace.Index, opts Options) *ServerGraph {
 	opts = opts.normalized()
-	sg := newServerGraph(idx)
-	inc := sparse.NewIncidence()
+	sg, nodes := newServerGraph(idx)
+	inc := sparse.Get(len(nodes.Infos))
+	defer inc.Release()
+	fileNames := idx.Syms.Files.Names()
 
 	// Long (possibly obfuscated) filenames: cluster them by cosine
 	// similarity so that similar-but-unequal names map to one token.
 	longNames := make(map[string][]int) // long file -> server node ids
-	for id, name := range sg.Names {
-		_ = inc.RowID(name)
-		for f := range idx.Servers[name].Files {
-			if len(f) > opts.LenThreshold {
-				longNames[f] = append(longNames[f], id)
+	for id, info := range nodes.Infos {
+		for f := range info.Files {
+			name := fileNames[f]
+			if len(name) > opts.LenThreshold {
+				longNames[name] = append(longNames[name], id)
 				continue
 			}
-			inc.Set(name, "x:"+f)
+			inc.Set(id, uint64(f))
 		}
 	}
 	if len(longNames) > 0 {
@@ -308,21 +355,30 @@ func BuildFileGraph(idx *trace.Index, opts Options) *ServerGraph {
 		sort.Strings(files)
 		groups := clusterLongNames(files, opts.CosineThreshold)
 		for gi, members := range groups {
-			token := "g:" + itoa(gi)
+			token := longGroupBase + uint64(gi)
 			for _, fi := range members {
 				for _, server := range longNames[files[fi]] {
-					inc.Set(sg.Names[server], token)
+					inc.Set(server, token)
 				}
 			}
 		}
 	}
 
+	// File sets are prepared lazily: only servers that appear in candidate
+	// pairs pay the sort.
+	fileSets := make([]fileSet, len(nodes.Infos))
+	prepared := make([]bool, len(nodes.Infos))
+	setOf := func(id int) fileSet {
+		if !prepared[id] {
+			fileSets[id] = newFileSet(nodes.Infos[id].FileList(), opts.LenThreshold)
+			prepared[id] = true
+		}
+		return fileSets[id]
+	}
+
 	for _, p := range inc.CoOccurrence(opts.MaxFanout) {
 		a, b := int(p.A), int(p.B)
-		sim := ServerFileSim(
-			idx.Servers[sg.Names[a]].FileList(),
-			idx.Servers[sg.Names[b]].FileList(),
-			opts.LenThreshold, opts.CosineThreshold)
+		sim := serverFileSimSets(setOf(a), setOf(b), opts.LenThreshold, opts.CosineThreshold)
 		if sim >= opts.MinSimilarity {
 			_ = sg.G.AddEdge(a, b, sim)
 		}
@@ -380,41 +436,27 @@ func clusterLongNames(files []string, cosThreshold float64) [][]int {
 	return out
 }
 
-func itoa(v int) string {
-	if v == 0 {
-		return "0"
-	}
-	var buf [20]byte
-	i := len(buf)
-	for v > 0 {
-		i--
-		buf[i] = byte('0' + v%10)
-		v /= 10
-	}
-	return string(buf[i:])
-}
-
 // BuildWhoisGraph builds the whois secondary dimension graph: servers whose
 // registration records share at least whois.MinSharedFields fields are
 // connected with the field-overlap similarity. Candidate pairs come from
 // shared field-signature tokens.
 func BuildWhoisGraph(idx *trace.Index, reg whois.Registry, opts Options) *ServerGraph {
 	opts = opts.normalized()
-	sg := newServerGraph(idx)
+	sg, nodes := newServerGraph(idx)
 	if reg == nil {
 		return sg
 	}
 	records := make(map[int]whois.Record)
-	inc := sparse.NewIncidence()
-	for id, name := range sg.Names {
-		_ = inc.RowID(name)
+	inc := sparse.Get(len(nodes.Infos))
+	defer inc.Release()
+	for id, name := range nodes.Names {
 		rec, ok := reg.Lookup(name)
 		if !ok {
 			continue
 		}
 		records[id] = rec
 		for _, token := range whois.FieldSignature(rec) {
-			inc.Set(name, token)
+			inc.SetString(id, token)
 		}
 	}
 	for _, p := range inc.CoOccurrence(opts.MaxFanout) {

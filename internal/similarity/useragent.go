@@ -18,19 +18,19 @@ const DimUserAgent = "useragent"
 // discriminating features.
 func BuildUserAgentGraph(idx *trace.Index, opts Options) *ServerGraph {
 	opts = opts.normalized()
-	sg := newServerGraph(idx)
-	inc := sparse.NewIncidence()
-	for _, name := range sg.Names {
-		_ = inc.RowID(name)
-		for ua := range idx.Servers[name].UserAgents {
-			inc.Set(name, ua)
+	sg, nodes := newServerGraph(idx)
+	inc := sparse.Get(len(nodes.Infos))
+	defer inc.Release()
+	for id, info := range nodes.Infos {
+		for ua := range info.UserAgents {
+			inc.Set(id, uint64(ua))
 		}
 	}
 	for _, p := range inc.CoOccurrence(opts.MaxFanout) {
 		a, b := int(p.A), int(p.B)
 		sim := SetSim(int(p.Count),
-			len(idx.Servers[sg.Names[a]].UserAgents),
-			len(idx.Servers[sg.Names[b]].UserAgents))
+			len(nodes.Infos[a].UserAgents),
+			len(nodes.Infos[b].UserAgents))
 		if sim >= opts.MinSimilarity {
 			_ = sg.G.AddEdge(a, b, sim)
 		}

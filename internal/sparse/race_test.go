@@ -1,0 +1,8 @@
+//go:build race
+
+package sparse
+
+// raceEnabled flags that the race detector is instrumenting allocations;
+// the AllocsPerRun guards skip themselves because instrumented runs
+// allocate on paths the production build does not.
+const raceEnabled = true

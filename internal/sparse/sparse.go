@@ -4,78 +4,132 @@
 // The set-valued dimensions (client sets, IP sets, URI file sets) are all
 // incidence relations: a boolean matrix M with rows = servers and columns =
 // features. The pairwise intersection sizes |A∩B| needed by the similarity
-// equations are exactly the nonzero entries of M·Mᵀ, which can be computed
-// by iterating features (columns) and emitting only co-occurring row pairs —
-// never materializing the dense N×N product.
+// equations are exactly the nonzero entries of M·Mᵀ, which are computed
+// row-wise (Gustavson's algorithm) against a dense, pooled accumulator —
+// never materializing the dense N×N product and never hashing inside the
+// product loop.
+//
+// Rows are the caller's dense node ids (0..n-1); features are opaque
+// uint64 keys — interned symbol ids from the trace data plane, or composed
+// ids such as (client<<32|timebucket). A legacy SetString path interns
+// string features locally for callers without interned ids (whois tokens).
 //
 // A per-feature fan-out cap skips extremely popular features: a feature
 // shared by f rows contributes f(f-1)/2 pairs, so an unbounded hub feature
 // (e.g. the URI file "index.html") would dominate cost while carrying almost
 // no discriminating signal. The cap plays the same role for features that
 // the paper's IDF filter plays for servers.
+//
+// Incidences and their scratch buffers are pooled (Get/Release): the
+// streaming engine builds six of them per dimension per window, and reuse
+// keeps the per-window allocation profile flat.
 package sparse
 
-import "sort"
+import (
+	"slices"
+	"sort"
+	"sync"
+)
 
-// Incidence accumulates a rows×features boolean incidence relation with
-// string-keyed rows and features, assigning dense integer ids.
+// Incidence accumulates a rows×features boolean incidence relation over
+// dense integer row ids and uint64 feature keys.
 type Incidence struct {
-	rowIDs     map[string]int
-	rowNames   []string
-	featIDs    map[string]int
-	featRows   [][]int32 // feature id -> row ids (unsorted until finalize)
-	rowDegrees []int32   // row id -> number of distinct features
+	nRows      int
+	featIDs    map[uint64]int32
+	strIDs     map[string]int32 // SetString feature keys; lazily allocated
+	featRows   [][]int32        // feature id -> row ids (unsorted until finalize)
+	rowDegrees []int32          // row id -> number of distinct features
+	rowFeats   [][]int32        // row id -> feature ids (built by Finalize)
 	finalized  bool
 }
 
-// NewIncidence returns an empty incidence relation.
-func NewIncidence() *Incidence {
-	return &Incidence{
-		rowIDs:  make(map[string]int),
-		featIDs: make(map[string]int),
-	}
+// NewIncidence returns an empty incidence relation over rows 0..nRows-1.
+func NewIncidence(nRows int) *Incidence {
+	m := &Incidence{featIDs: make(map[uint64]int32)}
+	m.Reset(nRows)
+	return m
 }
 
-// RowID interns a row name and returns its dense id.
-func (m *Incidence) RowID(name string) int {
-	if id, ok := m.rowIDs[name]; ok {
-		return id
+// Reset clears the relation and re-sizes it to nRows rows, retaining
+// allocated capacity for reuse.
+func (m *Incidence) Reset(nRows int) {
+	m.nRows = nRows
+	clear(m.featIDs)
+	if m.strIDs != nil {
+		clear(m.strIDs)
 	}
-	id := len(m.rowNames)
-	m.rowIDs[name] = id
-	m.rowNames = append(m.rowNames, name)
-	m.rowDegrees = append(m.rowDegrees, 0)
-	return id
-}
-
-// RowName returns the name of a dense row id.
-func (m *Incidence) RowName(id int) string { return m.rowNames[id] }
-
-// Rows reports the number of interned rows.
-func (m *Incidence) Rows() int { return len(m.rowNames) }
-
-// Features reports the number of interned features.
-func (m *Incidence) Features() int { return len(m.featRows) }
-
-// RowDegree returns the number of distinct features set for the row.
-func (m *Incidence) RowDegree(id int) int { return int(m.rowDegrees[id]) }
-
-// Set marks (row, feature) as present. Duplicate Set calls for the same pair
-// are deduplicated at Finalize time.
-func (m *Incidence) Set(row, feature string) {
-	r := m.RowID(row)
-	f, ok := m.featIDs[feature]
-	if !ok {
-		f = len(m.featRows)
-		m.featIDs[feature] = f
-		m.featRows = append(m.featRows, nil)
+	for i := range m.featRows {
+		m.featRows[i] = m.featRows[i][:0]
 	}
-	m.featRows[f] = append(m.featRows[f], int32(r))
+	m.featRows = m.featRows[:0]
+	for i := range m.rowFeats {
+		m.rowFeats[i] = m.rowFeats[i][:0]
+	}
+	m.rowFeats = m.rowFeats[:0]
+	if cap(m.rowDegrees) < nRows {
+		m.rowDegrees = make([]int32, nRows)
+	}
+	m.rowDegrees = m.rowDegrees[:nRows]
+	for i := range m.rowDegrees {
+		m.rowDegrees[i] = 0
+	}
 	m.finalized = false
 }
 
-// Finalize sorts and deduplicates the per-feature row lists and recomputes
-// row degrees. It is called automatically by CoOccurrence.
+// Rows reports the number of rows.
+func (m *Incidence) Rows() int { return m.nRows }
+
+// Features reports the number of distinct features.
+func (m *Incidence) Features() int { return len(m.featRows) }
+
+// RowDegree returns the number of distinct features set for the row (valid
+// after Finalize, which CoOccurrence runs implicitly).
+func (m *Incidence) RowDegree(id int) int { return int(m.rowDegrees[id]) }
+
+// addFeature appends a (pre-assigned) feature's row, reusing pooled
+// sub-slices where possible.
+func (m *Incidence) newFeature() int32 {
+	f := int32(len(m.featRows))
+	if len(m.featRows) < cap(m.featRows) {
+		m.featRows = m.featRows[:len(m.featRows)+1]
+		m.featRows[f] = m.featRows[f][:0]
+	} else {
+		m.featRows = append(m.featRows, nil)
+	}
+	return f
+}
+
+// Set marks (row, feature) as present. Duplicate Set calls for the same pair
+// are deduplicated at Finalize time. row must be in [0, Rows()).
+func (m *Incidence) Set(row int, feature uint64) {
+	f, ok := m.featIDs[feature]
+	if !ok {
+		f = m.newFeature()
+		m.featIDs[feature] = f
+	}
+	m.featRows[f] = append(m.featRows[f], int32(row))
+	m.finalized = false
+}
+
+// SetString is Set for callers whose features are strings without interned
+// ids (e.g. whois field-signature tokens). String and uint64 features live
+// in separate key spaces; mixing both in one Incidence is allowed.
+func (m *Incidence) SetString(row int, feature string) {
+	if m.strIDs == nil {
+		m.strIDs = make(map[string]int32)
+	}
+	f, ok := m.strIDs[feature]
+	if !ok {
+		f = m.newFeature()
+		m.strIDs[feature] = f
+	}
+	m.featRows[f] = append(m.featRows[f], int32(row))
+	m.finalized = false
+}
+
+// Finalize sorts and deduplicates the per-feature row lists, recomputes row
+// degrees, and builds the row-major adjacency the co-occurrence product
+// walks. It is called automatically by CoOccurrence.
 func (m *Incidence) Finalize() {
 	if m.finalized {
 		return
@@ -83,9 +137,18 @@ func (m *Incidence) Finalize() {
 	for i := range m.rowDegrees {
 		m.rowDegrees[i] = 0
 	}
+	for i := range m.rowFeats {
+		m.rowFeats[i] = m.rowFeats[i][:0]
+	}
+	if cap(m.rowFeats) < m.nRows {
+		old := m.rowFeats
+		m.rowFeats = make([][]int32, m.nRows)
+		copy(m.rowFeats, old)
+	}
+	m.rowFeats = m.rowFeats[:m.nRows]
 	for f, rows := range m.featRows {
 		if len(rows) > 1 {
-			sort.Slice(rows, func(i, j int) bool { return rows[i] < rows[j] })
+			slices.Sort(rows)
 			out := rows[:1]
 			for _, r := range rows[1:] {
 				if r != out[len(out)-1] {
@@ -97,6 +160,7 @@ func (m *Incidence) Finalize() {
 		}
 		for _, r := range rows {
 			m.rowDegrees[r]++
+			m.rowFeats[r] = append(m.rowFeats[r], int32(f))
 		}
 	}
 	m.finalized = true
@@ -108,34 +172,65 @@ type Pair struct {
 	Count int32 // number of shared features
 }
 
+// coocScratch is the pooled dense accumulator for the row-wise product.
+type coocScratch struct {
+	counts  []int32
+	touched []int32
+}
+
+var scratchPool = sync.Pool{New: func() any { return &coocScratch{} }}
+
+func getScratch(n int) *coocScratch {
+	s := scratchPool.Get().(*coocScratch)
+	if cap(s.counts) < n {
+		s.counts = make([]int32, n)
+	}
+	s.counts = s.counts[:n]
+	return s
+}
+
 // CoOccurrence computes, for every pair of rows sharing at least one
 // feature, the number of shared features — i.e. the strictly-upper-triangle
 // nonzeros of M·Mᵀ. Features whose fan-out exceeds maxFanout are skipped
 // (0 or negative means no cap). The result is sorted by (A, B).
+//
+// The product is computed row-wise against a pooled dense accumulator:
+// for each row a, the counts of all partners b > a are accumulated by
+// array indexing, then swept in sorted order — no hashing, no per-pair
+// allocation.
 func (m *Incidence) CoOccurrence(maxFanout int) []Pair {
 	m.Finalize()
-	counts := make(map[uint64]int32)
-	for _, rows := range m.featRows {
-		if maxFanout > 0 && len(rows) > maxFanout {
-			continue
-		}
-		for i := 0; i < len(rows); i++ {
-			for j := i + 1; j < len(rows); j++ {
-				key := uint64(rows[i])<<32 | uint64(rows[j])
-				counts[key]++
+	s := getScratch(m.nRows)
+	defer scratchPool.Put(s)
+	counts := s.counts
+	touched := s.touched[:0]
+	var pairs []Pair
+	for a := 0; a < m.nRows; a++ {
+		for _, f := range m.rowFeats[a] {
+			rows := m.featRows[f]
+			if maxFanout > 0 && len(rows) > maxFanout {
+				continue
+			}
+			// rows is sorted; partners of a are the entries after it.
+			i := sort.Search(len(rows), func(i int) bool { return rows[i] > int32(a) })
+			for _, b := range rows[i:] {
+				if counts[b] == 0 {
+					touched = append(touched, b)
+				}
+				counts[b]++
 			}
 		}
-	}
-	pairs := make([]Pair, 0, len(counts))
-	for key, c := range counts {
-		pairs = append(pairs, Pair{A: int32(key >> 32), B: int32(key & 0xffffffff), Count: c})
-	}
-	sort.Slice(pairs, func(i, j int) bool {
-		if pairs[i].A != pairs[j].A {
-			return pairs[i].A < pairs[j].A
+		if len(touched) == 0 {
+			continue
 		}
-		return pairs[i].B < pairs[j].B
-	})
+		slices.Sort(touched)
+		for _, b := range touched {
+			pairs = append(pairs, Pair{A: int32(a), B: b, Count: counts[b]})
+			counts[b] = 0
+		}
+		touched = touched[:0]
+	}
+	s.touched = touched
 	return pairs
 }
 
@@ -172,3 +267,17 @@ func (m *Incidence) SkippedFeatures(maxFanout int) int {
 	}
 	return n
 }
+
+var incPool = sync.Pool{New: func() any { return NewIncidence(0) }}
+
+// Get returns a pooled empty Incidence over nRows rows. Release it when the
+// co-occurrence product has been consumed.
+func Get(nRows int) *Incidence {
+	m := incPool.Get().(*Incidence)
+	m.Reset(nRows)
+	return m
+}
+
+// Release returns the incidence to the pool. The caller must not use it
+// afterwards.
+func (m *Incidence) Release() { incPool.Put(m) }

@@ -6,51 +6,51 @@ import (
 )
 
 func TestCoOccurrenceBasic(t *testing.T) {
-	m := NewIncidence()
-	// s1 and s2 share clients c1, c2; s3 shares only c2 with both.
-	m.Set("s1", "c1")
-	m.Set("s1", "c2")
-	m.Set("s2", "c1")
-	m.Set("s2", "c2")
-	m.Set("s3", "c2")
+	m := NewIncidence(3)
+	// Rows 0 and 1 share features 1, 2; row 2 shares only feature 2.
+	m.Set(0, 1)
+	m.Set(0, 2)
+	m.Set(1, 1)
+	m.Set(1, 2)
+	m.Set(2, 2)
 	pairs := m.CoOccurrence(0)
 	if len(pairs) != 3 {
 		t.Fatalf("got %d pairs, want 3: %+v", len(pairs), pairs)
 	}
-	byNames := make(map[[2]string]int32)
+	byPair := make(map[[2]int32]int32)
 	for _, p := range pairs {
-		byNames[[2]string{m.RowName(int(p.A)), m.RowName(int(p.B))}] = p.Count
+		byPair[[2]int32{p.A, p.B}] = p.Count
 	}
-	if byNames[[2]string{"s1", "s2"}] != 2 {
-		t.Errorf("s1,s2 count = %d, want 2", byNames[[2]string{"s1", "s2"}])
+	if byPair[[2]int32{0, 1}] != 2 {
+		t.Errorf("0,1 count = %d, want 2", byPair[[2]int32{0, 1}])
 	}
-	if byNames[[2]string{"s1", "s3"}] != 1 {
-		t.Errorf("s1,s3 count = %d, want 1", byNames[[2]string{"s1", "s3"}])
+	if byPair[[2]int32{0, 2}] != 1 {
+		t.Errorf("0,2 count = %d, want 1", byPair[[2]int32{0, 2}])
 	}
 }
 
 func TestCoOccurrenceDedup(t *testing.T) {
-	m := NewIncidence()
-	m.Set("s1", "c1")
-	m.Set("s1", "c1") // duplicate must not double-count
-	m.Set("s2", "c1")
+	m := NewIncidence(2)
+	m.Set(0, 1)
+	m.Set(0, 1) // duplicate must not double-count
+	m.Set(1, 1)
 	pairs := m.CoOccurrence(0)
 	if len(pairs) != 1 || pairs[0].Count != 1 {
 		t.Fatalf("pairs = %+v, want one pair with count 1", pairs)
 	}
-	if m.RowDegree(m.RowID("s1")) != 1 {
-		t.Errorf("s1 degree = %d, want 1", m.RowDegree(m.RowID("s1")))
+	if m.RowDegree(0) != 1 {
+		t.Errorf("row 0 degree = %d, want 1", m.RowDegree(0))
 	}
 }
 
 func TestFanoutCap(t *testing.T) {
-	m := NewIncidence()
+	m := NewIncidence(5)
 	// Popular feature shared by 5 rows; rare feature shared by 2.
-	for _, r := range []string{"a", "b", "c", "d", "e"} {
-		m.Set(r, "popular")
+	for r := 0; r < 5; r++ {
+		m.Set(r, 100)
 	}
-	m.Set("a", "rare")
-	m.Set("b", "rare")
+	m.Set(0, 200)
+	m.Set(1, 200)
 	if got := len(m.CoOccurrence(0)); got != 10 {
 		t.Errorf("uncapped pairs = %d, want 10", got)
 	}
@@ -70,19 +70,18 @@ func TestCoOccurrenceMatchesBruteForce(t *testing.T) {
 	// Property: the sparse product must equal the brute-force pairwise
 	// set-intersection computation on random incidence relations.
 	f := func(edges []uint16) bool {
-		m := NewIncidence()
+		m := NewIncidence(8)
 		sets := make(map[int]map[int]bool)
-		rowName := func(i int) string { return string(rune('A' + i)) }
 		for _, e := range edges {
 			r := int(e>>8) % 8
 			c := int(e & 0xff % 32)
-			m.Set(rowName(r), string(rune('0'+c)))
+			m.Set(r, uint64(c))
 			if sets[r] == nil {
 				sets[r] = make(map[int]bool)
 			}
 			sets[r][c] = true
 		}
-		want := make(map[[2]string]int32)
+		want := make(map[[2]int32]int32)
 		for a := 0; a < 8; a++ {
 			for b := a + 1; b < 8; b++ {
 				n := int32(0)
@@ -92,18 +91,13 @@ func TestCoOccurrenceMatchesBruteForce(t *testing.T) {
 					}
 				}
 				if n > 0 {
-					ka, kb := rowName(a), rowName(b)
-					ia, ib := m.RowID(ka), m.RowID(kb)
-					if ia > ib {
-						ka, kb = kb, ka
-					}
-					want[[2]string{ka, kb}] = n
+					want[[2]int32{int32(a), int32(b)}] = n
 				}
 			}
 		}
-		got := make(map[[2]string]int32)
+		got := make(map[[2]int32]int32)
 		for _, p := range m.CoOccurrence(0) {
-			got[[2]string{m.RowName(int(p.A)), m.RowName(int(p.B))}] = p.Count
+			got[[2]int32{p.A, p.B}] = p.Count
 		}
 		if len(got) != len(want) {
 			return false
@@ -121,11 +115,11 @@ func TestCoOccurrenceMatchesBruteForce(t *testing.T) {
 }
 
 func TestCoOccurrenceFunc(t *testing.T) {
-	m := NewIncidence()
-	m.Set("s1", "c1")
-	m.Set("s2", "c1")
-	m.Set("s1", "c2")
-	m.Set("s2", "c2")
+	m := NewIncidence(2)
+	m.Set(0, 1)
+	m.Set(1, 1)
+	m.Set(0, 2)
+	m.Set(1, 2)
 	total := 0
 	m.CoOccurrenceFunc(0, func(a, b int32) { total++ })
 	if total != 2 {
@@ -134,10 +128,10 @@ func TestCoOccurrenceFunc(t *testing.T) {
 }
 
 func TestCoOccurrenceSorted(t *testing.T) {
-	m := NewIncidence()
-	for _, r := range []string{"z", "m", "a"} {
-		m.Set(r, "f1")
-		m.Set(r, "f2")
+	m := NewIncidence(3)
+	for r := 2; r >= 0; r-- {
+		m.Set(r, 1)
+		m.Set(r, 2)
 	}
 	pairs := m.CoOccurrence(0)
 	for i := 1; i < len(pairs); i++ {
@@ -149,11 +143,58 @@ func TestCoOccurrenceSorted(t *testing.T) {
 }
 
 func TestEmptyIncidence(t *testing.T) {
-	m := NewIncidence()
+	m := NewIncidence(0)
 	if got := m.CoOccurrence(0); len(got) != 0 {
 		t.Errorf("empty incidence produced pairs: %v", got)
 	}
 	if m.Rows() != 0 || m.Features() != 0 {
 		t.Error("empty incidence reports nonzero dims")
 	}
+}
+
+func TestSetStringFeatures(t *testing.T) {
+	m := NewIncidence(3)
+	m.SetString(0, "tok-a")
+	m.SetString(1, "tok-a")
+	m.Set(1, 7)
+	m.Set(2, 7)
+	pairs := m.CoOccurrence(0)
+	byPair := make(map[[2]int32]int32)
+	for _, p := range pairs {
+		byPair[[2]int32{p.A, p.B}] = p.Count
+	}
+	if byPair[[2]int32{0, 1}] != 1 || byPair[[2]int32{1, 2}] != 1 {
+		t.Fatalf("mixed string/id features miscounted: %+v", pairs)
+	}
+	if m.Features() != 2 {
+		t.Errorf("Features = %d, want 2", m.Features())
+	}
+}
+
+// A pooled incidence must behave like a fresh one after Reset, with no
+// state bleeding between uses.
+func TestPoolReuse(t *testing.T) {
+	m := Get(3)
+	m.Set(0, 1)
+	m.Set(1, 1)
+	m.SetString(2, "x")
+	if got := len(m.CoOccurrence(0)); got != 1 {
+		t.Fatalf("first use pairs = %d, want 1", got)
+	}
+	m.Release()
+
+	m2 := Get(2)
+	if m2.Features() != 0 || m2.Rows() != 2 {
+		t.Fatalf("pooled incidence not reset: %d features, %d rows", m2.Features(), m2.Rows())
+	}
+	if got := len(m2.CoOccurrence(0)); got != 0 {
+		t.Fatalf("pooled incidence leaked pairs: %d", got)
+	}
+	m2.Set(0, 99)
+	m2.Set(1, 99)
+	pairs := m2.CoOccurrence(0)
+	if len(pairs) != 1 || pairs[0].Count != 1 {
+		t.Fatalf("pooled incidence after reuse: %+v", pairs)
+	}
+	m2.Release()
 }

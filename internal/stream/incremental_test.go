@@ -1,0 +1,207 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"smash/internal/trace"
+)
+
+// randomEvents fabricates a small random event stream: a handful of
+// servers, clients and files spread over `spreadStrides` strides, with a
+// bounded amount of out-of-order jitter so the watermark/lateness paths
+// get exercised.
+func randomEvents(rng *rand.Rand, n int, stride time.Duration, spreadStrides int, jitter time.Duration) []trace.Request {
+	base := time.Date(2011, 10, 1, 0, 0, 0, 0, time.UTC)
+	events := make([]trace.Request, 0, n)
+	cursor := time.Duration(0)
+	span := stride * time.Duration(spreadStrides)
+	for i := 0; i < n; i++ {
+		// Mostly-increasing times with random negative jitter.
+		cursor += time.Duration(rng.Int63n(int64(span)/int64(n) + 1))
+		t := base.Add(cursor - time.Duration(rng.Int63n(int64(jitter)+1)))
+		if t.Before(base) || i == 0 {
+			// The first event anchors the window origin; keeping it (and
+			// every jittered event) at or after base means no event ever
+			// precedes the first window, so scratch comparisons stay
+			// exact. (Events before the origin are dropped by design.)
+			t = base
+		}
+		r := trace.Request{
+			Time:     t,
+			Client:   fmt.Sprintf("c%d", rng.Intn(6)),
+			Host:     fmt.Sprintf("s%d.com", rng.Intn(8)),
+			ServerIP: fmt.Sprintf("9.9.9.%d", rng.Intn(4)),
+			Path:     fmt.Sprintf("/f%d.php", rng.Intn(5)),
+			Status:   200,
+		}
+		if rng.Intn(4) == 0 {
+			r.Query = "id=1&p=2"
+		}
+		if rng.Intn(5) == 0 {
+			r.Referrer = fmt.Sprintf("ref%d.com", rng.Intn(3))
+		}
+		events = append(events, r)
+	}
+	return events
+}
+
+// windowFingerprints collects the (Seq, Start, End, Requests, raw-index
+// fingerprint) tuple of every window, plus the delta stream.
+func windowFingerprints(windows []WindowResult) []string {
+	var out []string
+	for _, w := range windows {
+		fp := ""
+		if w.Report != nil && w.Report.RawIndex != nil {
+			fp = w.Report.RawIndex.Fingerprint()
+		}
+		out = append(out, fmt.Sprintf("w%d [%s,%s) req=%d\n%s", w.Seq, w.Start, w.End, w.Requests, fp))
+	}
+	return out
+}
+
+// TestIncrementalMatchesLegacyWindowing drives random stride/window/
+// lateness combinations through the incremental stride-fragment ring and
+// through the legacy per-window fragment path, and requires byte-identical
+// output: same windows, same per-window raw index (fingerprinted), same
+// lineage deltas, same late-drop accounting. Non-divisible strides (where
+// the engine itself falls back to the legacy path) ride along to keep the
+// fallback honest.
+func TestIncrementalMatchesLegacyWindowing(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 12; trial++ {
+		stride := time.Duration(1+rng.Intn(4)) * 10 * time.Minute
+		var window time.Duration
+		if trial%4 == 3 {
+			// Non-divisible: window = k*stride + stride/2 (falls back).
+			window = stride*time.Duration(1+rng.Intn(3)) + stride/2
+		} else {
+			window = stride * time.Duration(1+rng.Intn(4))
+		}
+		watermark := time.Duration(rng.Intn(3)) * 7 * time.Minute
+		jitter := time.Duration(rng.Intn(3)) * 11 * time.Minute
+		events := randomEvents(rng, 120+rng.Intn(200), stride, 6+rng.Intn(6), jitter)
+		name := fmt.Sprintf("trial%d_w%v_s%v_wm%v_j%v", trial, window, stride, watermark, jitter)
+
+		t.Run(name, func(t *testing.T) {
+			run := func(legacy bool, shards, workers int) ([]WindowResult, *Engine) {
+				eng, err := New(Config{
+					Window: window, Stride: stride, Watermark: watermark,
+					Shards: shards, Workers: workers,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				eng.forceLegacy = legacy
+				return collect(t, eng, &SliceSource{Requests: events}), eng
+			}
+			gotW, gotE := run(false, 1+rng.Intn(4), 1+rng.Intn(3))
+			wantW, wantE := run(true, 1+rng.Intn(4), 1+rng.Intn(3))
+
+			if gotE.Stats() != wantE.Stats() {
+				t.Errorf("stats diverge: incremental %+v, legacy %+v", gotE.Stats(), wantE.Stats())
+			}
+			got, want := windowFingerprints(gotW), windowFingerprints(wantW)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("window streams diverge:\nincremental:\n%v\nlegacy:\n%v", got, want)
+			}
+			if !reflect.DeepEqual(deltaSummary(gotW), deltaSummary(wantW)) {
+				t.Errorf("delta streams diverge")
+			}
+		})
+	}
+}
+
+// TestIncrementalIndexMatchesScratchBuild is the direct "rolling merged
+// index equals BuildIndex of the window's events" assertion: with a
+// watermark generous enough that nothing is dropped, every emitted
+// window's raw index must fingerprint-equal an index built from scratch
+// over exactly the events in [Start, End).
+func TestIncrementalIndexMatchesScratchBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 8; trial++ {
+		stride := time.Duration(1+rng.Intn(3)) * 15 * time.Minute
+		k := 1 + rng.Intn(4)
+		window := stride * time.Duration(k)
+		jitter := time.Duration(rng.Intn(2)) * 9 * time.Minute
+		events := randomEvents(rng, 100+rng.Intn(150), stride, 5+rng.Intn(5), jitter)
+
+		t.Run(fmt.Sprintf("trial%d_k%d", trial, k), func(t *testing.T) {
+			eng, err := New(Config{
+				Window: window, Stride: stride,
+				// Larger than any jitter: no event is ever late-dropped,
+				// so window contents are exactly the time-range slice.
+				Watermark: 24 * time.Hour,
+				Shards:    1 + rng.Intn(4),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			windows := collect(t, eng, &SliceSource{Requests: events})
+			if eng.Stats().Late != 0 {
+				t.Fatalf("unexpected late drops: %+v", eng.Stats())
+			}
+			if len(windows) == 0 {
+				t.Fatal("no windows emitted")
+			}
+			for _, w := range windows {
+				var scratch trace.Trace
+				for _, r := range events {
+					if !r.Time.Before(w.Start) && r.Time.Before(w.End) {
+						scratch.Requests = append(scratch.Requests, r)
+					}
+				}
+				if w.Requests != len(scratch.Requests) {
+					t.Fatalf("window %d holds %d requests, scratch slice has %d",
+						w.Seq, w.Requests, len(scratch.Requests))
+				}
+				if w.Report == nil {
+					continue // empty window
+				}
+				want := trace.BuildIndex(&scratch).Fingerprint()
+				if got := w.Report.RawIndex.Fingerprint(); got != want {
+					t.Errorf("window %d: rolling index diverges from scratch build:\n got: %s\nwant: %s",
+						w.Seq, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestSymbolRotationInvisible runs the same stream with aggressive
+// symbol-table rotation (every window) and with rotation disabled, on both
+// the ring and the legacy path, and requires identical output — the id
+// hygiene invariant: epochs change id assignment, never reports.
+func TestSymbolRotationInvisible(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	stride := 20 * time.Minute
+	events := randomEvents(rng, 260, stride, 10, 15*time.Minute)
+	for _, legacy := range []bool{false, true} {
+		run := func(rotateEvery int) ([]WindowResult, *Engine) {
+			eng, err := New(Config{
+				Window: 3 * stride, Stride: stride, Watermark: 20 * time.Minute,
+				Shards: 3, Workers: 2, RotateSymbolsEvery: rotateEvery,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng.forceLegacy = legacy
+			return collect(t, eng, &SliceSource{Requests: events}), eng
+		}
+		rotW, rotE := run(1)
+		offW, offE := run(-1)
+		if rotE.Stats() != offE.Stats() {
+			t.Errorf("legacy=%v: stats diverge under rotation: %+v vs %+v",
+				legacy, rotE.Stats(), offE.Stats())
+		}
+		if !reflect.DeepEqual(windowFingerprints(rotW), windowFingerprints(offW)) {
+			t.Errorf("legacy=%v: symbol rotation changed window output", legacy)
+		}
+		if !reflect.DeepEqual(deltaSummary(rotW), deltaSummary(offW)) {
+			t.Errorf("legacy=%v: symbol rotation changed delta stream", legacy)
+		}
+	}
+}

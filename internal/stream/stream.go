@@ -17,15 +17,31 @@
 // Events are read one at a time from a Source with bounded-channel
 // backpressure: when downstream detection cannot keep up, reads stall
 // rather than buffering unboundedly. Each event is hashed by server key to
-// one of Config.Shards shard goroutines, which accumulate a partial
-// trace.Index per open window; trace.Index aggregation commutes, so the
-// sharded build is bit-identical to a sequential one. When the watermark
-// (max event time minus Config.Watermark) passes a window's end the window
-// is sealed: shard fragments are merged and the merged index is dispatched
-// to a pool of Config.Workers detector workers running core.RunIndex.
-// Finished windows are re-sequenced into window order, fed through a
-// tracker.Tracker to link campaigns across windows, and emitted on the
-// output channel as WindowResults carrying appear/persist/rotate deltas.
+// one of Config.Shards shard goroutines, which accumulate partial
+// trace.Index fragments; trace.Index aggregation commutes, so the sharded
+// build is bit-identical to a sequential one. When the watermark (max
+// event time minus Config.Watermark) passes a window's end the window is
+// sealed and its merged index is dispatched to a pool of Config.Workers
+// detector workers running core.RunIndex. Finished windows are
+// re-sequenced into window order, fed through a tracker.Tracker to link
+// campaigns across windows, and emitted on the output channel as
+// WindowResults carrying appear/persist/rotate deltas.
+//
+// # Incremental sliding windows
+//
+// When the stride divides the window (every tumbling config, and any
+// sliding config with window = k*stride), windows are maintained
+// incrementally: shards accumulate one fragment per *stride* — each event
+// is indexed exactly once, not once per overlapping window — and a
+// single sealer goroutine keeps a ring of the k live per-stride merged
+// fragments. Sealing window w evicts the expired fragment (which becomes
+// the window index, zero-copy) and folds in only the fragments that
+// arrived since the previous seal, instead of re-merging window/stride
+// fragments from scratch. All indexes share one trace.Symbols, so every
+// merge on this path is a pure integer-map fold. Configurations whose
+// stride does not divide the window fall back to the per-window fragment
+// path; both paths produce byte-identical output (see
+// TestIncrementalMatchesLegacyWindowing).
 //
 // The engine is deterministic for a fixed input order and configuration:
 // shard and worker counts change wall-clock time, never output.
@@ -75,6 +91,16 @@ type Config struct {
 	Buffer int
 	// Detector configures the core.Detector run on every sealed window.
 	Detector []core.Option
+	// RotateSymbolsEvery is the number of sealed windows between engine
+	// symbol-table rotations. Interned symbol tables and their memo
+	// caches only ever grow, so an endless stream of near-unique keys
+	// (domain flux hostnames, nonce-bearing query strings) would grow
+	// them without bound; rotation swaps in fresh tables and lets the old
+	// epoch be collected once its last in-flight window retires.
+	// Fragments from different epochs merge through the name-remap path,
+	// so rotation never changes output. 0 uses
+	// DefaultRotateSymbolsEvery; negative disables rotation.
+	RotateSymbolsEvery int
 	// Tracker overrides the lineage tracker (default tracker.New()).
 	Tracker *tracker.Tracker
 	// Sinks receive every emitted WindowResult in window order, before it
@@ -105,6 +131,16 @@ type Engine struct {
 	det *core.Detector
 	tk  *tracker.Tracker
 	out chan WindowResult
+
+	// syms is the engine-wide symbol table epoch: every fragment, ring
+	// entry and window index interns through the current epoch, so merges
+	// are integer-map folds and hot keys are hashed once per epoch. The
+	// windower rotates epochs every Config.RotateSymbolsEvery windows to
+	// bound table growth on endless streams.
+	syms atomic.Pointer[trace.Symbols]
+	// forceLegacy disables the stride-fragment ring (tests compare the
+	// incremental path against this reference path).
+	forceLegacy bool
 
 	// ctx is the run context given to StartContext; its cancellation
 	// stops ingestion and aborts in-flight window detections.
@@ -156,14 +192,37 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Tracker == nil {
 		cfg.Tracker = tracker.New()
 	}
-	return &Engine{
+	if cfg.RotateSymbolsEvery == 0 {
+		cfg.RotateSymbolsEvery = DefaultRotateSymbolsEvery
+	}
+	e := &Engine{
 		cfg:  cfg,
 		det:  core.New(cfg.Detector...),
 		tk:   cfg.Tracker,
 		out:  make(chan WindowResult, cfg.Workers),
 		done: make(chan struct{}),
 		quit: make(chan struct{}),
-	}, nil
+	}
+	e.syms.Store(trace.NewSymbols())
+	return e, nil
+}
+
+// DefaultRotateSymbolsEvery bounds symbol-table growth: with day-scale
+// windows it rotates roughly once a quarter; with minute-scale windows,
+// a few times a day.
+const DefaultRotateSymbolsEvery = 128
+
+// symbols returns the current symbol-table epoch.
+func (e *Engine) symbols() *trace.Symbols { return e.syms.Load() }
+
+// ringStrides returns the number of strides per window when the
+// incremental ring applies (stride divides window), or 0 for the
+// per-window fragment fallback.
+func (e *Engine) ringStrides() int64 {
+	if e.forceLegacy || e.cfg.Window%e.cfg.Stride != 0 {
+		return 0
+	}
+	return int64(e.cfg.Window / e.cfg.Stride)
 }
 
 // Start launches the pipeline over src and returns the result channel. The
@@ -313,38 +372,105 @@ type windowDone struct {
 	report     *core.Report // nil for empty windows
 }
 
-// shardMsg is either an event assignment (reply nil) or a seal barrier
-// asking the shard to hand over (and forget) the given window's fragment.
+// shardMsg is either an event assignment (reply fields nil) or a seal
+// barrier. Channel FIFO ordering guarantees a barrier arrives after every
+// event dispatched before it.
+//
+// Legacy path (per-window fragments): events carry the inclusive window
+// range [lo, hi] and the barrier (replyOne) hands over one window's
+// fragment. Ring path (per-stride fragments): events carry their single
+// stride seq in lo and the barrier (replyAll) hands over every fragment
+// with seq <= sealMax.
 type shardMsg struct {
-	req    trace.Request
-	lo, hi int64 // inclusive window-seq range the event belongs to
-	seal   int64
-	reply  chan<- *trace.Index
+	req      trace.Request
+	lo, hi   int64
+	sealMax  int64
+	replyOne chan<- *trace.Index
+	replyAll chan<- map[int64]*trace.Index
 }
 
-// shardLoop owns one shard's per-window index fragments. Channel FIFO
-// ordering guarantees a seal barrier arrives after every event assigned to
-// that window.
-func shardLoop(ch <-chan shardMsg) {
+// shardLoop owns one shard's index fragments, keyed by window seq (legacy)
+// or stride seq (ring). All fragments share the engine Symbols.
+func (e *Engine) shardLoop(ch <-chan shardMsg) {
 	frags := make(map[int64]*trace.Index)
 	for m := range ch {
-		if m.reply != nil {
-			frag := frags[m.seal]
-			delete(frags, m.seal)
+		switch {
+		case m.replyOne != nil:
+			frag := frags[m.sealMax]
+			delete(frags, m.sealMax)
 			if frag == nil {
-				frag = trace.NewIndex()
+				frag = trace.NewIndexWith(e.symbols())
 			}
-			m.reply <- frag
-			continue
-		}
-		for s := m.lo; s <= m.hi; s++ {
-			frag := frags[s]
-			if frag == nil {
-				frag = trace.NewIndex()
-				frags[s] = frag
+			m.replyOne <- frag
+		case m.replyAll != nil:
+			// Hand over (and forget) every fragment the sealer may now
+			// need. Ownership transfers: the shard never touches a
+			// handed-over fragment again; a late event for the same
+			// stride simply starts a fresh fragment that the next
+			// barrier delivers as a delta.
+			out := make(map[int64]*trace.Index, 4)
+			for s, frag := range frags {
+				if s <= m.sealMax {
+					out[s] = frag
+					delete(frags, s)
+				}
 			}
-			frag.Add(&m.req)
+			m.replyAll <- out
+		default:
+			for s := m.lo; s <= m.hi; s++ {
+				frag := frags[s]
+				if frag == nil {
+					frag = trace.NewIndexWith(e.symbols())
+					frags[s] = frag
+				}
+				frag.Add(&m.req)
+			}
 		}
+	}
+}
+
+// sealReq asks the sealer to assemble one window, in seal order. The
+// replies channel delivers each shard's fragment handover for the barrier
+// that accompanied this seal.
+type sealReq struct {
+	seq     int64 // absolute window seq
+	job     windowJob
+	replies <-chan map[int64]*trace.Index
+}
+
+// sealer is the single goroutine that owns the stride-fragment ring. For
+// every sealed window it folds the newly handed-over shard fragments into
+// the ring, evicts the expired stride fragment — which becomes the window
+// index, zero-copy — and merges the k-1 still-live fragments on top. It
+// runs strictly in window order, pipelined behind the windower.
+func (e *Engine) sealer(reqs <-chan sealReq, jobs chan<- windowJob, k int64, nShards int, slots <-chan struct{}) {
+	defer close(jobs)
+	ring := make(map[int64]*trace.Index)
+	for r := range reqs {
+		for i := 0; i < nShards; i++ {
+			for s, frag := range <-r.replies {
+				if cur := ring[s]; cur == nil {
+					ring[s] = frag
+				} else {
+					cur.Merge(frag)
+				}
+			}
+		}
+		// The expired fragment is exactly the part of the window no later
+		// window needs — adopt it as the window index instead of copying.
+		merged := ring[r.seq]
+		delete(ring, r.seq)
+		if merged == nil {
+			merged = trace.NewIndexWith(e.symbols())
+		}
+		for s := r.seq + 1; s < r.seq+k; s++ {
+			if frag := ring[s]; frag != nil {
+				merged.Merge(frag)
+			}
+		}
+		r.job.idx = merged
+		jobs <- r.job
+		<-slots
 	}
 }
 
@@ -352,6 +478,7 @@ func shardLoop(ch <-chan shardMsg) {
 // windows in order. It owns all window bookkeeping; shards only aggregate.
 func (e *Engine) windower(events <-chan trace.Request, jobs chan<- windowJob) {
 	nShards := e.cfg.Shards
+	ringK := e.ringStrides()
 	shardCh := make([]chan shardMsg, nShards)
 	var shardWG sync.WaitGroup
 	for i := range shardCh {
@@ -359,7 +486,7 @@ func (e *Engine) windower(events <-chan trace.Request, jobs chan<- windowJob) {
 		shardWG.Add(1)
 		go func(ch <-chan shardMsg) {
 			defer shardWG.Done()
-			shardLoop(ch)
+			e.shardLoop(ch)
 		}(shardCh[i])
 	}
 
@@ -372,28 +499,52 @@ func (e *Engine) windower(events <-chan trace.Request, jobs chan<- windowJob) {
 		nextSeal  int64 // next window seq to seal
 		maxSeq    int64 // highest window seq holding any event
 		sealWG    sync.WaitGroup
+		sealCh    chan sealReq
 		// sealSlots bounds sealed-but-undetected windows so a slow
 		// consumer backpressures ingestion instead of growing memory.
 		sealSlots = make(chan struct{}, 2*e.cfg.Workers)
 	)
+	if ringK > 0 {
+		sealCh = make(chan sealReq, e.cfg.Workers)
+		go e.sealer(sealCh, jobs, ringK, nShards, sealSlots)
+	}
+
+	// afterSeal rotates the symbol-table epoch on schedule. Fragments and
+	// ring entries from the old epoch merge through the name-remap path,
+	// so rotation is invisible in output (TestSymbolRotationInvisible).
+	sealed := 0
+	afterSeal := func() {
+		sealed++
+		if e.cfg.RotateSymbolsEvery > 0 && sealed%e.cfg.RotateSymbolsEvery == 0 {
+			e.syms.Store(trace.NewSymbols())
+		}
+	}
 
 	seal := func(seq int64) {
 		sealSlots <- struct{}{}
-		replies := make(chan *trace.Index, nShards)
-		for _, ch := range shardCh {
-			ch <- shardMsg{seal: seq, reply: replies}
-		}
 		start := e.cfg.Stride * time.Duration(seq)
 		job := windowJob{
 			seq:   int(seq - base),
 			start: origin.Add(start),
 			end:   origin.Add(start + e.cfg.Window),
 		}
+		if ringK > 0 {
+			replies := make(chan map[int64]*trace.Index, nShards)
+			for _, ch := range shardCh {
+				ch <- shardMsg{sealMax: seq + ringK - 1, replyAll: replies}
+			}
+			sealCh <- sealReq{seq: seq, job: job, replies: replies}
+			return
+		}
+		replies := make(chan *trace.Index, nShards)
+		for _, ch := range shardCh {
+			ch <- shardMsg{sealMax: seq, replyOne: replies}
+		}
 		sealWG.Add(1)
 		go func() {
 			defer sealWG.Done()
 			defer func() { <-sealSlots }()
-			merged := trace.NewIndex()
+			merged := trace.NewIndexWith(e.symbols())
 			for i := 0; i < nShards; i++ {
 				merged.Merge(<-replies)
 			}
@@ -435,7 +586,15 @@ func (e *Engine) windower(events <-chan trace.Request, jobs chan<- windowJob) {
 			maxSeq = hi
 		}
 		e.ctrEvents.Add(1)
-		shardCh[shardOf(req.ServerKey(), nShards)] <- shardMsg{req: req, lo: lo, hi: hi}
+		shard := shardCh[shardOf(e.symbols().RequestServerKey(&req), nShards)]
+		if ringK > 0 {
+			// One fragment per stride: the event's stride is hi (the last
+			// window whose range starts at or before it). Windows
+			// [lo, hi] pick the fragment up from the ring at seal time.
+			shard <- shardMsg{req: req, lo: hi, hi: hi}
+		} else {
+			shard <- shardMsg{req: req, lo: lo, hi: hi}
+		}
 
 		if t.After(maxTime) {
 			maxTime = t
@@ -448,6 +607,7 @@ func (e *Engine) windower(events <-chan trace.Request, jobs chan<- windowJob) {
 			}
 			seal(nextSeal)
 			nextSeal++
+			afterSeal()
 		}
 	}
 
@@ -486,12 +646,17 @@ ingest:
 	if baseSet {
 		for ; nextSeal <= maxSeq; nextSeal++ {
 			seal(nextSeal)
+			afterSeal()
 		}
 	}
 	for _, ch := range shardCh {
 		close(ch)
 	}
 	shardWG.Wait()
+	if ringK > 0 {
+		close(sealCh) // the sealer drains pending seals, then closes jobs
+		return
+	}
 	sealWG.Wait()
 	close(jobs)
 }

@@ -145,7 +145,7 @@ func TestCampaignTrafficPresent(t *testing.T) {
 		if info == nil {
 			t.Fatalf("zeus server %s has no traffic", s)
 		}
-		if _, ok := info.Files["login.php"]; !ok {
+		if !info.HasFile("login.php") {
 			t.Errorf("zeus server %s lacks login.php: %v", s, info.FileList())
 		}
 		if !strings.HasSuffix(s, ".cz.cc") {
@@ -158,7 +158,7 @@ func TestCampaignTrafficPresent(t *testing.T) {
 	// All zeus domains share one IP (domain flux).
 	ips := make(map[string]bool)
 	for _, s := range zeus.Servers {
-		for ip := range idx.Servers[s].IPs {
+		for _, ip := range idx.Servers[s].IPList() {
 			ips[ip] = true
 		}
 	}
@@ -208,7 +208,7 @@ func TestObfuscatedCampaignFiles(t *testing.T) {
 	conf := w.Truth.Campaigns["conficker"]
 	long := 0
 	for _, s := range conf.Servers {
-		for f := range idx.Servers[s].Files {
+		for _, f := range idx.Servers[s].FileList() {
 			if len(f) > 25 {
 				long++
 			}

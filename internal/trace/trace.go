@@ -6,15 +6,32 @@
 // A "server" in SMASH's sense is a logical endpoint keyed by second-level
 // domain when a hostname is known, or by the literal IP address otherwise,
 // matching the paper's aggregation rule (§III-A).
+//
+// # Interned data plane
+//
+// Every hot key — server, client, IP, URI file, referrer, User-Agent,
+// query pattern, payload digest, hostname — is interned once at ingest
+// into a shared Symbols table and carried as a dense uint32 id from then
+// on. The per-server aggregates (ServerInfo) and the client->server
+// relation are id-keyed counted multisets (Counts): integer map operations
+// replace string re-hashing in every downstream hot loop, and because
+// membership is counted rather than boolean, Merge has an exact inverse
+// (Unmerge) for consumers that retire previously merged fragments in
+// place.
+// Strings resurface only at API boundaries (reports, lineages, rendered
+// output), always ordered by name so that the run-dependent id assignment
+// never leaks into output.
 package trace
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"smash/internal/domain"
+	"smash/internal/intern"
 )
 
 // Request is one HTTP request observed on the wire.
@@ -127,35 +144,117 @@ func (s Stats) Render() string {
 		s.Name, s.Clients, s.Requests, s.Servers, s.URIFiles)
 }
 
+// Counts is an id-keyed counted multiset: feature id -> number of requests
+// that contributed the feature. Distinct cardinality is len; counted
+// membership is what makes Merge/Unmerge exact inverses.
+type Counts map[uint32]uint32
+
+// Symbols is the shared symbol table of the interned data plane: one
+// intern.Table per key namespace. Indexes that are merged into each other
+// (window fragments, clones) share one Symbols so ids are directly
+// compatible; Merge falls back to string remapping otherwise.
+//
+// Symbols also memoizes the two per-request string derivations (host ->
+// SLD server key, raw query -> parameter pattern id), which repeat heavily
+// in any real trace.
+type Symbols struct {
+	Servers  *intern.Table
+	Clients  *intern.Table
+	IPs      *intern.Table
+	Files    *intern.Table
+	Agents   *intern.Table
+	Queries  *intern.Table
+	Payloads *intern.Table
+	Hosts    *intern.Table
+
+	slds     sync.Map // raw host -> SLD string
+	patterns sync.Map // raw query -> query-pattern id (Queries table)
+}
+
+// NewSymbols returns an empty symbol table set.
+func NewSymbols() *Symbols {
+	return &Symbols{
+		Servers:  intern.NewTable(),
+		Clients:  intern.NewTable(),
+		IPs:      intern.NewTable(),
+		Files:    intern.NewTable(),
+		Agents:   intern.NewTable(),
+		Queries:  intern.NewTable(),
+		Payloads: intern.NewTable(),
+		Hosts:    intern.NewTable(),
+	}
+}
+
+// SLD returns domain.SLD(host) through a memo cache — hostnames repeat on
+// almost every request, so the parse runs once per distinct host.
+func (sy *Symbols) SLD(host string) string {
+	if v, ok := sy.slds.Load(host); ok {
+		return v.(string)
+	}
+	s := domain.SLD(host)
+	sy.slds.Store(host, s)
+	return s
+}
+
+// RequestServerKey is Request.ServerKey through the SLD memo cache.
+func (sy *Symbols) RequestServerKey(r *Request) string {
+	if r.Host != "" {
+		return sy.SLD(r.Host)
+	}
+	return r.ServerIP
+}
+
+// queryPatternID interns the parameter pattern of a raw query string,
+// memoizing per raw query so the split/sort/join runs once per distinct
+// query string.
+func (sy *Symbols) queryPatternID(rawQuery string) uint32 {
+	if v, ok := sy.patterns.Load(rawQuery); ok {
+		return v.(uint32)
+	}
+	id := sy.Queries.ID(QueryPattern(rawQuery))
+	sy.patterns.Store(rawQuery, id)
+	return id
+}
+
 // ServerInfo aggregates everything SMASH needs to know about one logical
-// server, accumulated over a trace.
+// server, accumulated over a trace. All aggregates are id-keyed counted
+// multisets over the index's Symbols; use the name-resolving helpers (or
+// Symbols directly) at API boundaries.
 type ServerInfo struct {
 	// Key is the server identity (SLD or IP literal).
 	Key string
-	// Clients is the set of client identities that contacted the server.
-	Clients map[string]struct{}
-	// IPs is the set of destination IPs observed for the server.
-	IPs map[string]struct{}
-	// Files maps URI file -> request count.
-	Files map[string]int
-	// Referrers maps referring server key -> request count, for referrer
-	// group pruning.
-	Referrers map[string]int
-	// UserAgents maps User-Agent -> request count.
-	UserAgents map[string]int
-	// Queries maps query-parameter patterns (sorted parameter names, e.g.
-	// "e&id&p") -> request count, used for campaign pattern matching.
-	Queries map[string]int
-	// Payloads maps payload digests -> request count (empty digests are
+	// SID is the server's id in the Symbols.Servers table.
+	SID uint32
+	// Clients counts requests per client id that contacted the server.
+	Clients Counts
+	// IPs counts requests per destination IP id observed for the server.
+	IPs Counts
+	// Files counts requests per URI-file id.
+	Files Counts
+	// Referrers counts requests per referring server id (Servers table),
+	// for referrer group pruning.
+	Referrers Counts
+	// UserAgents counts requests per User-Agent id (Agents table).
+	UserAgents Counts
+	// Queries counts requests per query-parameter-pattern id (sorted
+	// parameter names, e.g. "e&id&p"), used for campaign pattern matching.
+	Queries Counts
+	// Payloads counts requests per payload-digest id (empty digests are
 	// not recorded).
-	Payloads map[string]int
+	Payloads Counts
+	// Hosts counts requests per raw (normalized) hostname id aggregated
+	// into this server.
+	Hosts Counts
 	// Requests is the total number of requests to this server.
 	Requests int
 	// ErrorRequests counts requests whose status was >= 400.
 	ErrorRequests int
-	// Hosts is the set of raw hostnames aggregated into this server.
-	Hosts map[string]struct{}
+
+	syms *Symbols
 }
+
+// Syms exposes the symbol tables the info's ids resolve through.
+func (s *ServerInfo) Syms() *Symbols { return s.syms }
 
 // IDF is the server's popularity measure from Appendix A: the number of
 // distinct clients that contacted it.
@@ -163,22 +262,103 @@ func (s *ServerInfo) IDF() int { return len(s.Clients) }
 
 // FileList returns the server's URI files sorted lexicographically.
 func (s *ServerInfo) FileList() []string {
+	names := s.syms.Files.Names()
 	out := make([]string, 0, len(s.Files))
 	for f := range s.Files {
-		out = append(out, f)
+		out = append(out, names[f])
 	}
 	sort.Strings(out)
 	return out
 }
 
+// IPList returns the server's destination IPs sorted lexicographically.
+func (s *ServerInfo) IPList() []string {
+	names := s.syms.IPs.Names()
+	out := make([]string, 0, len(s.IPs))
+	for ip := range s.IPs {
+		out = append(out, names[ip])
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ClientIDSet returns the client-id set as-is; resolve names through
+// Syms().Clients when needed.
+func (s *ServerInfo) ClientIDSet() Counts { return s.Clients }
+
+// has reports counted membership of name in m under table t without
+// interning name.
+func has(t *intern.Table, m Counts, name string) bool {
+	id, ok := t.Lookup(name)
+	if !ok {
+		return false
+	}
+	return m[id] > 0
+}
+
+// HasFile reports whether the server served the named URI file.
+func (s *ServerInfo) HasFile(name string) bool { return has(s.syms.Files, s.Files, name) }
+
+// HasUserAgent reports whether the server saw the named User-Agent.
+func (s *ServerInfo) HasUserAgent(name string) bool { return has(s.syms.Agents, s.UserAgents, name) }
+
+// FileCount returns how many requests hit the named URI file.
+func (s *ServerInfo) FileCount(name string) int {
+	if id, ok := s.syms.Files.Lookup(name); ok {
+		return int(s.Files[id])
+	}
+	return 0
+}
+
+// QueryCount returns how many requests carried the named query pattern.
+func (s *ServerInfo) QueryCount(pattern string) int {
+	if id, ok := s.syms.Queries.Lookup(pattern); ok {
+		return int(s.Queries[id])
+	}
+	return 0
+}
+
+// ReferrerCount returns how many requests were referred by the named server.
+func (s *ServerInfo) ReferrerCount(server string) int {
+	if id, ok := s.syms.Servers.Lookup(server); ok {
+		return int(s.Referrers[id])
+	}
+	return 0
+}
+
+// topName returns the name of the most frequent id in m (ties broken
+// lexicographically by name), or "" for an empty multiset.
+func topName(t *intern.Table, m Counts) string {
+	names := t.Names()
+	best, bestN := "", uint32(0)
+	for id, n := range m {
+		name := names[id]
+		if n > bestN || (n == bestN && name < best) {
+			best, bestN = name, n
+		}
+	}
+	return best
+}
+
+// TopFile returns the server's most requested URI file.
+func (s *ServerInfo) TopFile() string { return topName(s.syms.Files, s.Files) }
+
+// TopUserAgent returns the server's most frequent User-Agent.
+func (s *ServerInfo) TopUserAgent() string { return topName(s.syms.Agents, s.UserAgents) }
+
+// TopQuery returns the server's most frequent query-parameter pattern.
+func (s *ServerInfo) TopQuery() string { return topName(s.syms.Queries, s.Queries) }
+
 // DominantReferrer returns the referrer server responsible for the largest
 // share of this server's requests and that share in [0,1]. It returns
 // ("", 0) when no request carried a referrer.
 func (s *ServerInfo) DominantReferrer() (string, float64) {
-	best, bestN := "", 0
+	names := s.syms.Servers.Names()
+	best, bestN := "", uint32(0)
 	for ref, n := range s.Referrers {
-		if n > bestN || (n == bestN && ref < best) {
-			best, bestN = ref, n
+		name := names[ref]
+		if n > bestN || (n == bestN && name < best) {
+			best, bestN = name, n
 		}
 	}
 	if bestN == 0 || s.Requests == 0 {
@@ -196,21 +376,49 @@ func (s *ServerInfo) ErrorFraction() float64 {
 	return float64(s.ErrorRequests) / float64(s.Requests)
 }
 
-// Index is the aggregated per-server view of a trace after SLD aggregation.
-type Index struct {
-	// Servers maps server key -> accumulated info.
-	Servers map[string]*ServerInfo
-	// ClientServers maps client -> set of server keys it contacted.
-	ClientServers map[string]map[string]struct{}
-	// RequestCount is the total number of requests indexed.
-	RequestCount int
+// NodeTable is the deterministic server <-> dense-node-id mapping the
+// similarity builders and miners share: node i is the i-th server key in
+// sorted order. It is built once per quiescent index (Nodes) instead of
+// once per dimension, and must be treated as read-only.
+type NodeTable struct {
+	// Names maps node id -> server key, sorted.
+	Names []string
+	// IDs maps server key -> node id.
+	IDs map[string]int
+	// Infos maps node id -> the server's info.
+	Infos []*ServerInfo
 }
 
-// NewIndex returns an empty index.
+// Index is the aggregated per-server view of a trace after SLD aggregation.
+type Index struct {
+	// Syms is the symbol table set all ids in the index resolve through.
+	Syms *Symbols
+	// Servers maps server key -> accumulated info.
+	Servers map[string]*ServerInfo
+	// ClientServers counts requests per (client id, server id) pair:
+	// client id -> server id -> requests. len(ClientServers[c]) is the
+	// number of distinct servers the client contacted.
+	ClientServers map[uint32]Counts
+	// RequestCount is the total number of requests indexed.
+	RequestCount int
+
+	nodesMu sync.Mutex
+	nodes   *NodeTable
+}
+
+// NewIndex returns an empty index with its own fresh Symbols.
 func NewIndex() *Index {
+	return NewIndexWith(NewSymbols())
+}
+
+// NewIndexWith returns an empty index sharing the given Symbols. Window
+// fragments that will later be merged must share one Symbols so Merge can
+// take the id fast path.
+func NewIndexWith(syms *Symbols) *Index {
 	return &Index{
+		Syms:          syms,
 		Servers:       make(map[string]*ServerInfo),
-		ClientServers: make(map[string]map[string]struct{}),
+		ClientServers: make(map[uint32]Counts),
 	}
 }
 
@@ -227,80 +435,129 @@ func BuildIndex(t *Trace) *Index {
 // newServerInfo builds an empty ServerInfo — the single place the per-field
 // map set is constructed, shared by Add and Merge so a new field cannot be
 // initialized in one path and forgotten in the other.
-func newServerInfo(key string) *ServerInfo {
+func newServerInfo(syms *Symbols, key string) *ServerInfo {
 	return &ServerInfo{
 		Key:        key,
-		Clients:    make(map[string]struct{}),
-		IPs:        make(map[string]struct{}),
-		Files:      make(map[string]int),
-		Referrers:  make(map[string]int),
-		UserAgents: make(map[string]int),
-		Queries:    make(map[string]int),
-		Payloads:   make(map[string]int),
-		Hosts:      make(map[string]struct{}),
+		SID:        syms.Servers.ID(key),
+		syms:       syms,
+		Clients:    make(Counts),
+		IPs:        make(Counts),
+		Files:      make(Counts),
+		Referrers:  make(Counts),
+		UserAgents: make(Counts),
+		Queries:    make(Counts),
+		Payloads:   make(Counts),
+		Hosts:      make(Counts),
 	}
 }
 
+// invalidate drops the cached node table after a mutation.
+func (idx *Index) invalidate() { idx.nodes = nil }
+
 // Add incorporates one request into the index.
 func (idx *Index) Add(r *Request) {
-	key := r.ServerKey()
+	sy := idx.Syms
+	key := sy.RequestServerKey(r)
 	if key == "" {
 		return
 	}
 	info := idx.Servers[key]
 	if info == nil {
-		info = newServerInfo(key)
+		info = newServerInfo(sy, key)
 		idx.Servers[key] = info
 	}
-	info.Clients[r.Client] = struct{}{}
+	cid := sy.Clients.ID(r.Client)
+	info.Clients[cid]++
 	if r.ServerIP != "" {
-		info.IPs[r.ServerIP] = struct{}{}
+		info.IPs[sy.IPs.ID(r.ServerIP)]++
 	}
-	info.Files[r.URIFile()]++
+	info.Files[sy.Files.ID(r.URIFile())]++
 	if r.Referrer != "" {
-		refKey := domain.SLD(r.Referrer)
+		refKey := sy.SLD(r.Referrer)
 		if refKey != key {
-			info.Referrers[refKey]++
+			info.Referrers[sy.Servers.ID(refKey)]++
 		}
 	}
 	if r.UserAgent != "" {
-		info.UserAgents[r.UserAgent]++
+		info.UserAgents[sy.Agents.ID(r.UserAgent)]++
 	}
 	if r.Query != "" {
-		info.Queries[QueryPattern(r.Query)]++
+		info.Queries[sy.queryPatternID(r.Query)]++
 	}
 	if r.PayloadDigest != "" {
-		info.Payloads[r.PayloadDigest]++
+		info.Payloads[sy.Payloads.ID(r.PayloadDigest)]++
 	}
 	if r.Host != "" {
-		info.Hosts[domain.Normalize(r.Host)] = struct{}{}
+		info.Hosts[sy.Hosts.ID(domain.Normalize(r.Host))]++
 	}
 	info.Requests++
 	if r.Status >= 400 {
 		info.ErrorRequests++
 	}
-	cs := idx.ClientServers[r.Client]
+	cs := idx.ClientServers[cid]
 	if cs == nil {
-		cs = make(map[string]struct{})
-		idx.ClientServers[r.Client] = cs
+		cs = make(Counts)
+		idx.ClientServers[cid] = cs
 	}
-	cs[key] = struct{}{}
+	cs[info.SID]++
 	idx.RequestCount++
+	idx.invalidate()
+}
+
+// Nodes returns the cached deterministic node table (sorted server keys).
+// It is built lazily on a quiescent index and safe to request from
+// concurrent dimension builders; any mutation invalidates it.
+func (idx *Index) Nodes() *NodeTable {
+	idx.nodesMu.Lock()
+	defer idx.nodesMu.Unlock()
+	if idx.nodes == nil {
+		names := make([]string, 0, len(idx.Servers))
+		for k := range idx.Servers {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		nt := &NodeTable{
+			Names: names,
+			IDs:   make(map[string]int, len(names)),
+			Infos: make([]*ServerInfo, len(names)),
+		}
+		for i, n := range names {
+			nt.IDs[n] = i
+			nt.Infos[i] = idx.Servers[n]
+		}
+		idx.nodes = nt
+	}
+	return idx.nodes
 }
 
 // ServerKeys returns all server keys in sorted order (for deterministic
-// iteration downstream).
+// iteration downstream). The result is a copy and may be retained.
 func (idx *Index) ServerKeys() []string {
-	keys := make([]string, 0, len(idx.Servers))
-	for k := range idx.Servers {
-		keys = append(keys, k)
+	return append([]string(nil), idx.Nodes().Names...)
+}
+
+// ServersOfClient returns the sorted server keys the named client
+// contacted, or nil for an unknown client.
+func (idx *Index) ServersOfClient(client string) []string {
+	cid, ok := idx.Syms.Clients.Lookup(client)
+	if !ok {
+		return nil
 	}
-	sort.Strings(keys)
-	return keys
+	cs := idx.ClientServers[cid]
+	if len(cs) == 0 {
+		return nil
+	}
+	names := idx.Syms.Servers.Names()
+	out := make([]string, 0, len(cs))
+	for sid := range cs {
+		out = append(out, names[sid])
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Remove deletes a server from the index, including its entries in the
-// client->servers map. Used by the preprocessing IDF filter.
+// client->servers relation. Used by the preprocessing IDF filter.
 func (idx *Index) Remove(key string) {
 	info := idx.Servers[key]
 	if info == nil {
@@ -308,7 +565,7 @@ func (idx *Index) Remove(key string) {
 	}
 	for c := range info.Clients {
 		if cs := idx.ClientServers[c]; cs != nil {
-			delete(cs, key)
+			delete(cs, info.SID)
 			if len(cs) == 0 {
 				delete(idx.ClientServers, c)
 			}
@@ -316,70 +573,170 @@ func (idx *Index) Remove(key string) {
 	}
 	idx.RequestCount -= info.Requests
 	delete(idx.Servers, key)
+	idx.invalidate()
 }
 
-// Clone returns a deep copy of the index. The preprocessing stage filters a
-// clone so the raw index remains available for figure reproduction.
+// Clone returns a deep copy of the index sharing the same Symbols. The
+// preprocessing stage filters a clone so the raw index remains available
+// for figure reproduction.
 func (idx *Index) Clone() *Index {
-	out := NewIndex()
+	out := NewIndexWith(idx.Syms)
 	out.Merge(idx)
 	return out
 }
 
-// Merge folds other into idx. Every aggregate in the index commutes (set
-// unions and counter sums), so merging shard-built partial indexes in any
-// order yields exactly the index a sequential Add of the same requests
-// would have produced. The streaming engine relies on this to build one
-// window index from concurrently filled shards. Clone is Merge into an
-// empty index, so the two stay one implementation. other is left untouched.
+// mergeCounts folds src into dst (dst[k] += src[k]).
+func mergeCounts(dst, src Counts) {
+	for k, n := range src {
+		dst[k] += n
+	}
+}
+
+// remapCounts folds src (under from) into dst (under to), translating ids
+// through their names.
+func remapCounts(dst Counts, to *intern.Table, src Counts, from *intern.Table) {
+	names := from.Names()
+	for k, n := range src {
+		dst[to.ID(names[k])] += n
+	}
+}
+
+// Merge folds other into idx. Every aggregate in the index is a counted
+// multiset, so merging commutes: shard-built partial indexes merged in any
+// order yield exactly the index a sequential Add of the same requests
+// would have produced. The streaming engine relies on this to maintain its
+// stride-fragment ring. Clone is Merge into an empty index, so the two
+// stay one implementation. other is left untouched.
+//
+// When other shares idx's Symbols (the only arrangement the engine
+// produces), the merge is a pure integer-map fold; otherwise ids are
+// remapped through their names.
 func (idx *Index) Merge(other *Index) {
 	if other == nil {
 		return
 	}
+	if other.Syms == idx.Syms {
+		for k, src := range other.Servers {
+			dst := idx.Servers[k]
+			if dst == nil {
+				dst = newServerInfo(idx.Syms, k)
+				idx.Servers[k] = dst
+			}
+			mergeCounts(dst.Clients, src.Clients)
+			mergeCounts(dst.IPs, src.IPs)
+			mergeCounts(dst.Files, src.Files)
+			mergeCounts(dst.Referrers, src.Referrers)
+			mergeCounts(dst.UserAgents, src.UserAgents)
+			mergeCounts(dst.Queries, src.Queries)
+			mergeCounts(dst.Payloads, src.Payloads)
+			mergeCounts(dst.Hosts, src.Hosts)
+			dst.Requests += src.Requests
+			dst.ErrorRequests += src.ErrorRequests
+		}
+		for c, set := range other.ClientServers {
+			cs := idx.ClientServers[c]
+			if cs == nil {
+				cs = make(Counts, len(set))
+				idx.ClientServers[c] = cs
+			}
+			mergeCounts(cs, set)
+		}
+	} else {
+		sy, osy := idx.Syms, other.Syms
+		for k, src := range other.Servers {
+			dst := idx.Servers[k]
+			if dst == nil {
+				dst = newServerInfo(sy, k)
+				idx.Servers[k] = dst
+			}
+			remapCounts(dst.Clients, sy.Clients, src.Clients, osy.Clients)
+			remapCounts(dst.IPs, sy.IPs, src.IPs, osy.IPs)
+			remapCounts(dst.Files, sy.Files, src.Files, osy.Files)
+			remapCounts(dst.Referrers, sy.Servers, src.Referrers, osy.Servers)
+			remapCounts(dst.UserAgents, sy.Agents, src.UserAgents, osy.Agents)
+			remapCounts(dst.Queries, sy.Queries, src.Queries, osy.Queries)
+			remapCounts(dst.Payloads, sy.Payloads, src.Payloads, osy.Payloads)
+			remapCounts(dst.Hosts, sy.Hosts, src.Hosts, osy.Hosts)
+			dst.Requests += src.Requests
+			dst.ErrorRequests += src.ErrorRequests
+		}
+		clientNames := osy.Clients.Names()
+		serverNames := osy.Servers.Names()
+		for c, set := range other.ClientServers {
+			cid := sy.Clients.ID(clientNames[c])
+			cs := idx.ClientServers[cid]
+			if cs == nil {
+				cs = make(Counts, len(set))
+				idx.ClientServers[cid] = cs
+			}
+			for sid, n := range set {
+				cs[sy.Servers.ID(serverNames[sid])] += n
+			}
+		}
+	}
+	idx.RequestCount += other.RequestCount
+	idx.invalidate()
+}
+
+// unmergeCounts subtracts src from dst, deleting keys that reach zero.
+func unmergeCounts(dst, src Counts) {
+	for k, n := range src {
+		if cur := dst[k]; cur > n {
+			dst[k] = cur - n
+		} else {
+			delete(dst, k)
+		}
+	}
+}
+
+// Unmerge is the exact inverse of Merge: it subtracts other's counted
+// aggregates from idx, deleting entries (and servers) whose counts reach
+// zero, so unmerging an index that was previously merged in restores idx
+// byte-for-byte (TestUnmergeInvertsMerge). The counted-multiset
+// representation exists to make this inverse exact; note the streaming
+// engine's stride-fragment ring itself does not call it — eviction there
+// adopts the expired fragment instead (see internal/stream) — Unmerge is
+// the API for rolling-aggregate consumers that must retire a previously
+// merged fragment in place. other must share idx's Symbols and must be a
+// subset of what was merged; counts clamp at zero otherwise.
+func (idx *Index) Unmerge(other *Index) {
+	if other == nil {
+		return
+	}
+	if other.Syms != idx.Syms {
+		panic("trace: Unmerge requires a shared Symbols")
+	}
 	for k, src := range other.Servers {
 		dst := idx.Servers[k]
 		if dst == nil {
-			dst = newServerInfo(k)
-			idx.Servers[k] = dst
+			continue
 		}
-		for x := range src.Clients {
-			dst.Clients[x] = struct{}{}
+		unmergeCounts(dst.Clients, src.Clients)
+		unmergeCounts(dst.IPs, src.IPs)
+		unmergeCounts(dst.Files, src.Files)
+		unmergeCounts(dst.Referrers, src.Referrers)
+		unmergeCounts(dst.UserAgents, src.UserAgents)
+		unmergeCounts(dst.Queries, src.Queries)
+		unmergeCounts(dst.Payloads, src.Payloads)
+		unmergeCounts(dst.Hosts, src.Hosts)
+		dst.Requests -= src.Requests
+		dst.ErrorRequests -= src.ErrorRequests
+		if dst.Requests <= 0 {
+			delete(idx.Servers, k)
 		}
-		for x := range src.IPs {
-			dst.IPs[x] = struct{}{}
-		}
-		for x, n := range src.Files {
-			dst.Files[x] += n
-		}
-		for x, n := range src.Referrers {
-			dst.Referrers[x] += n
-		}
-		for x, n := range src.UserAgents {
-			dst.UserAgents[x] += n
-		}
-		for x, n := range src.Queries {
-			dst.Queries[x] += n
-		}
-		for x, n := range src.Payloads {
-			dst.Payloads[x] += n
-		}
-		for x := range src.Hosts {
-			dst.Hosts[x] = struct{}{}
-		}
-		dst.Requests += src.Requests
-		dst.ErrorRequests += src.ErrorRequests
 	}
 	for c, set := range other.ClientServers {
 		cs := idx.ClientServers[c]
 		if cs == nil {
-			cs = make(map[string]struct{}, len(set))
-			idx.ClientServers[c] = cs
+			continue
 		}
-		for s := range set {
-			cs[s] = struct{}{}
+		unmergeCounts(cs, set)
+		if len(cs) == 0 {
+			delete(idx.ClientServers, c)
 		}
 	}
-	idx.RequestCount += other.RequestCount
+	idx.RequestCount -= other.RequestCount
+	idx.invalidate()
 }
 
 // ComputeStats summarizes the index in the shape of the paper's Table I —
@@ -397,6 +754,53 @@ func (idx *Index) ComputeStats(name string) Stats {
 		Servers:  len(idx.Servers),
 		URIFiles: files,
 	}
+}
+
+// Fingerprint renders the index into a fully name-resolved, sorted,
+// deterministic form: two indexes describe the same traffic aggregate if
+// and only if their fingerprints are equal, regardless of how their
+// Symbols assigned ids. Used by equivalence tests (incremental window
+// maintenance vs scratch builds) and diagnostics; cost is O(index) plus
+// sorting, so keep it off hot paths.
+func (idx *Index) Fingerprint() string {
+	countsByName := func(b *strings.Builder, label string, names []string, m Counts) {
+		pairs := make([]string, 0, len(m))
+		for id, n := range m {
+			pairs = append(pairs, fmt.Sprintf("%s=%d", names[id], n))
+		}
+		sort.Strings(pairs)
+		b.WriteString(" ")
+		b.WriteString(label)
+		b.WriteString("{")
+		b.WriteString(strings.Join(pairs, ","))
+		b.WriteString("}\n")
+	}
+	sy := idx.Syms
+	var b strings.Builder
+	fmt.Fprintf(&b, "requests=%d\n", idx.RequestCount)
+	for _, k := range idx.ServerKeys() {
+		s := idx.Servers[k]
+		fmt.Fprintf(&b, "server %s req=%d err=%d\n", k, s.Requests, s.ErrorRequests)
+		countsByName(&b, "clients", sy.Clients.Names(), s.Clients)
+		countsByName(&b, "ips", sy.IPs.Names(), s.IPs)
+		countsByName(&b, "files", sy.Files.Names(), s.Files)
+		countsByName(&b, "refs", sy.Servers.Names(), s.Referrers)
+		countsByName(&b, "uas", sy.Agents.Names(), s.UserAgents)
+		countsByName(&b, "queries", sy.Queries.Names(), s.Queries)
+		countsByName(&b, "payloads", sy.Payloads.Names(), s.Payloads)
+		countsByName(&b, "hosts", sy.Hosts.Names(), s.Hosts)
+	}
+	clientNames := sy.Clients.Names()
+	clients := make([]string, 0, len(idx.ClientServers))
+	for c := range idx.ClientServers {
+		clients = append(clients, clientNames[c])
+	}
+	sort.Strings(clients)
+	for _, c := range clients {
+		cid, _ := sy.Clients.Lookup(c)
+		countsByName(&b, "client "+c+" ->", sy.Servers.Names(), idx.ClientServers[cid])
+	}
+	return b.String()
 }
 
 // QueryPattern normalizes a raw query string into its parameter-name

@@ -122,7 +122,7 @@ func TestBuildIndexAggregation(t *testing.T) {
 	if xyz.IDF() != 2 {
 		t.Errorf("IDF = %d, want 2", xyz.IDF())
 	}
-	if got := idx.ClientServers["c1"]; len(got) != 2 {
+	if got := idx.ServersOfClient("c1"); len(got) != 2 {
 		t.Errorf("c1 contacted %d servers, want 2", len(got))
 	}
 }
@@ -168,10 +168,10 @@ func TestIndexRemove(t *testing.T) {
 	if idx.RequestCount != 1 {
 		t.Errorf("RequestCount = %d, want 1", idx.RequestCount)
 	}
-	if _, ok := idx.ClientServers["c2"]; ok {
-		t.Error("c2 should have been dropped (no remaining servers)")
+	if got := idx.ServersOfClient("c2"); got != nil {
+		t.Errorf("c2 should have been dropped (no remaining servers), got %v", got)
 	}
-	if got := idx.ClientServers["c1"]; len(got) != 1 {
+	if got := idx.ServersOfClient("c1"); len(got) != 1 {
 		t.Errorf("c1 servers = %d, want 1", len(got))
 	}
 	idx.Remove("missing") // no-op must not panic
@@ -191,7 +191,11 @@ func TestIndexClone(t *testing.T) {
 }
 
 func TestFileListSorted(t *testing.T) {
-	info := &ServerInfo{Files: map[string]int{"z.php": 1, "a.php": 2, "m.gif": 1}}
+	sy := NewSymbols()
+	info := newServerInfo(sy, "a.com")
+	info.Files[sy.Files.ID("z.php")] = 1
+	info.Files[sy.Files.ID("a.php")] = 2
+	info.Files[sy.Files.ID("m.gif")] = 1
 	got := info.FileList()
 	want := []string{"a.php", "m.gif", "z.php"}
 	for i := range want {
@@ -202,7 +206,8 @@ func TestFileListSorted(t *testing.T) {
 }
 
 func TestDominantReferrerEmpty(t *testing.T) {
-	info := &ServerInfo{Referrers: map[string]int{}, Requests: 5}
+	info := newServerInfo(NewSymbols(), "a.com")
+	info.Requests = 5
 	if ref, share := info.DominantReferrer(); ref != "" || share != 0 {
 		t.Errorf("DominantReferrer on empty = %q %g", ref, share)
 	}
@@ -255,18 +260,18 @@ func TestIndexTracksQueries(t *testing.T) {
 	r.Query = "p=1&id=2"
 	idx := BuildIndex(&Trace{Requests: []Request{r}})
 	info := idx.Servers["a.com"]
-	if info.Queries["id&p"] != 1 {
+	if info.QueryCount("id&p") != 1 {
 		t.Errorf("Queries = %v", info.Queries)
 	}
 	cl := idx.Clone()
-	if cl.Servers["a.com"].Queries["id&p"] != 1 {
+	if cl.Servers["a.com"].QueryCount("id&p") != 1 {
 		t.Error("Clone dropped queries")
 	}
 }
 
-// A sharded build (partial indexes merged in any order) must equal the
-// sequential build — the invariant the streaming engine depends on.
-func TestIndexMergeEqualsSequentialBuild(t *testing.T) {
+func canonicalIndex(idx *Index) string { return idx.Fingerprint() }
+
+func mergeTestRequests() []Request {
 	var reqs []Request
 	for i := 0; i < 40; i++ {
 		r := req(fmt.Sprintf("c%d", i%7), fmt.Sprintf("s%d.com", i%5), fmt.Sprintf("9.9.9.%d", i%3), fmt.Sprintf("/f%d.php", i%4))
@@ -279,62 +284,80 @@ func TestIndexMergeEqualsSequentialBuild(t *testing.T) {
 		r.PayloadDigest = fmt.Sprintf("sha1:%d", i%4)
 		reqs = append(reqs, r)
 	}
-	want := BuildIndex(&Trace{Requests: reqs})
+	return reqs
+}
 
-	shards := []*Index{NewIndex(), NewIndex(), NewIndex()}
+// A sharded build (partial indexes merged in any order) must equal the
+// sequential build — the invariant the streaming engine depends on. Both
+// merge paths are covered: shards sharing one Symbols (the engine's
+// arrangement, id fast path) and shards with private Symbols (name remap).
+func TestIndexMergeEqualsSequentialBuild(t *testing.T) {
+	reqs := mergeTestRequests()
+	want := canonicalIndex(BuildIndex(&Trace{Requests: reqs}))
+
+	for _, shared := range []bool{true, false} {
+		name := "private-symbols"
+		if shared {
+			name = "shared-symbols"
+		}
+		t.Run(name, func(t *testing.T) {
+			syms := NewSymbols()
+			mk := func() *Index {
+				if shared {
+					return NewIndexWith(syms)
+				}
+				return NewIndex()
+			}
+			shards := []*Index{mk(), mk(), mk()}
+			for i := range reqs {
+				shards[i%3].Add(&reqs[i])
+			}
+			got := mk()
+			// Merge in reverse shard order to exercise commutativity.
+			for i := len(shards) - 1; i >= 0; i-- {
+				got.Merge(shards[i])
+			}
+			if g := canonicalIndex(got); g != want {
+				t.Errorf("merged index diverges from sequential build:\n got: %s\nwant: %s", g, want)
+			}
+		})
+	}
+}
+
+// Unmerge must be the exact inverse of Merge: merging a fragment in and
+// unmerging it again restores the index byte-for-byte — the invariant the
+// incremental sliding-window path relies on.
+func TestUnmergeInvertsMerge(t *testing.T) {
+	reqs := mergeTestRequests()
+	syms := NewSymbols()
+	base := NewIndexWith(syms)
+	frag := NewIndexWith(syms)
 	for i := range reqs {
-		shards[i%3].Add(&reqs[i])
+		if i%4 == 0 {
+			frag.Add(&reqs[i])
+		} else {
+			base.Add(&reqs[i])
+		}
 	}
-	got := NewIndex()
-	// Merge in reverse shard order to exercise commutativity.
-	for i := len(shards) - 1; i >= 0; i-- {
-		got.Merge(shards[i])
+	want := canonicalIndex(base)
+	base.Merge(frag)
+	if canonicalIndex(base) == want {
+		t.Fatal("merge changed nothing; fragment too small to test")
+	}
+	base.Unmerge(frag)
+	if got := canonicalIndex(base); got != want {
+		t.Errorf("Unmerge did not restore the index:\n got: %s\nwant: %s", got, want)
 	}
 
-	if got.RequestCount != want.RequestCount {
-		t.Fatalf("RequestCount = %d, want %d", got.RequestCount, want.RequestCount)
-	}
-	if len(got.Servers) != len(want.Servers) {
-		t.Fatalf("servers = %d, want %d", len(got.Servers), len(want.Servers))
-	}
-	for k, w := range want.Servers {
-		g := got.Servers[k]
-		if g == nil {
-			t.Fatalf("server %s missing after merge", k)
-		}
-		if len(g.Clients) != len(w.Clients) || len(g.IPs) != len(w.IPs) ||
-			len(g.Hosts) != len(w.Hosts) || g.Requests != w.Requests ||
-			g.ErrorRequests != w.ErrorRequests {
-			t.Errorf("server %s: merged %+v != sequential %+v", k, g, w)
-		}
-		for f, n := range w.Files {
-			if g.Files[f] != n {
-				t.Errorf("server %s file %s: %d != %d", k, f, g.Files[f], n)
-			}
-		}
-		for q, n := range w.Queries {
-			if g.Queries[q] != n {
-				t.Errorf("server %s query %s: %d != %d", k, q, g.Queries[q], n)
-			}
-		}
-		for re, n := range w.Referrers {
-			if g.Referrers[re] != n {
-				t.Errorf("server %s referrer %s: %d != %d", k, re, g.Referrers[re], n)
-			}
-		}
-		for p, n := range w.Payloads {
-			if g.Payloads[p] != n {
-				t.Errorf("server %s payload %s: %d != %d", k, p, g.Payloads[p], n)
-			}
-		}
-	}
-	if len(got.ClientServers) != len(want.ClientServers) {
-		t.Fatalf("clients = %d, want %d", len(got.ClientServers), len(want.ClientServers))
-	}
-	for c, set := range want.ClientServers {
-		if len(got.ClientServers[c]) != len(set) {
-			t.Errorf("client %s servers = %d, want %d", c, len(got.ClientServers[c]), len(set))
-		}
+	// Unmerging everything empties the index completely.
+	all := NewIndexWith(syms)
+	all.Merge(base)
+	all.Merge(frag)
+	all.Unmerge(base)
+	all.Unmerge(frag)
+	if len(all.Servers) != 0 || len(all.ClientServers) != 0 || all.RequestCount != 0 {
+		t.Errorf("full Unmerge left residue: %d servers, %d clients, %d requests",
+			len(all.Servers), len(all.ClientServers), all.RequestCount)
 	}
 }
 
