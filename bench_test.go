@@ -29,6 +29,7 @@ import (
 	"smash/internal/stream"
 	"smash/internal/synth"
 	"smash/internal/trace"
+	"smash/internal/wire"
 )
 
 // benchScale keeps bench iterations around a second; raise for full-scale
@@ -626,4 +627,33 @@ func BenchmarkAblationNoIDF(b *testing.B) {
 // ablation motivating the paper's community-detection choice.
 func BenchmarkAblationComponents(b *testing.B) {
 	ablationMetrics(b, core.WithComponentMining())
+}
+
+// --- Cluster: wire codec -------------------------------------------------
+
+// BenchmarkWireCodec measures the cluster interchange codec over one
+// day-scale index: a full encode (canonical dictionary build + count
+// maps) followed by a full decode (fresh symbols + index rebuild), the
+// per-window cost an ingest node and the aggregator pay between them.
+// events/s is the request volume the codec round-trips per second;
+// bytes/op is the encoded fragment size.
+func BenchmarkWireCodec(b *testing.B) {
+	w1, _, _ := benchWorlds(b)
+	idx := trace.BuildIndex(w1.Days[0])
+	encoded := wire.EncodeIndex(idx)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		enc := wire.EncodeIndex(idx)
+		dec, err := wire.DecodeIndex(enc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if dec.RequestCount != idx.RequestCount {
+			b.Fatal("lossy round-trip")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*float64(idx.RequestCount)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(float64(len(encoded)), "bytes/fragment")
 }

@@ -1,0 +1,247 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"smash/internal/cluster"
+	"smash/internal/core"
+	"smash/internal/serve"
+	"smash/internal/store"
+	"smash/internal/stream"
+)
+
+// parseShardOf parses "-shard-of N/M" into (shard, of).
+func parseShardOf(s string) (int, int, error) {
+	lhs, rhs, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("-shard-of must be N/M (e.g. 0/2), got %q", s)
+	}
+	shard, err1 := strconv.Atoi(lhs)
+	of, err2 := strconv.Atoi(rhs)
+	if err1 != nil || err2 != nil || of <= 0 || shard < 0 || shard >= of {
+		return 0, 0, fmt.Errorf("-shard-of must be N/M with 0 <= N < M, got %q", s)
+	}
+	return shard, of, nil
+}
+
+// runIngest is the cluster ingest role: window one partition of the
+// traffic with a detection-free engine and forward every sealed window
+// fragment to the aggregator. Window boundaries anchor at the Unix epoch
+// so all nodes agree on window ids.
+func runIngest(ctx context.Context, o *options, stdin io.Reader, out io.Writer) error {
+	if o.forward == "" {
+		return fmt.Errorf("-role ingest requires -forward URL")
+	}
+	if o.stateDir != "" {
+		return fmt.Errorf("-state-dir is the aggregator's job; an ingest node keeps no campaign state")
+	}
+	node := o.node
+	var shardSrcWrap func(stream.Source) stream.Source
+	if o.shardOf != "" {
+		shard, of, err := parseShardOf(o.shardOf)
+		if err != nil {
+			return err
+		}
+		if node == "" {
+			node = fmt.Sprintf("shard%d", shard)
+		}
+		shardSrcWrap = func(s stream.Source) stream.Source {
+			return &cluster.ShardSource{Src: s, Shard: shard, Of: of}
+		}
+	}
+	if node == "" {
+		return fmt.Errorf("-role ingest requires -node (or -shard-of to derive one)")
+	}
+
+	src, closers, err := openSource(o, stdin)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}()
+	if shardSrcWrap != nil {
+		src = shardSrcWrap(src)
+	}
+
+	stride := o.stride
+	if stride == 0 {
+		stride = o.window
+	}
+	fwd, err := cluster.NewForwarder(cluster.ForwarderConfig{
+		URL:    o.forward,
+		Node:   node,
+		Stride: stride,
+	})
+	if err != nil {
+		return err
+	}
+	eng, err := stream.New(stream.Config{
+		Name:      "smashd",
+		Window:    o.window,
+		Stride:    o.stride,
+		Watermark: o.watermark,
+		Workers:   o.workers,
+		Shards:    o.shards,
+		Origin:    cluster.Epoch,
+		IndexOnly: true,
+		Sinks:     []stream.Sink{fwd},
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// An ingest node's ops API serves live engine counters and metrics;
+	// lineage state lives at the aggregator, so its store stays empty.
+	if o.listen != "" {
+		st, err := store.Open(store.Config{})
+		if err != nil {
+			return err
+		}
+		shutdown, err := serveHTTP(ctx, o.listen, serve.NewHandler(serve.Config{
+			Store:       st,
+			EngineStats: eng.Stats,
+			Started:     time.Now(),
+		}))
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+	}
+	defer notifySignals(ctx, cancel, eng.Stop)()
+
+	enc := json.NewEncoder(out)
+	for w := range eng.StartContext(ctx, src) {
+		if o.jsonOut {
+			if err := enc.Encode(windowRecord{
+				Window: w.Seq, Start: w.Start, End: w.End, Requests: w.Requests,
+			}); err != nil {
+				return err
+			}
+			continue
+		}
+		fmt.Fprintf(out, "forwarded window %d [%s .. %s) requests=%d\n",
+			w.Seq, w.Start.Format(time.RFC3339), w.End.Format(time.RFC3339), w.Requests)
+	}
+	if err := eng.Err(); err != nil {
+		return err
+	}
+	// End-of-stream marker: tells the aggregator this node is done, so
+	// cluster windows can seal without waiting on the straggler policy.
+	if err := fwd.Close(); err != nil {
+		return err
+	}
+
+	stats, fs := eng.Stats(), fwd.Stats()
+	if o.jsonOut {
+		return enc.Encode(map[string]any{
+			"node": node, "events": stats.Events, "late": stats.Late,
+			"windows": stats.Windows, "emptyWindows": stats.EmptyWindows,
+			"forwarded": fs.Forwarded, "retries": fs.Retries, "bytes": fs.Bytes,
+		})
+	}
+	fmt.Fprintf(out, "node %s: ingested %d events (%d late-dropped) into %d windows (%d empty); forwarded %d fragments (%d retries, %d bytes) to %s\n",
+		node, stats.Events, stats.Late, stats.Windows, stats.EmptyWindows,
+		fs.Forwarded, fs.Retries, fs.Bytes, o.forward)
+	return nil
+}
+
+// runAggregate is the cluster aggregator role: receive fragments from
+// -expect ingest nodes on -cluster-listen, merge each cluster-wide window
+// and drive detection, tracking and persistence exactly like a standalone
+// run. The process exits once every expected node has sent its
+// end-of-stream marker (or on the first signal, which flushes).
+func runAggregate(ctx context.Context, o *options, out io.Writer) error {
+	if o.clusterListen == "" {
+		return fmt.Errorf("-role aggregate requires -cluster-listen ADDR")
+	}
+	if o.expect <= 0 {
+		return fmt.Errorf("-role aggregate requires -expect N (the ingest node count)")
+	}
+	if o.listen != "" {
+		return fmt.Errorf("the aggregator serves its ops API on -cluster-listen; drop -listen")
+	}
+	if len(o.paths) > 0 {
+		return fmt.Errorf("the aggregator takes no trace files; ingest nodes do the reading")
+	}
+
+	detOpts := o.detectorOptions()
+	timing := core.NewTimingObserver()
+	detOpts = append(detOpts, core.WithObserver(timing))
+
+	st, err := openStore(o)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	if restored := st.Applied(); restored > 0 {
+		fmt.Fprintf(os.Stderr, "smashd: restored %d windows (%d WAL records) from %s\n",
+			restored, st.Stats().Replayed, o.stateDir)
+	}
+
+	agg, err := cluster.NewAggregator(cluster.AggregatorConfig{
+		Name:      "smashd",
+		Window:    o.window,
+		Stride:    o.stride,
+		Expect:    o.expect,
+		Straggler: o.straggler,
+		Detector:  detOpts,
+		Tracker:   st.Restore(),
+		Sinks:     []stream.Sink{st},
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	shutdown, err := serveHTTP(ctx, o.clusterListen, serve.NewHandler(serve.Config{
+		Store:      st,
+		Timing:     timing,
+		Aggregator: agg,
+		Started:    time.Now(),
+	}))
+	if err != nil {
+		return err
+	}
+	defer shutdown()
+	defer notifySignals(ctx, cancel, agg.Stop)()
+
+	if err := printWindows(out, agg.Start(ctx), o.jsonOut, o.verbose); err != nil {
+		return err
+	}
+	if err := agg.Err(); err != nil {
+		return err
+	}
+	if err := st.Close(); err != nil {
+		return err
+	}
+
+	stats := agg.Stats()
+	if o.jsonOut {
+		return json.NewEncoder(out).Encode(map[string]any{
+			"nodes": stats.Nodes, "fragments": stats.Fragments,
+			"lateFragments": stats.LateFragments, "duplicateFragments": stats.DuplicateFragments,
+			"windows": stats.Windows, "emptyWindows": stats.EmptyWindows,
+			"requests": stats.Requests, "lineages": len(agg.Tracker().Lineages()),
+		})
+	}
+	fmt.Fprintf(out, "aggregated %d fragments from %d nodes (%d late, %d duplicate) into %d windows (%d empty)\n",
+		stats.Fragments, stats.Nodes, stats.LateFragments, stats.DuplicateFragments,
+		stats.Windows, stats.EmptyWindows)
+	fmt.Fprint(out, agg.Tracker().Summary())
+	return nil
+}

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+)
+
+// windowLines extracts the per-window and per-delta output lines, the
+// part of smashd's text output that must be identical across a standalone
+// and a cluster run.
+func windowLines(out string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "window ") || strings.HasPrefix(line, "  ") {
+			b.WriteString(line)
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// The cluster acceptance test at the CLI layer: one aggregator plus two
+// self-partitioning ingest nodes (-shard-of) replaying the same trace
+// produce exactly the window reports, deltas and lineage summary of a
+// standalone run.
+func TestRunClusterEquivalence(t *testing.T) {
+	_, paths := writeWorld(t, 2)
+
+	var std bytes.Buffer
+	if err := run(context.Background(), append([]string{"-window", "24h"}, paths...), nil, &std); err != nil {
+		t.Fatal(err)
+	}
+	wantWindows := windowLines(std.String())
+	wantSummary := summaryOf(t, std.String())
+	if wantWindows == "" {
+		t.Fatal("standalone run produced no window lines")
+	}
+
+	addrCh := make(chan string, 1)
+	onListen = func(a net.Addr) { addrCh <- a.String() }
+	defer func() { onListen = nil }()
+
+	aggErr := make(chan error, 1)
+	var aggOut bytes.Buffer
+	go func() {
+		aggErr <- run(context.Background(), []string{
+			"-role", "aggregate", "-cluster-listen", "127.0.0.1:0",
+			"-expect", "2", "-window", "24h",
+		}, nil, &aggOut)
+	}()
+	addr := <-addrCh
+
+	// Both nodes read the FULL trace and keep only their client-hash
+	// partition; together they cover every request exactly once.
+	for i := 0; i < 2; i++ {
+		var out bytes.Buffer
+		args := append([]string{
+			"-role", "ingest", "-forward", "http://" + addr,
+			"-shard-of", fmt.Sprintf("%d/2", i), "-window", "24h",
+		}, paths...)
+		if err := run(context.Background(), args, nil, &out); err != nil {
+			t.Fatalf("ingest node %d: %v", i, err)
+		}
+		if !strings.Contains(out.String(), "forwarded") {
+			t.Errorf("node %d forwarded nothing:\n%s", i, out.String())
+		}
+	}
+	if err := <-aggErr; err != nil {
+		t.Fatalf("aggregator: %v", err)
+	}
+
+	if got := windowLines(aggOut.String()); got != wantWindows {
+		t.Errorf("cluster window output diverged:\ngot:\n%s\nwant:\n%s", got, wantWindows)
+	}
+	if got := summaryOf(t, aggOut.String()); got != wantSummary {
+		t.Errorf("cluster lineage summary diverged:\ngot:\n%s\nwant:\n%s", got, wantSummary)
+	}
+	if !strings.Contains(aggOut.String(), "aggregated 4 fragments from 2 nodes") {
+		t.Errorf("missing aggregation stats:\n%s", aggOut.String())
+	}
+}
+
+// The aggregate role emits NDJSON window records like standalone.
+func TestRunClusterJSON(t *testing.T) {
+	_, paths := writeWorld(t, 1)
+
+	addrCh := make(chan string, 1)
+	onListen = func(a net.Addr) { addrCh <- a.String() }
+	defer func() { onListen = nil }()
+
+	aggErr := make(chan error, 1)
+	var aggOut bytes.Buffer
+	go func() {
+		aggErr <- run(context.Background(), []string{
+			"-role", "aggregate", "-cluster-listen", "127.0.0.1:0",
+			"-expect", "1", "-json", "-window", "24h",
+		}, nil, &aggOut)
+	}()
+	addr := <-addrCh
+
+	var nodeOut bytes.Buffer
+	args := append([]string{
+		"-role", "ingest", "-forward", "http://" + addr,
+		"-node", "solo", "-json", "-window", "24h",
+	}, paths...)
+	if err := run(context.Background(), args, nil, &nodeOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-aggErr; err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimSpace(aggOut.String()), "\n")
+	if len(lines) != 2 { // one window + trailing stats record
+		t.Fatalf("aggregator JSON lines = %d:\n%s", len(lines), aggOut.String())
+	}
+	var rec struct {
+		Window    int `json:"window"`
+		Requests  int `json:"requests"`
+		Campaigns int `json:"campaigns"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Requests == 0 || rec.Campaigns == 0 {
+		t.Errorf("degenerate aggregated window: %+v", rec)
+	}
+	var stats struct {
+		Nodes    int `json:"nodes"`
+		Windows  int `json:"windows"`
+		Lineages int `json:"lineages"`
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Nodes != 1 || stats.Windows != 1 || stats.Lineages == 0 {
+		t.Errorf("degenerate aggregator stats: %+v", stats)
+	}
+
+	nodeLines := strings.Split(strings.TrimSpace(nodeOut.String()), "\n")
+	var nodeStats struct {
+		Node      string `json:"node"`
+		Forwarded int    `json:"forwarded"`
+	}
+	if err := json.Unmarshal([]byte(nodeLines[len(nodeLines)-1]), &nodeStats); err != nil {
+		t.Fatal(err)
+	}
+	if nodeStats.Node != "solo" || nodeStats.Forwarded != 2 { // window + final marker
+		t.Errorf("node stats record: %+v", nodeStats)
+	}
+}
+
+func TestParseShardOf(t *testing.T) {
+	shard, of, err := parseShardOf("1/3")
+	if err != nil || shard != 1 || of != 3 {
+		t.Errorf("parseShardOf(1/3) = %d,%d,%v", shard, of, err)
+	}
+	for _, bad := range []string{"", "2", "a/b", "-1/2", "2/2", "3/2", "1/0"} {
+		if _, _, err := parseShardOf(bad); err == nil {
+			t.Errorf("parseShardOf(%q) accepted", bad)
+		}
+	}
+}
+
+func TestClusterRoleValidation(t *testing.T) {
+	var out bytes.Buffer
+	cases := [][]string{
+		{"-role", "bogus"},
+		{"-role", "ingest"}, // missing -forward
+		{"-role", "ingest", "-forward", "http://x", "-shard-of", "9/2"},                   // bad shard
+		{"-role", "ingest", "-forward", "http://x"},                                       // missing -node
+		{"-role", "ingest", "-forward", "http://x", "-node", "a", "-state-dir", "/tmp/x"}, // state at ingest
+		{"-role", "aggregate"},                                                           // missing -cluster-listen
+		{"-role", "aggregate", "-cluster-listen", ":0"},                                  // missing -expect
+		{"-role", "aggregate", "-cluster-listen", ":0", "-expect", "1", "-listen", ":0"}, // double listen
+		{"-role", "aggregate", "-cluster-listen", ":0", "-expect", "1", "x.tsv"},         // stray files
+	}
+	for _, args := range cases {
+		if err := run(context.Background(), args, strings.NewReader(""), &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

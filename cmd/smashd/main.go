@@ -5,12 +5,15 @@
 //
 // Usage:
 //
-//	smashd [-window 24h] [-stride 0] [-watermark 0] [-workers 1]
+//	smashd [-role standalone|ingest|aggregate]
+//	       [-window 24h] [-stride 0] [-watermark 0] [-workers 1]
 //	       [-shards 4] [-speedup 0] [-seed 1] [-idf 200]
 //	       [-threshold 0.8] [-single-threshold 1.0] [-json] [-v]
 //	       [-state-dir DIR] [-listen ADDR] [-retire-after N]
 //	       [-snapshot-every 64] [-wal-sync=true]
 //	       [-cpuprofile FILE] [-memprofile FILE]
+//	       [-forward URL] [-node NAME] [-shard-of N/M]
+//	       [-cluster-listen ADDR] [-expect M] [-straggler N]
 //	       [trace.tsv ...]
 //
 // With no file arguments (or "-"), events are read from stdin, so a live
@@ -30,9 +33,36 @@
 // reporting), bounding tracker memory on endless streams.
 //
 // -listen ADDR exposes the HTTP query/ops API (internal/serve) while the
-// daemon runs: /v1/lineages, /v1/lineages/{id}, /v1/windows/latest,
-// /v1/stats, /healthz and Prometheus /metrics. The server shuts down
-// gracefully after the stream drains.
+// daemon runs: /v1/lineages (paginated via ?limit&offset),
+// /v1/lineages/{id}, /v1/windows/latest, /v1/stats, /healthz and
+// Prometheus /metrics. The server shuts down gracefully after the stream
+// drains.
+//
+// # Cluster roles
+//
+// A single process caps ingestion at one machine; -role splits the
+// pipeline across processes (internal/cluster):
+//
+//   - -role ingest windows its share of the traffic without running
+//     detection and forwards each sealed window fragment (wire-encoded,
+//     with its symbol dictionary) to -forward URL, retrying transient
+//     failures with backoff. -shard-of N/M keeps only clients hashing to
+//     partition N of M, so every node can read the same full feed;
+//     pre-partitioned inputs (tracegen -partitions) skip the filter.
+//     -node names the node; it defaults to "shardN" under -shard-of.
+//   - -role aggregate listens on -cluster-listen for fragments from
+//     -expect ingest nodes, aligns them on epoch-derived window ids,
+//     merges each window and runs detection, tracking and persistence
+//     exactly like a standalone run — byte-identical output for the same
+//     traffic. -straggler N force-seals windows once the lead node runs N
+//     windows ahead; late fragments are counted and dropped. The HTTP API
+//     (including POST /v1/ingest and cluster metrics) serves on
+//     -cluster-listen; the process exits once every expected node has
+//     sent its end-of-stream marker.
+//
+// Window boundaries in cluster roles are anchored at the Unix epoch, not
+// at the first event, so all nodes agree on window ids without
+// coordination.
 //
 // Text mode prints one line per window plus its deltas; -json emits one
 // JSON object per window (NDJSON) for downstream tooling. The first
@@ -76,6 +106,37 @@ func main() {
 // the way a test using -listen 127.0.0.1:0 learns the chosen port.
 var onListen func(net.Addr)
 
+// options carries every parsed flag plus the positional trace paths.
+type options struct {
+	window       time.Duration
+	stride       time.Duration
+	watermark    time.Duration
+	workers      int
+	shards       int
+	speedup      float64
+	seed         int64
+	idf          int
+	threshold    float64
+	singleThresh float64
+	jsonOut      bool
+	verbose      bool
+	stateDir     string
+	listen       string
+	retireAfter  int
+	snapEvery    int
+	walSync      bool
+
+	role          string
+	forward       string
+	node          string
+	shardOf       string
+	clusterListen string
+	expect        int
+	straggler     int
+
+	paths []string
+}
+
 // windowRecord is the NDJSON shape of one window. Aborted marks a
 // non-empty window whose detection did not complete (context cancelled or
 // detection error), so downstream tooling can tell it apart from a
@@ -93,43 +154,62 @@ type windowRecord struct {
 func run(ctx context.Context, args []string, stdin io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("smashd", flag.ContinueOnError)
 	var (
-		window       = fs.Duration("window", 24*time.Hour, "detection window size")
-		stride       = fs.Duration("stride", 0, "window stride; 0 means tumbling (stride = window)")
-		watermark    = fs.Duration("watermark", 0, "allowed event lateness before drop")
-		workers      = fs.Int("workers", 1, "detection worker pool size")
-		shards       = fs.Int("shards", 4, "concurrent index builder shards")
-		speedup      = fs.Float64("speedup", 0, "replay pacing: N× recorded time; 0 = as fast as possible")
-		seed         = fs.Int64("seed", 1, "community detection seed")
-		idf          = fs.Int("idf", 200, "IDF popularity filter threshold")
-		threshold    = fs.Float64("threshold", 0.8, "inference threshold for multi-client campaigns")
-		singleThresh = fs.Float64("single-threshold", 1.0, "inference threshold for single-client campaigns")
-		jsonOut      = fs.Bool("json", false, "emit one JSON object per window (NDJSON)")
-		verbose      = fs.Bool("v", false, "print every delta's new servers")
-		stateDir     = fs.String("state-dir", "", "durable campaign-state directory (snapshot + WAL); empty disables persistence")
-		listen       = fs.String("listen", "", "HTTP query/ops API address (e.g. :8080); empty disables serving")
-		retireAfter  = fs.Int("retire-after", 0, "retire lineages idle for more than N windows (0 = never)")
-		snapEvery    = fs.Int("snapshot-every", 64, "windows between state snapshots / WAL compactions")
-		walSync      = fs.Bool("wal-sync", true, "fsync the WAL after every window (survives machine death, not just process death)")
-		cpuProfile   = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memProfile   = fs.String("memprofile", "", "write a heap profile (taken at exit) to this file")
+		o          options
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 	)
+	fs.DurationVar(&o.window, "window", 24*time.Hour, "detection window size")
+	fs.DurationVar(&o.stride, "stride", 0, "window stride; 0 means tumbling (stride = window)")
+	fs.DurationVar(&o.watermark, "watermark", 0, "allowed event lateness before drop")
+	fs.IntVar(&o.workers, "workers", 1, "detection worker pool size")
+	fs.IntVar(&o.shards, "shards", 4, "concurrent index builder shards")
+	fs.Float64Var(&o.speedup, "speedup", 0, "replay pacing: N× recorded time; 0 = as fast as possible")
+	fs.Int64Var(&o.seed, "seed", 1, "community detection seed")
+	fs.IntVar(&o.idf, "idf", 200, "IDF popularity filter threshold")
+	fs.Float64Var(&o.threshold, "threshold", 0.8, "inference threshold for multi-client campaigns")
+	fs.Float64Var(&o.singleThresh, "single-threshold", 1.0, "inference threshold for single-client campaigns")
+	fs.BoolVar(&o.jsonOut, "json", false, "emit one JSON object per window (NDJSON)")
+	fs.BoolVar(&o.verbose, "v", false, "print every delta's new servers")
+	fs.StringVar(&o.stateDir, "state-dir", "", "durable campaign-state directory (snapshot + WAL); empty disables persistence")
+	fs.StringVar(&o.listen, "listen", "", "HTTP query/ops API address (e.g. :8080); empty disables serving")
+	fs.IntVar(&o.retireAfter, "retire-after", 0, "retire lineages idle for more than N windows (0 = never)")
+	fs.IntVar(&o.snapEvery, "snapshot-every", 64, "windows between state snapshots / WAL compactions")
+	fs.BoolVar(&o.walSync, "wal-sync", true, "fsync the WAL after every window (survives machine death, not just process death)")
+	fs.StringVar(&o.role, "role", "standalone", "process role: standalone, ingest (window + forward fragments) or aggregate (merge fragments + detect)")
+	fs.StringVar(&o.forward, "forward", "", "ingest role: aggregator base URL (e.g. http://agg:8080)")
+	fs.StringVar(&o.node, "node", "", "ingest role: node name in forwarded fragments (default shardN under -shard-of)")
+	fs.StringVar(&o.shardOf, "shard-of", "", "ingest role: keep only clients hashing to partition N of M, as N/M (e.g. 0/2)")
+	fs.StringVar(&o.clusterListen, "cluster-listen", "", "aggregate role: address serving /v1/ingest and the ops API")
+	fs.IntVar(&o.expect, "expect", 0, "aggregate role: number of ingest nodes feeding this aggregator")
+	fs.IntVar(&o.straggler, "straggler", 0, "aggregate role: force-seal windows N behind the lead node (0 = wait for all nodes)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	o.paths = fs.Args()
 	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
 	if err != nil {
 		return err
 	}
 	defer stopProfiles()
 
+	switch o.role {
+	case "standalone":
+		return runStandalone(ctx, &o, stdin, out)
+	case "ingest":
+		return runIngest(ctx, &o, stdin, out)
+	case "aggregate":
+		return runAggregate(ctx, &o, out)
+	default:
+		return fmt.Errorf("unknown -role %q (want standalone, ingest or aggregate)", o.role)
+	}
+}
+
+// openSource assembles the replay source from the positional trace paths
+// (stdin when none), returning the closers to run at exit.
+func openSource(o *options, stdin io.Reader) (stream.Source, []io.Closer, error) {
 	var sources []stream.Source
 	var closers []io.Closer
-	defer func() {
-		for _, c := range closers {
-			c.Close()
-		}
-	}()
-	paths := fs.Args()
+	paths := o.paths
 	if len(paths) == 0 {
 		paths = []string{"-"}
 	}
@@ -140,135 +220,42 @@ func run(ctx context.Context, args []string, stdin io.Reader, out io.Writer) err
 		}
 		f, err := os.Open(p)
 		if err != nil {
-			return err
+			for _, c := range closers {
+				c.Close()
+			}
+			return nil, nil, err
 		}
 		closers = append(closers, f)
 		sources = append(sources, trace.NewReader(f))
 	}
 	var src stream.Source = &stream.MultiSource{Sources: sources}
-	if *speedup > 0 {
-		src = &stream.PacedSource{Src: src, Speedup: *speedup}
+	if o.speedup > 0 {
+		src = &stream.PacedSource{Src: src, Speedup: o.speedup}
 	}
+	return src, closers, nil
+}
 
-	detOpts := []core.Option{
-		core.WithSeed(*seed),
-		core.WithIDFThreshold(*idf),
-		core.WithThreshold(*threshold),
-		core.WithSingleClientThreshold(*singleThresh),
+// detectorOptions builds the core options shared by the standalone engine
+// and the aggregator.
+func (o *options) detectorOptions() []core.Option {
+	opts := []core.Option{
+		core.WithSeed(o.seed),
+		core.WithIDFThreshold(o.idf),
+		core.WithThreshold(o.threshold),
+		core.WithSingleClientThreshold(o.singleThresh),
 	}
-	if *verbose {
-		detOpts = append(detOpts, core.WithObserver(&core.LogObserver{W: os.Stderr, Prefix: "smashd: "}))
+	if o.verbose {
+		opts = append(opts, core.WithObserver(&core.LogObserver{W: os.Stderr, Prefix: "smashd: "}))
 	}
-	var timing *core.TimingObserver
-	if *listen != "" {
-		timing = core.NewTimingObserver()
-		detOpts = append(detOpts, core.WithObserver(timing))
-	}
+	return opts
+}
 
-	// The store is the durability layer and the HTTP read model: with
-	// -state-dir it restores lineage state from snapshot + WAL and keeps
-	// persisting; with only -listen it mirrors state in memory for serving.
-	engCfg := stream.Config{
-		Name:      "smashd",
-		Window:    *window,
-		Stride:    *stride,
-		Watermark: *watermark,
-		Workers:   *workers,
-		Shards:    *shards,
-		Detector:  detOpts,
-	}
-	var st *store.Store
-	if *stateDir != "" || *listen != "" {
-		var err error
-		st, err = store.Open(store.Config{
-			Dir:           *stateDir,
-			SnapshotEvery: *snapEvery,
-			Sync:          *walSync,
-			NewTracker: func() *tracker.Tracker {
-				tk := tracker.New()
-				tk.RetireAfter = *retireAfter
-				return tk
-			},
-		})
-		if err != nil {
-			return err
-		}
-		defer st.Close()
-		if restored := st.Applied(); restored > 0 {
-			fmt.Fprintf(os.Stderr, "smashd: restored %d windows (%d WAL records) from %s\n",
-				restored, st.Stats().Replayed, *stateDir)
-		}
-		engCfg.Tracker = st.Restore()
-		engCfg.Sinks = []stream.Sink{st}
-	} else if *retireAfter > 0 {
-		engCfg.Tracker = tracker.New()
-		engCfg.Tracker.RetireAfter = *retireAfter
-	}
-	eng, err := stream.New(engCfg)
-	if err != nil {
-		return err
-	}
-
-	// Two-phase shutdown: the first SIGINT/SIGTERM drains — Stop seals and
-	// emits every in-flight window, so interrupting a live feed still
-	// reports what was ingested. A second signal cancels the run context,
-	// aborting in-flight detections at their next stage boundary. The
-	// deferred cancel also unparks the goroutine on a signal-free return.
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-
-	// The ops API serves live state for the whole run and shuts down
-	// gracefully once the stream has drained. Its shutdown context is the
-	// run context: a second signal (hard abort) also cuts serving short.
-	var httpSrv *http.Server
-	if *listen != "" {
-		ln, err := net.Listen("tcp", *listen)
-		if err != nil {
-			return err
-		}
-		httpSrv = &http.Server{Handler: serve.NewHandler(serve.Config{
-			Store:       st,
-			Timing:      timing,
-			EngineStats: eng.Stats,
-			Started:     time.Now(),
-		})}
-		fmt.Fprintf(os.Stderr, "smashd: http api listening on %s\n", ln.Addr())
-		if onListen != nil {
-			onListen(ln.Addr())
-		}
-		httpErr := make(chan error, 1)
-		go func() { httpErr <- httpSrv.Serve(ln) }()
-		defer func() {
-			sctx, scancel := context.WithTimeout(ctx, 3*time.Second)
-			defer scancel()
-			httpSrv.Shutdown(sctx)
-			if err := <-httpErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
-				fmt.Fprintln(os.Stderr, "smashd: http:", err)
-			}
-		}()
-	}
-	sigCh := make(chan os.Signal, 2)
-	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
-	defer signal.Stop(sigCh)
-	go func() {
-		select {
-		case <-sigCh:
-		case <-ctx.Done():
-			return
-		}
-		fmt.Fprintln(os.Stderr, "smashd: interrupted; draining open windows (signal again to abort)")
-		eng.Stop()
-		select {
-		case <-sigCh:
-			fmt.Fprintln(os.Stderr, "smashd: aborting in-flight detections")
-			cancel()
-		case <-ctx.Done():
-		}
-	}()
-
+// printWindows consumes the window stream, rendering each result as text
+// or NDJSON — shared by the standalone and aggregate roles.
+func printWindows(out io.Writer, results <-chan stream.WindowResult, jsonOut, verbose bool) error {
 	enc := json.NewEncoder(out)
-	for w := range eng.StartContext(ctx, src) {
-		if *jsonOut {
+	for w := range results {
+		if jsonOut {
 			rec := windowRecord{
 				Window: w.Seq, Start: w.Start, End: w.End,
 				Requests: w.Requests, Deltas: w.Deltas,
@@ -287,12 +274,162 @@ func run(ctx context.Context, args []string, stdin io.Reader, out io.Writer) err
 		for i := range w.Deltas {
 			d := &w.Deltas[i]
 			fmt.Fprintln(out, "  "+d.Render())
-			if *verbose {
+			if verbose {
 				for _, s := range d.NewServers {
 					fmt.Fprintf(out, "    + %s\n", s)
 				}
 			}
 		}
+	}
+	return nil
+}
+
+// serveHTTP starts the ops API server on addr and returns its shutdown
+// function, to be run after the stream drains. A cancelled run context
+// cuts serving short.
+func serveHTTP(ctx context.Context, addr string, handler http.Handler) (func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: handler}
+	fmt.Fprintf(os.Stderr, "smashd: http api listening on %s\n", ln.Addr())
+	if onListen != nil {
+		onListen(ln.Addr())
+	}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- srv.Serve(ln) }()
+	return func() {
+		sctx, scancel := context.WithTimeout(ctx, 3*time.Second)
+		defer scancel()
+		srv.Shutdown(sctx)
+		if err := <-httpErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "smashd: http:", err)
+		}
+	}, nil
+}
+
+// notifySignals installs the two-phase shutdown handler: the first
+// SIGINT/SIGTERM calls drain (seal and emit in-flight windows), a second
+// cancels the run context, aborting in-flight work. The returned stop
+// function removes the handler.
+func notifySignals(ctx context.Context, cancel context.CancelFunc, drain func()) func() {
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		select {
+		case <-sigCh:
+		case <-ctx.Done():
+			return
+		}
+		fmt.Fprintln(os.Stderr, "smashd: interrupted; draining open windows (signal again to abort)")
+		drain()
+		select {
+		case <-sigCh:
+			fmt.Fprintln(os.Stderr, "smashd: aborting in-flight detections")
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+	return func() { signal.Stop(sigCh) }
+}
+
+// openStore opens the durability layer when -state-dir or serving demands
+// one; nil when neither does.
+func openStore(o *options) (*store.Store, error) {
+	if o.stateDir == "" && o.listen == "" && o.clusterListen == "" {
+		return nil, nil
+	}
+	return store.Open(store.Config{
+		Dir:           o.stateDir,
+		SnapshotEvery: o.snapEvery,
+		Sync:          o.walSync,
+		NewTracker: func() *tracker.Tracker {
+			tk := tracker.New()
+			tk.RetireAfter = o.retireAfter
+			return tk
+		},
+	})
+}
+
+func runStandalone(ctx context.Context, o *options, stdin io.Reader, out io.Writer) error {
+	src, closers, err := openSource(o, stdin)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}()
+
+	detOpts := o.detectorOptions()
+	var timing *core.TimingObserver
+	if o.listen != "" {
+		timing = core.NewTimingObserver()
+		detOpts = append(detOpts, core.WithObserver(timing))
+	}
+
+	// The store is the durability layer and the HTTP read model: with
+	// -state-dir it restores lineage state from snapshot + WAL and keeps
+	// persisting; with only -listen it mirrors state in memory for serving.
+	engCfg := stream.Config{
+		Name:      "smashd",
+		Window:    o.window,
+		Stride:    o.stride,
+		Watermark: o.watermark,
+		Workers:   o.workers,
+		Shards:    o.shards,
+		Detector:  detOpts,
+	}
+	st, err := openStore(o)
+	if err != nil {
+		return err
+	}
+	if st != nil {
+		defer st.Close()
+		if restored := st.Applied(); restored > 0 {
+			fmt.Fprintf(os.Stderr, "smashd: restored %d windows (%d WAL records) from %s\n",
+				restored, st.Stats().Replayed, o.stateDir)
+		}
+		engCfg.Tracker = st.Restore()
+		engCfg.Sinks = []stream.Sink{st}
+	} else if o.retireAfter > 0 {
+		engCfg.Tracker = tracker.New()
+		engCfg.Tracker.RetireAfter = o.retireAfter
+	}
+	eng, err := stream.New(engCfg)
+	if err != nil {
+		return err
+	}
+
+	// Two-phase shutdown: the first SIGINT/SIGTERM drains — Stop seals and
+	// emits every in-flight window, so interrupting a live feed still
+	// reports what was ingested. A second signal cancels the run context,
+	// aborting in-flight detections at their next stage boundary. The
+	// deferred cancel also unparks the goroutine on a signal-free return.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// The ops API serves live state for the whole run and shuts down
+	// gracefully once the stream has drained. Its shutdown context is the
+	// run context: a second signal (hard abort) also cuts serving short.
+	if o.listen != "" {
+		shutdown, err := serveHTTP(ctx, o.listen, serve.NewHandler(serve.Config{
+			Store:       st,
+			Timing:      timing,
+			EngineStats: eng.Stats,
+			Started:     time.Now(),
+		}))
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+	}
+	defer notifySignals(ctx, cancel, eng.Stop)()
+
+	if err := printWindows(out, eng.StartContext(ctx, src), o.jsonOut, o.verbose); err != nil {
+		return err
 	}
 	if err := eng.Err(); err != nil {
 		return err
@@ -306,8 +443,8 @@ func run(ctx context.Context, args []string, stdin io.Reader, out io.Writer) err
 	}
 
 	stats := eng.Stats()
-	if *jsonOut {
-		return enc.Encode(map[string]any{
+	if o.jsonOut {
+		return json.NewEncoder(out).Encode(map[string]any{
 			"events": stats.Events, "late": stats.Late,
 			"windows": stats.Windows, "emptyWindows": stats.EmptyWindows,
 			"lineages": len(eng.Tracker().Lineages()),

@@ -5,12 +5,21 @@
 //
 //	tracegen -out dir [-profile Data2011day] [-seed 42]
 //	         [-clients N] [-servers N] [-days N] [-sort-by-time]
+//	         [-partitions N]
 //
 // For each day it writes dayN.tsv in the trace TSV format, plus truth.json
 // (ground-truth manifest) and whois.json (registration database).
 // -sort-by-time orders each day's records by timestamp (stable, so records
 // sharing a timestamp keep their generation order) — guaranteeing the TSVs
 // replay through cmd/smashd in arrival order.
+//
+// -partitions N additionally writes dayD.pK.tsv files (K in 0..N-1)
+// holding each day's requests split by client-id hash with the cluster's
+// partitioning function (internal/cluster.PartitionOf), preserving record
+// order within each partition. Feeding dayD.pK.tsv to the K-th
+// smashd -role ingest node replays the exact partition a -shard-of K/N
+// filter would keep, which is how multi-node demos and the scale-out
+// equivalence tests generate their inputs with one command.
 package main
 
 import (
@@ -22,6 +31,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"smash/internal/cluster"
 	"smash/internal/synth"
 	"smash/internal/trace"
 	"smash/internal/whois"
@@ -44,12 +54,16 @@ func run(args []string, out io.Writer) error {
 		servers = fs.Int("servers", 0, "override benign server count")
 		days    = fs.Int("days", 0, "override day count")
 		byTime  = fs.Bool("sort-by-time", false, "sort each day's records by timestamp (stable) for streaming replay")
+		parts   = fs.Int("partitions", 0, "also write dayN.pK.tsv files hash-partitioned by client id (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *outDir == "" {
 		return fmt.Errorf("-out is required")
+	}
+	if *parts < 0 {
+		return fmt.Errorf("-partitions must be >= 0")
 	}
 	cfg := synth.DayProfile(*profile, *seed)
 	if *clients > 0 {
@@ -79,6 +93,15 @@ func run(args []string, out io.Writer) error {
 		}
 		stats := day.ComputeStats()
 		fmt.Fprintf(out, "wrote %s: %s\n", path, stats.Render())
+		for k := 0; k < *parts; k++ {
+			part := partition(day, k, *parts)
+			ppath := filepath.Join(*outDir, fmt.Sprintf("day%d.p%d.tsv", i+1, k))
+			if err := writeTrace(ppath, part); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s: %d requests (partition %d/%d)\n",
+				ppath, len(part.Requests), k, *parts)
+		}
 	}
 	if err := writeJSON(filepath.Join(*outDir, "truth.json"), world.Truth); err != nil {
 		return err
@@ -98,6 +121,19 @@ func sortByTime(t *trace.Trace) {
 	sort.SliceStable(t.Requests, func(i, j int) bool {
 		return t.Requests[i].Time.Before(t.Requests[j].Time)
 	})
+}
+
+// partition keeps the requests whose client hashes to partition k of n,
+// preserving record order — the file-level equivalent of smashd's
+// -shard-of filter.
+func partition(t *trace.Trace, k, n int) *trace.Trace {
+	out := &trace.Trace{Name: fmt.Sprintf("%s.p%d", t.Name, k)}
+	for i := range t.Requests {
+		if cluster.PartitionOf(t.Requests[i].Client, n) == k {
+			out.Requests = append(out.Requests, t.Requests[i])
+		}
+	}
+	return out
 }
 
 func writeTrace(path string, t *trace.Trace) error {

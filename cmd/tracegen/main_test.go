@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"smash/internal/cluster"
 	"smash/internal/trace"
 )
 
@@ -91,5 +92,57 @@ func TestRunSortByTime(t *testing.T) {
 			t.Fatalf("record %d out of order: %v before %v",
 				i, tr.Requests[i].Time, tr.Requests[i-1].Time)
 		}
+	}
+}
+
+// -partitions writes per-partition day files that are disjoint, ordered,
+// and together reconstruct the full day exactly — partitioned by the
+// cluster's client-hash function.
+func TestRunPartitions(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{
+		"-out", dir, "-seed", "5", "-sort-by-time", "-partitions", "2",
+		"-clients", "250", "-servers", "600",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := func(name string) *trace.Trace {
+		t.Helper()
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := trace.ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	full := read("day1.tsv")
+	p0, p1 := read("day1.p0.tsv"), read("day1.p1.tsv")
+	if len(p0.Requests) == 0 || len(p1.Requests) == 0 {
+		t.Fatalf("degenerate partitions: %d + %d", len(p0.Requests), len(p1.Requests))
+	}
+	if len(p0.Requests)+len(p1.Requests) != len(full.Requests) {
+		t.Fatalf("partitions cover %d of %d requests",
+			len(p0.Requests)+len(p1.Requests), len(full.Requests))
+	}
+	for _, r := range p0.Requests {
+		if cluster.PartitionOf(r.Client, 2) != 0 {
+			t.Fatalf("p0 leaked client %q", r.Client)
+		}
+	}
+	// Merging the partition indexes reproduces the full day's aggregate.
+	merged := trace.NewIndex()
+	merged.Merge(trace.BuildIndex(p0))
+	merged.Merge(trace.BuildIndex(p1))
+	if merged.Fingerprint() != trace.BuildIndex(full).Fingerprint() {
+		t.Error("partition merge diverged from full-day index")
+	}
+
+	if err := run([]string{"-out", dir, "-partitions", "-1"}, &out); err == nil {
+		t.Error("negative -partitions accepted")
 	}
 }

@@ -23,7 +23,13 @@
 //   - internal/store       — durable campaign-state store: snapshot +
 //     NDJSON WAL with compaction, crash-safe restore, live mirror
 //   - internal/serve       — embedded HTTP query/ops API over the store:
-//     /v1/lineages, /v1/windows/latest, /v1/stats, /healthz, /metrics
+//     /v1/lineages (paginated), /v1/windows/latest, /v1/stats, /healthz,
+//     /metrics, and the cluster's POST /v1/ingest intake
+//   - internal/wire        — versioned binary codec shipping trace.Index
+//     window fragments (with their symbol dictionaries) between processes
+//   - internal/cluster     — horizontal scale-out: ingest-side fragment
+//     Forwarder (stream.Sink) and the window-aligning Aggregator with
+//     per-node watermarks and a straggler policy
 //   - internal/trace       — HTTP traffic model, TSV codec, interned-ID
 //     server index (shared symbol tables, counted aggregates with exact
 //     Merge/Unmerge)
@@ -43,13 +49,15 @@
 //     -memprofile flags
 //   - cmd/smash, cmd/tracegen, cmd/smashbench — batch CLIs
 //   - cmd/smashd           — streaming daemon over TSV files or stdin,
-//     with durable state (-state-dir) and the ops API (-listen)
+//     with durable state (-state-dir), the ops API (-listen), and
+//     cluster roles (-role ingest|aggregate)
 //   - cmd/benchjson        — bench output -> BENCH_<pr>.json trajectory
 //   - examples/            — runnable scenarios
 //
 // See README.md for a walkthrough and DESIGN.md for the staged pipeline
-// API (stage graph, Observer contract, cancellation semantics) and the
+// API (stage graph, Observer contract, cancellation semantics), the
 // Performance section (interned-ID data plane, incremental sliding
-// windows, scratch reuse). The benchmarks in bench_test.go regenerate
-// each experiment.
+// windows, scratch reuse) and the Cluster section (fragment lifecycle,
+// window alignment, straggler policy, remap-merge invariants). The
+// benchmarks in bench_test.go regenerate each experiment.
 package smash

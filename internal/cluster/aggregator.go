@@ -1,0 +1,472 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"smash/internal/core"
+	"smash/internal/stream"
+	"smash/internal/trace"
+	"smash/internal/tracker"
+	"smash/internal/wire"
+)
+
+// AggregatorConfig parameterizes an Aggregator.
+type AggregatorConfig struct {
+	// Name labels window reports (default "smashd", matching a standalone
+	// engine so cluster and single-node reports are comparable).
+	Name string
+	// Window is the detection window size (required, > 0).
+	Window time.Duration
+	// Stride is the window start spacing; 0 defaults to Window. It must
+	// equal the ingest nodes' stride or window ids will not align.
+	Stride time.Duration
+	// Expect is the number of ingest nodes feeding this aggregator
+	// (required, > 0). A window seals once every expected node has
+	// forwarded it (or passed it).
+	Expect int
+	// Straggler bounds how far (in windows) the lead node may run ahead
+	// of a lagging one before windows seal without the straggler; late
+	// fragments are then counted and dropped. 0 waits for every node
+	// indefinitely — exact, but a dead node stalls the cluster.
+	Straggler int
+	// Detector configures the core.Detector run on every merged window.
+	Detector []core.Option
+	// Tracker overrides the lineage tracker (default tracker.New()).
+	Tracker *tracker.Tracker
+	// Sinks receive every emitted WindowResult in window order, exactly
+	// like stream.Config.Sinks (internal/store plugs in unchanged).
+	Sinks []stream.Sink
+	// Buffer is the fragment inbox capacity; a full inbox blocks Submit,
+	// backpressuring ingest nodes through their forwarders (default 64).
+	Buffer int
+}
+
+// Stats is a live snapshot of the aggregator's counters.
+type Stats struct {
+	// Nodes is the number of distinct ingest nodes seen so far.
+	Nodes int `json:"nodes"`
+	// FinishedNodes counts nodes that sent their final marker.
+	FinishedNodes int `json:"finishedNodes"`
+	// Fragments counts accepted window fragments (excluding final
+	// markers, duplicates and late drops).
+	Fragments int `json:"fragments"`
+	// DuplicateFragments counts redelivered (node, window) fragments
+	// dropped for idempotence.
+	DuplicateFragments int `json:"duplicateFragments"`
+	// LateFragments counts fragments dropped because their window had
+	// already sealed (the straggler policy).
+	LateFragments int `json:"lateFragments"`
+	// Windows counts emitted windows; EmptyWindows those with no events.
+	Windows      int `json:"windows"`
+	EmptyWindows int `json:"emptyWindows"`
+	// Requests sums merged request counts over emitted windows.
+	Requests int `json:"requests"`
+}
+
+// NodeStat describes one ingest node as seen by the aggregator.
+type NodeStat struct {
+	// Node is the node's self-reported name.
+	Node string `json:"node"`
+	// Fragments and Requests count accepted fragments and their events.
+	Fragments int `json:"fragments"`
+	Requests  int `json:"requests"`
+	// LateFragments counts this node's fragments dropped after sealing.
+	LateFragments int `json:"lateFragments"`
+	// LastWindow is the node's watermark: the highest window id it has
+	// forwarded.
+	LastWindow int64 `json:"lastWindow"`
+	// Finished reports whether the node sent its final marker.
+	Finished bool `json:"finished"`
+}
+
+type nodeState struct {
+	last      int64
+	finished  bool
+	fragments int
+	requests  int
+	late      int
+}
+
+// Aggregator receives window fragments from ingest nodes, aligns them on
+// epoch-derived window ids, merges each window's fragments (remap-merge
+// across foreign symbol tables) and drives the detection pipeline,
+// tracker and sinks exactly like a standalone stream engine. Create with
+// NewAggregator, feed with Submit (typically via internal/serve's
+// /v1/ingest), consume the Start channel.
+type Aggregator struct {
+	cfg AggregatorConfig
+	det *core.Detector
+	tk  *tracker.Tracker
+
+	in   chan *wire.Fragment
+	out  chan stream.WindowResult
+	done chan struct{}
+	quit chan struct{}
+
+	stopOnce sync.Once
+	started  bool
+
+	errMu sync.Mutex
+	err   error
+
+	nodeMu sync.Mutex
+	nodes  map[string]*nodeState
+
+	ctrFragments, ctrDup, ctrLate     atomic.Int64
+	ctrWindows, ctrEmpty, ctrRequests atomic.Int64
+}
+
+// NewAggregator validates the config and builds an aggregator.
+func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
+	if cfg.Window <= 0 {
+		return nil, errors.New("cluster: Window must be > 0")
+	}
+	if cfg.Stride == 0 {
+		cfg.Stride = cfg.Window
+	}
+	if cfg.Stride < 0 || cfg.Stride > cfg.Window {
+		return nil, errors.New("cluster: Stride must be in (0, Window]")
+	}
+	if cfg.Expect <= 0 {
+		return nil, errors.New("cluster: Expect must be > 0 (the ingest node count)")
+	}
+	if cfg.Straggler < 0 {
+		return nil, errors.New("cluster: Straggler must be >= 0")
+	}
+	if cfg.Name == "" {
+		cfg.Name = "smashd"
+	}
+	if cfg.Tracker == nil {
+		cfg.Tracker = tracker.New()
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 64
+	}
+	return &Aggregator{
+		cfg:   cfg,
+		det:   core.New(cfg.Detector...),
+		tk:    cfg.Tracker,
+		in:    make(chan *wire.Fragment, cfg.Buffer),
+		out:   make(chan stream.WindowResult, 1),
+		done:  make(chan struct{}),
+		quit:  make(chan struct{}),
+		nodes: make(map[string]*nodeState),
+	}, nil
+}
+
+// Start launches the aggregation loop and returns the result channel. The
+// channel closes once every expected node has sent its final marker and
+// all pending windows have been flushed, or after Stop.
+func (a *Aggregator) Start(ctx context.Context) <-chan stream.WindowResult {
+	if a.started {
+		panic("cluster: Start called twice")
+	}
+	a.started = true
+	go a.run(ctx)
+	return a.out
+}
+
+// ErrStopped is returned by Submit once the aggregator has shut down — a
+// transient condition from a sender's point of view (retry elsewhere or
+// give up), unlike the permanent validation errors Submit also returns.
+var ErrStopped = errors.New("cluster: aggregator stopped")
+
+// Submit hands one decoded fragment to the aggregation loop, blocking
+// while the inbox is full (that blocking is the cluster's backpressure).
+// It fails with ErrStopped once the aggregator has stopped; any other
+// error marks the fragment itself as invalid and will not heal on retry.
+func (a *Aggregator) Submit(frag *wire.Fragment) error {
+	if frag.Node == "" {
+		return errors.New("cluster: fragment without a node name")
+	}
+	if !frag.Final && frag.Index == nil {
+		return errors.New("cluster: non-final fragment without an index")
+	}
+	select {
+	case <-a.done:
+		return ErrStopped
+	default:
+	}
+	select {
+	case a.in <- frag:
+		return nil
+	case <-a.done:
+		return ErrStopped
+	}
+}
+
+// Stop asks the aggregator to flush every pending window (in window
+// order, without waiting for stragglers) and close the output channel.
+// Safe to call concurrently and more than once.
+func (a *Aggregator) Stop() {
+	a.stopOnce.Do(func() { close(a.quit) })
+}
+
+// Err returns the first detection, sink or context error, if any. Valid
+// once the output channel has closed.
+func (a *Aggregator) Err() error {
+	a.errMu.Lock()
+	defer a.errMu.Unlock()
+	return a.err
+}
+
+func (a *Aggregator) setErr(err error) {
+	a.errMu.Lock()
+	defer a.errMu.Unlock()
+	if a.err == nil {
+		a.err = err
+	}
+}
+
+// Tracker exposes the cross-window lineage tracker (for end-of-run
+// summaries). Valid once the output channel has closed.
+func (a *Aggregator) Tracker() *tracker.Tracker { return a.tk }
+
+// Stats returns a live snapshot of the aggregator counters.
+func (a *Aggregator) Stats() Stats {
+	a.nodeMu.Lock()
+	nodes, finished := len(a.nodes), 0
+	for _, n := range a.nodes {
+		if n.finished {
+			finished++
+		}
+	}
+	a.nodeMu.Unlock()
+	return Stats{
+		Nodes:              nodes,
+		FinishedNodes:      finished,
+		Fragments:          int(a.ctrFragments.Load()),
+		DuplicateFragments: int(a.ctrDup.Load()),
+		LateFragments:      int(a.ctrLate.Load()),
+		Windows:            int(a.ctrWindows.Load()),
+		EmptyWindows:       int(a.ctrEmpty.Load()),
+		Requests:           int(a.ctrRequests.Load()),
+	}
+}
+
+// NodeStats returns per-node counters, sorted by node name.
+func (a *Aggregator) NodeStats() []NodeStat {
+	a.nodeMu.Lock()
+	defer a.nodeMu.Unlock()
+	out := make([]NodeStat, 0, len(a.nodes))
+	for name, n := range a.nodes {
+		out = append(out, NodeStat{
+			Node:          name,
+			Fragments:     n.fragments,
+			Requests:      n.requests,
+			LateFragments: n.late,
+			LastWindow:    n.last,
+			Finished:      n.finished,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// run is the single aggregation goroutine: it owns all window bookkeeping
+// and runs detection in window order, so worker-free sequencing is the
+// determinism guarantee (fragment arrival order never changes output).
+func (a *Aggregator) run(ctx context.Context) {
+	// done closes before out (LIFO), so a consumer that has seen the
+	// output channel close can rely on Submit failing from then on.
+	defer close(a.out)
+	defer close(a.done)
+
+	const noWindow = int64(math.MinInt64)
+	var (
+		pending          = make(map[int64]map[string]*trace.Index)
+		minSeen, maxSeen = int64(math.MaxInt64), noWindow
+		nextSeal         = noWindow
+		sealedAny        bool
+		emitted          int
+	)
+
+	accept := func(frag *wire.Fragment) {
+		a.nodeMu.Lock()
+		node := a.nodes[frag.Node]
+		if node == nil {
+			node = &nodeState{last: noWindow}
+			a.nodes[frag.Node] = node
+		}
+		if frag.Final {
+			node.finished = true
+			a.nodeMu.Unlock()
+			return
+		}
+		if frag.Window > node.last {
+			node.last = frag.Window
+		}
+		sealed := sealedAny && frag.Window < nextSeal
+		dup := !sealed && pending[frag.Window][frag.Node] != nil
+		if sealed {
+			node.late++
+		} else if !dup {
+			node.fragments++
+			node.requests += frag.Index.RequestCount
+		}
+		a.nodeMu.Unlock()
+		switch {
+		case sealed:
+			a.ctrLate.Add(1)
+			return
+		case dup:
+			a.ctrDup.Add(1)
+			return
+		}
+		a.ctrFragments.Add(1)
+		w := pending[frag.Window]
+		if w == nil {
+			w = make(map[string]*trace.Index, a.cfg.Expect)
+			pending[frag.Window] = w
+		}
+		w[frag.Node] = frag.Index
+		if frag.Window < minSeen {
+			minSeen = frag.Window
+		}
+		if frag.Window > maxSeen {
+			maxSeen = frag.Window
+		}
+	}
+
+	// watermark is the highest window id known complete: the minimum over
+	// all expected nodes of their last forwarded window. Unknown nodes
+	// hold it at -inf; finished nodes lift theirs to +inf.
+	watermark := func() (int64, bool) {
+		a.nodeMu.Lock()
+		defer a.nodeMu.Unlock()
+		if len(a.nodes) < a.cfg.Expect {
+			return noWindow, false
+		}
+		w, allDone := int64(math.MaxInt64), true
+		for _, n := range a.nodes {
+			if n.finished {
+				continue
+			}
+			allDone = false
+			if n.last < w {
+				w = n.last
+			}
+		}
+		return w, allDone
+	}
+
+	seal := func(w int64, aborted bool) {
+		frags := pending[w]
+		delete(pending, w)
+		names := make([]string, 0, len(frags))
+		for n := range frags {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		merged := trace.NewIndex()
+		for _, n := range names {
+			merged.Merge(frags[n])
+		}
+
+		start := WindowStart(w, a.cfg.Stride)
+		res := stream.WindowResult{
+			Seq:      emitted,
+			Start:    start,
+			End:      start.Add(a.cfg.Window),
+			Requests: merged.RequestCount,
+			Index:    merged,
+		}
+		if merged.RequestCount > 0 && !aborted && ctx.Err() == nil {
+			name := fmt.Sprintf("%s-w%d", a.cfg.Name, emitted)
+			report, err := a.det.RunIndexContext(ctx, merged, merged.ComputeStats(name))
+			switch {
+			case err == nil:
+				res.Report = report
+			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+				a.setErr(err)
+			default:
+				a.setErr(fmt.Errorf("cluster: window %d: %w", emitted, err))
+			}
+		}
+		report := res.Report
+		if report == nil {
+			report = &core.Report{}
+			if merged.RequestCount == 0 {
+				a.ctrEmpty.Add(1)
+			}
+		}
+		res.Matches = a.tk.Observe(report)
+		res.Deltas = stream.DeltasFor(res.Seq, report.AllCampaigns(), res.Matches)
+		for _, s := range a.cfg.Sinks {
+			if err := s.Consume(&res); err != nil {
+				a.setErr(fmt.Errorf("cluster: sink: %w", err))
+			}
+		}
+		a.ctrWindows.Add(1)
+		a.ctrRequests.Add(int64(merged.RequestCount))
+		emitted++
+		sealedAny = true
+		a.out <- res
+	}
+
+	// flush seals every remaining window in order, report-less when the
+	// context has been cancelled.
+	flush := func() {
+		for ; sealedAny && nextSeal <= maxSeen; nextSeal++ {
+			seal(nextSeal, ctx.Err() != nil)
+		}
+		if !sealedAny && maxSeen != noWindow {
+			for nextSeal = minSeen; nextSeal <= maxSeen; nextSeal++ {
+				seal(nextSeal, ctx.Err() != nil)
+			}
+		}
+	}
+
+	for {
+		select {
+		case frag := <-a.in:
+			accept(frag)
+		case <-a.quit:
+			// Drain fragments already accepted into the inbox before
+			// flushing, so Stop never discards a buffered submission.
+		drain:
+			for {
+				select {
+				case frag := <-a.in:
+					accept(frag)
+				default:
+					break drain
+				}
+			}
+			flush()
+			return
+		case <-ctx.Done():
+			a.setErr(ctx.Err())
+			flush()
+			return
+		}
+
+		wm, allDone := watermark()
+		if allDone {
+			flush()
+			return
+		}
+		if maxSeen == noWindow {
+			continue
+		}
+		if !sealedAny {
+			nextSeal = minSeen
+		}
+		for nextSeal <= maxSeen {
+			ready := nextSeal <= wm ||
+				(a.cfg.Straggler > 0 && maxSeen-nextSeal >= int64(a.cfg.Straggler))
+			if !ready {
+				break
+			}
+			seal(nextSeal, false)
+			nextSeal++
+		}
+	}
+}

@@ -1,0 +1,263 @@
+// Package cluster is SMASH's horizontal scale-out layer: N ingest nodes,
+// each windowing one client-hash partition of the traffic, feed one
+// aggregator that merges their window fragments and runs detection once
+// per cluster-wide window.
+//
+//	partition 0 ─▶ smashd -role ingest ──┐ (wire fragments over HTTP)
+//	partition 1 ─▶ smashd -role ingest ──┼▶ smashd -role aggregate
+//	partition … ─▶ smashd -role ingest ──┘   └▶ detection → tracker → store
+//
+// The split leans on two earlier invariants: trace.Index aggregation
+// commutes (any partition of the requests merges back to the exact index a
+// sequential build would produce), and Merge's name-remap path makes
+// fragments from foreign symbol tables safe to fold in. An ingest node is
+// a stream.Engine in IndexOnly mode — full windowing, watermark and
+// backpressure semantics, no detection — whose sink is a Forwarder that
+// encodes each sealed fragment (internal/wire) and POSTs it to the
+// aggregator with bounded retry. The aggregator aligns fragments from all
+// nodes onto epoch-derived window ids, merges them in sorted node order,
+// and drives the same core.Pipeline → tracker → sink path a standalone
+// engine drives, so a partitioned run reproduces a single-node run's
+// output byte-for-byte (TestClusterMatchesStandalone).
+//
+// # Window alignment
+//
+// Nodes never coordinate: every window is identified by its epoch-derived
+// id, WindowID(start) = (start − origin) / stride, with origin fixed at
+// the Unix epoch (Epoch) cluster-wide. Ingest engines run with
+// Config.Origin = Epoch so each node derives identical window boundaries
+// from timestamps alone.
+//
+// # Straggler policy
+//
+// Each node forwards its windows in order, so the aggregator keeps one
+// watermark per node — the highest window id the node has forwarded — and
+// seals window w once every expected node's watermark reaches w (a final
+// marker lifts a node's watermark to infinity). Config.Straggler bounds
+// how long a lagging shard can hold the cluster back: when the lead
+// node's watermark runs Straggler windows ahead, w seals without the
+// stragglers, and their fragments for w are counted and dropped on
+// arrival — the fragment-level mirror of the stream engine's event
+// lateness policy. Duplicate fragments (at-least-once delivery after a
+// lost response) are detected per (node, window) and dropped, keeping
+// application idempotent.
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync/atomic"
+	"time"
+
+	"smash/internal/stream"
+	"smash/internal/trace"
+	"smash/internal/wire"
+)
+
+// Epoch is the cluster-wide window origin: window ids count strides since
+// the Unix epoch, so every node maps a timestamp to the same window id
+// with no coordination.
+var Epoch = time.Unix(0, 0).UTC()
+
+// PartitionOf maps a client id to one of n partitions with FNV-1a — the
+// cluster's partitioning function, shared by tracegen -partitions and
+// smashd -shard-of so pre-partitioned traces and self-partitioning nodes
+// agree.
+func PartitionOf(client string, n int) int {
+	const offset32, prime32 = 2166136261, 16777619
+	h := uint32(offset32)
+	for i := 0; i < len(client); i++ {
+		h ^= uint32(client[i])
+		h *= prime32
+	}
+	return int(h % uint32(n))
+}
+
+// ShardSource filters a source down to one client-hash partition: an
+// ingest node pointed at the full trace ingests only its shard. Shard is
+// 0-based; Of is the cluster's ingest node count.
+type ShardSource struct {
+	Src   stream.Source
+	Shard int
+	Of    int
+}
+
+// Read returns the next request belonging to the shard.
+func (s *ShardSource) Read() (trace.Request, error) {
+	for {
+		r, err := s.Src.Read()
+		if err != nil {
+			return r, err
+		}
+		if PartitionOf(r.Client, s.Of) == s.Shard {
+			return r, nil
+		}
+	}
+}
+
+// WindowID returns the epoch-derived id of the window starting at start.
+func WindowID(start time.Time, stride time.Duration) int64 {
+	d := start.Sub(Epoch)
+	id := int64(d / stride)
+	if d%stride != 0 && d < 0 {
+		id--
+	}
+	return id
+}
+
+// WindowStart is WindowID's inverse: the start time of window id.
+func WindowStart(id int64, stride time.Duration) time.Time {
+	return Epoch.Add(time.Duration(id) * stride)
+}
+
+// ForwarderConfig parameterizes a Forwarder.
+type ForwarderConfig struct {
+	// URL is the aggregator's base URL (e.g. "http://agg:8080"); the
+	// forwarder POSTs to URL + "/v1/ingest".
+	URL string
+	// Node names this ingest node in fragments (required; the aggregator
+	// keys watermarks and metrics by it).
+	Node string
+	// Stride is the cluster window stride — must match the aggregator's
+	// and the ingest engine's (required, > 0).
+	Stride time.Duration
+	// Client overrides the HTTP client (default: 30s-timeout client).
+	Client *http.Client
+	// MaxAttempts bounds delivery attempts per fragment (default 5).
+	MaxAttempts int
+	// Backoff is the first retry delay; it doubles per attempt
+	// (default 100ms).
+	Backoff time.Duration
+}
+
+// ForwarderStats is a live snapshot of a forwarder's counters.
+type ForwarderStats struct {
+	// Forwarded counts fragments acknowledged by the aggregator
+	// (including the final marker).
+	Forwarded int `json:"forwarded"`
+	// Retries counts failed attempts that were retried.
+	Retries int `json:"retries"`
+	// Bytes counts encoded fragment bytes acknowledged.
+	Bytes int64 `json:"bytes"`
+	// LastWindow is the highest window id forwarded so far.
+	LastWindow int64 `json:"lastWindow"`
+}
+
+// Forwarder is the ingest node's stream.Sink: it encodes every emitted
+// window's index as a wire fragment and delivers it to the aggregator
+// with bounded retry and exponential backoff. Because sinks run on the
+// engine's emit path, a slow or unreachable aggregator backpressures
+// ingestion instead of buffering fragments without bound.
+type Forwarder struct {
+	cfg    ForwarderConfig
+	client *http.Client
+
+	ctrForwarded, ctrRetries atomic.Int64
+	ctrBytes, lastWindow     atomic.Int64
+}
+
+// NewForwarder validates the config and builds a forwarder.
+func NewForwarder(cfg ForwarderConfig) (*Forwarder, error) {
+	if cfg.URL == "" {
+		return nil, errors.New("cluster: ForwarderConfig.URL is required")
+	}
+	if u, err := url.Parse(cfg.URL); err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("cluster: bad forward URL %q", cfg.URL)
+	}
+	if cfg.Node == "" {
+		return nil, errors.New("cluster: ForwarderConfig.Node is required")
+	}
+	if cfg.Stride <= 0 {
+		return nil, errors.New("cluster: ForwarderConfig.Stride must be > 0")
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 5
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 100 * time.Millisecond
+	}
+	f := &Forwarder{cfg: cfg, client: cfg.Client}
+	if f.client == nil {
+		f.client = &http.Client{Timeout: 30 * time.Second}
+	}
+	f.lastWindow.Store(-1 << 62)
+	return f, nil
+}
+
+// Consume implements stream.Sink: it ships the window's index to the
+// aggregator. The engine must run with Config.IndexOnly (or KeepIndex).
+func (f *Forwarder) Consume(w *stream.WindowResult) error {
+	if w.Index == nil {
+		return fmt.Errorf("cluster: window %d has no index; run the engine with Config.IndexOnly", w.Seq)
+	}
+	id := WindowID(w.Start, f.cfg.Stride)
+	frag := &wire.Fragment{
+		Node:   f.cfg.Node,
+		Window: id,
+		Start:  w.Start,
+		End:    w.End,
+		Index:  w.Index,
+	}
+	if err := f.post(wire.EncodeFragment(frag)); err != nil {
+		return err
+	}
+	f.lastWindow.Store(id)
+	return nil
+}
+
+// Close delivers the node's end-of-stream marker, telling the aggregator
+// no further windows will arrive from this node. Call it after the ingest
+// engine's output channel has closed.
+func (f *Forwarder) Close() error {
+	frag := &wire.Fragment{Node: f.cfg.Node, Window: f.lastWindow.Load(), Final: true}
+	return f.post(wire.EncodeFragment(frag))
+}
+
+// Stats returns a live snapshot of the forwarder's counters.
+func (f *Forwarder) Stats() ForwarderStats {
+	return ForwarderStats{
+		Forwarded:  int(f.ctrForwarded.Load()),
+		Retries:    int(f.ctrRetries.Load()),
+		Bytes:      f.ctrBytes.Load(),
+		LastWindow: f.lastWindow.Load(),
+	}
+}
+
+// ContentType labels wire-encoded fragment bodies.
+const ContentType = "application/x-smash-fragment"
+
+// post delivers one encoded fragment, retrying transient failures
+// (network errors and 5xx) with doubling backoff. 4xx responses fail
+// immediately: a rejected fragment will not heal by resending.
+func (f *Forwarder) post(body []byte) error {
+	backoff := f.cfg.Backoff
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		resp, err := f.client.Post(f.cfg.URL+"/v1/ingest", ContentType, bytes.NewReader(body))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			switch {
+			case resp.StatusCode < 300:
+				f.ctrForwarded.Add(1)
+				f.ctrBytes.Add(int64(len(body)))
+				return nil
+			case resp.StatusCode >= 400 && resp.StatusCode < 500:
+				return fmt.Errorf("cluster: aggregator rejected fragment: %s", resp.Status)
+			default:
+				err = fmt.Errorf("aggregator: %s", resp.Status)
+			}
+		}
+		lastErr = err
+		if attempt >= f.cfg.MaxAttempts {
+			return fmt.Errorf("cluster: forward failed after %d attempts: %w", attempt, lastErr)
+		}
+		f.ctrRetries.Add(1)
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}

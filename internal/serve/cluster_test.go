@@ -1,0 +1,311 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"smash/internal/campaign"
+	"smash/internal/cluster"
+	"smash/internal/core"
+	"smash/internal/store"
+	"smash/internal/stream"
+	"smash/internal/trace"
+	"smash/internal/wire"
+)
+
+// memStore returns a fresh memory-only store.
+func memStore(t *testing.T) *store.Store {
+	t.Helper()
+	st, err := store.Open(store.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// postFragment POSTs one encoded fragment to the handler.
+func postFragment(t *testing.T, h http.Handler, frag *wire.Fragment) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/v1/ingest", bytes.NewReader(wire.EncodeFragment(frag)))
+	req.Header.Set("Content-Type", cluster.ContentType)
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func windowFragment(node string, window int64, client string) *wire.Fragment {
+	idx := trace.NewIndex()
+	r := trace.Request{
+		Time:   cluster.WindowStart(window, 24*time.Hour).Add(time.Hour),
+		Client: client, Host: "pool.example.com", ServerIP: "10.9.9.9",
+		Path: "/x", Status: 200,
+	}
+	idx.Add(&r)
+	start := cluster.WindowStart(window, 24*time.Hour)
+	return &wire.Fragment{
+		Node: node, Window: window,
+		Start: start, End: start.Add(24 * time.Hour), Index: idx,
+	}
+}
+
+// /v1/ingest decodes fragments into the aggregator, rejects garbage, and
+// reports cluster state on /v1/stats and /metrics.
+func TestIngestEndpoint(t *testing.T) {
+	agg, err := cluster.NewAggregator(cluster.AggregatorConfig{
+		Window: 24 * time.Hour, Expect: 1,
+		Detector: []core.Option{core.WithSeed(1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := memStore(t)
+	h := NewHandler(Config{Store: st, Aggregator: agg})
+
+	results := agg.Start(context.Background())
+	drained := make(chan int)
+	go func() {
+		n := 0
+		for range results {
+			n++
+		}
+		drained <- n
+	}()
+
+	if rec := postFragment(t, h, windowFragment("n0", 3, "c1")); rec.Code != http.StatusAccepted {
+		t.Fatalf("ingest status = %d: %s", rec.Code, rec.Body)
+	}
+
+	// Garbage body and wrong method are rejected.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/ingest", strings.NewReader("not a fragment")))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("garbage fragment status = %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/ingest", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/ingest status = %d", rec.Code)
+	}
+
+	if rec := postFragment(t, h, &wire.Fragment{Node: "n0", Window: 3, Final: true}); rec.Code != http.StatusAccepted {
+		t.Fatalf("final marker status = %d", rec.Code)
+	}
+	if n := <-drained; n != 1 {
+		t.Fatalf("aggregator emitted %d windows, want 1", n)
+	}
+
+	var stats struct {
+		Cluster *cluster.Stats     `json:"cluster"`
+		Nodes   []cluster.NodeStat `json:"nodes"`
+	}
+	if err := json.Unmarshal(get(t, h, "/v1/stats").Body.Bytes(), &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cluster == nil || stats.Cluster.Fragments != 1 || stats.Cluster.Windows != 1 {
+		t.Errorf("cluster stats = %+v", stats.Cluster)
+	}
+	if len(stats.Nodes) != 1 || stats.Nodes[0].Node != "n0" || !stats.Nodes[0].Finished {
+		t.Errorf("node stats = %+v", stats.Nodes)
+	}
+
+	metrics := get(t, h, "/metrics").Body.String()
+	for _, want := range []string{
+		"smash_cluster_fragments_total 1",
+		`smash_cluster_node_fragments_total{node="n0"} 1`,
+		`smash_cluster_nodes{state="finished"} 1`,
+		`smash_cluster_dropped_fragments_total{reason="late"} 0`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// Without an aggregator the ingest route does not exist.
+func TestIngestDisabledWithoutAggregator(t *testing.T) {
+	h := NewHandler(Config{Store: memStore(t)})
+	if rec := postFragment(t, h, windowFragment("n0", 0, "c1")); rec.Code != http.StatusNotFound {
+		t.Errorf("ingest without aggregator status = %d", rec.Code)
+	}
+}
+
+// populate feeds n synthetic lineages through the store.
+func populate(t *testing.T, st *store.Store, n int) {
+	t.Helper()
+	for _, w := range manyLineageWindows(t, n) {
+		if err := st.Consume(&w); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// /v1/lineages pagination: deterministic ID order, limit/offset windows,
+// stable totals, input validation.
+func TestLineagesPagination(t *testing.T) {
+	st := memStore(t)
+	populate(t, st, 5)
+	h := NewHandler(Config{Store: st})
+
+	type resp struct {
+		Count    int `json:"count"`
+		Total    int `json:"total"`
+		Offset   int `json:"offset"`
+		Lineages []struct {
+			ID int `json:"id"`
+		} `json:"lineages"`
+	}
+	page := func(path string) resp {
+		t.Helper()
+		rec := get(t, h, path)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s status = %d: %s", path, rec.Code, rec.Body)
+		}
+		var out resp
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	full := page("/v1/lineages")
+	if full.Count != 5 || full.Total != 5 {
+		t.Fatalf("unpaginated = %+v", full)
+	}
+	for i, l := range full.Lineages {
+		if l.ID != i {
+			t.Fatalf("lineages not in ID order: %+v", full.Lineages)
+		}
+	}
+
+	p := page("/v1/lineages?limit=2&offset=1")
+	if p.Count != 2 || p.Total != 5 || p.Offset != 1 ||
+		len(p.Lineages) != 2 || p.Lineages[0].ID != 1 || p.Lineages[1].ID != 2 {
+		t.Errorf("page limit=2 offset=1 = %+v", p)
+	}
+	if p := page("/v1/lineages?limit=0"); p.Count != 0 || p.Total != 5 {
+		t.Errorf("limit=0 = %+v", p)
+	}
+	if p := page("/v1/lineages?offset=99"); p.Count != 0 || p.Total != 5 {
+		t.Errorf("offset past end = %+v", p)
+	}
+	if p := page("/v1/lineages?limit=99"); p.Count != 5 {
+		t.Errorf("oversized limit = %+v", p)
+	}
+
+	for _, bad := range []string{"limit=-1", "limit=x", "offset=-2", "offset=1.5"} {
+		if rec := get(t, h, "/v1/lineages?"+bad); rec.Code != http.StatusBadRequest {
+			t.Errorf("%s status = %d, want 400", bad, rec.Code)
+		}
+	}
+}
+
+// manyLineageWindows fabricates windows whose campaigns share no members,
+// so each becomes its own lineage.
+func manyLineageWindows(t *testing.T, n int) []stream.WindowResult {
+	t.Helper()
+	base := time.Date(2020, 9, 13, 0, 0, 0, 0, time.UTC)
+	var out []stream.WindowResult
+	for i := 0; i < n; i++ {
+		report := &core.Report{Campaigns: []campaign.Campaign{{
+			ID:      0,
+			Servers: []string{fmt.Sprintf("evil-%d-a.test", i), fmt.Sprintf("evil-%d-b.test", i)},
+			Clients: []string{fmt.Sprintf("c%d-1", i), fmt.Sprintf("c%d-2", i)},
+			Kind:    campaign.KindCommunication,
+		}}}
+		out = append(out, stream.WindowResult{
+			Seq:      i,
+			Start:    base.AddDate(0, 0, i),
+			End:      base.AddDate(0, 0, i+1),
+			Requests: 10,
+			Report:   report,
+		})
+	}
+	return out
+}
+
+// Satellite regression: query handlers racing engine shutdown. /v1/stats
+// reads the engine's live atomic counters and /v1/lineages the store
+// mirror while Stop drains in-flight windows — go test -race is the
+// assertion.
+func TestHandlersRaceEngineShutdown(t *testing.T) {
+	st := memStore(t)
+	world := clusterWorldRequests(t)
+	eng, err := stream.New(stream.Config{
+		Name:   "racetest",
+		Window: 24 * time.Hour,
+		Sinks:  []stream.Sink{st},
+		Detector: []core.Option{
+			core.WithSeed(1),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHandler(Config{Store: st, EngineStats: eng.Stats})
+
+	results := eng.Start(&stream.SliceSource{Requests: world})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					get(t, h, "/v1/stats")
+					get(t, h, "/v1/lineages")
+					get(t, h, "/metrics")
+				}
+			}
+		}()
+	}
+	// Stop mid-stream while handlers hammer the read paths, then drain.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		eng.Stop()
+	}()
+	for range results {
+	}
+	close(stop)
+	wg.Wait()
+	if err := eng.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// The store must still serve a coherent view after shutdown.
+	rec := get(t, h, "/v1/stats")
+	if rec.Code != http.StatusOK {
+		t.Errorf("stats after shutdown = %d", rec.Code)
+	}
+}
+
+// clusterWorldRequests flattens the shared fixture trace into a request
+// slice large enough that Stop lands mid-stream.
+func clusterWorldRequests(t *testing.T) []trace.Request {
+	t.Helper()
+	base := time.Date(2020, 9, 13, 0, 0, 0, 0, time.UTC)
+	var reqs []trace.Request
+	for day := 0; day < 3; day++ {
+		for i := 0; i < 400; i++ {
+			reqs = append(reqs, trace.Request{
+				Time:   base.AddDate(0, 0, day).Add(time.Duration(i) * time.Minute),
+				Client: fmt.Sprintf("c%d", i%40),
+				Host:   fmt.Sprintf("site-%d.test", i%60),
+				Path:   fmt.Sprintf("/f%d", i%5),
+				Status: 200,
+			})
+		}
+	}
+	return reqs
+}

@@ -4,15 +4,20 @@
 //
 // Endpoints:
 //
-//	GET /healthz              liveness probe
-//	GET /metrics              Prometheus text metrics: store counters,
-//	                          lineage gauges, live engine counters, and
+//	GET  /healthz             liveness probe
+//	GET  /metrics             Prometheus text metrics: store counters,
+//	                          lineage gauges, live engine counters,
 //	                          per-stage pipeline totals from the
-//	                          core.Observer hooks
-//	GET /v1/lineages          all lineages (summaries, ordered by ID)
-//	GET /v1/lineages/{id}     one lineage with full server/client history
-//	GET /v1/windows/latest    the most recently applied window record
-//	GET /v1/stats             store + engine counters
+//	                          core.Observer hooks, and per-node cluster
+//	                          counters on an aggregator
+//	GET  /v1/lineages         lineages (summaries, ordered by ID;
+//	                          ?limit=N&offset=M paginate)
+//	GET  /v1/lineages/{id}    one lineage with full server/client history
+//	GET  /v1/windows/latest   the most recently applied window record
+//	GET  /v1/stats            store + engine (+ cluster) counters
+//	POST /v1/ingest           cluster fragment intake (aggregator role
+//	                          only): a wire-encoded window fragment from
+//	                          an ingest node
 //
 // All /v1 responses are stable, indentation-formatted JSON (golden-tested);
 // map keys serialize sorted, so output is deterministic for a fixed state.
@@ -27,16 +32,20 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strconv"
 	"time"
 
+	"smash/internal/cluster"
 	"smash/internal/core"
 	"smash/internal/store"
 	"smash/internal/stream"
 	"smash/internal/tracker"
+	"smash/internal/wire"
 )
 
 // Config wires the handler's data sources.
@@ -50,9 +59,18 @@ type Config struct {
 	// EngineStats, when set, contributes live engine ingestion counters to
 	// /v1/stats and /metrics (use Engine.Stats).
 	EngineStats func() stream.Stats
+	// Aggregator, when set, enables the POST /v1/ingest fragment intake
+	// and contributes cluster counters (global and per ingest node) to
+	// /v1/stats and /metrics — the aggregator role's wiring.
+	Aggregator *cluster.Aggregator
 	// Started stamps the /healthz uptime; zero disables the field.
 	Started time.Time
 }
+
+// maxFragmentBytes bounds a /v1/ingest request body. Window fragments are
+// compact relative to the traffic they summarize; anything past this is a
+// confused or hostile client, not a bigger window.
+const maxFragmentBytes = 256 << 20
 
 // NewHandler builds the API's http.Handler.
 func NewHandler(cfg Config) http.Handler {
@@ -67,6 +85,9 @@ func NewHandler(cfg Config) http.Handler {
 	mux.HandleFunc("GET /v1/lineages/{id}", s.lineage)
 	mux.HandleFunc("GET /v1/windows/latest", s.latestWindow)
 	mux.HandleFunc("GET /v1/stats", s.stats)
+	if cfg.Aggregator != nil {
+		mux.HandleFunc("POST /v1/ingest", s.ingest)
+	}
 	return mux
 }
 
@@ -116,20 +137,93 @@ func summarize(l *tracker.Lineage) lineageSummary {
 	}
 }
 
+// queryInt parses an optional non-negative integer query parameter,
+// returning def when absent.
+func queryInt(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("%s must be a non-negative integer", name)
+	}
+	return v, nil
+}
+
 func (s *server) lineages(w http.ResponseWriter, r *http.Request) {
+	limit, err := queryInt(r, "limit", -1)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	offset, err := queryInt(r, "offset", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	all := s.cfg.Store.LineageSummaries()
+	// Pagination needs a total order; summaries come ordered by ID, but
+	// sort defensively so the page windows stay stable no matter what.
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
 	out := struct {
+		// Count is the number of lineages in this response; Total and
+		// Retired describe the whole collection.
 		Count    int              `json:"count"`
+		Total    int              `json:"total"`
 		Retired  int              `json:"retired"`
+		Offset   int              `json:"offset,omitempty"`
 		Lineages []lineageSummary `json:"lineages"`
-	}{Count: len(all), Lineages: make([]lineageSummary, 0, len(all))}
+	}{Total: len(all), Offset: offset}
 	for _, l := range all {
 		if l.Retired {
 			out.Retired++
 		}
+	}
+	if offset > len(all) {
+		offset = len(all)
+	}
+	page := all[offset:]
+	if limit >= 0 && limit < len(page) {
+		page = page[:limit]
+	}
+	out.Count = len(page)
+	out.Lineages = make([]lineageSummary, 0, len(page))
+	for _, l := range page {
 		out.Lineages = append(out.Lineages, summarize(l))
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// ingest accepts one wire-encoded window fragment from an ingest node and
+// hands it to the aggregator. Submit blocks while the aggregator's inbox
+// is full — that blocking, propagated through the node's forwarder and
+// engine, is the cluster's end-to-end backpressure.
+func (s *server) ingest(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxFragmentBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("read fragment: %v", err))
+		return
+	}
+	frag, err := wire.DecodeFragment(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decode fragment: %v", err))
+		return
+	}
+	if err := s.cfg.Aggregator.Submit(frag); err != nil {
+		// A stopped aggregator is transient (the forwarder may retry or
+		// give up cleanly); anything else marks the fragment itself
+		// invalid and must not be retried.
+		status := http.StatusBadRequest
+		if errors.Is(err, cluster.ErrStopped) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"status": "accepted", "node": frag.Node, "window": frag.Window,
+	})
 }
 
 func (s *server) lineage(w http.ResponseWriter, r *http.Request) {
@@ -161,12 +255,19 @@ func (s *server) latestWindow(w http.ResponseWriter, r *http.Request) {
 
 func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 	out := struct {
-		Store  store.Stats   `json:"store"`
-		Engine *stream.Stats `json:"engine,omitempty"`
+		Store   store.Stats        `json:"store"`
+		Engine  *stream.Stats      `json:"engine,omitempty"`
+		Cluster *cluster.Stats     `json:"cluster,omitempty"`
+		Nodes   []cluster.NodeStat `json:"nodes,omitempty"`
 	}{Store: s.cfg.Store.Stats()}
 	if s.cfg.EngineStats != nil {
 		es := s.cfg.EngineStats()
 		out.Engine = &es
+	}
+	if s.cfg.Aggregator != nil {
+		cs := s.cfg.Aggregator.Stats()
+		out.Cluster = &cs
+		out.Nodes = s.cfg.Aggregator.NodeStats()
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -216,6 +317,35 @@ func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
 		p("# HELP smash_engine_windows_total Windows emitted by the engine this run.\n")
 		p("# TYPE smash_engine_windows_total counter\n")
 		p("smash_engine_windows_total %d\n", es.Windows)
+	}
+
+	if s.cfg.Aggregator != nil {
+		cs := s.cfg.Aggregator.Stats()
+		p("# HELP smash_cluster_fragments_total Window fragments accepted from ingest nodes.\n")
+		p("# TYPE smash_cluster_fragments_total counter\n")
+		p("smash_cluster_fragments_total %d\n", cs.Fragments)
+		p("# HELP smash_cluster_dropped_fragments_total Fragments dropped, by reason.\n")
+		p("# TYPE smash_cluster_dropped_fragments_total counter\n")
+		p("smash_cluster_dropped_fragments_total{reason=\"late\"} %d\n", cs.LateFragments)
+		p("smash_cluster_dropped_fragments_total{reason=\"duplicate\"} %d\n", cs.DuplicateFragments)
+		p("# HELP smash_cluster_windows_total Cluster-wide windows sealed and detected.\n")
+		p("# TYPE smash_cluster_windows_total counter\n")
+		p("smash_cluster_windows_total %d\n", cs.Windows)
+		p("# HELP smash_cluster_nodes Ingest nodes by state.\n")
+		p("# TYPE smash_cluster_nodes gauge\n")
+		p("smash_cluster_nodes{state=\"active\"} %d\n", cs.Nodes-cs.FinishedNodes)
+		p("smash_cluster_nodes{state=\"finished\"} %d\n", cs.FinishedNodes)
+		nodes := s.cfg.Aggregator.NodeStats()
+		p("# HELP smash_cluster_node_fragments_total Fragments accepted per ingest node.\n")
+		p("# TYPE smash_cluster_node_fragments_total counter\n")
+		for _, n := range nodes {
+			p("smash_cluster_node_fragments_total{node=%q} %d\n", n.Node, n.Fragments)
+		}
+		p("# HELP smash_cluster_node_last_window Highest window id forwarded per ingest node.\n")
+		p("# TYPE smash_cluster_node_last_window gauge\n")
+		for _, n := range nodes {
+			p("smash_cluster_node_last_window{node=%q} %d\n", n.Node, n.LastWindow)
+		}
 	}
 
 	if s.cfg.Timing != nil {

@@ -7,6 +7,7 @@ import (
 
 	"smash/internal/campaign"
 	"smash/internal/core"
+	"smash/internal/trace"
 	"smash/internal/tracker"
 )
 
@@ -26,6 +27,10 @@ type WindowResult struct {
 	Matches []tracker.Match
 	// Deltas describe how each campaign moved its lineage this window.
 	Deltas []Delta
+	// Index is the window's merged traffic index, populated only under
+	// Config.KeepIndex or Config.IndexOnly. Read-only: it is shared with
+	// every sink and may alias engine-internal state.
+	Index *trace.Index
 }
 
 // Empty reports whether the window contained no events.
@@ -104,6 +109,19 @@ func (d *Delta) Render() string {
 		fmt.Fprintf(&b, " new=%d", len(d.NewServers))
 	}
 	return b.String()
+}
+
+// DeltasFor classifies every tracker match of one window into deltas.
+// campaigns must be the report's AllCampaigns() slice the matches were
+// produced from. Exported for consumers that drive a tracker outside the
+// engine — internal/cluster's aggregator reuses it so cluster runs emit
+// exactly the deltas a single-node run would.
+func DeltasFor(window int, campaigns []campaign.Campaign, matches []tracker.Match) []Delta {
+	var out []Delta
+	for i := range matches {
+		out = append(out, makeDelta(window, &campaigns[i], matches[i]))
+	}
+	return out
 }
 
 // makeDelta classifies one tracker match. The lineage has already absorbed

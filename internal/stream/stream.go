@@ -106,6 +106,18 @@ type Config struct {
 	// Sinks receive every emitted WindowResult in window order, before it
 	// is published on the output channel (see Sink).
 	Sinks []Sink
+	// KeepIndex publishes each window's merged traffic index on
+	// WindowResult.Index (read-only for consumers). Off by default: the
+	// index is normally garbage the moment detection finishes, and keeping
+	// it alive extends its lifetime to the consumer's.
+	KeepIndex bool
+	// IndexOnly turns the engine into a pure windowing node: sealed
+	// windows skip detection and the tracker entirely and are emitted with
+	// only their index populated (implies KeepIndex). This is cluster
+	// ingest mode — internal/cluster's Forwarder consumes the indexes and
+	// ships them to an aggregator that runs detection over the merged
+	// cluster-wide window.
+	IndexOnly bool
 }
 
 // Stats is a snapshot of the engine's activity counters. Counters are
@@ -370,6 +382,7 @@ type windowDone struct {
 	start, end time.Time
 	requests   int
 	report     *core.Report // nil for empty windows
+	idx        *trace.Index // set when KeepIndex/IndexOnly
 }
 
 // shardMsg is either an event assignment (reply fields nil) or a seal
@@ -703,7 +716,12 @@ func (e *Engine) detect(jobs <-chan windowJob, results chan<- windowDone) {
 	}
 	for j := range jobs {
 		d := windowDone{seq: j.seq, start: j.start, end: j.end, requests: j.idx.RequestCount}
+		if e.cfg.KeepIndex || e.cfg.IndexOnly {
+			d.idx = j.idx
+		}
 		switch {
+		case e.cfg.IndexOnly:
+			// Forward-only node: the sealed index is the product.
 		case ctx.Err() != nil:
 			// Hard shutdown: don't pay ComputeStats for a detection that
 			// would abort before its first stage — flow through report-less.
@@ -749,22 +767,27 @@ func (e *Engine) sequence(results <-chan windowDone) {
 // emit tracks one in-order window, feeds every sink, and publishes the
 // result.
 func (e *Engine) emit(d windowDone) {
-	res := WindowResult{Seq: d.seq, Start: d.start, End: d.end, Requests: d.requests, Report: d.report}
-	report := d.report
-	if report == nil {
-		// Observe an empty report so lineage day arithmetic (FirstDay,
-		// LastDay, window gaps) stays aligned with the window sequence.
-		report = &core.Report{}
+	res := WindowResult{Seq: d.seq, Start: d.start, End: d.end, Requests: d.requests, Report: d.report, Index: d.idx}
+	if e.cfg.IndexOnly {
+		// Forward-only node: no detection ran, so there is nothing to
+		// track — sinks (the cluster forwarder) get the index as-is.
 		if d.requests == 0 {
-			// Report-less windows WITH requests are aborted, not empty.
 			e.ctrEmpty.Add(1)
 		}
-	}
-	matches := e.tk.Observe(report)
-	campaigns := report.AllCampaigns()
-	res.Matches = matches
-	for i := range matches {
-		res.Deltas = append(res.Deltas, makeDelta(d.seq, &campaigns[i], matches[i]))
+	} else {
+		report := d.report
+		if report == nil {
+			// Observe an empty report so lineage day arithmetic (FirstDay,
+			// LastDay, window gaps) stays aligned with the window sequence.
+			report = &core.Report{}
+			if d.requests == 0 {
+				// Report-less windows WITH requests are aborted, not empty.
+				e.ctrEmpty.Add(1)
+			}
+		}
+		matches := e.tk.Observe(report)
+		res.Matches = matches
+		res.Deltas = DeltasFor(d.seq, report.AllCampaigns(), matches)
 	}
 	for _, s := range e.cfg.Sinks {
 		if err := s.Consume(&res); err != nil {

@@ -454,6 +454,20 @@ func newServerInfo(syms *Symbols, key string) *ServerInfo {
 // invalidate drops the cached node table after a mutation.
 func (idx *Index) invalidate() { idx.nodes = nil }
 
+// EnsureServer returns the info for key, registering an empty one in the
+// index if the server was not yet known. It is the constructor decoders
+// (internal/wire) use to rebuild an index field-by-field without going
+// through per-request Add.
+func (idx *Index) EnsureServer(key string) *ServerInfo {
+	info := idx.Servers[key]
+	if info == nil {
+		info = newServerInfo(idx.Syms, key)
+		idx.Servers[key] = info
+		idx.invalidate()
+	}
+	return info
+}
+
 // Add incorporates one request into the index.
 func (idx *Index) Add(r *Request) {
 	sy := idx.Syms

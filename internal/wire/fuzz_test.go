@@ -1,0 +1,143 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+	"time"
+
+	"smash/internal/trace"
+)
+
+// fuzzRequests derives a deterministic request sequence from raw fuzz
+// bytes: every 4-byte chunk becomes one request whose fields are drawn
+// from small pools (so servers/clients/files actually collide and build
+// non-trivial aggregates), with occasional raw substrings of the input
+// mixed in to exercise arbitrary byte content in interned names.
+func fuzzRequests(data []byte) []trace.Request {
+	base := time.Date(2012, 3, 1, 0, 0, 0, 0, time.UTC)
+	var reqs []trace.Request
+	for i := 0; i+4 <= len(data) && len(reqs) < 512; i += 4 {
+		b0, b1, b2, b3 := data[i], data[i+1], data[i+2], data[i+3]
+		r := trace.Request{
+			Time:   base.Add(time.Duration(b0) * time.Minute),
+			Client: fmt.Sprintf("c%d", b1%13),
+			Status: 200,
+		}
+		switch b2 % 4 {
+		case 0:
+			r.Host = fmt.Sprintf("host%d.example.com", b3%9)
+			r.ServerIP = fmt.Sprintf("10.1.0.%d", b3%9)
+		case 1:
+			r.ServerIP = fmt.Sprintf("10.2.0.%d", b3%7)
+		case 2:
+			r.Host = fmt.Sprintf("h%d.test", b3%5)
+			r.Referrer = fmt.Sprintf("ref%d.test", b0%4)
+			r.Query = fmt.Sprintf("a=%d&b=%d", b3%3, b0%2)
+		default:
+			// Arbitrary bytes as a hostname: interned names must survive
+			// any content.
+			r.Host = string(data[i : i+2+int(b3%3)])
+			r.ServerIP = "10.3.0.1"
+			r.PayloadDigest = fmt.Sprintf("d%d", b0%6)
+		}
+		if b1%3 == 0 {
+			r.UserAgent = fmt.Sprintf("ua-%d", b2%4)
+		}
+		if b0%5 == 0 {
+			r.Status = 500
+		}
+		r.Path = fmt.Sprintf("/p/f%d", b2%6)
+		reqs = append(reqs, r)
+	}
+	return reqs
+}
+
+// FuzzIndexRoundTrip is the codec's core guarantee: for any index —
+// including one whose symbol table carries foreign ids from unrelated
+// interning — encode→decode preserves the Fingerprint exactly, and the
+// encoding is canonical across symbol tables.
+func FuzzIndexRoundTrip(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(3))
+	f.Add([]byte("the quick brown fox jumps over the lazy dog"), uint8(17))
+	f.Add(bytesSeq(256), uint8(101))
+	f.Fuzz(func(t *testing.T, data []byte, junk uint8) {
+		reqs := fuzzRequests(data)
+
+		plain := trace.NewIndex()
+		for i := range reqs {
+			plain.Add(&reqs[i])
+		}
+
+		// Foreign symbol table: pre-intern junk so local ids differ.
+		sy := trace.NewSymbols()
+		for i := 0; i < int(junk); i++ {
+			s := fmt.Sprintf("noise-%d", i)
+			sy.Servers.ID(s)
+			sy.Clients.ID(s)
+			sy.IPs.ID(s)
+			sy.Files.ID(s)
+			sy.Agents.ID(s)
+			sy.Queries.ID(s)
+			sy.Payloads.ID(s)
+			sy.Hosts.ID(s)
+		}
+		foreign := trace.NewIndexWith(sy)
+		for i := range reqs {
+			foreign.Add(&reqs[i])
+		}
+
+		encPlain, encForeign := EncodeIndex(plain), EncodeIndex(foreign)
+		if string(encPlain) != string(encForeign) {
+			t.Fatal("encoding not canonical across symbol tables")
+		}
+		dec, err := DecodeIndex(encForeign)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		if got, want := dec.Fingerprint(), plain.Fingerprint(); got != want {
+			t.Errorf("fingerprint diverged:\ngot:\n%s\nwant:\n%s", got, want)
+		}
+		if string(EncodeIndex(dec)) != string(encPlain) {
+			t.Error("encode(decode(b)) != b")
+		}
+	})
+}
+
+// FuzzDecodeIndex feeds arbitrary bytes to the decoder: it must return an
+// error or a valid index, never panic or over-allocate.
+func FuzzDecodeIndex(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("SMWF"))
+	f.Add(EncodeIndex(trace.NewIndex()))
+	idx := trace.NewIndex()
+	for _, r := range fuzzRequests(bytesSeq(64)) {
+		r := r
+		idx.Add(&r)
+	}
+	f.Add(EncodeIndex(idx))
+	// Seed a huge claimed length.
+	huge := append([]byte("SMWF"), 1)
+	huge = binary.AppendUvarint(huge, 10)
+	huge = binary.AppendUvarint(huge, 1<<40)
+	f.Add(huge)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := DecodeIndex(data)
+		if err == nil {
+			// Whatever decoded must re-encode cleanly (canonical form).
+			if _, err := DecodeIndex(EncodeIndex(dec)); err != nil {
+				t.Errorf("re-decode of accepted input failed: %v", err)
+			}
+		}
+		DecodeFragment(data)
+	})
+}
+
+func bytesSeq(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i * 7)
+	}
+	return b
+}

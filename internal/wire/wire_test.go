@@ -1,0 +1,207 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"smash/internal/trace"
+)
+
+// sampleTrace builds a small but feature-dense trace touching every
+// ServerInfo aggregate: hostnames and bare IPs, referrers, queries,
+// user agents, payload digests, and error statuses.
+func sampleTrace() *trace.Trace {
+	base := time.Date(2011, 10, 1, 0, 0, 0, 0, time.UTC)
+	t := &trace.Trace{Name: "wire-sample"}
+	for i := 0; i < 40; i++ {
+		t.Requests = append(t.Requests, trace.Request{
+			Time:      base.Add(time.Duration(i) * time.Minute),
+			Client:    fmt.Sprintf("10.0.0.%d", i%5),
+			Host:      fmt.Sprintf("site-%d.example.com", i%7),
+			ServerIP:  fmt.Sprintf("198.51.100.%d", i%7),
+			Path:      fmt.Sprintf("/app/file%d.php", i%3),
+			Query:     "id=1&e=x",
+			UserAgent: fmt.Sprintf("agent-%d", i%2),
+			Referrer:  "portal.example.org",
+			Status:    200 + 200*(i%4/3), // every 4th request errors
+		})
+	}
+	for i := 0; i < 10; i++ {
+		t.Requests = append(t.Requests, trace.Request{
+			Time:          base.Add(time.Hour),
+			Client:        "10.0.1.1",
+			ServerIP:      "203.0.113.9", // no hostname: IP-keyed server
+			Path:          "/",
+			PayloadDigest: fmt.Sprintf("digest-%d", i%3),
+			Status:        404,
+		})
+	}
+	return t
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	idx := trace.BuildIndex(sampleTrace())
+	enc := EncodeIndex(idx)
+	dec, err := DecodeIndex(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := dec.Fingerprint(), idx.Fingerprint(); got != want {
+		t.Errorf("fingerprint diverged after round-trip:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// The encoding is canonical: an index with a foreign symbol table (ids
+// offset by unrelated interning) encodes to the same bytes, and
+// encode(decode(b)) == b.
+func TestEncodingCanonical(t *testing.T) {
+	tr := sampleTrace()
+	plain := trace.BuildIndex(tr)
+
+	sy := trace.NewSymbols()
+	for i := 0; i < 100; i++ {
+		junk := fmt.Sprintf("junk-%d", i)
+		sy.Servers.ID(junk)
+		sy.Clients.ID(junk)
+		sy.Files.ID(junk)
+		sy.Agents.ID(junk)
+	}
+	foreign := trace.NewIndexWith(sy)
+	for i := range tr.Requests {
+		foreign.Add(&tr.Requests[i])
+	}
+
+	a, b := EncodeIndex(plain), EncodeIndex(foreign)
+	if string(a) != string(b) {
+		t.Error("encoding differs across symbol tables")
+	}
+	dec, err := DecodeIndex(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(EncodeIndex(dec)) != string(a) {
+		t.Error("encode(decode(b)) != b")
+	}
+}
+
+// A decoded fragment remap-merges into an aggregate exactly like the
+// original index would.
+func TestDecodedFragmentMerges(t *testing.T) {
+	idx := trace.BuildIndex(sampleTrace())
+	dec, err := DecodeIndex(EncodeIndex(idx))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	direct := trace.NewIndex()
+	direct.Merge(idx)
+	viaWire := trace.NewIndex()
+	viaWire.Merge(dec)
+	if direct.Fingerprint() != viaWire.Fingerprint() {
+		t.Error("merge of decoded fragment diverged from merge of original")
+	}
+}
+
+func TestEmptyIndexRoundTrip(t *testing.T) {
+	idx := trace.NewIndex()
+	dec, err := DecodeIndex(EncodeIndex(idx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.RequestCount != 0 || len(dec.Servers) != 0 {
+		t.Errorf("empty index decoded to %d requests, %d servers", dec.RequestCount, len(dec.Servers))
+	}
+}
+
+func TestFragmentRoundTrip(t *testing.T) {
+	idx := trace.BuildIndex(sampleTrace())
+	f := &Fragment{
+		Node:   "ingest-0",
+		Window: 15248,
+		Start:  time.Date(2011, 10, 1, 0, 0, 0, 0, time.UTC),
+		End:    time.Date(2011, 10, 2, 0, 0, 0, 0, time.UTC),
+		Index:  idx,
+	}
+	dec, err := DecodeFragment(EncodeFragment(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Node != f.Node || dec.Window != f.Window || !dec.Start.Equal(f.Start) || !dec.End.Equal(f.End) || dec.Final {
+		t.Errorf("envelope diverged: %+v", dec)
+	}
+	if dec.Index.Fingerprint() != idx.Fingerprint() {
+		t.Error("fragment index fingerprint diverged")
+	}
+
+	final := &Fragment{Node: "ingest-1", Window: 7, Final: true}
+	decF, err := DecodeFragment(EncodeFragment(final))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !decF.Final || decF.Index != nil || decF.Node != "ingest-1" {
+		t.Errorf("final marker diverged: %+v", decF)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	enc := EncodeIndex(trace.BuildIndex(sampleTrace()))
+	cases := map[string][]byte{
+		"empty":         {},
+		"bad magic":     append([]byte("XXXX"), enc[4:]...),
+		"future ver":    append(append([]byte{}, enc[:4]...), append([]byte{99}, enc[5:]...)...),
+		"truncated":     enc[:len(enc)/2],
+		"trailing junk": append(append([]byte{}, enc...), 0xFF),
+	}
+	for name, data := range cases {
+		if _, err := DecodeIndex(data); err == nil {
+			t.Errorf("%s: decode accepted corrupt input", name)
+		}
+	}
+	if _, err := DecodeFragment([]byte("SMWF")); err == nil {
+		t.Error("fragment decode accepted truncated input")
+	}
+	// A huge claimed collection length must fail fast, not allocate.
+	huge := append(append([]byte{}, enc[:5]...), 0xFF, 0xFF, 0xFF, 0xFF, 0x7F)
+	if _, err := DecodeIndex(huge); err == nil {
+		t.Error("decode accepted absurd dictionary length")
+	}
+}
+
+func TestVersionErrorMentionsVersions(t *testing.T) {
+	enc := EncodeIndex(trace.NewIndex())
+	enc[4] = 9 // bump version byte (fits a single-byte uvarint)
+	_, err := DecodeIndex(enc)
+	if err == nil || !strings.Contains(err.Error(), "unsupported version 9") {
+		t.Errorf("version error = %v", err)
+	}
+}
+
+// Duplicate or out-of-order count-map entries are corruption, not a
+// silent overwrite (the encoder emits strictly increasing positions).
+func TestDecodeRejectsUnsortedCounts(t *testing.T) {
+	tr := &trace.Trace{Requests: []trace.Request{
+		{Time: time.Unix(10, 0), Client: "c1", Host: "a.test", ServerIP: "1.1.1.1", Path: "/x", Status: 200},
+		{Time: time.Unix(11, 0), Client: "c2", Host: "a.test", ServerIP: "1.1.1.1", Path: "/x", Status: 200},
+	}}
+	enc := EncodeIndex(trace.BuildIndex(tr))
+	// The two clients of server a.test encode as the pairs (0,1),(1,1).
+	// Find that byte run and swap the positions to (1,1),(0,1).
+	pat := []byte{2, 0, 1, 1, 1}
+	i := bytes.Index(enc, pat)
+	if i < 0 {
+		t.Fatal("expected count-map byte pattern not found; encoding changed?")
+	}
+	bad := append([]byte{}, enc...)
+	bad[i+1], bad[i+3] = 1, 0
+	if _, err := DecodeIndex(bad); err == nil {
+		t.Error("out-of-order count map accepted")
+	}
+	dup := append([]byte{}, enc...)
+	dup[i+3] = dup[i+1] // duplicate position
+	if _, err := DecodeIndex(dup); err == nil {
+		t.Error("duplicate count-map position accepted")
+	}
+}
