@@ -22,6 +22,7 @@ import (
 	"smash/internal/core"
 	"smash/internal/eval"
 	"smash/internal/graph"
+	"smash/internal/obs"
 	"smash/internal/similarity"
 	"smash/internal/sparse"
 	"smash/internal/stats"
@@ -307,6 +308,49 @@ func BenchmarkStreamThroughput(b *testing.B) {
 			b.ReportMetric(perSec, "events/s")
 		})
 	}
+}
+
+// BenchmarkObsOverhead is BenchmarkStreamThroughput/tumbling with the full
+// observability plane wired in — metrics registry, window tracer and a
+// discard slog logger — so diffing the two events/s figures bounds the
+// instrumentation cost on the hot streaming path.
+func BenchmarkObsOverhead(b *testing.B) {
+	_, _, wk := benchWorlds(b)
+	var events []trace.Request
+	for _, day := range wk.Days {
+		events = append(events, day.Requests...)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg := obs.NewRegistry()
+		eng, err := stream.New(stream.Config{
+			Window:  24 * time.Hour,
+			Workers: runtime.GOMAXPROCS(0),
+			Detector: []core.Option{
+				core.WithSeed(1), core.WithWhois(wk.Whois), core.WithProber(wk.Prober),
+			},
+			Metrics: reg,
+			Tracer:  obs.NewTracer(0),
+			Logger:  obs.Discard(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		windows := 0
+		for range eng.Start(&stream.SliceSource{Requests: events}) {
+			windows++
+		}
+		if err := eng.Err(); err != nil {
+			b.Fatal(err)
+		}
+		if windows < len(wk.Days) {
+			b.Fatalf("windows = %d, want >= %d", windows, len(wk.Days))
+		}
+	}
+	b.StopTimer()
+	perSec := float64(b.N) * float64(len(events)) / b.Elapsed().Seconds()
+	b.ReportMetric(perSec, "events/s")
 }
 
 // --- Durability: campaign-state store append and restore ------------------

@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -78,9 +77,11 @@ func runIngest(ctx context.Context, o *options, stdin io.Reader, out io.Writer) 
 		stride = o.window
 	}
 	fwd, err := cluster.NewForwarder(cluster.ForwarderConfig{
-		URL:    o.forward,
-		Node:   node,
-		Stride: stride,
+		URL:     o.forward,
+		Node:    node,
+		Stride:  stride,
+		Metrics: o.reg,
+		Logger:  o.logger.With("component", "forward", "node", node),
 	})
 	if err != nil {
 		return err
@@ -95,6 +96,9 @@ func runIngest(ctx context.Context, o *options, stdin io.Reader, out io.Writer) 
 		Origin:    cluster.Epoch,
 		IndexOnly: true,
 		Sinks:     []stream.Sink{fwd},
+		Metrics:   o.reg,
+		Tracer:    o.tracer,
+		Logger:    o.logger.With("component", "engine", "node", node),
 	})
 	if err != nil {
 		return err
@@ -114,13 +118,16 @@ func runIngest(ctx context.Context, o *options, stdin io.Reader, out io.Writer) 
 			Store:       st,
 			EngineStats: eng.Stats,
 			Started:     time.Now(),
-		}))
+			Metrics:     o.reg,
+			Tracer:      o.tracer,
+			Pprof:       o.pprofOn,
+		}), o.logger.With("component", "http"))
 		if err != nil {
 			return err
 		}
 		defer shutdown()
 	}
-	defer notifySignals(ctx, cancel, eng.Stop)()
+	defer notifySignals(ctx, cancel, eng.Stop, o.logger)()
 
 	enc := json.NewEncoder(out)
 	for w := range eng.StartContext(ctx, src) {
@@ -187,8 +194,8 @@ func runAggregate(ctx context.Context, o *options, out io.Writer) error {
 	}
 	defer st.Close()
 	if restored := st.Applied(); restored > 0 {
-		fmt.Fprintf(os.Stderr, "smashd: restored %d windows (%d WAL records) from %s\n",
-			restored, st.Stats().Replayed, o.stateDir)
+		o.logger.Info("restored durable state",
+			"windows", restored, "walRecords", st.Stats().Replayed, "dir", o.stateDir)
 	}
 
 	agg, err := cluster.NewAggregator(cluster.AggregatorConfig{
@@ -200,6 +207,9 @@ func runAggregate(ctx context.Context, o *options, out io.Writer) error {
 		Detector:  detOpts,
 		Tracker:   st.Restore(),
 		Sinks:     []stream.Sink{st},
+		Metrics:   o.reg,
+		Tracer:    o.tracer,
+		Logger:    o.logger.With("component", "aggregator"),
 	})
 	if err != nil {
 		return err
@@ -213,12 +223,15 @@ func runAggregate(ctx context.Context, o *options, out io.Writer) error {
 		Timing:     timing,
 		Aggregator: agg,
 		Started:    time.Now(),
-	}))
+		Metrics:    o.reg,
+		Tracer:     o.tracer,
+		Pprof:      o.pprofOn,
+	}), o.logger.With("component", "http"))
 	if err != nil {
 		return err
 	}
 	defer shutdown()
-	defer notifySignals(ctx, cancel, agg.Stop)()
+	defer notifySignals(ctx, cancel, agg.Stop, o.logger)()
 
 	if err := printWindows(out, agg.Start(ctx), o.jsonOut, o.verbose); err != nil {
 		return err

@@ -11,7 +11,8 @@
 //	       [-threshold 0.8] [-single-threshold 1.0] [-json] [-v]
 //	       [-state-dir DIR] [-listen ADDR] [-retire-after N]
 //	       [-snapshot-every 64] [-wal-sync=true]
-//	       [-cpuprofile FILE] [-memprofile FILE]
+//	       [-log-format text|json] [-log-level info] [-trace-log FILE]
+//	       [-pprof] [-cpuprofile FILE] [-memprofile FILE]
 //	       [-forward URL] [-node NAME] [-shard-of N/M]
 //	       [-cluster-listen ADDR] [-expect M] [-straggler N]
 //	       [trace.tsv ...]
@@ -34,9 +35,22 @@
 //
 // -listen ADDR exposes the HTTP query/ops API (internal/serve) while the
 // daemon runs: /v1/lineages (paginated via ?limit&offset),
-// /v1/lineages/{id}, /v1/windows/latest, /v1/stats, /healthz and
-// Prometheus /metrics. The server shuts down gracefully after the stream
-// drains.
+// /v1/lineages/{id}, /v1/windows/latest, /v1/windows/{seq}/trace,
+// /v1/stats, /healthz and Prometheus /metrics (latency histograms,
+// watermark lag, Go runtime stats). -pprof additionally mounts
+// net/http/pprof under /debug/pprof/ on the same mux. The server shuts
+// down gracefully after the stream drains.
+//
+// # Observability
+//
+// Every role keeps an obs.Registry of latency histograms (ingest->seal,
+// seal->commit, detection and its stages, sink consumes, forward POSTs,
+// aggregator fragment waits), a watermark-lag gauge and an obs.Tracer
+// ring of recent window lifecycle traces; -listen / -cluster-listen
+// expose them at /metrics and /v1/windows/{seq}/trace. -trace-log FILE
+// additionally appends every span as one NDJSON line. Diagnostics log
+// through log/slog: -log-format picks text or json, -log-level one of
+// debug, info, warn, error.
 //
 // # Cluster roles
 //
@@ -79,6 +93,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -87,6 +102,7 @@ import (
 	"time"
 
 	"smash/internal/core"
+	"smash/internal/obs"
 	"smash/internal/profiling"
 	"smash/internal/serve"
 	"smash/internal/store"
@@ -125,6 +141,10 @@ type options struct {
 	retireAfter  int
 	snapEvery    int
 	walSync      bool
+	logFormat    string
+	logLevel     string
+	traceLog     string
+	pprofOn      bool
 
 	role          string
 	forward       string
@@ -135,6 +155,11 @@ type options struct {
 	straggler     int
 
 	paths []string
+
+	// Shared observability plane, built once per process in run().
+	logger *slog.Logger
+	reg    *obs.Registry
+	tracer *obs.Tracer
 }
 
 // windowRecord is the NDJSON shape of one window. Aborted marks a
@@ -182,10 +207,29 @@ func run(ctx context.Context, args []string, stdin io.Reader, out io.Writer) err
 	fs.StringVar(&o.clusterListen, "cluster-listen", "", "aggregate role: address serving /v1/ingest and the ops API")
 	fs.IntVar(&o.expect, "expect", 0, "aggregate role: number of ingest nodes feeding this aggregator")
 	fs.IntVar(&o.straggler, "straggler", 0, "aggregate role: force-seal windows N behind the lead node (0 = wait for all nodes)")
+	fs.StringVar(&o.logFormat, "log-format", "text", "diagnostic log format: text or json")
+	fs.StringVar(&o.logLevel, "log-level", "info", "diagnostic log level: debug, info, warn or error")
+	fs.StringVar(&o.traceLog, "trace-log", "", "append window-lifecycle spans to this file as NDJSON")
+	fs.BoolVar(&o.pprofOn, "pprof", false, "expose net/http/pprof under /debug/pprof/ on the API listener")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	o.paths = fs.Args()
+	logger, err := obs.NewLogger(os.Stderr, o.logFormat, o.logLevel)
+	if err != nil {
+		return err
+	}
+	o.logger = logger
+	o.reg = obs.NewRegistry()
+	o.tracer = obs.NewTracer(0)
+	if o.traceLog != "" {
+		f, err := os.Create(o.traceLog)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		o.tracer.LogTo(f)
+	}
 	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
 	if err != nil {
 		return err
@@ -287,13 +331,13 @@ func printWindows(out io.Writer, results <-chan stream.WindowResult, jsonOut, ve
 // serveHTTP starts the ops API server on addr and returns its shutdown
 // function, to be run after the stream drains. A cancelled run context
 // cuts serving short.
-func serveHTTP(ctx context.Context, addr string, handler http.Handler) (func(), error) {
+func serveHTTP(ctx context.Context, addr string, handler http.Handler, log *slog.Logger) (func(), error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	srv := &http.Server{Handler: handler}
-	fmt.Fprintf(os.Stderr, "smashd: http api listening on %s\n", ln.Addr())
+	log.Info("http api listening", "addr", ln.Addr().String())
 	if onListen != nil {
 		onListen(ln.Addr())
 	}
@@ -304,7 +348,7 @@ func serveHTTP(ctx context.Context, addr string, handler http.Handler) (func(), 
 		defer scancel()
 		srv.Shutdown(sctx)
 		if err := <-httpErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintln(os.Stderr, "smashd: http:", err)
+			log.Error("http server failed", "err", err)
 		}
 	}, nil
 }
@@ -313,7 +357,7 @@ func serveHTTP(ctx context.Context, addr string, handler http.Handler) (func(), 
 // SIGINT/SIGTERM calls drain (seal and emit in-flight windows), a second
 // cancels the run context, aborting in-flight work. The returned stop
 // function removes the handler.
-func notifySignals(ctx context.Context, cancel context.CancelFunc, drain func()) func() {
+func notifySignals(ctx context.Context, cancel context.CancelFunc, drain func(), log *slog.Logger) func() {
 	sigCh := make(chan os.Signal, 2)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	go func() {
@@ -322,11 +366,11 @@ func notifySignals(ctx context.Context, cancel context.CancelFunc, drain func())
 		case <-ctx.Done():
 			return
 		}
-		fmt.Fprintln(os.Stderr, "smashd: interrupted; draining open windows (signal again to abort)")
+		log.Info("interrupted; draining open windows (signal again to abort)")
 		drain()
 		select {
 		case <-sigCh:
-			fmt.Fprintln(os.Stderr, "smashd: aborting in-flight detections")
+			log.Warn("aborting in-flight detections")
 			cancel()
 		case <-ctx.Done():
 		}
@@ -381,6 +425,9 @@ func runStandalone(ctx context.Context, o *options, stdin io.Reader, out io.Writ
 		Workers:   o.workers,
 		Shards:    o.shards,
 		Detector:  detOpts,
+		Metrics:   o.reg,
+		Tracer:    o.tracer,
+		Logger:    o.logger.With("component", "engine"),
 	}
 	st, err := openStore(o)
 	if err != nil {
@@ -389,8 +436,8 @@ func runStandalone(ctx context.Context, o *options, stdin io.Reader, out io.Writ
 	if st != nil {
 		defer st.Close()
 		if restored := st.Applied(); restored > 0 {
-			fmt.Fprintf(os.Stderr, "smashd: restored %d windows (%d WAL records) from %s\n",
-				restored, st.Stats().Replayed, o.stateDir)
+			o.logger.Info("restored durable state",
+				"windows", restored, "walRecords", st.Stats().Replayed, "dir", o.stateDir)
 		}
 		engCfg.Tracker = st.Restore()
 		engCfg.Sinks = []stream.Sink{st}
@@ -420,13 +467,16 @@ func runStandalone(ctx context.Context, o *options, stdin io.Reader, out io.Writ
 			Timing:      timing,
 			EngineStats: eng.Stats,
 			Started:     time.Now(),
-		}))
+			Metrics:     o.reg,
+			Tracer:      o.tracer,
+			Pprof:       o.pprofOn,
+		}), o.logger.With("component", "http"))
 		if err != nil {
 			return err
 		}
 		defer shutdown()
 	}
-	defer notifySignals(ctx, cancel, eng.Stop)()
+	defer notifySignals(ctx, cancel, eng.Stop, o.logger)()
 
 	if err := printWindows(out, eng.StartContext(ctx, src), o.jsonOut, o.verbose); err != nil {
 		return err

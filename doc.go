@@ -23,8 +23,13 @@
 //   - internal/store       — durable campaign-state store: snapshot +
 //     NDJSON WAL with compaction, crash-safe restore, live mirror
 //   - internal/serve       — embedded HTTP query/ops API over the store:
-//     /v1/lineages (paginated), /v1/windows/latest, /v1/stats, /healthz,
-//     /metrics, and the cluster's POST /v1/ingest intake
+//     /v1/lineages (paginated), /v1/windows/latest, /v1/windows/{seq}/trace,
+//     /v1/stats, /healthz, Prometheus /metrics, optional /debug/pprof,
+//     and the cluster's POST /v1/ingest intake
+//   - internal/obs         — stdlib-only observability plane: concurrent
+//     metrics registry (counters, gauges, log-bucketed latency
+//     histograms, func collectors, runtime stats, Prometheus text
+//     rendering), bounded window-lifecycle Tracer, slog helpers
 //   - internal/wire        — versioned binary codec shipping trace.Index
 //     window fragments (with their symbol dictionaries) between processes
 //   - internal/cluster     — horizontal scale-out: ingest-side fragment
@@ -57,7 +62,9 @@
 // See README.md for a walkthrough and DESIGN.md for the staged pipeline
 // API (stage graph, Observer contract, cancellation semantics), the
 // Performance section (interned-ID data plane, incremental sliding
-// windows, scratch reuse) and the Cluster section (fragment lifecycle,
-// window alignment, straggler policy, remap-merge invariants). The
-// benchmarks in bench_test.go regenerate each experiment.
+// windows, scratch reuse), the Cluster section (fragment lifecycle,
+// window alignment, straggler policy, remap-merge invariants) and the
+// Observability section (metric catalog, span model, logging
+// conventions). The benchmarks in bench_test.go regenerate each
+// experiment.
 package smash

@@ -4,13 +4,16 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"smash/internal/core"
+	"smash/internal/obs"
 	"smash/internal/stream"
 	"smash/internal/trace"
 	"smash/internal/tracker"
@@ -46,6 +49,16 @@ type AggregatorConfig struct {
 	// Buffer is the fragment inbox capacity; a full inbox blocks Submit,
 	// backpressuring ingest nodes through their forwarders (default 64).
 	Buffer int
+	// Metrics registers the aggregator's latency histograms (fragment
+	// wait, detection, per-stage, per-sink, seal->commit) on this
+	// registry. Nil disables metrics.
+	Metrics *obs.Registry
+	// Tracer records each merged cluster window's lifecycle spans
+	// (fragments, merge, detect and its stages, sink consumes). Nil
+	// disables tracing.
+	Tracer *obs.Tracer
+	// Logger receives structured aggregator logs. Nil discards them.
+	Logger *slog.Logger
 }
 
 // Stats is a live snapshot of the aggregator's counters.
@@ -104,6 +117,12 @@ type Aggregator struct {
 	cfg AggregatorConfig
 	det *core.Detector
 	tk  *tracker.Tracker
+	log *slog.Logger
+	tr  *obs.Tracer
+
+	// Latency instruments; all nil (and so no-ops) without Metrics.
+	mWait, mDetect, mSealCommit *obs.Histogram
+	mStage, mSink               map[string]*obs.Histogram
 
 	in   chan *wire.Fragment
 	out  chan stream.WindowResult
@@ -149,16 +168,53 @@ func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 	if cfg.Buffer <= 0 {
 		cfg.Buffer = 64
 	}
-	return &Aggregator{
+	a := &Aggregator{
 		cfg:   cfg,
 		det:   core.New(cfg.Detector...),
 		tk:    cfg.Tracker,
+		log:   cfg.Logger,
+		tr:    cfg.Tracer,
 		in:    make(chan *wire.Fragment, cfg.Buffer),
 		out:   make(chan stream.WindowResult, 1),
 		done:  make(chan struct{}),
 		quit:  make(chan struct{}),
 		nodes: make(map[string]*nodeState),
-	}, nil
+	}
+	if a.log == nil {
+		a.log = obs.Discard()
+	}
+	// Histogram families shared with the stream engine keep the engine's
+	// help text: registering the same name twice with one registry must
+	// agree on metadata.
+	if reg := cfg.Metrics; reg != nil {
+		a.mWait = reg.Histogram("smash_cluster_fragment_wait_seconds",
+			"Wall-clock from a cluster window's first fragment arrival to its seal.")
+		a.mDetect = reg.Histogram("smash_window_detect_seconds",
+			"Wall-clock running the detection pipeline, per window.")
+		a.mSealCommit = reg.Histogram("smash_seal_commit_seconds",
+			"Wall-clock from a window's sealed index to its committed result (sinks done, result published).")
+		a.mStage = make(map[string]*obs.Histogram)
+		for _, s := range core.StageNames() {
+			a.mStage[s] = reg.Histogram("smash_pipeline_stage_seconds",
+				"Wall-clock per detection pipeline stage run.", "stage", s)
+		}
+		a.mSink = make(map[string]*obs.Histogram)
+		for _, s := range cfg.Sinks {
+			name := clusterSinkName(s)
+			a.mSink[name] = reg.Histogram("smash_sink_consume_seconds",
+				"Wall-clock per sink consume on the window commit path.", "sink", name)
+		}
+	}
+	return a, nil
+}
+
+// clusterSinkName labels a sink for spans and metrics (see
+// stream.NamedSink).
+func clusterSinkName(s stream.Sink) string {
+	if n, ok := s.(stream.NamedSink); ok {
+		return n.SinkName()
+	}
+	return "sink"
 }
 
 // Start launches the aggregation loop and returns the result channel. The
@@ -286,7 +342,18 @@ func (a *Aggregator) run(ctx context.Context) {
 		nextSeal         = noWindow
 		sealedAny        bool
 		emitted          int
+		// firstFrag stamps each pending window's first fragment arrival —
+		// the start of its "fragments" (wait) span; nil when neither
+		// tracing nor the wait histogram is wired.
+		firstFrag map[int64]time.Time
 	)
+	if a.tr != nil || a.mWait != nil {
+		firstFrag = make(map[int64]time.Time)
+	}
+	a.log.Info("aggregator starting",
+		"window", a.cfg.Window, "stride", a.cfg.Stride,
+		"expect", a.cfg.Expect, "straggler", a.cfg.Straggler)
+	defer func() { a.log.Info("aggregator stopped", "windows", emitted) }()
 
 	accept := func(frag *wire.Fragment) {
 		a.nodeMu.Lock()
@@ -294,10 +361,12 @@ func (a *Aggregator) run(ctx context.Context) {
 		if node == nil {
 			node = &nodeState{last: noWindow}
 			a.nodes[frag.Node] = node
+			a.log.Info("node joined", "node", frag.Node)
 		}
 		if frag.Final {
 			node.finished = true
 			a.nodeMu.Unlock()
+			a.log.Info("node finished", "node", frag.Node, "lastWindow", frag.Window)
 			return
 		}
 		if frag.Window > node.last {
@@ -315,9 +384,11 @@ func (a *Aggregator) run(ctx context.Context) {
 		switch {
 		case sealed:
 			a.ctrLate.Add(1)
+			a.log.Warn("late fragment dropped", "node", frag.Node, "windowID", frag.Window)
 			return
 		case dup:
 			a.ctrDup.Add(1)
+			a.log.Debug("duplicate fragment dropped", "node", frag.Node, "windowID", frag.Window)
 			return
 		}
 		a.ctrFragments.Add(1)
@@ -325,6 +396,9 @@ func (a *Aggregator) run(ctx context.Context) {
 		if w == nil {
 			w = make(map[string]*trace.Index, a.cfg.Expect)
 			pending[frag.Window] = w
+			if firstFrag != nil {
+				firstFrag[frag.Window] = time.Now()
+			}
 		}
 		w[frag.Node] = frag.Index
 		if frag.Window < minSeen {
@@ -358,8 +432,18 @@ func (a *Aggregator) run(ctx context.Context) {
 	}
 
 	seal := func(w int64, aborted bool) {
+		sealStart := time.Now()
+		seq := int64(emitted)
 		frags := pending[w]
 		delete(pending, w)
+		if firstFrag != nil {
+			if t0, ok := firstFrag[w]; ok {
+				delete(firstFrag, w)
+				d := sealStart.Sub(t0)
+				a.tr.Record(seq, "fragments", t0, d, "nodes", strconv.Itoa(len(frags)))
+				a.mWait.Observe(d.Seconds())
+			}
+		}
 		names := make([]string, 0, len(frags))
 		for n := range frags {
 			names = append(names, n)
@@ -369,8 +453,14 @@ func (a *Aggregator) run(ctx context.Context) {
 		for _, n := range names {
 			merged.Merge(frags[n])
 		}
+		sealedAt := time.Now()
 
 		start := WindowStart(w, a.cfg.Stride)
+		if a.tr != nil {
+			a.tr.Window(seq, start, start.Add(a.cfg.Window))
+			a.tr.Record(seq, "merge", sealStart, sealedAt.Sub(sealStart),
+				"nodes", strconv.Itoa(len(names)), "requests", strconv.Itoa(merged.RequestCount))
+		}
 		res := stream.WindowResult{
 			Seq:      emitted,
 			Start:    start,
@@ -380,7 +470,21 @@ func (a *Aggregator) run(ctx context.Context) {
 		}
 		if merged.RequestCount > 0 && !aborted && ctx.Err() == nil {
 			name := fmt.Sprintf("%s-w%d", a.cfg.Name, emitted)
-			report, err := a.det.RunIndexContext(ctx, merged, merged.ComputeStats(name))
+			var extra []core.Observer
+			if a.tr != nil || a.mStage != nil {
+				extra = append(extra, stream.StageTraceObserver(a.tr, a.mStage, seq))
+			}
+			t0 := time.Now()
+			report, err := a.det.RunIndexContext(ctx, merged, merged.ComputeStats(name), extra...)
+			d := time.Since(t0)
+			if a.tr != nil {
+				attrs := []string(nil)
+				if err != nil {
+					attrs = []string{"error", err.Error()}
+				}
+				a.tr.Record(seq, "detect", t0, d, attrs...)
+			}
+			a.mDetect.Observe(d.Seconds())
 			switch {
 			case err == nil:
 				res.Report = report
@@ -388,6 +492,7 @@ func (a *Aggregator) run(ctx context.Context) {
 				a.setErr(err)
 			default:
 				a.setErr(fmt.Errorf("cluster: window %d: %w", emitted, err))
+				a.log.Error("window detection failed", "window", emitted, "err", err)
 			}
 		}
 		report := res.Report
@@ -400,12 +505,22 @@ func (a *Aggregator) run(ctx context.Context) {
 		res.Matches = a.tk.Observe(report)
 		res.Deltas = stream.DeltasFor(res.Seq, report.AllCampaigns(), res.Matches)
 		for _, s := range a.cfg.Sinks {
-			if err := s.Consume(&res); err != nil {
+			name := clusterSinkName(s)
+			t0 := time.Now()
+			err := s.Consume(&res)
+			d := time.Since(t0)
+			a.tr.Record(seq, name, t0, d)
+			a.mSink[name].Observe(d.Seconds())
+			if err != nil {
 				a.setErr(fmt.Errorf("cluster: sink: %w", err))
+				a.log.Error("sink failed", "window", emitted, "sink", name, "err", err)
 			}
 		}
+		a.mSealCommit.ObserveSince(sealedAt)
 		a.ctrWindows.Add(1)
 		a.ctrRequests.Add(int64(merged.RequestCount))
+		a.log.Debug("window committed",
+			"window", emitted, "windowID", w, "nodes", len(names), "requests", merged.RequestCount)
 		emitted++
 		sealedAny = true
 		a.out <- res

@@ -48,11 +48,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"sync/atomic"
 	"time"
 
+	"smash/internal/obs"
 	"smash/internal/stream"
 	"smash/internal/trace"
 	"smash/internal/wire"
@@ -132,6 +134,11 @@ type ForwarderConfig struct {
 	// Backoff is the first retry delay; it doubles per attempt
 	// (default 100ms).
 	Backoff time.Duration
+	// Metrics registers the forward POST latency histogram and the
+	// fragment/retry/byte counters (nil disables metrics).
+	Metrics *obs.Registry
+	// Logger receives structured retry and failure logs (nil discards).
+	Logger *slog.Logger
 }
 
 // ForwarderStats is a live snapshot of a forwarder's counters.
@@ -155,6 +162,8 @@ type ForwarderStats struct {
 type Forwarder struct {
 	cfg    ForwarderConfig
 	client *http.Client
+	log    *slog.Logger
+	mPost  *obs.Histogram
 
 	ctrForwarded, ctrRetries atomic.Int64
 	ctrBytes, lastWindow     atomic.Int64
@@ -180,13 +189,33 @@ func NewForwarder(cfg ForwarderConfig) (*Forwarder, error) {
 	if cfg.Backoff <= 0 {
 		cfg.Backoff = 100 * time.Millisecond
 	}
-	f := &Forwarder{cfg: cfg, client: cfg.Client}
+	f := &Forwarder{cfg: cfg, client: cfg.Client, log: cfg.Logger}
 	if f.client == nil {
 		f.client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if f.log == nil {
+		f.log = obs.Discard()
+	}
+	if reg := cfg.Metrics; reg != nil {
+		f.mPost = reg.Histogram("smash_forward_post_seconds",
+			"Wall-clock delivering one fragment to the aggregator, retries included.")
+		reg.CounterFunc("smash_forward_fragments_total",
+			"Fragments acknowledged by the aggregator (including the final marker).",
+			func(emit obs.Emit) { emit(float64(f.ctrForwarded.Load())) })
+		reg.CounterFunc("smash_forward_retries_total",
+			"Failed fragment delivery attempts that were retried.",
+			func(emit obs.Emit) { emit(float64(f.ctrRetries.Load())) })
+		reg.CounterFunc("smash_forward_bytes_total",
+			"Encoded fragment bytes acknowledged by the aggregator.",
+			func(emit obs.Emit) { emit(float64(f.ctrBytes.Load())) })
 	}
 	f.lastWindow.Store(-1 << 62)
 	return f, nil
 }
+
+// SinkName implements stream.NamedSink: fragment deliveries show up as
+// the "forward" span and sink-latency series on the ingest engine.
+func (f *Forwarder) SinkName() string { return "forward" }
 
 // Consume implements stream.Sink: it ships the window's index to the
 // aggregator. The engine must run with Config.IndexOnly (or KeepIndex).
@@ -234,6 +263,8 @@ const ContentType = "application/x-smash-fragment"
 // (network errors and 5xx) with doubling backoff. 4xx responses fail
 // immediately: a rejected fragment will not heal by resending.
 func (f *Forwarder) post(body []byte) error {
+	t0 := time.Now()
+	defer f.mPost.ObserveSince(t0)
 	backoff := f.cfg.Backoff
 	var lastErr error
 	for attempt := 1; ; attempt++ {
@@ -254,9 +285,13 @@ func (f *Forwarder) post(body []byte) error {
 		}
 		lastErr = err
 		if attempt >= f.cfg.MaxAttempts {
+			f.log.Error("fragment delivery abandoned",
+				"node", f.cfg.Node, "attempts", attempt, "err", lastErr)
 			return fmt.Errorf("cluster: forward failed after %d attempts: %w", attempt, lastErr)
 		}
 		f.ctrRetries.Add(1)
+		f.log.Warn("fragment delivery failed; retrying",
+			"node", f.cfg.Node, "attempt", attempt, "backoff", backoff, "err", lastErr)
 		time.Sleep(backoff)
 		backoff *= 2
 	}

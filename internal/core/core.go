@@ -214,9 +214,10 @@ func (d *Detector) Run(t *trace.Trace) (*Report, error) {
 
 // RunContext is Run with cooperative cancellation: once ctx is done the
 // pipeline stops at the next stage boundary (inside mining, at the next
-// dimension) and returns ctx.Err().
-func (d *Detector) RunContext(ctx context.Context, t *trace.Trace) (*Report, error) {
-	return d.pipe.RunTrace(ctx, t)
+// dimension) and returns ctx.Err(). extra observers fire for this run
+// only, after the configured ones.
+func (d *Detector) RunContext(ctx context.Context, t *trace.Trace, extra ...Observer) (*Report, error) {
+	return d.pipe.RunTrace(ctx, t, extra...)
 }
 
 // RunIndex executes the pipeline on a prebuilt raw (pre-filter) index. This
@@ -232,9 +233,10 @@ func (d *Detector) RunIndex(raw *trace.Index, stats trace.Stats) (*Report, error
 }
 
 // RunIndexContext is RunIndex with cooperative cancellation (see
-// RunContext for the semantics).
-func (d *Detector) RunIndexContext(ctx context.Context, raw *trace.Index, stats trace.Stats) (*Report, error) {
-	return d.pipe.Run(ctx, raw, stats)
+// RunContext for the semantics). extra observers fire for this run only,
+// after the configured ones.
+func (d *Detector) RunIndexContext(ctx context.Context, raw *trace.Index, stats trace.Stats, extra ...Observer) (*Report, error) {
+	return d.pipe.Run(ctx, raw, stats, extra...)
 }
 
 // filterByScore drops campaign members below the threshold and campaigns

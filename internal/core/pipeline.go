@@ -201,27 +201,31 @@ func (p *Pipeline) Stages() []Stage {
 
 // Run executes all five stages over a raw (pre-filter) index. It returns
 // ctx.Err() as soon as the current stage finishes once ctx is cancelled;
-// inside StageMine cancellation is checked per dimension.
-func (p *Pipeline) Run(ctx context.Context, raw *trace.Index, stats trace.Stats) (*Report, error) {
+// inside StageMine cancellation is checked per dimension. extra observers,
+// if any, fire for this run only, after the configured ones — the hook
+// that lets a caller running many concurrent windows attribute stage
+// events to one window (see internal/stream's lifecycle tracing).
+func (p *Pipeline) Run(ctx context.Context, raw *trace.Index, stats trace.Stats, extra ...Observer) (*Report, error) {
 	if raw == nil {
 		return nil, ErrEmptyTrace
 	}
-	return p.RunFrom(ctx, &State{Raw: raw, Stats: stats}, StagePreprocess)
+	return p.RunFrom(ctx, &State{Raw: raw, Stats: stats}, StagePreprocess, extra...)
 }
 
 // RunTrace indexes a trace and runs all five stages.
-func (p *Pipeline) RunTrace(ctx context.Context, t *trace.Trace) (*Report, error) {
+func (p *Pipeline) RunTrace(ctx context.Context, t *trace.Trace, extra ...Observer) (*Report, error) {
 	if t == nil || len(t.Requests) == 0 {
 		return nil, ErrEmptyTrace
 	}
-	return p.Run(ctx, trace.BuildIndex(t), t.ComputeStats())
+	return p.Run(ctx, trace.BuildIndex(t), t.ComputeStats(), extra...)
 }
 
 // RunFrom executes the stages starting at the named stage, using whatever
 // upstream artifacts st already holds — the partial-rerun entry point: keep
 // the State from a full run, adjust, and rerun only downstream stages. A
 // State missing the starting stage's upstream artifacts is rejected.
-func (p *Pipeline) RunFrom(ctx context.Context, st *State, from string) (*Report, error) {
+// extra observers fire for this run only, after the configured ones.
+func (p *Pipeline) RunFrom(ctx context.Context, st *State, from string, extra ...Observer) (*Report, error) {
 	stages := p.Stages()
 	first := -1
 	for i, s := range stages {
@@ -240,16 +244,20 @@ func (p *Pipeline) RunFrom(ctx context.Context, st *State, from string) (*Report
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if err := p.runStage(ctx, stages[i], i, st); err != nil {
+		if err := p.runStage(ctx, stages[i], i, st, extra); err != nil {
 			return nil, err
 		}
 	}
 	return st.Report, nil
 }
 
-// runStage executes one stage surrounded by observer notifications.
-func (p *Pipeline) runStage(ctx context.Context, s Stage, index int, st *State) error {
+// runStage executes one stage surrounded by observer notifications: the
+// pipeline's configured observers first, then the run's extra ones.
+func (p *Pipeline) runStage(ctx context.Context, s Stage, index int, st *State, extra []Observer) error {
 	for _, o := range p.cfg.observers {
+		o.StageStart(s.Name, index)
+	}
+	for _, o := range extra {
 		o.StageStart(s.Name, index)
 	}
 	start := time.Now()
@@ -259,6 +267,9 @@ func (p *Pipeline) runStage(ctx context.Context, s Stage, index int, st *State) 
 		res.Artifact = st.artifact(s.Name)
 	}
 	for _, o := range p.cfg.observers {
+		o.StageEnd(res)
+	}
+	for _, o := range extra {
 		o.StageEnd(res)
 	}
 	return err

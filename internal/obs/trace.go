@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Span is one recorded phase of a window's lifecycle: build (first event
+// to seal), seal (fragment merge), detect and detect:<stage>, store
+// (sink append), forward (fragment delivery), fragments (aggregator
+// fragment wait) and merge (aggregator fold).
+type Span struct {
+	// Phase names the lifecycle step.
+	Phase string `json:"phase"`
+	// Start is the span's wall-clock start.
+	Start time.Time `json:"start"`
+	// DurationSeconds is the span's wall-clock length.
+	DurationSeconds float64 `json:"durationSeconds"`
+	// Attrs carries optional key/value detail (request counts, errors).
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// WindowTrace is the span timeline of one window, keyed by the window's
+// emitted sequence number — the same seq the store records and
+// /v1/windows/latest reports.
+type WindowTrace struct {
+	// Window is the emitted window sequence number.
+	Window int64 `json:"window"`
+	// Start/End are the window's event-time bounds (zero until the window
+	// seals).
+	Start time.Time `json:"start,omitzero"`
+	End   time.Time `json:"end,omitzero"`
+	// Spans is the recorded timeline, ordered by span start time.
+	Spans []Span `json:"spans"`
+}
+
+// Tracer records window-lifecycle spans into a bounded ring of recent
+// windows and optionally appends every span to an NDJSON log. All methods
+// are safe for concurrent use and no-ops on a nil receiver, so components
+// take a *Tracer and never guard call sites.
+type Tracer struct {
+	mu     sync.Mutex
+	limit  int
+	traces map[int64]*WindowTrace
+
+	logMu sync.Mutex
+	log   io.Writer
+}
+
+// DefaultTraceWindows is the default ring capacity: enough to hold every
+// window an operator might ask about while debugging a live incident,
+// small enough to be invisible in memory.
+const DefaultTraceWindows = 256
+
+// NewTracer returns a tracer keeping the most recent limit windows
+// (DefaultTraceWindows when limit <= 0).
+func NewTracer(limit int) *Tracer {
+	if limit <= 0 {
+		limit = DefaultTraceWindows
+	}
+	return &Tracer{limit: limit, traces: make(map[int64]*WindowTrace)}
+}
+
+// LogTo streams every subsequently recorded span to w as one NDJSON line:
+// {"window":N,"phase":"...","start":"...","durationSeconds":...}.
+func (t *Tracer) LogTo(w io.Writer) {
+	if t == nil {
+		return
+	}
+	t.logMu.Lock()
+	t.log = w
+	t.logMu.Unlock()
+}
+
+// trace returns the ring entry for seq, creating it (and evicting the
+// oldest entries past the limit) on first use. Caller holds mu.
+func (t *Tracer) trace(seq int64) *WindowTrace {
+	tr := t.traces[seq]
+	if tr != nil {
+		return tr
+	}
+	tr = &WindowTrace{Window: seq}
+	t.traces[seq] = tr
+	for len(t.traces) > t.limit {
+		oldest := seq
+		for s := range t.traces {
+			if s < oldest {
+				oldest = s
+			}
+		}
+		delete(t.traces, oldest)
+	}
+	return tr
+}
+
+// Window stamps the window's event-time bounds on its trace.
+func (t *Tracer) Window(seq int64, start, end time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	tr := t.trace(seq)
+	tr.Start, tr.End = start, end
+	t.mu.Unlock()
+}
+
+// Record adds one completed span to window seq's trace. attrs are
+// alternating key, value pairs; a trailing odd key is dropped.
+func (t *Tracer) Record(seq int64, phase string, start time.Time, d time.Duration, attrs ...string) {
+	if t == nil {
+		return
+	}
+	span := Span{Phase: phase, Start: start, DurationSeconds: d.Seconds()}
+	if len(attrs) >= 2 {
+		span.Attrs = make(map[string]string, len(attrs)/2)
+		for i := 0; i+1 < len(attrs); i += 2 {
+			span.Attrs[attrs[i]] = attrs[i+1]
+		}
+	}
+	t.mu.Lock()
+	tr := t.trace(seq)
+	tr.Spans = append(tr.Spans, span)
+	t.mu.Unlock()
+
+	t.logMu.Lock()
+	w := t.log
+	if w != nil {
+		line := struct {
+			Window int64 `json:"window"`
+			Span
+		}{seq, span}
+		if data, err := json.Marshal(line); err == nil {
+			w.Write(append(data, '\n'))
+		}
+	}
+	t.logMu.Unlock()
+}
+
+// StartSpan begins a span now and returns the function that completes it;
+// attrs given at completion are attached to the recorded span.
+func (t *Tracer) StartSpan(seq int64, phase string) func(attrs ...string) {
+	if t == nil {
+		return func(...string) {}
+	}
+	start := time.Now()
+	return func(attrs ...string) {
+		t.Record(seq, phase, start, time.Since(start), attrs...)
+	}
+}
+
+// Trace returns a deep copy of window seq's trace with spans ordered by
+// start time (ties broken by phase name), or nil when the window is
+// unknown or already evicted.
+func (t *Tracer) Trace(seq int64) *WindowTrace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	tr := t.traces[seq]
+	var out *WindowTrace
+	if tr != nil {
+		out = &WindowTrace{Window: tr.Window, Start: tr.Start, End: tr.End,
+			Spans: append([]Span(nil), tr.Spans...)}
+	}
+	t.mu.Unlock()
+	if out == nil {
+		return nil
+	}
+	sort.SliceStable(out.Spans, func(i, j int) bool {
+		if !out.Spans[i].Start.Equal(out.Spans[j].Start) {
+			return out.Spans[i].Start.Before(out.Spans[j].Start)
+		}
+		return out.Spans[i].Phase < out.Spans[j].Phase
+	})
+	return out
+}
+
+// Recent returns the sequence numbers currently held in the ring, newest
+// first.
+func (t *Tracer) Recent() []int64 {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]int64, 0, len(t.traces))
+	for s := range t.traces {
+		out = append(out, s)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] > out[j] })
+	return out
+}

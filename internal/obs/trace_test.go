@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var traceBase = time.Date(2020, 9, 13, 0, 0, 0, 0, time.UTC)
+
+func TestTracerRecordAndSnapshot(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Window(3, traceBase, traceBase.Add(24*time.Hour))
+	// Recorded out of order; Trace must sort by start time.
+	tr.Record(3, "seal", traceBase.Add(2*time.Second), 50*time.Millisecond)
+	tr.Record(3, "build", traceBase, 2*time.Second, "requests", "26")
+	tr.Record(3, "detect", traceBase.Add(3*time.Second), time.Second)
+
+	got := tr.Trace(3)
+	if got == nil {
+		t.Fatal("no trace for window 3")
+	}
+	if got.Window != 3 || !got.Start.Equal(traceBase) {
+		t.Errorf("trace header = %+v", got)
+	}
+	phases := make([]string, len(got.Spans))
+	for i, s := range got.Spans {
+		phases[i] = s.Phase
+	}
+	if want := []string{"build", "seal", "detect"}; strings.Join(phases, ",") != strings.Join(want, ",") {
+		t.Errorf("span order = %v, want %v", phases, want)
+	}
+	if got.Spans[0].Attrs["requests"] != "26" {
+		t.Errorf("attrs = %v", got.Spans[0].Attrs)
+	}
+	if tr.Trace(99) != nil {
+		t.Error("unknown window must return nil")
+	}
+	// The snapshot is a copy: mutating it must not corrupt the ring.
+	got.Spans[0].Phase = "mutated"
+	if tr.Trace(3).Spans[0].Phase != "build" {
+		t.Error("Trace returned a live reference")
+	}
+}
+
+func TestTracerEviction(t *testing.T) {
+	tr := NewTracer(4)
+	for seq := int64(0); seq < 10; seq++ {
+		tr.Record(seq, "build", traceBase, time.Millisecond)
+	}
+	recent := tr.Recent()
+	if len(recent) != 4 {
+		t.Fatalf("ring holds %d windows, want 4", len(recent))
+	}
+	if recent[0] != 9 || recent[3] != 6 {
+		t.Errorf("recent = %v, want [9 8 7 6]", recent)
+	}
+	if tr.Trace(0) != nil {
+		t.Error("window 0 should be evicted")
+	}
+}
+
+func TestTracerNDJSONLog(t *testing.T) {
+	var buf strings.Builder
+	tr := NewTracer(4)
+	tr.LogTo(&buf)
+	tr.Record(1, "build", traceBase, 2*time.Second, "requests", "10")
+	tr.Record(1, "seal", traceBase.Add(2*time.Second), 10*time.Millisecond)
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("ndjson lines = %d, want 2", len(lines))
+	}
+	var rec struct {
+		Window          int64             `json:"window"`
+		Phase           string            `json:"phase"`
+		DurationSeconds float64           `json:"durationSeconds"`
+		Attrs           map[string]string `json:"attrs"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Window != 1 || rec.Phase != "build" || rec.DurationSeconds != 2 || rec.Attrs["requests"] != "10" {
+		t.Errorf("ndjson record = %+v", rec)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int64) {
+			defer wg.Done()
+			for seq := int64(0); seq < 200; seq++ {
+				tr.Record(seq, "build", traceBase, time.Millisecond)
+				tr.Trace(seq)
+				tr.Window(seq, traceBase, traceBase.Add(time.Hour))
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if got := tr.Trace(199); got == nil || len(got.Spans) != 4 {
+		t.Errorf("trace 199 = %+v", got)
+	}
+}
+
+func TestStartSpan(t *testing.T) {
+	tr := NewTracer(4)
+	end := tr.StartSpan(5, "store")
+	time.Sleep(2 * time.Millisecond)
+	end("bytes", "128")
+	got := tr.Trace(5)
+	if got == nil || len(got.Spans) != 1 {
+		t.Fatalf("trace = %+v", got)
+	}
+	s := got.Spans[0]
+	if s.Phase != "store" || s.DurationSeconds <= 0 || s.Attrs["bytes"] != "128" {
+		t.Errorf("span = %+v", s)
+	}
+}

@@ -4,20 +4,27 @@
 //
 // Endpoints:
 //
-//	GET  /healthz             liveness probe
-//	GET  /metrics             Prometheus text metrics: store counters,
-//	                          lineage gauges, live engine counters,
-//	                          per-stage pipeline totals from the
-//	                          core.Observer hooks, and per-node cluster
-//	                          counters on an aggregator
-//	GET  /v1/lineages         lineages (summaries, ordered by ID;
-//	                          ?limit=N&offset=M paginate)
-//	GET  /v1/lineages/{id}    one lineage with full server/client history
-//	GET  /v1/windows/latest   the most recently applied window record
-//	GET  /v1/stats            store + engine (+ cluster) counters
-//	POST /v1/ingest           cluster fragment intake (aggregator role
-//	                          only): a wire-encoded window fragment from
-//	                          an ingest node
+//	GET  /healthz                   liveness probe
+//	GET  /metrics                   Prometheus text metrics rendered from
+//	                                an obs.Registry: store counters,
+//	                                lineage gauges, live engine counters,
+//	                                per-stage pipeline totals, per-node
+//	                                cluster counters on an aggregator,
+//	                                latency histograms from the engine /
+//	                                aggregator / forwarder, and Go runtime
+//	                                stats
+//	GET  /v1/lineages               lineages (summaries, ordered by ID;
+//	                                ?limit=N&offset=M paginate)
+//	GET  /v1/lineages/{id}          one lineage with full history
+//	GET  /v1/windows/latest         the most recently applied window record
+//	GET  /v1/windows/{seq}/trace    one window's lifecycle spans (build,
+//	                                seal, detect stages, sink consumes)
+//	                                from the obs.Tracer ring
+//	GET  /v1/stats                  store + engine (+ cluster) counters
+//	POST /v1/ingest                 cluster fragment intake (aggregator
+//	                                role only): a wire-encoded window
+//	                                fragment from an ingest node
+//	     /debug/pprof/...           net/http/pprof (only with Config.Pprof)
 //
 // All /v1 responses are stable, indentation-formatted JSON (golden-tested);
 // map keys serialize sorted, so output is deterministic for a fixed state.
@@ -36,12 +43,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"time"
 
 	"smash/internal/cluster"
 	"smash/internal/core"
+	"smash/internal/obs"
 	"smash/internal/store"
 	"smash/internal/stream"
 	"smash/internal/tracker"
@@ -65,6 +74,19 @@ type Config struct {
 	Aggregator *cluster.Aggregator
 	// Started stamps the /healthz uptime; zero disables the field.
 	Started time.Time
+	// Metrics is the registry rendered at /metrics. Pass the registry the
+	// engine/aggregator/forwarder instruments live on so their latency
+	// histograms appear alongside the store/engine/cluster collectors this
+	// handler registers. Nil builds a private registry (the collectors and
+	// runtime stats still render).
+	Metrics *obs.Registry
+	// Tracer, when set, enables GET /v1/windows/{seq}/trace over the
+	// tracer's ring of recent window traces.
+	Tracer *obs.Tracer
+	// Pprof mounts net/http/pprof under /debug/pprof/. Off by default:
+	// profiling endpoints expose process internals and burn real CPU when
+	// scraped, so operators opt in per process.
+	Pprof bool
 }
 
 // maxFragmentBytes bounds a /v1/ingest request body. Window fragments are
@@ -72,12 +94,20 @@ type Config struct {
 // confused or hostile client, not a bigger window.
 const maxFragmentBytes = 256 << 20
 
-// NewHandler builds the API's http.Handler.
+// NewHandler builds the API's http.Handler and registers the
+// store/engine/cluster/pipeline collectors plus Go runtime stats on the
+// metrics registry.
 func NewHandler(cfg Config) http.Handler {
 	if cfg.Store == nil {
 		panic("serve: Config.Store is required")
 	}
-	s := &server{cfg: cfg}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	registerCollectors(reg, cfg)
+	obs.RegisterRuntimeMetrics(reg)
+	s := &server{cfg: cfg, reg: reg}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.healthz)
 	mux.HandleFunc("GET /metrics", s.metrics)
@@ -85,14 +115,25 @@ func NewHandler(cfg Config) http.Handler {
 	mux.HandleFunc("GET /v1/lineages/{id}", s.lineage)
 	mux.HandleFunc("GET /v1/windows/latest", s.latestWindow)
 	mux.HandleFunc("GET /v1/stats", s.stats)
+	if cfg.Tracer != nil {
+		mux.HandleFunc("GET /v1/windows/{seq}/trace", s.windowTrace)
+	}
 	if cfg.Aggregator != nil {
 		mux.HandleFunc("POST /v1/ingest", s.ingest)
+	}
+	if cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	return mux
 }
 
 type server struct {
 	cfg Config
+	reg *obs.Registry
 }
 
 // lineageSummary is the list-view JSON shape of one lineage.
@@ -280,93 +321,129 @@ func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// metrics renders Prometheus text exposition format by hand — counters and
-// gauges only, no dependency needed.
-func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
-	st := s.cfg.Store.Stats()
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	p := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+// registerCollectors bridges the existing counters — store mirror stats,
+// live engine atomics, aggregator node states, pipeline stage totals —
+// onto the registry as scrape-time collectors. Series names and values
+// are identical to the pre-registry hand-rolled renderer.
+func registerCollectors(reg *obs.Registry, cfg Config) {
+	st := cfg.Store.Stats
+	reg.CounterFunc("smash_store_windows_total",
+		"Windows applied to the campaign-state store.",
+		func(emit obs.Emit) { emit(float64(st().Windows)) })
+	reg.CounterFunc("smash_store_requests_total",
+		"Requests summed over applied windows.",
+		func(emit obs.Emit) { emit(float64(st().Requests)) })
+	reg.CounterFunc("smash_store_campaigns_total",
+		"Campaigns summed over applied windows.",
+		func(emit obs.Emit) { emit(float64(st().Campaigns)) })
+	reg.CounterFunc("smash_store_deltas_total",
+		"Lineage transitions by kind.",
+		func(emit obs.Emit) {
+			s := st()
+			emit(float64(s.Appeared), "kind", "appear")
+			emit(float64(s.Persisted), "kind", "persist")
+			emit(float64(s.Rotated), "kind", "rotate")
+		})
+	reg.GaugeFunc("smash_lineages",
+		"Current lineage count by state.",
+		func(emit obs.Emit) {
+			s := st()
+			emit(float64(s.Lineages-s.RetiredLineages), "state", "active")
+			emit(float64(s.RetiredLineages), "state", "retired")
+		})
 
-	p("# HELP smash_store_windows_total Windows applied to the campaign-state store.\n")
-	p("# TYPE smash_store_windows_total counter\n")
-	p("smash_store_windows_total %d\n", st.Windows)
-	p("# HELP smash_store_requests_total Requests summed over applied windows.\n")
-	p("# TYPE smash_store_requests_total counter\n")
-	p("smash_store_requests_total %d\n", st.Requests)
-	p("# HELP smash_store_campaigns_total Campaigns summed over applied windows.\n")
-	p("# TYPE smash_store_campaigns_total counter\n")
-	p("smash_store_campaigns_total %d\n", st.Campaigns)
-	p("# HELP smash_store_deltas_total Lineage transitions by kind.\n")
-	p("# TYPE smash_store_deltas_total counter\n")
-	p("smash_store_deltas_total{kind=\"appear\"} %d\n", st.Appeared)
-	p("smash_store_deltas_total{kind=\"persist\"} %d\n", st.Persisted)
-	p("smash_store_deltas_total{kind=\"rotate\"} %d\n", st.Rotated)
-	p("# HELP smash_lineages Current lineage count by state.\n")
-	p("# TYPE smash_lineages gauge\n")
-	p("smash_lineages{state=\"active\"} %d\n", st.Lineages-st.RetiredLineages)
-	p("smash_lineages{state=\"retired\"} %d\n", st.RetiredLineages)
-
-	if s.cfg.EngineStats != nil {
-		es := s.cfg.EngineStats()
-		p("# HELP smash_engine_events_total Events accepted into windows.\n")
-		p("# TYPE smash_engine_events_total counter\n")
-		p("smash_engine_events_total %d\n", es.Events)
-		p("# HELP smash_engine_late_events_total Events dropped beyond the watermark.\n")
-		p("# TYPE smash_engine_late_events_total counter\n")
-		p("smash_engine_late_events_total %d\n", es.Late)
-		p("# HELP smash_engine_windows_total Windows emitted by the engine this run.\n")
-		p("# TYPE smash_engine_windows_total counter\n")
-		p("smash_engine_windows_total %d\n", es.Windows)
+	if cfg.EngineStats != nil {
+		es := cfg.EngineStats
+		reg.CounterFunc("smash_engine_events_total",
+			"Events accepted into windows.",
+			func(emit obs.Emit) { emit(float64(es().Events)) })
+		reg.CounterFunc("smash_engine_late_events_total",
+			"Events dropped beyond the watermark.",
+			func(emit obs.Emit) { emit(float64(es().Late)) })
+		reg.CounterFunc("smash_engine_windows_total",
+			"Windows emitted by the engine this run.",
+			func(emit obs.Emit) { emit(float64(es().Windows)) })
 	}
 
-	if s.cfg.Aggregator != nil {
-		cs := s.cfg.Aggregator.Stats()
-		p("# HELP smash_cluster_fragments_total Window fragments accepted from ingest nodes.\n")
-		p("# TYPE smash_cluster_fragments_total counter\n")
-		p("smash_cluster_fragments_total %d\n", cs.Fragments)
-		p("# HELP smash_cluster_dropped_fragments_total Fragments dropped, by reason.\n")
-		p("# TYPE smash_cluster_dropped_fragments_total counter\n")
-		p("smash_cluster_dropped_fragments_total{reason=\"late\"} %d\n", cs.LateFragments)
-		p("smash_cluster_dropped_fragments_total{reason=\"duplicate\"} %d\n", cs.DuplicateFragments)
-		p("# HELP smash_cluster_windows_total Cluster-wide windows sealed and detected.\n")
-		p("# TYPE smash_cluster_windows_total counter\n")
-		p("smash_cluster_windows_total %d\n", cs.Windows)
-		p("# HELP smash_cluster_nodes Ingest nodes by state.\n")
-		p("# TYPE smash_cluster_nodes gauge\n")
-		p("smash_cluster_nodes{state=\"active\"} %d\n", cs.Nodes-cs.FinishedNodes)
-		p("smash_cluster_nodes{state=\"finished\"} %d\n", cs.FinishedNodes)
-		nodes := s.cfg.Aggregator.NodeStats()
-		p("# HELP smash_cluster_node_fragments_total Fragments accepted per ingest node.\n")
-		p("# TYPE smash_cluster_node_fragments_total counter\n")
-		for _, n := range nodes {
-			p("smash_cluster_node_fragments_total{node=%q} %d\n", n.Node, n.Fragments)
-		}
-		p("# HELP smash_cluster_node_last_window Highest window id forwarded per ingest node.\n")
-		p("# TYPE smash_cluster_node_last_window gauge\n")
-		for _, n := range nodes {
-			p("smash_cluster_node_last_window{node=%q} %d\n", n.Node, n.LastWindow)
-		}
+	if agg := cfg.Aggregator; agg != nil {
+		reg.CounterFunc("smash_cluster_fragments_total",
+			"Window fragments accepted from ingest nodes.",
+			func(emit obs.Emit) { emit(float64(agg.Stats().Fragments)) })
+		reg.CounterFunc("smash_cluster_dropped_fragments_total",
+			"Fragments dropped, by reason.",
+			func(emit obs.Emit) {
+				cs := agg.Stats()
+				emit(float64(cs.LateFragments), "reason", "late")
+				emit(float64(cs.DuplicateFragments), "reason", "duplicate")
+			})
+		reg.CounterFunc("smash_cluster_windows_total",
+			"Cluster-wide windows sealed and detected.",
+			func(emit obs.Emit) { emit(float64(agg.Stats().Windows)) })
+		reg.GaugeFunc("smash_cluster_nodes",
+			"Ingest nodes by state.",
+			func(emit obs.Emit) {
+				cs := agg.Stats()
+				emit(float64(cs.Nodes-cs.FinishedNodes), "state", "active")
+				emit(float64(cs.FinishedNodes), "state", "finished")
+			})
+		reg.CounterFunc("smash_cluster_node_fragments_total",
+			"Fragments accepted per ingest node.",
+			func(emit obs.Emit) {
+				for _, n := range agg.NodeStats() {
+					emit(float64(n.Fragments), "node", n.Node)
+				}
+			})
+		reg.GaugeFunc("smash_cluster_node_last_window",
+			"Highest window id forwarded per ingest node.",
+			func(emit obs.Emit) {
+				for _, n := range agg.NodeStats() {
+					emit(float64(n.LastWindow), "node", n.Node)
+				}
+			})
 	}
 
-	if s.cfg.Timing != nil {
+	if tm := cfg.Timing; tm != nil {
 		stages := core.StageNames()
 		sort.Strings(stages)
-		durations := make([]time.Duration, len(stages))
-		runs := make([]int, len(stages))
-		for i, stage := range stages {
-			durations[i], runs[i] = s.cfg.Timing.Total(stage)
-		}
-		p("# HELP smash_pipeline_stage_seconds_total Wall-clock per detection stage.\n")
-		p("# TYPE smash_pipeline_stage_seconds_total counter\n")
-		for i, stage := range stages {
-			p("smash_pipeline_stage_seconds_total{stage=%q} %g\n", stage, durations[i].Seconds())
-		}
-		p("# HELP smash_pipeline_stage_runs_total Completed runs per detection stage.\n")
-		p("# TYPE smash_pipeline_stage_runs_total counter\n")
-		for i, stage := range stages {
-			p("smash_pipeline_stage_runs_total{stage=%q} %d\n", stage, runs[i])
-		}
+		reg.CounterFunc("smash_pipeline_stage_seconds_total",
+			"Wall-clock per detection stage.",
+			func(emit obs.Emit) {
+				for _, stage := range stages {
+					d, _ := tm.Total(stage)
+					emit(d.Seconds(), "stage", stage)
+				}
+			})
+		reg.CounterFunc("smash_pipeline_stage_runs_total",
+			"Completed runs per detection stage.",
+			func(emit obs.Emit) {
+				for _, stage := range stages {
+					_, runs := tm.Total(stage)
+					emit(float64(runs), "stage", stage)
+				}
+			})
 	}
+}
+
+// metrics renders the registry in Prometheus text exposition format.
+func (s *server) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}
+
+// windowTrace serves one window's lifecycle spans from the tracer ring.
+func (s *server) windowTrace(w http.ResponseWriter, r *http.Request) {
+	seq, err := strconv.ParseInt(r.PathValue("seq"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "window seq must be an integer")
+		return
+	}
+	tr := s.cfg.Tracer.Trace(seq)
+	if tr == nil {
+		writeError(w, http.StatusNotFound,
+			fmt.Sprintf("no trace for window %d (the ring keeps only recent windows)", seq))
+		return
+	}
+	writeJSON(w, http.StatusOK, tr)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -337,6 +337,10 @@ func (s *Store) apply(rec *Record) {
 	s.applied++
 }
 
+// SinkName implements stream.NamedSink: store appends show up as the
+// "store" span and sink-latency series.
+func (s *Store) SinkName() string { return "store" }
+
 // Consume implements stream.Sink: it records one emitted window — the
 // in-memory mirror first (so the read model and the seq clock stay in
 // lockstep with the engine even when persistence fails), then the WAL

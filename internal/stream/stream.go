@@ -52,12 +52,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"smash/internal/core"
+	"smash/internal/obs"
 	"smash/internal/trace"
 	"smash/internal/tracker"
 )
@@ -118,6 +120,15 @@ type Config struct {
 	// ships them to an aggregator that runs detection over the merged
 	// cluster-wide window.
 	IndexOnly bool
+	// Metrics registers the engine's latency histograms (ingest->seal,
+	// seal->commit, detection, per-stage, per-sink) and the watermark-lag
+	// gauge on this registry. Nil disables metrics.
+	Metrics *obs.Registry
+	// Tracer records each window's lifecycle spans (build, seal, detect and
+	// its stages, sink consumes). Nil disables tracing.
+	Tracer *obs.Tracer
+	// Logger receives structured engine logs. Nil discards them.
+	Logger *slog.Logger
 }
 
 // Stats is a snapshot of the engine's activity counters. Counters are
@@ -143,6 +154,10 @@ type Engine struct {
 	det *core.Detector
 	tk  *tracker.Tracker
 	out chan WindowResult
+	// o bundles the observability wiring (tracer, logger, instruments);
+	// its zero value is fully inert, so unwired engines pay only nil
+	// checks on the hot path.
+	o engineObs
 
 	// syms is the engine-wide symbol table epoch: every fragment, ring
 	// entry and window index interns through the current epoch, so merges
@@ -216,6 +231,7 @@ func New(cfg Config) (*Engine, error) {
 		quit: make(chan struct{}),
 	}
 	e.syms.Store(trace.NewSymbols())
+	e.o = newEngineObs(cfg.Metrics, cfg.Tracer, cfg.Logger, cfg.Sinks)
 	return e, nil
 }
 
@@ -257,6 +273,9 @@ func (e *Engine) StartContext(ctx context.Context, src Source) <-chan WindowResu
 	}
 	e.started = true
 	e.ctx = ctx
+	e.o.log.Info("engine starting",
+		"name", e.cfg.Name, "window", e.cfg.Window, "stride", e.cfg.Stride,
+		"workers", e.cfg.Workers, "shards", e.cfg.Shards, "indexOnly", e.cfg.IndexOnly)
 	if ctx.Done() != nil {
 		go func() {
 			select {
@@ -358,6 +377,7 @@ func (e *Engine) read(src Source, events chan<- trace.Request) {
 		if err != nil {
 			if !errors.Is(err, io.EOF) {
 				e.setErr(fmt.Errorf("stream: source: %w", err))
+				e.o.log.Error("source read failed", "err", err)
 			}
 			return
 		}
@@ -374,6 +394,11 @@ type windowJob struct {
 	seq        int
 	start, end time.Time
 	idx        *trace.Index
+	// Lifecycle timestamps for spans and latency histograms. firstEvent is
+	// zero for windows that never saw an event or when tracing is off.
+	firstEvent time.Time
+	sealStart  time.Time
+	sealedAt   time.Time
 }
 
 // windowDone is one detected window headed for the sequencer.
@@ -383,6 +408,7 @@ type windowDone struct {
 	requests   int
 	report     *core.Report // nil for empty windows
 	idx        *trace.Index // set when KeepIndex/IndexOnly
+	sealedAt   time.Time    // when the merged index was ready
 }
 
 // shardMsg is either an event assignment (reply fields nil) or a seal
@@ -482,6 +508,7 @@ func (e *Engine) sealer(reqs <-chan sealReq, jobs chan<- windowJob, k int64, nSh
 			}
 		}
 		r.job.idx = merged
+		e.o.finishSeal(&r.job)
 		jobs <- r.job
 		<-slots
 	}
@@ -516,7 +543,14 @@ func (e *Engine) windower(events <-chan trace.Request, jobs chan<- windowJob) {
 		// sealSlots bounds sealed-but-undetected windows so a slow
 		// consumer backpressures ingestion instead of growing memory.
 		sealSlots = make(chan struct{}, 2*e.cfg.Workers)
+		// firstSeen stamps each window's first accepted event (the start
+		// of its "build" span and of the ingest->seal latency); nil when
+		// neither tracing nor latency metrics are wired.
+		firstSeen map[int64]time.Time
 	)
+	if e.o.tr != nil || e.o.ingestSeal != nil {
+		firstSeen = make(map[int64]time.Time)
+	}
 	if ringK > 0 {
 		sealCh = make(chan sealReq, e.cfg.Workers)
 		go e.sealer(sealCh, jobs, ringK, nShards, sealSlots)
@@ -541,6 +575,11 @@ func (e *Engine) windower(events <-chan trace.Request, jobs chan<- windowJob) {
 			start: origin.Add(start),
 			end:   origin.Add(start + e.cfg.Window),
 		}
+		if firstSeen != nil {
+			job.firstEvent = firstSeen[seq]
+			delete(firstSeen, seq)
+		}
+		e.o.beginSeal(&job)
 		if ringK > 0 {
 			replies := make(chan map[int64]*trace.Index, nShards)
 			for _, ch := range shardCh {
@@ -562,6 +601,7 @@ func (e *Engine) windower(events <-chan trace.Request, jobs chan<- windowJob) {
 				merged.Merge(<-replies)
 			}
 			job.idx = merged
+			e.o.finishSeal(&job)
 			jobs <- job
 		}()
 	}
@@ -599,6 +639,14 @@ func (e *Engine) windower(events <-chan trace.Request, jobs chan<- windowJob) {
 			maxSeq = hi
 		}
 		e.ctrEvents.Add(1)
+		if firstSeen != nil {
+			now := time.Now()
+			for s := lo; s <= hi; s++ {
+				if _, ok := firstSeen[s]; !ok {
+					firstSeen[s] = now
+				}
+			}
+		}
 		shard := shardCh[shardOf(e.symbols().RequestServerKey(&req), nShards)]
 		if ringK > 0 {
 			// One fragment per stride: the event's stride is hi (the last
@@ -611,6 +659,9 @@ func (e *Engine) windower(events <-chan trace.Request, jobs chan<- windowJob) {
 
 		if t.After(maxTime) {
 			maxTime = t
+		}
+		if e.o.lag != nil {
+			e.o.lag.Set(time.Since(maxTime).Seconds())
 		}
 		watermark := maxTime.Add(-e.cfg.Watermark)
 		for nextSeal <= maxSeq {
@@ -715,7 +766,7 @@ func (e *Engine) detect(jobs <-chan windowJob, results chan<- windowDone) {
 		ctx = context.Background()
 	}
 	for j := range jobs {
-		d := windowDone{seq: j.seq, start: j.start, end: j.end, requests: j.idx.RequestCount}
+		d := windowDone{seq: j.seq, start: j.start, end: j.end, requests: j.idx.RequestCount, sealedAt: j.sealedAt}
 		if e.cfg.KeepIndex || e.cfg.IndexOnly {
 			d.idx = j.idx
 		}
@@ -728,7 +779,9 @@ func (e *Engine) detect(jobs <-chan windowJob, results chan<- windowDone) {
 			e.setErr(ctx.Err())
 		case j.idx.RequestCount > 0:
 			name := fmt.Sprintf("%s-w%d", e.cfg.Name, j.seq)
-			report, err := e.det.RunIndexContext(ctx, j.idx, j.idx.ComputeStats(name))
+			t0 := time.Now()
+			report, err := e.det.RunIndexContext(ctx, j.idx, j.idx.ComputeStats(name), e.o.stageObservers(int64(j.seq))...)
+			e.o.endDetect(int64(j.seq), t0, err)
 			switch {
 			case err == nil:
 				d.report = report
@@ -736,6 +789,7 @@ func (e *Engine) detect(jobs <-chan windowJob, results chan<- windowDone) {
 				e.setErr(err)
 			default:
 				e.setErr(fmt.Errorf("stream: window %d: %w", j.seq, err))
+				e.o.log.Error("window detection failed", "window", j.seq, "err", err)
 			}
 		}
 		results <- d
@@ -790,10 +844,15 @@ func (e *Engine) emit(d windowDone) {
 		res.Deltas = DeltasFor(d.seq, report.AllCampaigns(), matches)
 	}
 	for _, s := range e.cfg.Sinks {
-		if err := s.Consume(&res); err != nil {
+		if err := e.o.consumeSink(s, &res); err != nil {
 			e.setErr(fmt.Errorf("stream: sink: %w", err))
+			e.o.log.Error("sink failed", "window", d.seq, "sink", sinkName(s), "err", err)
 		}
 	}
+	if e.o.sealCommit != nil && !d.sealedAt.IsZero() {
+		e.o.sealCommit.Observe(time.Since(d.sealedAt).Seconds())
+	}
 	e.ctrWindows.Add(1)
+	e.o.log.Debug("window committed", "window", d.seq, "requests", d.requests)
 	e.out <- res
 }
