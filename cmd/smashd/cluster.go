@@ -41,6 +41,9 @@ func runIngest(ctx context.Context, o *options, stdin io.Reader, out io.Writer) 
 	if o.stateDir != "" {
 		return fmt.Errorf("-state-dir is the aggregator's job; an ingest node keeps no campaign state")
 	}
+	if o.push && o.listen == "" {
+		return fmt.Errorf("-push needs -listen (events arrive on POST /v1/ingest)")
+	}
 	node := o.node
 	var shardSrcWrap func(stream.Source) stream.Source
 	if o.shardOf != "" {
@@ -114,9 +117,13 @@ func runIngest(ctx context.Context, o *options, stdin io.Reader, out io.Writer) 
 		if err != nil {
 			return err
 		}
+		pushOpts, _ := o.sourceOptions()
 		shutdown, err := serveHTTP(ctx, o.listen, serve.NewHandler(serve.Config{
 			Store:       st,
 			EngineStats: eng.Stats,
+			Push:        o.pushQueue,
+			PushOptions: pushOpts,
+			Sources:     o.sourceStats,
 			Started:     time.Now(),
 			Metrics:     o.reg,
 			Tracer:      o.tracer,
@@ -127,7 +134,7 @@ func runIngest(ctx context.Context, o *options, stdin io.Reader, out io.Writer) 
 		}
 		defer shutdown()
 	}
-	defer notifySignals(ctx, cancel, eng.Stop, o.logger)()
+	defer notifySignals(ctx, cancel, o.drain(eng.Stop), o.logger)()
 
 	enc := json.NewEncoder(out)
 	for w := range eng.StartContext(ctx, src) {

@@ -9,6 +9,8 @@
 //	       [-window 24h] [-stride 0] [-watermark 0] [-workers 1]
 //	       [-shards 4] [-speedup 0] [-seed 1] [-idf 200]
 //	       [-threshold 0.8] [-single-threshold 1.0] [-json] [-v]
+//	       [-format tsv|common|combined|jsonl] [-follow] [-push]
+//	       [-source-host HOST] [-jsonl-map field=key,...]
 //	       [-state-dir DIR] [-listen ADDR] [-retire-after N]
 //	       [-snapshot-every 64] [-wal-sync=true]
 //	       [-log-format text|json] [-log-level info] [-trace-log FILE]
@@ -24,6 +26,28 @@
 // paces replay at N× recorded time (0 replays as fast as possible).
 // -watermark bounds how out-of-order events may arrive before being
 // dropped.
+//
+// # Sources
+//
+// -format picks the input line grammar (internal/source): the native
+// tsv trace format, Apache/Nginx common or combined access logs
+// (-source-host names the server for lines without a vhost token), or
+// jsonl — one JSON object per line, with -jsonl-map renaming fields
+// (e.g. -jsonl-map time=timestamp,client=ip). Malformed lines are
+// counted (smash_source_parse_errors_total) and skipped, never fatal.
+//
+// -follow tails a single live log file the way tail -F does: growth is
+// picked up as it is written, rotation (rename/recreate) and truncation
+// are followed, and with -state-dir the read offset is checkpointed
+// after every persisted window, so a restarted — even kill -9'd —
+// daemon resumes without losing or duplicating events.
+//
+// -push (with -listen) accepts batched raw events POSTed to /v1/ingest
+// (Content-Type picks the format: application/x-ndjson,
+// text/tab-separated-values, text/x-common-log, text/x-combined-log);
+// ?eos=1 on a final POST ends the stream. Pushes block while the engine
+// is behind — backpressure reaches the client as a stalled POST. With
+// file arguments the files replay first, then the push queue drains.
 //
 // -state-dir makes campaign lineages durable: every window is appended to
 // a write-ahead log and snapshotted periodically (internal/store), and a
@@ -98,6 +122,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -105,9 +131,9 @@ import (
 	"smash/internal/obs"
 	"smash/internal/profiling"
 	"smash/internal/serve"
+	"smash/internal/source"
 	"smash/internal/store"
 	"smash/internal/stream"
-	"smash/internal/trace"
 	"smash/internal/tracker"
 )
 
@@ -121,6 +147,11 @@ func main() {
 // onListen, when set (tests), receives the HTTP listener's bound address —
 // the way a test using -listen 127.0.0.1:0 learns the chosen port.
 var onListen func(net.Addr)
+
+// onSource, when set (tests), observes the options after openSource has
+// assembled the input — the way a test reaches the live tailer and
+// source counters of an in-process -follow run.
+var onSource func(*options)
 
 // options carries every parsed flag plus the positional trace paths.
 type options struct {
@@ -136,6 +167,11 @@ type options struct {
 	singleThresh float64
 	jsonOut      bool
 	verbose      bool
+	format       string
+	follow       bool
+	push         bool
+	sourceHost   string
+	jsonlMap     string
 	stateDir     string
 	listen       string
 	retireAfter  int
@@ -160,6 +196,13 @@ type options struct {
 	logger *slog.Logger
 	reg    *obs.Registry
 	tracer *obs.Tracer
+
+	// Live source state, populated by openSource: per-source counters
+	// (rendered as smash_source_* metrics), the tailer behind -follow and
+	// the queue behind -push.
+	srcCtrs   []*source.Counters
+	tailer    *source.Tailer
+	pushQueue *source.PushQueue
 }
 
 // windowRecord is the NDJSON shape of one window. Aborted marks a
@@ -195,6 +238,11 @@ func run(ctx context.Context, args []string, stdin io.Reader, out io.Writer) err
 	fs.Float64Var(&o.singleThresh, "single-threshold", 1.0, "inference threshold for single-client campaigns")
 	fs.BoolVar(&o.jsonOut, "json", false, "emit one JSON object per window (NDJSON)")
 	fs.BoolVar(&o.verbose, "v", false, "print every delta's new servers")
+	fs.StringVar(&o.format, "format", "tsv", "input line format: tsv, common, combined or jsonl")
+	fs.BoolVar(&o.follow, "follow", false, "tail the single input file across rotation (tail -F); with -state-dir, resume from a byte-offset checkpoint")
+	fs.BoolVar(&o.push, "push", false, "accept raw events POSTed to /v1/ingest on the API listener")
+	fs.StringVar(&o.sourceHost, "source-host", "", "server hostname assumed for access-log lines without a vhost token")
+	fs.StringVar(&o.jsonlMap, "jsonl-map", "", "jsonl field mapping overrides, comma-separated field=key pairs (e.g. time=timestamp,client=ip)")
 	fs.StringVar(&o.stateDir, "state-dir", "", "durable campaign-state directory (snapshot + WAL); empty disables persistence")
 	fs.StringVar(&o.listen, "listen", "", "HTTP query/ops API address (e.g. :8080); empty disables serving")
 	fs.IntVar(&o.retireAfter, "retire-after", 0, "retire lineages idle for more than N windows (0 = never)")
@@ -248,31 +296,133 @@ func run(ctx context.Context, args []string, stdin io.Reader, out io.Writer) err
 	}
 }
 
-// openSource assembles the replay source from the positional trace paths
-// (stdin when none), returning the closers to run at exit.
+// parseJSONLMap parses -jsonl-map's "field=key,field=key" syntax.
+func parseJSONLMap(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	m := make(map[string]string)
+	for _, pair := range strings.Split(s, ",") {
+		field, key, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || field == "" || key == "" {
+			return nil, fmt.Errorf("-jsonl-map entries must be field=key, got %q", pair)
+		}
+		m[field] = key
+	}
+	return m, nil
+}
+
+// sourceOptions builds the format options shared by the file source and
+// the push intake.
+func (o *options) sourceOptions() (source.Options, error) {
+	jm, err := parseJSONLMap(o.jsonlMap)
+	if err != nil {
+		return source.Options{}, err
+	}
+	return source.Options{Host: o.sourceHost, JSONLMap: jm}, nil
+}
+
+// sourceStats snapshots every live source's counters — the Sources hook
+// for internal/serve.
+func (o *options) sourceStats() []source.Stats {
+	out := make([]source.Stats, 0, len(o.srcCtrs))
+	for _, c := range o.srcCtrs {
+		out = append(out, c.Stats())
+	}
+	return out
+}
+
+// drain composes the graceful-shutdown action: close the live sources
+// first (the tailer finishes the file, the push queue drains and EOFs)
+// so the engine sees a natural end-of-stream, then Stop seals whatever
+// is still open.
+func (o *options) drain(engStop func()) func() {
+	return func() {
+		if o.tailer != nil {
+			o.tailer.Stop()
+		}
+		if o.pushQueue != nil {
+			o.pushQueue.Close()
+		}
+		engStop()
+	}
+}
+
+// openSource assembles the input source: replayed files or stdin in the
+// configured -format, a rotation-following tailer under -follow, and
+// the HTTP push queue under -push (replayed after any files), returning
+// the closers to run at exit.
 func openSource(o *options, stdin io.Reader) (stream.Source, []io.Closer, error) {
+	opts, err := o.sourceOptions()
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := source.New(o.format, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+
 	var sources []stream.Source
 	var closers []io.Closer
-	paths := o.paths
-	if len(paths) == 0 {
-		paths = []string{"-"}
-	}
-	for _, p := range paths {
-		if p == "-" {
-			sources = append(sources, trace.NewReader(stdin))
-			continue
+	switch {
+	case o.follow:
+		if len(o.paths) != 1 || o.paths[0] == "-" {
+			return nil, nil, fmt.Errorf("-follow needs exactly one file argument (a path, not stdin)")
 		}
-		f, err := os.Open(p)
+		ck := ""
+		if o.stateDir != "" {
+			ck = filepath.Join(o.stateDir, "source.ckpt")
+		}
+		ctrs := source.NewCounters(o.paths[0], o.format)
+		t, err := source.NewTailer(source.TailerConfig{
+			Path:       o.paths[0],
+			Format:     f,
+			Counters:   ctrs,
+			Checkpoint: ck,
+		})
 		if err != nil {
-			for _, c := range closers {
-				c.Close()
-			}
 			return nil, nil, err
 		}
-		closers = append(closers, f)
-		sources = append(sources, trace.NewReader(f))
+		o.tailer = t
+		o.srcCtrs = append(o.srcCtrs, ctrs)
+		sources = append(sources, t)
+	default:
+		paths := o.paths
+		if len(paths) == 0 && !o.push {
+			paths = []string{"-"}
+		}
+		for _, p := range paths {
+			var rd io.Reader
+			name := p
+			if p == "-" {
+				rd, name = stdin, "stdin"
+			} else {
+				file, err := os.Open(p)
+				if err != nil {
+					for _, c := range closers {
+						c.Close()
+					}
+					return nil, nil, err
+				}
+				closers = append(closers, file)
+				rd = file
+			}
+			ctrs := source.NewCounters(name, o.format)
+			o.srcCtrs = append(o.srcCtrs, ctrs)
+			sources = append(sources, source.NewDecoder(rd, f, ctrs))
+		}
 	}
-	var src stream.Source = &stream.MultiSource{Sources: sources}
+	if o.push {
+		o.pushQueue = source.NewPushQueue(0)
+		sources = append(sources, o.pushQueue)
+	}
+
+	var src stream.Source
+	if len(sources) == 1 {
+		src = sources[0]
+	} else {
+		src = &stream.MultiSource{Sources: sources}
+	}
 	if o.speedup > 0 {
 		src = &stream.PacedSource{Src: src, Speedup: o.speedup}
 	}
@@ -397,8 +547,21 @@ func openStore(o *options) (*store.Store, error) {
 }
 
 func runStandalone(ctx context.Context, o *options, stdin io.Reader, out io.Writer) error {
+	if o.push && o.listen == "" {
+		return fmt.Errorf("-push needs -listen (events arrive on POST /v1/ingest)")
+	}
+	// The store opens before the source: a -follow tailer checkpoints
+	// into the same -state-dir, and resuming needs the store's last
+	// applied window as the dedup horizon.
+	st, err := openStore(o)
+	if err != nil {
+		return err
+	}
 	src, closers, err := openSource(o, stdin)
 	if err != nil {
+		if st != nil {
+			st.Close()
+		}
 		return err
 	}
 	defer func() {
@@ -406,6 +569,29 @@ func runStandalone(ctx context.Context, o *options, stdin io.Reader, out io.Writ
 			c.Close()
 		}
 	}()
+
+	// Resume filter: re-read events the previous process already applied
+	// durably (tail re-reads past the conservative checkpoint offset,
+	// re-pushed batches) fall below the last applied window's end and are
+	// skipped, so a restart neither duplicates nor loses events.
+	if st != nil && (o.follow || o.push) {
+		if last := st.LastWindow(); last != nil {
+			var ctrs *source.Counters
+			if len(o.srcCtrs) > 0 {
+				ctrs = o.srcCtrs[0]
+			}
+			src = &source.SkipBelow{Src: src, Horizon: last.End, Counters: ctrs}
+			o.logger.Info("resuming ingestion", "horizon", last.End)
+		}
+	}
+	if o.tailer != nil {
+		if path, off, ok := o.tailer.Resume(); ok {
+			o.logger.Info("resuming tail from checkpoint", "file", path, "offset", off)
+		}
+	}
+	if onSource != nil {
+		onSource(o)
+	}
 
 	detOpts := o.detectorOptions()
 	var timing *core.TimingObserver
@@ -429,10 +615,6 @@ func runStandalone(ctx context.Context, o *options, stdin io.Reader, out io.Writ
 		Tracer:    o.tracer,
 		Logger:    o.logger.With("component", "engine"),
 	}
-	st, err := openStore(o)
-	if err != nil {
-		return err
-	}
 	if st != nil {
 		defer st.Close()
 		if restored := st.Applied(); restored > 0 {
@@ -444,6 +626,11 @@ func runStandalone(ctx context.Context, o *options, stdin io.Reader, out io.Writ
 	} else if o.retireAfter > 0 {
 		engCfg.Tracker = tracker.New()
 		engCfg.Tracker.RetireAfter = o.retireAfter
+	}
+	// The checkpoint sink runs after the store sink: by the time it
+	// commits a tail offset, the window behind it is already on disk.
+	if o.tailer != nil {
+		engCfg.Sinks = append(engCfg.Sinks, &source.CheckpointSink{T: o.tailer})
 	}
 	eng, err := stream.New(engCfg)
 	if err != nil {
@@ -462,10 +649,14 @@ func runStandalone(ctx context.Context, o *options, stdin io.Reader, out io.Writ
 	// gracefully once the stream has drained. Its shutdown context is the
 	// run context: a second signal (hard abort) also cuts serving short.
 	if o.listen != "" {
+		pushOpts, _ := o.sourceOptions()
 		shutdown, err := serveHTTP(ctx, o.listen, serve.NewHandler(serve.Config{
 			Store:       st,
 			Timing:      timing,
 			EngineStats: eng.Stats,
+			Push:        o.pushQueue,
+			PushOptions: pushOpts,
+			Sources:     o.sourceStats,
 			Started:     time.Now(),
 			Metrics:     o.reg,
 			Tracer:      o.tracer,
@@ -476,7 +667,7 @@ func runStandalone(ctx context.Context, o *options, stdin io.Reader, out io.Writ
 		}
 		defer shutdown()
 	}
-	defer notifySignals(ctx, cancel, eng.Stop, o.logger)()
+	defer notifySignals(ctx, cancel, o.drain(eng.Stop), o.logger)()
 
 	if err := printWindows(out, eng.StartContext(ctx, src), o.jsonOut, o.verbose); err != nil {
 		return err

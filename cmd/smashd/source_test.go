@@ -1,0 +1,270 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"smash/internal/source"
+	"smash/internal/synth"
+	"smash/internal/trace"
+)
+
+// pushContentType maps format names onto the /v1/ingest Content-Types
+// the push tests use.
+var pushContentType = map[string]string{
+	"combined": "text/x-combined-log",
+	"jsonl":    "application/x-ndjson",
+}
+
+// renderDays projects a world's days through a format, returning the
+// per-day access-log payloads, the paths of the projected-TSV replay
+// baseline, and the total event count.
+func renderDays(t *testing.T, f source.Format, days []*trace.Trace) (logs []string, tsvPaths []string, total int) {
+	t.Helper()
+	dir := t.TempDir()
+	for i, day := range days {
+		proj := &trace.Trace{Name: day.Name}
+		var sb strings.Builder
+		var buf []byte
+		for j := range day.Requests {
+			r := f.Project(day.Requests[j])
+			proj.Requests = append(proj.Requests, r)
+			buf = f.Append(buf[:0], &r)
+			sb.Write(buf)
+			sb.WriteByte('\n')
+		}
+		total += len(day.Requests)
+		logs = append(logs, sb.String())
+		p := filepath.Join(dir, fmt.Sprintf("day%d.tsv", i+1))
+		file, err := os.Create(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := trace.WriteTrace(file, proj); err != nil {
+			t.Fatal(err)
+		}
+		if err := file.Close(); err != nil {
+			t.Fatal(err)
+		}
+		tsvPaths = append(tsvPaths, p)
+	}
+	return logs, tsvPaths, total
+}
+
+// runTail runs smashd -follow over a live log, appending the first
+// day's second half mid-run, rotating the file between days, and
+// stopping the tailer once every event is ingested.
+func runTail(t *testing.T, format string, logs []string, total int) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "access.log")
+
+	// Seed the file with roughly half of day 1; the rest arrives live.
+	day1 := logs[0]
+	half := strings.Index(day1[len(day1)/2:], "\n") + len(day1)/2 + 1
+	if err := os.WriteFile(path, []byte(day1[:half]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	optCh := make(chan *options, 1)
+	onSource = func(o *options) { optCh <- o }
+	defer func() { onSource = nil }()
+
+	var out bytes.Buffer
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(context.Background(),
+			[]string{"-window", "24h", "-format", format, "-follow", path}, nil, &out)
+	}()
+	var o *options
+	select {
+	case o = <-optCh:
+	case err := <-errCh:
+		t.Fatalf("run exited before opening the source: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out waiting for the source to open")
+	}
+
+	lines := func() int64 { return o.srcCtrs[0].Stats().Lines }
+	waitLines := func(n int64) {
+		t.Helper()
+		deadline := time.Now().Add(20 * time.Second)
+		for lines() < n {
+			if time.Now().After(deadline) {
+				t.Fatalf("tailer ingested %d lines; want %d", lines(), n)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Live growth: the second half of day 1 lands while the tailer runs.
+	appendTo(t, path, day1[half:])
+	n1 := int64(strings.Count(day1, "\n"))
+	waitLines(n1)
+
+	// Rotation: logrotate renames the live file and day 2 starts fresh.
+	if err := os.Rename(path, path+".1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(logs[1]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	waitLines(int64(total))
+	if rot := o.srcCtrs[0].Stats().Rotations; rot != 1 {
+		t.Errorf("rotations = %d; want 1", rot)
+	}
+
+	o.tailer.Stop()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("tail run: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("tail run did not finish after Stop")
+	}
+	return out.String()
+}
+
+// runPush runs smashd -push and POSTs the days as raw-event batches to
+// /v1/ingest, closing the stream with ?eos=1.
+func runPush(t *testing.T, ctype string, logs []string) string {
+	t.Helper()
+	addrCh := make(chan net.Addr, 1)
+	onListen = func(a net.Addr) { addrCh <- a }
+	defer func() { onListen = nil }()
+
+	var out bytes.Buffer
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(context.Background(),
+			[]string{"-window", "24h", "-push", "-listen", "127.0.0.1:0"}, nil, &out)
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-addrCh:
+	case err := <-errCh:
+		t.Fatalf("run exited before listening: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out waiting for the listener")
+	}
+	url := fmt.Sprintf("http://%s/v1/ingest", addr)
+
+	post := func(body, query string) {
+		t.Helper()
+		resp, err := http.Post(url+query, ctype, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			var msg bytes.Buffer
+			msg.ReadFrom(resp.Body)
+			t.Fatalf("POST /v1/ingest = %d: %s", resp.StatusCode, msg.String())
+		}
+	}
+	// Each day ships as a couple of batches — a shipper posting as it
+	// goes, not one giant upload.
+	for _, day := range logs {
+		half := strings.Index(day[len(day)/2:], "\n") + len(day)/2 + 1
+		post(day[:half], "")
+		post(day[half:], "")
+	}
+	post("", "?eos=1")
+
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("push run: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("push run did not finish after eos")
+	}
+	return out.String()
+}
+
+func appendTo(t *testing.T, path, data string) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIngestEquivalence is the subsystem's acceptance bar: the same
+// traffic delivered three ways — projected-TSV replay, a live tailed
+// access log with a mid-run rotation, and HTTP push batches — produces
+// byte-identical window output and lineage summaries.
+func TestIngestEquivalence(t *testing.T) {
+	world, err := synth.Generate(synth.Config{
+		Name: "equiv", Seed: 9, Days: 2,
+		Clients: 250, BenignServers: 600, MeanRequests: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, format := range []string{"combined", "jsonl"} {
+		t.Run(format, func(t *testing.T) {
+			f, err := source.New(format, source.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			logs, tsvPaths, total := renderDays(t, f, world.Days)
+
+			var baseline bytes.Buffer
+			args := append([]string{"-window", "24h"}, tsvPaths...)
+			if err := run(context.Background(), args, nil, &baseline); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(baseline.String(), "appear") {
+				t.Fatalf("baseline replay detected nothing:\n%s", baseline.String())
+			}
+
+			if got := runTail(t, format, logs, total); got != baseline.String() {
+				t.Errorf("-follow output diverged from TSV replay:\n--- replay ---\n%s\n--- tail ---\n%s",
+					summaryOf(t, baseline.String()), summaryOf(t, got))
+			}
+			if got := runPush(t, pushContentType[format], logs); got != baseline.String() {
+				t.Errorf("push output diverged from TSV replay:\n--- replay ---\n%s\n--- push ---\n%s",
+					summaryOf(t, baseline.String()), summaryOf(t, got))
+			}
+		})
+	}
+}
+
+// Source flag validation: the wiring errors a user would hit first.
+func TestSourceFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "a.log")
+	if err := os.WriteFile(p, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]string{
+		{"-format", "xml", p},         // unknown format
+		{"-follow"},                   // -follow without a file
+		{"-follow", p, p},             // -follow with two files
+		{"-push", p},                  // -push without -listen
+		{"-jsonl-map", "nonsense", p}, // bad mapping syntax
+		{"-format", "jsonl", "-jsonl-map", "bogus=key", p}, // unknown field
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(context.Background(), args, strings.NewReader(""), &out); err == nil {
+			t.Errorf("run(%v) succeeded; want a usage error", args)
+		}
+	}
+}

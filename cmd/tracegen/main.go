@@ -5,13 +5,21 @@
 //
 //	tracegen -out dir [-profile Data2011day] [-seed 42]
 //	         [-clients N] [-servers N] [-days N] [-sort-by-time]
-//	         [-partitions N]
+//	         [-partitions N] [-log-format common|combined|jsonl]
 //
 // For each day it writes dayN.tsv in the trace TSV format, plus truth.json
 // (ground-truth manifest) and whois.json (registration database).
 // -sort-by-time orders each day's records by timestamp (stable, so records
 // sharing a timestamp keep their generation order) — guaranteeing the TSVs
 // replay through cmd/smashd in arrival order.
+//
+// -log-format additionally writes each day as dayN.<format>.log in an
+// access-log grammar (internal/source): Apache/Nginx common or combined,
+// or jsonl. The log carries the same traffic projected onto what the
+// format can represent (second-resolution timestamps, no payload digest
+// in the access-log grammars), so `smashd -format combined dayN.combined.log`
+// sees exactly what `smashd dayN.tsv` would after the same projection —
+// the basis of the ingestion equivalence tests.
 //
 // -partitions N additionally writes dayD.pK.tsv files (K in 0..N-1)
 // holding each day's requests split by client-id hash with the cluster's
@@ -23,6 +31,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -32,6 +41,7 @@ import (
 	"sort"
 
 	"smash/internal/cluster"
+	"smash/internal/source"
 	"smash/internal/synth"
 	"smash/internal/trace"
 	"smash/internal/whois"
@@ -55,6 +65,7 @@ func run(args []string, out io.Writer) error {
 		days    = fs.Int("days", 0, "override day count")
 		byTime  = fs.Bool("sort-by-time", false, "sort each day's records by timestamp (stable) for streaming replay")
 		parts   = fs.Int("partitions", 0, "also write dayN.pK.tsv files hash-partitioned by client id (0 disables)")
+		logFmt  = fs.String("log-format", "", "also write each day as dayN.<format>.log (common, combined or jsonl) plus the projected dayN.<format>.tsv")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,6 +87,15 @@ func run(args []string, out io.Writer) error {
 		cfg.Days = *days
 	}
 
+	var logFormat source.Format
+	if *logFmt != "" {
+		f, err := source.New(*logFmt, source.Options{})
+		if err != nil {
+			return err
+		}
+		logFormat = f
+	}
+
 	world, err := synth.Generate(cfg)
 	if err != nil {
 		return err
@@ -93,6 +113,19 @@ func run(args []string, out io.Writer) error {
 		}
 		stats := day.ComputeStats()
 		fmt.Fprintf(out, "wrote %s: %s\n", path, stats.Render())
+		if logFormat != nil {
+			base := filepath.Join(*outDir, fmt.Sprintf("day%d.%s", i+1, *logFmt))
+			if err := writeAccessLog(base+".log", logFormat, day); err != nil {
+				return err
+			}
+			// The projection rendered as TSV: replaying it is equivalent by
+			// construction to parsing the access log, which is what the
+			// ingestion equivalence tests assert.
+			if err := writeTrace(base+".tsv", projectTrace(logFormat, day)); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "wrote %s.log and %s.tsv (%s access-log projection)\n", base, base, *logFmt)
+		}
 		for k := 0; k < *parts; k++ {
 			part := partition(day, k, *parts)
 			ppath := filepath.Join(*outDir, fmt.Sprintf("day%d.p%d.tsv", i+1, k))
@@ -134,6 +167,41 @@ func partition(t *trace.Trace, k, n int) *trace.Trace {
 		}
 	}
 	return out
+}
+
+// projectTrace maps a trace onto what an access-log format can carry —
+// the events a round trip through that format preserves.
+func projectTrace(f source.Format, t *trace.Trace) *trace.Trace {
+	out := &trace.Trace{Name: t.Name, Requests: make([]trace.Request, len(t.Requests))}
+	for i := range t.Requests {
+		out.Requests[i] = f.Project(t.Requests[i])
+	}
+	return out
+}
+
+// writeAccessLog renders each (projected) request as one line of the
+// access-log format.
+func writeAccessLog(path string, f source.Format, t *trace.Trace) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(file, 1<<16)
+	var buf []byte
+	for i := range t.Requests {
+		r := f.Project(t.Requests[i])
+		buf = f.Append(buf[:0], &r)
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			file.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
 }
 
 func writeTrace(path string, t *trace.Trace) error {

@@ -35,6 +35,11 @@
 //   - internal/cluster     — horizontal scale-out: ingest-side fragment
 //     Forwarder (stream.Sink) and the window-aligning Aggregator with
 //     per-node watermarks and a straggler policy
+//   - internal/source      — real-traffic ingestion surface: access-log
+//     format parsers (tsv, Apache/Nginx common and combined, JSON lines
+//     with field mapping) with strict error accounting, a
+//     rotation-following file tailer with byte-offset checkpoints, and
+//     the bounded queue behind the HTTP push intake
 //   - internal/trace       — HTTP traffic model, TSV codec, interned-ID
 //     server index (shared symbol tables, counted aggregates with exact
 //     Merge/Unmerge)
@@ -53,7 +58,8 @@
 //   - internal/profiling   — pprof wiring for the CLIs' -cpuprofile /
 //     -memprofile flags
 //   - cmd/smash, cmd/tracegen, cmd/smashbench — batch CLIs
-//   - cmd/smashd           — streaming daemon over TSV files or stdin,
+//   - cmd/smashd           — streaming daemon over TSV files, stdin,
+//     tailed access logs (-format, -follow) or pushed batches (-push),
 //     with durable state (-state-dir), the ops API (-listen), and
 //     cluster roles (-role ingest|aggregate)
 //   - cmd/benchjson        — bench output -> BENCH_<pr>.json trajectory
@@ -62,7 +68,9 @@
 // See README.md for a walkthrough and DESIGN.md for the staged pipeline
 // API (stage graph, Observer contract, cancellation semantics), the
 // Performance section (interned-ID data plane, incremental sliding
-// windows, scratch reuse), the Cluster section (fragment lifecycle,
+// windows, scratch reuse), the Sources section (format grammars and the
+// projection laws, rotation/checkpoint semantics, push backpressure),
+// the Cluster section (fragment lifecycle,
 // window alignment, straggler policy, remap-merge invariants) and the
 // Observability section (metric catalog, span model, logging
 // conventions). The benchmarks in bench_test.go regenerate each

@@ -46,13 +46,17 @@ import (
 	"net/http/pprof"
 	"sort"
 	"strconv"
+	"strings"
+	"sync"
 	"time"
 
 	"smash/internal/cluster"
 	"smash/internal/core"
 	"smash/internal/obs"
+	"smash/internal/source"
 	"smash/internal/store"
 	"smash/internal/stream"
+	"smash/internal/trace"
 	"smash/internal/tracker"
 	"smash/internal/wire"
 )
@@ -72,6 +76,21 @@ type Config struct {
 	// and contributes cluster counters (global and per ingest node) to
 	// /v1/stats and /metrics — the aggregator role's wiring.
 	Aggregator *cluster.Aggregator
+	// Push, when set, enables raw-event intake on POST /v1/ingest:
+	// NDJSON / TSV / access-log request bodies (format negotiated by
+	// Content-Type, see pushFormats) are parsed with strict error
+	// accounting and queued for the engine. Push and Aggregator may
+	// coexist on one listener; the cluster fragment Content-Type routes
+	// to the aggregator, everything else to the push queue.
+	Push *source.PushQueue
+	// PushOptions parameterizes the push parsers (static Host fallback,
+	// JSONL field mapping) — usually the same Options the daemon's file
+	// source was built with.
+	PushOptions source.Options
+	// Sources, when set, contributes per-source smash_source_* series to
+	// /metrics and a sources block to /v1/stats (push intake counters are
+	// appended automatically when Push is set).
+	Sources func() []source.Stats
 	// Started stamps the /healthz uptime; zero disables the field.
 	Started time.Time
 	// Metrics is the registry rendered at /metrics. Pass the registry the
@@ -105,9 +124,12 @@ func NewHandler(cfg Config) http.Handler {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	registerCollectors(reg, cfg)
-	obs.RegisterRuntimeMetrics(reg)
 	s := &server{cfg: cfg, reg: reg}
+	if cfg.Push != nil {
+		s.pushCtrs = make(map[string]*source.Counters)
+	}
+	registerCollectors(reg, cfg, s.sourceStats)
+	obs.RegisterRuntimeMetrics(reg)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.healthz)
 	mux.HandleFunc("GET /metrics", s.metrics)
@@ -118,7 +140,7 @@ func NewHandler(cfg Config) http.Handler {
 	if cfg.Tracer != nil {
 		mux.HandleFunc("GET /v1/windows/{seq}/trace", s.windowTrace)
 	}
-	if cfg.Aggregator != nil {
+	if cfg.Aggregator != nil || cfg.Push != nil {
 		mux.HandleFunc("POST /v1/ingest", s.ingest)
 	}
 	if cfg.Pprof {
@@ -134,6 +156,45 @@ func NewHandler(cfg Config) http.Handler {
 type server struct {
 	cfg Config
 	reg *obs.Registry
+
+	// pushCtrs holds one counter block per push body format, created on
+	// first use — so /metrics separates NDJSON pushers from TSV pushers.
+	pushMu   sync.Mutex
+	pushCtrs map[string]*source.Counters
+}
+
+// sourceStats merges the daemon's file/stdin source stats with the push
+// intake's per-format counters — the one list /v1/stats and the
+// smash_source_* collectors render.
+func (s *server) sourceStats() []source.Stats {
+	var out []source.Stats
+	if s.cfg.Sources != nil {
+		out = s.cfg.Sources()
+	}
+	s.pushMu.Lock()
+	names := make([]string, 0, len(s.pushCtrs))
+	for name := range s.pushCtrs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		out = append(out, s.pushCtrs[name].Stats())
+	}
+	s.pushMu.Unlock()
+	return out
+}
+
+// pushCounters returns (creating on first use) the counter block for
+// one push body format.
+func (s *server) pushCounters(format string) *source.Counters {
+	s.pushMu.Lock()
+	defer s.pushMu.Unlock()
+	c := s.pushCtrs[format]
+	if c == nil {
+		c = source.NewCounters("push", format)
+		s.pushCtrs[format] = c
+	}
+	return c
 }
 
 // lineageSummary is the list-view JSON shape of one lineage.
@@ -236,11 +297,43 @@ func (s *server) lineages(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// ingest accepts one wire-encoded window fragment from an ingest node and
-// hands it to the aggregator. Submit blocks while the aggregator's inbox
-// is full — that blocking, propagated through the node's forwarder and
-// engine, is the cluster's end-to-end backpressure.
+// pushFormats maps /v1/ingest Content-Types onto source format names
+// for the raw-event push intake.
+var pushFormats = map[string]string{
+	"application/x-ndjson":       "jsonl",
+	"application/jsonl":          "jsonl",
+	"text/tab-separated-values":  "tsv",
+	"application/x-smash-tsv":    "tsv",
+	"text/x-common-log":          "common",
+	"text/x-combined-log":        "combined",
+	"application/x-common-log":   "common",
+	"application/x-combined-log": "combined",
+}
+
+// ingest is the shared POST /v1/ingest intake. The body's Content-Type
+// picks the plane: the cluster fragment type routes to the aggregator
+// (wire-encoded window fragments from ingest nodes); the raw-event
+// types (pushFormats) route to the push queue, parsed with the same
+// strict error accounting as a tailed file. Both planes block while
+// their consumer is behind — that blocking, surfaced as a stalled POST,
+// is the end-to-end backpressure contract.
 func (s *server) ingest(w http.ResponseWriter, r *http.Request) {
+	ctype := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ctype, ';'); i >= 0 {
+		ctype = ctype[:i]
+	}
+	ctype = strings.TrimSpace(strings.ToLower(ctype))
+	if _, isPush := pushFormats[ctype]; isPush || (ctype != cluster.ContentType && s.cfg.Aggregator == nil) {
+		// Raw-event types go to the push queue; so does everything else on
+		// a non-aggregator node (the push handler owns the 415 message).
+		s.ingestPush(w, r, ctype)
+		return
+	}
+	if s.cfg.Aggregator == nil {
+		writeError(w, http.StatusUnsupportedMediaType,
+			"this node is not an aggregator; fragment intake is disabled")
+		return
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxFragmentBytes))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("read fragment: %v", err))
@@ -265,6 +358,75 @@ func (s *server) ingest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, map[string]any{
 		"status": "accepted", "node": frag.Node, "window": frag.Window,
 	})
+}
+
+// maxPushBytes bounds one raw-event push batch. Shippers are expected
+// to batch by the second, not by the day.
+const maxPushBytes = 64 << 20
+
+// ingestPush accepts one batch of raw events. Malformed lines are
+// counted and dropped, never rejected wholesale — the same contract as
+// a tailed file — and the response reports both tallies. `?eos=1`
+// closes the push queue after the batch: queued events drain, then the
+// engine sees end-of-stream and the daemon finishes its run.
+func (s *server) ingestPush(w http.ResponseWriter, r *http.Request, ctype string) {
+	if s.cfg.Push == nil {
+		writeError(w, http.StatusUnsupportedMediaType,
+			"this node does not accept raw events (no push queue); POST a cluster fragment or use a push-enabled role")
+		return
+	}
+	name, ok := pushFormats[ctype]
+	if !ok {
+		types := make([]string, 0, len(pushFormats))
+		for t := range pushFormats {
+			types = append(types, t)
+		}
+		sort.Strings(types)
+		writeError(w, http.StatusUnsupportedMediaType,
+			fmt.Sprintf("unsupported Content-Type %q (raw-event types: %s; cluster fragments: %s)",
+				ctype, strings.Join(types, ", "), cluster.ContentType))
+		return
+	}
+	f, err := source.New(name, s.cfg.PushOptions)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	ctrs := s.pushCounters(name)
+	dec := source.NewDecoder(http.MaxBytesReader(w, r.Body, maxPushBytes), f, ctrs)
+	var batch []trace.Request
+	for {
+		req, err := dec.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("read batch: %v", err))
+			return
+		}
+		batch = append(batch, req)
+	}
+	// Push blocks while the engine is behind; the client's POST stalls
+	// with it (backpressure), unless the client gave up first.
+	if err := s.cfg.Push.Push(batch); err != nil {
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	ctrs.AddBatch()
+	eos := r.URL.Query().Get("eos") == "1"
+	if eos {
+		s.cfg.Push.Close()
+	}
+	out := map[string]any{
+		"status":    "accepted",
+		"format":    name,
+		"events":    len(batch),
+		"malformed": dec.Errors(),
+	}
+	if eos {
+		out["eos"] = true
+	}
+	writeJSON(w, http.StatusAccepted, out)
 }
 
 func (s *server) lineage(w http.ResponseWriter, r *http.Request) {
@@ -300,6 +462,7 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 		Engine  *stream.Stats      `json:"engine,omitempty"`
 		Cluster *cluster.Stats     `json:"cluster,omitempty"`
 		Nodes   []cluster.NodeStat `json:"nodes,omitempty"`
+		Sources []source.Stats     `json:"sources,omitempty"`
 	}{Store: s.cfg.Store.Stats()}
 	if s.cfg.EngineStats != nil {
 		es := s.cfg.EngineStats()
@@ -310,6 +473,7 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 		out.Cluster = &cs
 		out.Nodes = s.cfg.Aggregator.NodeStats()
 	}
+	out.Sources = s.sourceStats()
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -322,10 +486,11 @@ func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // registerCollectors bridges the existing counters — store mirror stats,
-// live engine atomics, aggregator node states, pipeline stage totals —
-// onto the registry as scrape-time collectors. Series names and values
-// are identical to the pre-registry hand-rolled renderer.
-func registerCollectors(reg *obs.Registry, cfg Config) {
+// live engine atomics, aggregator node states, source counters, pipeline
+// stage totals — onto the registry as scrape-time collectors. Series
+// names and values are identical to the pre-registry hand-rolled
+// renderer.
+func registerCollectors(reg *obs.Registry, cfg Config, sources func() []source.Stats) {
 	st := cfg.Store.Stats
 	reg.CounterFunc("smash_store_windows_total",
 		"Windows applied to the campaign-state store.",
@@ -398,6 +563,67 @@ func registerCollectors(reg *obs.Registry, cfg Config) {
 			func(emit obs.Emit) {
 				for _, n := range agg.NodeStats() {
 					emit(float64(n.LastWindow), "node", n.Node)
+				}
+			})
+	}
+
+	if cfg.Sources != nil || cfg.Push != nil {
+		reg.CounterFunc("smash_source_lines_total",
+			"Well-formed log lines parsed into events, per source.",
+			func(emit obs.Emit) {
+				for _, s := range sources() {
+					emit(float64(s.Lines), "source", s.Name, "format", s.Format)
+				}
+			})
+		reg.CounterFunc("smash_source_parse_errors_total",
+			"Malformed log lines counted and dropped, per source.",
+			func(emit obs.Emit) {
+				for _, s := range sources() {
+					emit(float64(s.ParseErrors), "source", s.Name, "format", s.Format)
+				}
+			})
+		reg.CounterFunc("smash_source_bytes_total",
+			"Raw line bytes consumed, per source.",
+			func(emit obs.Emit) {
+				for _, s := range sources() {
+					emit(float64(s.Bytes), "source", s.Name, "format", s.Format)
+				}
+			})
+		reg.CounterFunc("smash_source_rotations_total",
+			"Log rotations (rename/recreate or truncation) followed, per source.",
+			func(emit obs.Emit) {
+				for _, s := range sources() {
+					emit(float64(s.Rotations), "source", s.Name, "format", s.Format)
+				}
+			})
+		reg.CounterFunc("smash_source_skipped_events_total",
+			"Re-read events dropped below the resume horizon (already applied before a restart), per source.",
+			func(emit obs.Emit) {
+				for _, s := range sources() {
+					emit(float64(s.Skipped), "source", s.Name, "format", s.Format)
+				}
+			})
+		reg.CounterFunc("smash_source_checkpoints_total",
+			"Byte-offset checkpoints persisted, per source.",
+			func(emit obs.Emit) {
+				for _, s := range sources() {
+					emit(float64(s.Checkpoints), "source", s.Name, "format", s.Format)
+				}
+			})
+		reg.CounterFunc("smash_source_push_batches_total",
+			"HTTP push batches accepted, per source.",
+			func(emit obs.Emit) {
+				for _, s := range sources() {
+					emit(float64(s.PushBatches), "source", s.Name, "format", s.Format)
+				}
+			})
+		reg.GaugeFunc("smash_source_lag_seconds",
+			"Wall-clock now minus the newest event time seen, per source (how far ingestion trails real time).",
+			func(emit obs.Emit) {
+				for _, s := range sources() {
+					if s.LagSeconds >= 0 {
+						emit(s.LagSeconds, "source", s.Name, "format", s.Format)
+					}
 				}
 			})
 	}

@@ -1,0 +1,480 @@
+package source
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"smash/internal/trace"
+)
+
+// clfFormat is the Apache/Nginx access-log grammar, in its two classic
+// shapes:
+//
+//	common:   host ident authuser [date] "request" status bytes
+//	combined: common + "referer" "user-agent"
+//
+// Both accept an optional leading virtual-host token (the vhost_combined
+// idiom, `%v %h ...`): with three bare tokens before the bracketed date
+// the line is plain common/combined and the configured static Host names
+// the server; with four, the first token is the vhost. The emit side
+// always writes the vhost token, because without it a log line cannot
+// name the server it was served by — the one field SMASH cannot live
+// without.
+//
+// Field mapping onto trace.Request:
+//
+//	vhost            -> Host (or ServerIP when the token is an IP literal)
+//	%h remote host   -> Client
+//	[date]           -> Time (second resolution, normalized to UTC)
+//	"request" target -> Path + Query (an absolute-URI target also yields
+//	                    Host when no vhost token was present)
+//	status           -> Status ("-" is 0)
+//	"referer"        -> Referrer (host part of the URL)
+//	"user-agent"     -> UserAgent
+//
+// ident, authuser and the byte count are parsed and discarded. Quoted
+// fields use backslash escapes (\" \\ \n \r \t \xHH), matching Apache's
+// escaping, so arbitrary header bytes survive the one-record-one-line
+// rule.
+type clfFormat struct {
+	name     string
+	combined bool
+	host     string
+}
+
+// clfTime is the CLF timestamp layout: 10/Oct/2000:13:55:36 -0700.
+const clfTime = "02/Jan/2006:15:04:05 -0700"
+
+func (f *clfFormat) Name() string { return f.name }
+
+func (f *clfFormat) Parse(line string) (trace.Request, error) {
+	if strings.TrimSpace(line) == "" {
+		return trace.Request{}, ErrSkip
+	}
+	l := &clfLexer{s: line}
+
+	// Bare tokens before the bracketed date: h l u, or vhost h l u.
+	var pre []string
+	for {
+		if b, ok := l.peek(); !ok || b == '[' {
+			break
+		}
+		tok, err := l.bare()
+		if err != nil {
+			return trace.Request{}, badLine("%s: %v", f.name, err)
+		}
+		pre = append(pre, tok)
+		if len(pre) > 4 {
+			return trace.Request{}, badLine("%s: too many tokens before the [date]", f.name)
+		}
+	}
+	var req trace.Request
+	var client string
+	switch len(pre) {
+	case 3:
+		client = pre[0]
+		assignServer(&req, f.host)
+	case 4:
+		assignServer(&req, pre[0])
+		client = pre[1]
+	default:
+		return trace.Request{}, badLine("%s: %d tokens before the [date], want 3 (h l u) or 4 (vhost h l u)", f.name, len(pre))
+	}
+	req.Client = dashEmpty(client)
+
+	date, err := l.bracketed()
+	if err != nil {
+		return trace.Request{}, badLine("%s: date: %v", f.name, err)
+	}
+	t, err := time.Parse(clfTime, date)
+	if err != nil {
+		return trace.Request{}, badLine("%s: date %q: %v", f.name, date, err)
+	}
+	req.Time = t.UTC()
+
+	reqLine, err := l.quoted()
+	if err != nil {
+		return trace.Request{}, badLine("%s: request line: %v", f.name, err)
+	}
+	if err := parseRequestLine(&req, reqLine); err != nil {
+		return trace.Request{}, badLine("%s: request line %q: %v", f.name, reqLine, err)
+	}
+
+	statusTok, err := l.bare()
+	if err != nil {
+		return trace.Request{}, badLine("%s: status: %v", f.name, err)
+	}
+	if statusTok != "-" {
+		status, err := strconv.Atoi(statusTok)
+		if err != nil {
+			return trace.Request{}, badLine("%s: status %q", f.name, statusTok)
+		}
+		req.Status = status
+	}
+	bytesTok, err := l.bare()
+	if err != nil {
+		return trace.Request{}, badLine("%s: byte count: %v", f.name, err)
+	}
+	if bytesTok != "-" {
+		if _, err := strconv.ParseInt(bytesTok, 10, 64); err != nil {
+			return trace.Request{}, badLine("%s: byte count %q", f.name, bytesTok)
+		}
+	}
+
+	if f.combined {
+		ref, err := l.quoted()
+		if err != nil {
+			return trace.Request{}, badLine("combined: referer: %v", err)
+		}
+		if ref != "-" && ref != "" {
+			req.Referrer = hostOfURL(ref)
+		}
+		ua, err := l.quoted()
+		if err != nil {
+			return trace.Request{}, badLine("combined: user-agent: %v", err)
+		}
+		req.UserAgent = dashEmpty(ua)
+	}
+	if !l.eof() {
+		return trace.Request{}, badLine("%s: trailing content after the last field", f.name)
+	}
+	return req, nil
+}
+
+func (f *clfFormat) Append(dst []byte, r *trace.Request) []byte {
+	vhost := r.Host
+	if vhost == "" {
+		vhost = r.ServerIP
+	}
+	dst = append(dst, emptyDash(sanitizeToken(vhost))...)
+	dst = append(dst, ' ')
+	dst = append(dst, emptyDash(sanitizeToken(r.Client))...)
+	dst = append(dst, " - - ["...)
+	dst = r.Time.UTC().AppendFormat(dst, clfTime)
+	dst = append(dst, "] "...)
+	target := r.Path
+	if i := strings.IndexByte(target, '?'); i >= 0 {
+		target = target[:i]
+	}
+	if target == "" {
+		target = "/"
+	}
+	if r.Query != "" {
+		target += "?" + r.Query
+	}
+	dst = appendQuoted(dst, "GET "+target+" HTTP/1.1")
+	dst = append(dst, ' ')
+	if r.Status == 0 {
+		dst = append(dst, '-')
+	} else {
+		dst = strconv.AppendInt(dst, int64(r.Status), 10)
+	}
+	dst = append(dst, " -"...)
+	if f.combined {
+		dst = append(dst, ' ')
+		if r.Referrer == "" {
+			dst = appendQuoted(dst, "-")
+		} else {
+			dst = appendQuoted(dst, "http://"+r.Referrer+"/")
+		}
+		dst = append(dst, ' ')
+		dst = appendQuoted(dst, emptyDash(r.UserAgent))
+	}
+	return dst
+}
+
+func (f *clfFormat) Project(r trace.Request) trace.Request {
+	out := trace.Request{
+		Time:   r.Time.Truncate(time.Second).UTC(),
+		Client: dashEmpty(sanitizeToken(r.Client)),
+		Status: r.Status,
+	}
+	// The vhost token carries exactly one server identity; the parser
+	// classifies it back as hostname or IP literal.
+	vhost := r.Host
+	if vhost == "" {
+		vhost = r.ServerIP
+	}
+	assignServer(&out, sanitizeToken(vhost))
+	path := r.Path
+	if i := strings.IndexByte(path, '?'); i >= 0 {
+		path = path[:i]
+	}
+	if path == "" {
+		path = "/"
+	}
+	out.Path = path
+	out.Query = r.Query
+	if f.combined {
+		out.Referrer = hostOfURL(r.Referrer)
+		out.UserAgent = dashEmpty(r.UserAgent)
+	}
+	return out
+}
+
+// assignServer classifies a vhost token: IP literals name the connection
+// endpoint (ServerIP), anything else the Host header. "-" and "" leave
+// both empty.
+func assignServer(r *trace.Request, vhost string) {
+	vhost = dashEmpty(vhost)
+	if vhost == "" {
+		return
+	}
+	if net.ParseIP(vhost) != nil {
+		r.ServerIP = vhost
+	} else {
+		r.Host = vhost
+	}
+}
+
+// parseRequestLine splits `METHOD target HTTP/x.y` into Path/Query (and
+// Host, for absolute-URI targets when no vhost assigned one). The target
+// is everything between the first and last space, so embedded spaces
+// survive.
+func parseRequestLine(r *trace.Request, s string) error {
+	first := strings.IndexByte(s, ' ')
+	last := strings.LastIndexByte(s, ' ')
+	if first < 0 || last <= first {
+		return fmt.Errorf("want METHOD target HTTP/x")
+	}
+	method, target, proto := s[:first], s[first+1:last], s[last+1:]
+	if method == "" || !strings.HasPrefix(proto, "HTTP/") {
+		return fmt.Errorf("want METHOD target HTTP/x")
+	}
+	if target == "" {
+		return fmt.Errorf("empty target")
+	}
+	// Origin-form targets start with '/'; only non-rooted targets can be
+	// absolute URIs, so a path that merely contains "://" stays a path.
+	if i := strings.Index(target, "://"); i >= 0 && !strings.HasPrefix(target, "/") {
+		// Absolute URI (proxy logs): the authority names the server.
+		rest := target[i+3:]
+		var authority string
+		if j := strings.IndexByte(rest, '/'); j >= 0 {
+			authority, target = rest[:j], rest[j:]
+		} else {
+			authority, target = rest, "/"
+		}
+		if r.Host == "" && r.ServerIP == "" {
+			assignServer(r, hostOfAuthority(authority))
+		}
+	}
+	if i := strings.IndexByte(target, '?'); i >= 0 {
+		r.Path, r.Query = target[:i], target[i+1:]
+	} else {
+		r.Path = target
+	}
+	return nil
+}
+
+// hostOfURL extracts the host part of a Referer value: scheme and
+// userinfo stripped, path cut, port dropped. Bare hostnames pass
+// through.
+func hostOfURL(s string) string {
+	if s == "" {
+		return ""
+	}
+	if i := strings.Index(s, "://"); i >= 0 {
+		s = s[i+3:]
+	}
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		s = s[:i]
+	}
+	return hostOfAuthority(s)
+}
+
+// hostOfAuthority strips userinfo and port from an authority component.
+func hostOfAuthority(s string) string {
+	if i := strings.LastIndexByte(s, '@'); i >= 0 {
+		s = s[i+1:]
+	}
+	if strings.HasPrefix(s, "[") { // bracketed IPv6 literal
+		if i := strings.IndexByte(s, ']'); i >= 0 {
+			return s[1:i]
+		}
+		return s[1:]
+	}
+	// A single colon separates host from port; two or more mean a bare
+	// IPv6 literal, which has no port to strip (keeps hostOfURL a fixed
+	// point on its own output).
+	if i := strings.IndexByte(s, ':'); i >= 0 && strings.IndexByte(s[i+1:], ':') < 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+// sanitizeToken makes a value safe as one bare CLF token: whitespace,
+// quotes, brackets and control bytes become '_' so the line structure
+// cannot be broken by field content.
+func sanitizeToken(s string) string {
+	needs := false
+	for i := 0; i < len(s); i++ {
+		if tokenUnsafe(s[i]) {
+			needs = true
+			break
+		}
+	}
+	if !needs {
+		return s
+	}
+	b := []byte(s)
+	for i := range b {
+		if tokenUnsafe(b[i]) {
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+func tokenUnsafe(c byte) bool {
+	return c <= ' ' || c == '"' || c == '[' || c == ']' || c == 0x7f
+}
+
+func emptyDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func dashEmpty(s string) string {
+	if s == "-" {
+		return ""
+	}
+	return s
+}
+
+// appendQuoted appends s as a CLF quoted string: `"` and `\` get a
+// backslash, CR/LF/TAB their mnemonic escape, other control bytes \xHH.
+func appendQuoted(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"':
+			dst = append(dst, '\\', '"')
+		case c == '\\':
+			dst = append(dst, '\\', '\\')
+		case c == '\n':
+			dst = append(dst, '\\', 'n')
+		case c == '\r':
+			dst = append(dst, '\\', 'r')
+		case c == '\t':
+			dst = append(dst, '\\', 't')
+		case c < 0x20 || c == 0x7f:
+			dst = append(dst, fmt.Sprintf("\\x%02x", c)...)
+		default:
+			dst = append(dst, c)
+		}
+	}
+	return append(dst, '"')
+}
+
+// clfLexer walks one log line: bare tokens, [bracketed] dates and
+// "quoted" strings with backslash escapes.
+type clfLexer struct {
+	s string
+	i int
+}
+
+func (l *clfLexer) ws() {
+	for l.i < len(l.s) && (l.s[l.i] == ' ' || l.s[l.i] == '\t') {
+		l.i++
+	}
+}
+
+// peek returns the next non-space byte without consuming it.
+func (l *clfLexer) peek() (byte, bool) {
+	l.ws()
+	if l.i >= len(l.s) {
+		return 0, false
+	}
+	return l.s[l.i], true
+}
+
+func (l *clfLexer) eof() bool {
+	l.ws()
+	return l.i >= len(l.s)
+}
+
+func (l *clfLexer) bare() (string, error) {
+	l.ws()
+	start := l.i
+	for l.i < len(l.s) && l.s[l.i] != ' ' && l.s[l.i] != '\t' {
+		l.i++
+	}
+	if l.i == start {
+		return "", fmt.Errorf("missing token")
+	}
+	return l.s[start:l.i], nil
+}
+
+func (l *clfLexer) bracketed() (string, error) {
+	l.ws()
+	if l.i >= len(l.s) || l.s[l.i] != '[' {
+		return "", fmt.Errorf("missing [")
+	}
+	l.i++
+	start := l.i
+	for l.i < len(l.s) && l.s[l.i] != ']' {
+		l.i++
+	}
+	if l.i >= len(l.s) {
+		return "", fmt.Errorf("unterminated [")
+	}
+	out := l.s[start:l.i]
+	l.i++
+	return out, nil
+}
+
+func (l *clfLexer) quoted() (string, error) {
+	l.ws()
+	if l.i >= len(l.s) || l.s[l.i] != '"' {
+		return "", fmt.Errorf("missing opening quote")
+	}
+	l.i++
+	var b strings.Builder
+	for l.i < len(l.s) {
+		c := l.s[l.i]
+		switch c {
+		case '"':
+			l.i++
+			return b.String(), nil
+		case '\\':
+			l.i++
+			if l.i >= len(l.s) {
+				return "", fmt.Errorf("dangling backslash")
+			}
+			switch e := l.s[l.i]; e {
+			case '"', '\\':
+				b.WriteByte(e)
+			case 'n':
+				b.WriteByte('\n')
+			case 'r':
+				b.WriteByte('\r')
+			case 't':
+				b.WriteByte('\t')
+			case 'x':
+				if l.i+2 >= len(l.s) {
+					return "", fmt.Errorf("truncated \\x escape")
+				}
+				v, err := strconv.ParseUint(l.s[l.i+1:l.i+3], 16, 8)
+				if err != nil {
+					return "", fmt.Errorf("bad \\x escape")
+				}
+				b.WriteByte(byte(v))
+				l.i += 2
+			default:
+				return "", fmt.Errorf("unknown escape \\%c", e)
+			}
+			l.i++
+		default:
+			b.WriteByte(c)
+			l.i++
+		}
+	}
+	return "", fmt.Errorf("unterminated quote")
+}

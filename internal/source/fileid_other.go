@@ -1,0 +1,20 @@
+//go:build !unix
+
+package source
+
+import "os"
+
+// fileID identifies a file independently of its name. On platforms
+// without a stable identity the zero value (OK false) disables
+// identity-based rotation resume; the Tailer still follows rotations of
+// the live file (os.SameFile works everywhere) and checkpoints resume
+// on a path + size heuristic.
+type fileID struct {
+	Dev uint64
+	Ino uint64
+	OK  bool
+}
+
+func fileIDOf(fi os.FileInfo) (fileID, bool) { return fileID{}, false }
+
+func fileIDFor(f *os.File) (fileID, bool) { return fileID{}, false }

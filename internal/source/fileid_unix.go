@@ -1,0 +1,36 @@
+//go:build unix
+
+package source
+
+import (
+	"os"
+	"syscall"
+)
+
+// fileID identifies a file independently of its name — device plus
+// inode on unix. OK is false on platforms (or filesystems) where no
+// stable identity is available; checkpoint resume then falls back to a
+// path + size heuristic.
+type fileID struct {
+	Dev uint64
+	Ino uint64
+	OK  bool
+}
+
+// fileIDOf extracts the identity from a FileInfo.
+func fileIDOf(fi os.FileInfo) (fileID, bool) {
+	st, ok := fi.Sys().(*syscall.Stat_t)
+	if !ok {
+		return fileID{}, false
+	}
+	return fileID{Dev: uint64(st.Dev), Ino: uint64(st.Ino), OK: true}, true
+}
+
+// fileIDFor stats an open file and returns its identity.
+func fileIDFor(f *os.File) (fileID, bool) {
+	fi, err := f.Stat()
+	if err != nil {
+		return fileID{}, false
+	}
+	return fileIDOf(fi)
+}

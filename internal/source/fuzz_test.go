@@ -1,0 +1,100 @@
+package source
+
+import (
+	"testing"
+
+	"smash/internal/trace"
+)
+
+// checkParse is every format fuzzer's shared property: Parse must never
+// panic, and any line it accepts must satisfy the projection laws —
+// Project is a fixed point on parsed requests' projections, and
+// Append/Parse round-trip the projection exactly. A parser bug that
+// mangles a field silently (instead of rejecting the line) shows up
+// here as a round-trip divergence.
+func checkParse(t *testing.T, f Format, line string) {
+	r, err := f.Parse(line)
+	if err != nil {
+		return
+	}
+	p := f.Project(r)
+	if pp := f.Project(p); !sameRequest(p, pp) {
+		t.Fatalf("Project not idempotent on parse of %q:\n  once:  %+v\n  twice: %+v", line, p, pp)
+	}
+	// RFC 3339 (and CLF date formatting) cannot carry years outside
+	// [1, 9999]; numeric JSONL timestamps can. Such events are out of
+	// the representable domain, so the round-trip law doesn't apply.
+	if y := p.Time.Year(); y < 1 || y > 9999 {
+		return
+	}
+	emitted := string(f.Append(nil, &p))
+	got, err := f.Parse(emitted)
+	if err != nil {
+		t.Fatalf("re-parse of emitted line failed: %v\n  source: %q\n  emitted: %q", err, line, emitted)
+	}
+	if !sameRequest(got, p) {
+		t.Fatalf("round trip diverged:\n  source:  %q\n  emitted: %q\n  want %+v\n  got  %+v", line, emitted, p, got)
+	}
+}
+
+func fuzzFormat(f *testing.F, format Format, seeds []string) {
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	// Shared torture seeds: structure-breaking bytes for every grammar.
+	f.Add("")
+	f.Add("# comment")
+	f.Add("\t\t\t\t\t\t\t\t\t")
+	f.Add(`"" "" [] - - \x41 \q`)
+	f.Add(string([]byte{0x00, 0xff, 0x80, '\t', '"', '[', '\\'}))
+	f.Fuzz(func(t *testing.T, line string) {
+		checkParse(t, format, line)
+	})
+}
+
+func FuzzTSV(f *testing.F) {
+	r := trace.Request{Client: "c1", Host: "h.test", Path: "/p", Query: "a=1", Status: 200}
+	fuzzFormat(f, tsvFormat{}, []string{
+		string(trace.AppendRecord(nil, &r)),
+		"1330560000000000000\tc\th\t-\t/\t-\t-\t-\t200\t-",
+		"nope\tc\th\t-\t/\t-\t-\t-\t200\t-",
+	})
+}
+
+func FuzzCommon(f *testing.F) {
+	format, err := New("common", Options{Host: "static.test"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	fuzzFormat(f, format, []string{
+		`203.0.113.9 - frank [10/Oct/2000:13:55:36 -0700] "GET /apache_pb.gif HTTP/1.0" 200 2326`,
+		`www.example.com 10.1.2.3 - - [01/Mar/2012:00:00:05 +0000] "GET /a?x=1 HTTP/1.1" 404 -`,
+		`- 10.0.0.1 - - [01/Mar/2012:08:30:00 +0000] "GET http://evil.test/mal.exe HTTP/1.1" - -`,
+		`[::1] c - - [01/Mar/2012:08:30:00 +0000] "GET /v6 HTTP/1.1" 200 0`,
+	})
+}
+
+func FuzzCombined(f *testing.F) {
+	format, err := New("combined", Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	fuzzFormat(f, format, []string{
+		`h.test c - - [01/Mar/2012:08:30:00 +0000] "GET / HTTP/1.1" 200 99 "http://ref.test/lp" "Mozilla/5.0 (X11; \"U\")"`,
+		`h.test c - - [01/Mar/2012:08:30:00 +0000] "GET / HTTP/1.1" 200 99 "-" "-"`,
+		`h.test c - - [01/Mar/2012:08:30:00 +0000] "GET / HTTP/1.1" 200 99 "http://[2001:db8::1]:443/x" "tab\there \x07bell"`,
+	})
+}
+
+func FuzzJSONL(f *testing.F) {
+	format, err := New("jsonl", Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	fuzzFormat(f, format, []string{
+		`{"ts":"2012-03-01T09:30:15.25Z","client":"c","host":"h.test","path":"/p","status":200}`,
+		`{"ts":1330594215123,"client":"c","server_ip":"10.0.0.1","query":"a=1","user_agent":"ua"}`,
+		`{"ts":1330594215.5,"client":"c","referrer":"ref.test","payload_digest":"sha1:x"}`,
+		`{"ts":-9e99}`,
+	})
+}

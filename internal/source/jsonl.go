@@ -1,0 +1,257 @@
+package source
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"smash/internal/trace"
+)
+
+// JSONLFields lists the logical field names of the "jsonl" format with
+// their default JSON keys. Options.JSONLMap overrides individual keys
+// (logical name -> JSON key) so smashd can ingest whatever shape a log
+// shipper already emits.
+var JSONLFields = map[string]string{
+	"time":           "ts",
+	"client":         "client",
+	"host":           "host",
+	"server_ip":      "server_ip",
+	"path":           "path",
+	"query":          "query",
+	"user_agent":     "user_agent",
+	"referrer":       "referrer",
+	"status":         "status",
+	"payload_digest": "payload_digest",
+}
+
+// jsonlFormat is one JSON object per line. Lossless: every trace.Request
+// field has a key, strings are JSON-escaped (newlines cannot break the
+// one-record-one-line rule), and timestamps keep nanosecond resolution.
+//
+// Timestamps parse from RFC 3339 strings or from bare numbers, whose
+// magnitude picks the unit: < 1e11 seconds (fractional part kept),
+// < 1e14 milliseconds, < 1e17 microseconds, else nanoseconds — the
+// heuristic every log shipper ends up needing, here in one place.
+type jsonlFormat struct {
+	// keys maps logical field name -> JSON key after overrides.
+	keys map[string]string
+}
+
+func newJSONLFormat(overrides map[string]string) (*jsonlFormat, error) {
+	keys := make(map[string]string, len(JSONLFields))
+	for name, key := range JSONLFields {
+		keys[name] = key
+	}
+	for name, key := range overrides {
+		if _, ok := keys[name]; !ok {
+			known := make([]string, 0, len(JSONLFields))
+			for n := range JSONLFields {
+				known = append(known, n)
+			}
+			sort.Strings(known)
+			return nil, fmt.Errorf("source: jsonl mapping: unknown field %q (fields: %v)", name, known)
+		}
+		if key == "" {
+			return nil, fmt.Errorf("source: jsonl mapping: empty key for field %q", name)
+		}
+		keys[name] = key
+	}
+	seen := make(map[string]string, len(keys))
+	for name, key := range keys {
+		if prev, dup := seen[key]; dup {
+			return nil, fmt.Errorf("source: jsonl mapping: key %q used by both %q and %q", key, prev, name)
+		}
+		seen[key] = name
+	}
+	return &jsonlFormat{keys: keys}, nil
+}
+
+func (f *jsonlFormat) Name() string { return "jsonl" }
+
+func (f *jsonlFormat) Parse(line string) (trace.Request, error) {
+	trimmed := trimSpaces(line)
+	if trimmed == "" || trimmed[0] == '#' {
+		return trace.Request{}, ErrSkip
+	}
+	var obj map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(trimmed), &obj); err != nil {
+		return trace.Request{}, badLine("jsonl: %v", err)
+	}
+	var req trace.Request
+	var err error
+	if raw, ok := obj[f.keys["time"]]; ok {
+		if req.Time, err = parseJSONTime(raw); err != nil {
+			return trace.Request{}, badLine("jsonl: %s: %v", f.keys["time"], err)
+		}
+	} else {
+		return trace.Request{}, badLine("jsonl: missing %q", f.keys["time"])
+	}
+	str := func(name string) (string, error) {
+		raw, ok := obj[f.keys[name]]
+		if !ok {
+			return "", nil
+		}
+		var s string
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return "", badLine("jsonl: %s: want a string", f.keys[name])
+		}
+		return s, nil
+	}
+	fields := []struct {
+		name string
+		dst  *string
+	}{
+		{"client", &req.Client},
+		{"host", &req.Host},
+		{"server_ip", &req.ServerIP},
+		{"path", &req.Path},
+		{"query", &req.Query},
+		{"user_agent", &req.UserAgent},
+		{"referrer", &req.Referrer},
+		{"payload_digest", &req.PayloadDigest},
+	}
+	for _, fld := range fields {
+		if *fld.dst, err = str(fld.name); err != nil {
+			return trace.Request{}, err
+		}
+	}
+	if raw, ok := obj[f.keys["status"]]; ok {
+		if req.Status, err = parseJSONStatus(raw); err != nil {
+			return trace.Request{}, badLine("jsonl: %s: %v", f.keys["status"], err)
+		}
+	}
+	return req, nil
+}
+
+func (f *jsonlFormat) Append(dst []byte, r *trace.Request) []byte {
+	dst = append(dst, '{')
+	dst = appendJSONKey(dst, f.keys["time"])
+	dst = strconv.AppendQuote(dst, r.Time.UTC().Format(time.RFC3339Nano))
+	field := func(name, v string) {
+		if v == "" {
+			return
+		}
+		dst = append(dst, ',')
+		dst = appendJSONKey(dst, f.keys[name])
+		dst = appendJSONString(dst, v)
+	}
+	field("client", r.Client)
+	field("host", r.Host)
+	field("server_ip", r.ServerIP)
+	field("path", r.Path)
+	field("query", r.Query)
+	field("user_agent", r.UserAgent)
+	field("referrer", r.Referrer)
+	dst = append(dst, ',')
+	dst = appendJSONKey(dst, f.keys["status"])
+	dst = strconv.AppendInt(dst, int64(r.Status), 10)
+	field("payload_digest", r.PayloadDigest)
+	return append(dst, '}')
+}
+
+// Project is the identity up to UTC normalization: JSONL carries every
+// field at full resolution.
+func (f *jsonlFormat) Project(r trace.Request) trace.Request {
+	r.Time = r.Time.UTC()
+	return r
+}
+
+func appendJSONKey(dst []byte, key string) []byte {
+	dst = appendJSONString(dst, key)
+	return append(dst, ':')
+}
+
+// appendJSONString appends s as a JSON string. json.Marshal of a string
+// cannot fail; doing it by hand keeps emit allocation-free for the
+// common ASCII case.
+func appendJSONString(dst []byte, s string) []byte {
+	clean := true
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c < 0x20 || c == '"' || c == '\\' || c >= 0x80 {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		dst = append(dst, '"')
+		dst = append(dst, s...)
+		return append(dst, '"')
+	}
+	b, _ := json.Marshal(s)
+	return append(dst, b...)
+}
+
+// parseJSONTime accepts RFC 3339 strings or numeric timestamps with
+// magnitude-based units.
+func parseJSONTime(raw json.RawMessage) (time.Time, error) {
+	var s string
+	if err := json.Unmarshal(raw, &s); err == nil {
+		t, err := time.Parse(time.RFC3339Nano, s)
+		if err != nil {
+			return time.Time{}, fmt.Errorf("bad RFC3339 time %q", s)
+		}
+		return t.UTC(), nil
+	}
+	var n json.Number
+	if err := json.Unmarshal(raw, &n); err != nil {
+		return time.Time{}, fmt.Errorf("want an RFC3339 string or a number")
+	}
+	if i, err := n.Int64(); err == nil {
+		switch abs := absInt64(i); {
+		case abs < 1e11: // seconds
+			return time.Unix(i, 0).UTC(), nil
+		case abs < 1e14: // milliseconds
+			return time.Unix(0, i*int64(time.Millisecond)).UTC(), nil
+		case abs < 1e17: // microseconds
+			return time.Unix(0, i*int64(time.Microsecond)).UTC(), nil
+		default: // nanoseconds
+			return time.Unix(0, i).UTC(), nil
+		}
+	}
+	fv, err := n.Float64()
+	if err != nil {
+		return time.Time{}, fmt.Errorf("bad numeric time %q", n.String())
+	}
+	sec := int64(fv)
+	return time.Unix(sec, int64((fv-float64(sec))*1e9)).UTC(), nil
+}
+
+func parseJSONStatus(raw json.RawMessage) (int, error) {
+	var n int
+	if err := json.Unmarshal(raw, &n); err == nil {
+		return n, nil
+	}
+	var s string
+	if err := json.Unmarshal(raw, &s); err == nil {
+		if s == "" || s == "-" {
+			return 0, nil
+		}
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			return 0, fmt.Errorf("bad status %q", s)
+		}
+		return n, nil
+	}
+	return 0, fmt.Errorf("want a number or numeric string")
+}
+
+func absInt64(i int64) int64 {
+	if i < 0 {
+		return -i
+	}
+	return i
+}
+
+func trimSpaces(s string) string {
+	start, end := 0, len(s)
+	for start < end && (s[start] == ' ' || s[start] == '\t' || s[start] == '\r') {
+		start++
+	}
+	for end > start && (s[end-1] == ' ' || s[end-1] == '\t' || s[end-1] == '\r') {
+		end--
+	}
+	return s[start:end]
+}

@@ -1,0 +1,17 @@
+package source
+
+import "smash/internal/stream"
+
+// CheckpointSink advances a Tailer's checkpoint as windows are applied.
+// It must be ordered after the store sink in stream.Config.Sinks: sinks
+// run sequentially in window order, so by the time Consume sees a
+// window the store has already persisted it, and committing the tail
+// offset up to that window's end is safe even against kill -9.
+type CheckpointSink struct {
+	T *Tailer
+}
+
+// Consume implements stream.Sink.
+func (s *CheckpointSink) Consume(w *stream.WindowResult) error {
+	return s.T.Commit(w.End)
+}

@@ -30,6 +30,7 @@ var ErrBadRecord = errors.New("malformed trace record")
 // Writer streams requests to an io.Writer in the TSV trace format.
 type Writer struct {
 	w   *bufio.Writer
+	buf []byte
 	err error
 }
 
@@ -57,7 +58,17 @@ func (tw *Writer) Write(r *Request) error {
 	if tw.err != nil {
 		return tw.err
 	}
-	_, tw.err = fmt.Fprintf(tw.w, "%d\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%d\t%s\n",
+	tw.buf = AppendRecord(tw.buf[:0], r)
+	tw.buf = append(tw.buf, '\n')
+	_, tw.err = tw.w.Write(tw.buf)
+	return tw.err
+}
+
+// AppendRecord appends r as one TSV record line (without a trailing
+// newline) — the emit-side counterpart of ParseRecord, shared by Writer
+// and the internal/source TSV emitter.
+func AppendRecord(dst []byte, r *Request) []byte {
+	return fmt.Appendf(dst, "%d\t%s\t%s\t%s\t%s\t%s\t%s\t%s\t%d\t%s",
 		r.Time.UnixNano(),
 		emptyDash(sanitizeField(r.Client)),
 		emptyDash(sanitizeField(r.Host)),
@@ -68,7 +79,6 @@ func (tw *Writer) Write(r *Request) error {
 		emptyDash(sanitizeField(r.Referrer)),
 		r.Status,
 		emptyDash(sanitizeField(r.PayloadDigest)))
-	return tw.err
 }
 
 // Flush flushes buffered records and reports any sticky error.
@@ -142,18 +152,29 @@ func (tr *Reader) Read() (Request, error) {
 }
 
 func (tr *Reader) parse(line string) (Request, error) {
+	req, err := ParseRecord(line)
+	if err != nil {
+		return Request{}, fmt.Errorf("line %d: %w", tr.line, err)
+	}
+	return req, nil
+}
+
+// ParseRecord parses one TSV trace record line (without its trailing
+// newline). It is the single line-level grammar shared by Reader and the
+// internal/source TSV decoder; malformed lines wrap ErrBadRecord.
+func ParseRecord(line string) (Request, error) {
 	fields := strings.Split(line, "\t")
 	if len(fields) != fieldCount && len(fields) != legacyFieldCount {
-		return Request{}, fmt.Errorf("line %d: %d fields, want %d or %d: %w",
-			tr.line, len(fields), fieldCount, legacyFieldCount, ErrBadRecord)
+		return Request{}, fmt.Errorf("%d fields, want %d or %d: %w",
+			len(fields), fieldCount, legacyFieldCount, ErrBadRecord)
 	}
 	ns, err := strconv.ParseInt(fields[0], 10, 64)
 	if err != nil {
-		return Request{}, fmt.Errorf("line %d: time: %w", tr.line, ErrBadRecord)
+		return Request{}, fmt.Errorf("time: %w", ErrBadRecord)
 	}
 	status, err := strconv.Atoi(fields[8])
 	if err != nil {
-		return Request{}, fmt.Errorf("line %d: status: %w", tr.line, ErrBadRecord)
+		return Request{}, fmt.Errorf("status: %w", ErrBadRecord)
 	}
 	req := Request{
 		Time:      time.Unix(0, ns).UTC(),
