@@ -409,6 +409,41 @@ func BenchmarkStoreAppend(b *testing.B) {
 	}
 }
 
+// BenchmarkHistorySink measures the analytics history log's per-window
+// cost — the extra tmp+rename file write Consume performs after the WAL
+// append — and what retention GC adds (and saves) when the log is kept
+// bounded. "unbounded" grows one file per window; "retain64"/"retain8"
+// cap the log, deleting the oldest file(s) as new windows land.
+func BenchmarkHistorySink(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		retain int
+	}{
+		{"unbounded", 0},
+		{"retain64", 64},
+		{"retain8", 8},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			st, err := store.Open(store.Config{Dir: b.TempDir(), RetainWindows: mode.retain})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := st.Consume(benchWindowResult(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if hs := st.HistoryStats(); mode.retain > 0 && hs.Windows > mode.retain {
+				b.Fatalf("retention failed: %d windows retained", hs.Windows)
+			}
+		})
+	}
+}
+
 // BenchmarkRestore measures recovery: reopening a state directory holding
 // benchRestoreWindows windows, either as a pure WAL replay (the kill -9
 // path) or from a clean snapshot (the graceful-shutdown path).

@@ -13,6 +13,7 @@
 //	       [-source-host HOST] [-jsonl-map field=key,...]
 //	       [-state-dir DIR] [-listen ADDR] [-retire-after N]
 //	       [-snapshot-every 64] [-wal-sync=true]
+//	       [-retain-windows N] [-retain-age DUR]
 //	       [-log-format text|json] [-log-level info] [-trace-log FILE]
 //	       [-pprof] [-cpuprofile FILE] [-memprofile FILE]
 //	       [-forward URL] [-node NAME] [-shard-of N/M]
@@ -55,13 +56,24 @@
 // exactly where the previous process — even one killed with SIGKILL —
 // left off. -retire-after N retires lineages idle for more than N windows
 // (excluded from matching, member history pruned, scalar summary kept for
-// reporting), bounding tracker memory on endless streams.
+// reporting), bounding tracker memory on endless streams. Retired
+// lineages emit a "retire" delta in the window they idle out.
+//
+// The store also keeps a per-window history log (DIR/history/) backing
+// the analytics endpoints: time-range window queries, lineage timelines
+// and SSE delta replay all survive restarts. -retain-windows N caps it
+// at the newest N windows; -retain-age D drops windows more than D of
+// event time behind the newest — so months-long runs stay bounded on
+// disk. Both default to 0 (keep everything).
 //
 // -listen ADDR exposes the HTTP query/ops API (internal/serve) while the
-// daemon runs: /v1/lineages (paginated via ?limit&offset),
-// /v1/lineages/{id}, /v1/windows/latest, /v1/windows/{seq}/trace,
-// /v1/stats, /healthz and Prometheus /metrics (latency histograms,
-// watermark lag, Go runtime stats). -pprof additionally mounts
+// daemon runs: /v1/lineages (paginated via ?limit&offset, filtered via
+// ?server&kind&minServers&minClients&activeFrom&activeTo),
+// /v1/lineages/{id}, /v1/lineages/{id}/timeline, /v1/windows (ranged via
+// ?from&to — window seqs or RFC 3339 times), /v1/windows/latest,
+// /v1/windows/{seq}/trace, /v1/deltas (Server-Sent Events with
+// Last-Event-ID resume), /v1/stats, /healthz and Prometheus /metrics
+// (latency histograms, watermark lag, Go runtime stats). -pprof additionally mounts
 // net/http/pprof under /debug/pprof/ on the same mux. The server shuts
 // down gracefully after the stream drains.
 //
@@ -177,6 +189,8 @@ type options struct {
 	retireAfter  int
 	snapEvery    int
 	walSync      bool
+	retainWin    int
+	retainAge    time.Duration
 	logFormat    string
 	logLevel     string
 	traceLog     string
@@ -248,6 +262,8 @@ func run(ctx context.Context, args []string, stdin io.Reader, out io.Writer) err
 	fs.IntVar(&o.retireAfter, "retire-after", 0, "retire lineages idle for more than N windows (0 = never)")
 	fs.IntVar(&o.snapEvery, "snapshot-every", 64, "windows between state snapshots / WAL compactions")
 	fs.BoolVar(&o.walSync, "wal-sync", true, "fsync the WAL after every window (survives machine death, not just process death)")
+	fs.IntVar(&o.retainWin, "retain-windows", 0, "cap the queryable window history log at N windows (0 = keep all)")
+	fs.DurationVar(&o.retainAge, "retain-age", 0, "drop history windows more than this behind the newest window, in event time (0 = keep all)")
 	fs.StringVar(&o.role, "role", "standalone", "process role: standalone, ingest (window + forward fragments) or aggregate (merge fragments + detect)")
 	fs.StringVar(&o.forward, "forward", "", "ingest role: aggregator base URL (e.g. http://agg:8080)")
 	fs.StringVar(&o.node, "node", "", "ingest role: node name in forwarded fragments (default shardN under -shard-of)")
@@ -538,6 +554,8 @@ func openStore(o *options) (*store.Store, error) {
 		Dir:           o.stateDir,
 		SnapshotEvery: o.snapEvery,
 		Sync:          o.walSync,
+		RetainWindows: o.retainWin,
+		RetainAge:     o.retainAge,
 		NewTracker: func() *tracker.Tracker {
 			tk := tracker.New()
 			tk.RetireAfter = o.retireAfter

@@ -21,11 +21,15 @@
 //     sharded incremental indexing, watermark, worker pool, lineage
 //     deltas, pluggable result sinks
 //   - internal/store       — durable campaign-state store: snapshot +
-//     NDJSON WAL with compaction, crash-safe restore, live mirror
+//     NDJSON WAL with compaction, crash-safe restore, live mirror,
+//     per-window history log with count/age retention and GC, and
+//     gap-free delta subscriptions for live consumers
 //   - internal/serve       — embedded HTTP query/ops API over the store:
-//     /v1/lineages (paginated), /v1/windows/latest, /v1/windows/{seq}/trace,
-//     /v1/stats, /healthz, Prometheus /metrics, optional /debug/pprof,
-//     and the cluster's POST /v1/ingest intake
+//     /v1/lineages (paginated, filterable), /v1/lineages/{id}/timeline,
+//     /v1/windows (seq/time ranges), /v1/windows/latest,
+//     /v1/windows/{seq}/trace, /v1/deltas (SSE with Last-Event-ID
+//     resume), /v1/stats, /healthz, Prometheus /metrics, optional
+//     /debug/pprof, and the cluster's POST /v1/ingest intake
 //   - internal/obs         — stdlib-only observability plane: concurrent
 //     metrics registry (counters, gauges, log-bucketed latency
 //     histograms, func collectors, runtime stats, Prometheus text
@@ -71,8 +75,9 @@
 // windows, scratch reuse), the Sources section (format grammars and the
 // projection laws, rotation/checkpoint semantics, push backpressure),
 // the Cluster section (fragment lifecycle,
-// window alignment, straggler policy, remap-merge invariants) and the
+// window alignment, straggler policy, remap-merge invariants), the
 // Observability section (metric catalog, span model, logging
-// conventions). The benchmarks in bench_test.go regenerate each
+// conventions) and the Analytics plane section (history log format,
+// retention/GC rules, SSE resume semantics). The benchmarks in bench_test.go regenerate each
 // experiment.
 package smash

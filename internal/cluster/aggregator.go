@@ -503,7 +503,10 @@ func (a *Aggregator) run(ctx context.Context) {
 			}
 		}
 		res.Matches = a.tk.Observe(report)
-		res.Deltas = stream.DeltasFor(res.Seq, report.AllCampaigns(), res.Matches)
+		// Retire deltas lead, mirroring the standalone engine's emit path
+		// so cluster runs stay byte-identical to single-node runs.
+		res.Deltas = append(stream.RetireDeltas(res.Seq, a.tk.RetiredNow()),
+			stream.DeltasFor(res.Seq, report.AllCampaigns(), res.Matches)...)
 		for _, s := range a.cfg.Sinks {
 			name := clusterSinkName(s)
 			t0 := time.Now()

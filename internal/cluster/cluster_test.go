@@ -513,3 +513,36 @@ func TestAggregatorCustomTracker(t *testing.T) {
 		t.Error("tracker override ignored")
 	}
 }
+
+// NodeStats must list nodes in name order no matter the order their
+// fragments arrived — stats responses and per-node metric series stay
+// deterministic across runs.
+func TestNodeStatsOrdered(t *testing.T) {
+	agg, results := startedAggregator(t, AggregatorConfig{
+		Window: 24 * time.Hour, Expect: 3,
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range results {
+		}
+	}()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if err := agg.Submit(fragFor(n, 0, "c-"+n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		if err := agg.Submit(&wire.Fragment{Node: n, Final: true, Window: 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	if err := agg.Err(); err != nil {
+		t.Fatal(err)
+	}
+	ns := agg.NodeStats()
+	if len(ns) != 3 || ns[0].Node != "alpha" || ns[1].Node != "mid" || ns[2].Node != "zeta" {
+		t.Errorf("node stats out of order: %+v", ns)
+	}
+}

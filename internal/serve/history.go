@@ -1,0 +1,373 @@
+// Historical analytics endpoints: time-range window queries, lineage
+// search, per-lineage timelines and the live SSE delta feed — all read
+// from the store's history log (store/history.go), so every answer
+// survives restarts and is bounded by the retention policy.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"smash/internal/store"
+	"smash/internal/stream"
+	"smash/internal/tracker"
+)
+
+// lineageFilter is the parsed /v1/lineages filter set. Zero values mean
+// "no constraint".
+type lineageFilter struct {
+	server     string
+	serverIDs  map[int]bool // resolved from server, nil when unset
+	kind       string
+	minServers int
+	minClients int
+	activeFrom int // -1 when unset
+	activeTo   int
+}
+
+// lineageFilterFrom parses the filter query parameters.
+func lineageFilterFrom(r *http.Request) (lineageFilter, error) {
+	f := lineageFilter{activeFrom: -1, activeTo: -1}
+	q := r.URL.Query()
+	f.server = q.Get("server")
+	f.kind = q.Get("kind")
+	var err error
+	if f.minServers, err = queryInt(r, "minServers", 0); err != nil {
+		return f, err
+	}
+	if f.minClients, err = queryInt(r, "minClients", 0); err != nil {
+		return f, err
+	}
+	if f.activeFrom, err = queryInt(r, "activeFrom", -1); err != nil {
+		return f, err
+	}
+	if f.activeTo, err = queryInt(r, "activeTo", -1); err != nil {
+		return f, err
+	}
+	return f, nil
+}
+
+// empty reports whether no constraint is set.
+func (f *lineageFilter) empty() bool {
+	return f.server == "" && f.kind == "" && f.minServers == 0 &&
+		f.minClients == 0 && f.activeFrom < 0 && f.activeTo < 0
+}
+
+// apply filters the summary list in place.
+func (f *lineageFilter) apply(all []*tracker.Lineage) []*tracker.Lineage {
+	if f.empty() {
+		return all
+	}
+	out := all[:0]
+	for _, l := range all {
+		if f.serverIDs != nil && !f.serverIDs[l.ID] {
+			continue
+		}
+		if f.kind != "" && l.Kind.String() != f.kind {
+			continue
+		}
+		if l.ServerCount() < f.minServers || l.ClientCount() < f.minClients {
+			continue
+		}
+		if (f.activeFrom >= 0 || f.activeTo >= 0) && !l.ActiveIn(f.activeFrom, f.activeTo) {
+			continue
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+// windowBound is one end of a /v1/windows range: either a global window
+// seq or an event-time instant.
+type windowBound struct {
+	set    bool
+	isTime bool
+	seq    int
+	t      time.Time
+}
+
+// parseBound accepts a non-negative window seq or an RFC 3339 time.
+func parseBound(r *http.Request, name string) (windowBound, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return windowBound{}, nil
+	}
+	if n, err := strconv.Atoi(raw); err == nil {
+		if n < 0 {
+			return windowBound{}, fmt.Errorf("%s: window seq must be non-negative", name)
+		}
+		return windowBound{set: true, seq: n}, nil
+	}
+	if t, err := time.Parse(time.RFC3339, raw); err == nil {
+		return windowBound{set: true, isTime: true, t: t}, nil
+	}
+	return windowBound{}, fmt.Errorf("%s must be a window seq or an RFC 3339 time", name)
+}
+
+// windows serves GET /v1/windows: the retained per-window records in a
+// seq or time range, ascending by seq, paginated like /v1/lineages. A
+// time `from` keeps windows that end after it; a time `to` keeps windows
+// that start before it — i.e. every window overlapping [from, to).
+func (s *server) windows(w http.ResponseWriter, r *http.Request) {
+	from, err := parseBound(r, "from")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	to, err := parseBound(r, "to")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	limit, err := queryInt(r, "limit", -1)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	offset, err := queryInt(r, "offset", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	startSeq := 0
+	if from.set && !from.isTime {
+		startSeq = from.seq
+	}
+	recs := s.cfg.Store.History(startSeq)
+	match := recs[:0]
+	for _, rec := range recs {
+		if from.set && from.isTime && !rec.End.After(from.t) {
+			continue
+		}
+		if to.set {
+			if to.isTime {
+				if !rec.Start.Before(to.t) {
+					break // ascending: nothing later can start earlier
+				}
+			} else if rec.Seq > to.seq {
+				break
+			}
+		}
+		match = append(match, rec)
+	}
+	hs := s.cfg.Store.HistoryStats()
+	out := struct {
+		// Count is the number of windows in this response; Total the
+		// number matching the range. FirstRetained/LastRetained bound the
+		// whole retained history (-1 when empty) — a Total smaller than
+		// the asked-for range with FirstRetained > 0 means retention has
+		// GC'd the older part.
+		Count         int             `json:"count"`
+		Total         int             `json:"total"`
+		Offset        int             `json:"offset,omitempty"`
+		FirstRetained int             `json:"firstRetained"`
+		LastRetained  int             `json:"lastRetained"`
+		Windows       []*store.Record `json:"windows"`
+	}{Total: len(match), Offset: offset, FirstRetained: hs.FirstSeq, LastRetained: hs.LastSeq}
+	if offset > len(match) {
+		offset = len(match)
+	}
+	page := match[offset:]
+	if limit >= 0 && limit < len(page) {
+		page = page[:limit]
+	}
+	out.Count = len(page)
+	out.Windows = page
+	if out.Windows == nil {
+		out.Windows = []*store.Record{}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// timelinePoint is one window's worth of a lineage's life: what the
+// lineage did (appear/persist/rotate/retire) and how big/strong its
+// matched campaign was.
+type timelinePoint struct {
+	// Seq is the global window sequence; Start the window's start time.
+	Seq   int       `json:"seq"`
+	Start time.Time `json:"start"`
+	// Kind is the delta kind this window.
+	Kind string `json:"kind"`
+	// Score is the matched campaign's detection score (0 on retire).
+	Score float64 `json:"score,omitempty"`
+	// Servers/Clients size the matched campaign; NewServers counts
+	// servers the lineage had never seen before (member churn).
+	Servers    int `json:"servers,omitempty"`
+	Clients    int `json:"clients,omitempty"`
+	NewServers int `json:"newServers,omitempty"`
+	// ServerOverlap is the fraction of campaign servers already known.
+	ServerOverlap float64 `json:"serverOverlap,omitempty"`
+}
+
+// lineageTimeline serves GET /v1/lineages/{id}/timeline: the per-window
+// series of one lineage's activity reconstructed from the history log.
+// Windows GC'd by retention are absent; FirstRetained tells the client
+// how far back the series can go.
+func (s *server) lineageTimeline(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "lineage id must be an integer")
+		return
+	}
+	l := s.cfg.Store.Lineage(id)
+	if l == nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no lineage %d", id))
+		return
+	}
+	hs := s.cfg.Store.HistoryStats()
+	points := []timelinePoint{}
+	for _, rec := range s.cfg.Store.History(0) {
+		// Retire deltas are prepended to a window's delta list, so the
+		// i-th non-retire delta aligns with Campaigns[i].
+		campIdx := 0
+		for i := range rec.Deltas {
+			d := &rec.Deltas[i]
+			retired := d.KindName == stream.Retire.String()
+			idx := campIdx
+			if !retired {
+				campIdx++
+			}
+			if d.Lineage != id {
+				continue
+			}
+			p := timelinePoint{Seq: rec.Seq, Start: rec.Start, Kind: d.KindName}
+			if !retired && idx < len(rec.Campaigns) {
+				p.Score = rec.Campaigns[idx].Score
+				p.Servers = d.Servers
+				p.Clients = d.Clients
+				p.NewServers = len(d.NewServers)
+				p.ServerOverlap = d.ServerOverlap
+			}
+			points = append(points, p)
+		}
+	}
+	out := struct {
+		ID            int             `json:"id"`
+		Kind          string          `json:"kind"`
+		Retired       bool            `json:"retired,omitempty"`
+		Count         int             `json:"count"`
+		FirstRetained int             `json:"firstRetained"`
+		LastRetained  int             `json:"lastRetained"`
+		Points        []timelinePoint `json:"points"`
+	}{
+		ID: id, Kind: l.Kind.String(), Retired: l.Retired,
+		Count: len(points), FirstRetained: hs.FirstSeq, LastRetained: hs.LastSeq,
+		Points: points,
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// parseEventID parses an SSE Last-Event-ID of the form "seq.idx" — the
+// global window seq and the delta's index within that window's record.
+func parseEventID(id string) (seq, idx int, err error) {
+	s, i, ok := strings.Cut(id, ".")
+	if !ok {
+		return 0, 0, fmt.Errorf("event id %q: want seq.idx", id)
+	}
+	if seq, err = strconv.Atoi(s); err != nil || seq < 0 {
+		return 0, 0, fmt.Errorf("event id %q: bad seq", id)
+	}
+	if idx, err = strconv.Atoi(i); err != nil || idx < 0 {
+		return 0, 0, fmt.Errorf("event id %q: bad index", id)
+	}
+	return seq, idx, nil
+}
+
+// writeDeltaEvents emits one window record's deltas as SSE events,
+// skipping delta indexes <= after (resume). Each event:
+//
+//	id: <seq>.<idx>
+//	event: <appear|persist|rotate|retire>
+//	data: {"seq":N,"delta":{...}}
+func writeDeltaEvents(w http.ResponseWriter, rec *store.Record, after int) error {
+	for i := range rec.Deltas {
+		if i <= after {
+			continue
+		}
+		d := &rec.Deltas[i]
+		data, err := json.Marshal(d)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "id: %d.%d\nevent: %s\ndata: {\"seq\":%d,\"delta\":%s}\n\n",
+			rec.Seq, i, d.KindName, rec.Seq, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deltas serves GET /v1/deltas as a Server-Sent Events stream: every
+// lineage transition, one event per delta, retained history first and
+// then live as windows seal. `?from=N` starts at window seq N (default
+// 0, i.e. everything retained); a Last-Event-ID header (sent by
+// EventSource on reconnect) resumes exactly after the last received
+// event. `?live=0` sends the catch-up backlog and closes — a poll-shaped
+// snapshot of the same feed.
+//
+// Exactly-once overall: the store drops a subscriber that falls behind
+// (closing the stream) rather than stalling the detection pipeline, and
+// the client's automatic reconnect replays the gap from the history log
+// by event ID. Deltas older than the retention horizon are gone — a
+// resuming client skips to the oldest retained window.
+func (s *server) deltas(w http.ResponseWriter, r *http.Request) {
+	fromSeq, err := queryInt(r, "from", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	after := -1
+	if id := r.Header.Get("Last-Event-ID"); id != "" {
+		seq, idx, err := parseEventID(id)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		fromSeq, after = seq, idx
+	}
+	live := r.URL.Query().Get("live") != "0"
+	backlog, sub := s.cfg.Store.SubscribeDeltas(fromSeq)
+	defer sub.Close()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	for _, rec := range backlog {
+		skip := -1
+		if rec.Seq == fromSeq {
+			skip = after
+		}
+		if err := writeDeltaEvents(w, rec, skip); err != nil {
+			return
+		}
+	}
+	flush()
+	if !live {
+		return
+	}
+	for {
+		select {
+		case rec, ok := <-sub.C:
+			if !ok {
+				// Dropped (we fell behind) or the store closed; the client
+				// reconnects with Last-Event-ID and replays the gap.
+				return
+			}
+			if err := writeDeltaEvents(w, rec, -1); err != nil {
+				return
+			}
+			flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

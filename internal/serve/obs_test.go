@@ -250,9 +250,50 @@ func TestMetricsLint(t *testing.T) {
 		"smash_watermark_lag_seconds",
 		"smash_go_goroutines",
 		"smash_store_windows_total 1",
+		`smash_store_deltas_total{kind="retire"} 0`,
+		// Disk-usage gauges: memory-only fixture, so all zero but present.
+		"smash_store_snapshot_bytes 0",
+		"smash_store_wal_bytes 0",
+		"smash_history_bytes 0",
+		"smash_history_windows 1",
+		"smash_history_gc_runs_total 0",
+		"smash_sse_subscribers 0",
+		"smash_sse_dropped_total 0",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// The disk-usage gauges must report real file sizes on a durable store.
+func TestMetricsDiskUsage(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(store.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	base := time.Date(2020, 9, 13, 0, 0, 0, 0, time.UTC)
+	w := stream.WindowResult{
+		Seq: 0, Start: base, End: base.Add(time.Hour), Requests: 1,
+		Deltas: []stream.Delta{{Window: 0, KindName: "appear", Lineage: 0}},
+	}
+	if err := st.Consume(&w); err != nil {
+		t.Fatal(err)
+	}
+	h := NewHandler(Config{Store: st})
+	body := get(t, h, "/metrics").Body.String()
+	lintPrometheus(t, body)
+	for _, name := range []string{"smash_store_snapshot_bytes", "smash_store_wal_bytes", "smash_history_bytes"} {
+		found := false
+		for _, line := range strings.Split(body, "\n") {
+			if strings.HasPrefix(line, name+" ") && !strings.HasSuffix(line, " 0") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s reports no bytes for a durable store:\n%s", name, body)
 		}
 	}
 }

@@ -14,13 +14,25 @@
 //	                                aggregator / forwarder, and Go runtime
 //	                                stats
 //	GET  /v1/lineages               lineages (summaries, ordered by ID;
-//	                                ?limit=N&offset=M paginate)
+//	                                ?limit=N&offset=M paginate;
+//	                                ?server=&kind=&minServers=&minClients=
+//	                                &activeFrom=&activeTo= filter)
 //	GET  /v1/lineages/{id}          one lineage with full history
+//	GET  /v1/lineages/{id}/timeline per-window score/membership/churn
+//	                                series for one lineage, from the
+//	                                store's history log
+//	GET  /v1/windows                retained window records in a seq or
+//	                                time range (?from=&to=, seq numbers
+//	                                or RFC 3339; ?limit=&offset= paginate)
 //	GET  /v1/windows/latest         the most recently applied window record
 //	GET  /v1/windows/{seq}/trace    one window's lifecycle spans (build,
 //	                                seal, detect stages, sink consumes)
 //	                                from the obs.Tracer ring
 //	GET  /v1/stats                  store + engine (+ cluster) counters
+//	GET  /v1/deltas                 lineage transitions as Server-Sent
+//	                                Events: retained history first, then
+//	                                live deltas as windows seal; resumes
+//	                                losslessly from Last-Event-ID
 //	POST /v1/ingest                 cluster fragment intake (aggregator
 //	                                role only): a wire-encoded window
 //	                                fragment from an ingest node
@@ -135,7 +147,10 @@ func NewHandler(cfg Config) http.Handler {
 	mux.HandleFunc("GET /metrics", s.metrics)
 	mux.HandleFunc("GET /v1/lineages", s.lineages)
 	mux.HandleFunc("GET /v1/lineages/{id}", s.lineage)
+	mux.HandleFunc("GET /v1/lineages/{id}/timeline", s.lineageTimeline)
+	mux.HandleFunc("GET /v1/windows", s.windows)
 	mux.HandleFunc("GET /v1/windows/latest", s.latestWindow)
+	mux.HandleFunc("GET /v1/deltas", s.deltas)
 	mux.HandleFunc("GET /v1/stats", s.stats)
 	if cfg.Tracer != nil {
 		mux.HandleFunc("GET /v1/windows/{seq}/trace", s.windowTrace)
@@ -165,22 +180,26 @@ type server struct {
 
 // sourceStats merges the daemon's file/stdin source stats with the push
 // intake's per-format counters — the one list /v1/stats and the
-// smash_source_* collectors render.
+// smash_source_* collectors render. The merged list is sorted by
+// (name, format) so stats responses and metric series stay in one
+// deterministic order no matter how sources were configured or in what
+// order push formats first appeared.
 func (s *server) sourceStats() []source.Stats {
 	var out []source.Stats
 	if s.cfg.Sources != nil {
 		out = s.cfg.Sources()
 	}
 	s.pushMu.Lock()
-	names := make([]string, 0, len(s.pushCtrs))
-	for name := range s.pushCtrs {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		out = append(out, s.pushCtrs[name].Stats())
+	for _, c := range s.pushCtrs {
+		out = append(out, c.Stats())
 	}
 	s.pushMu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Format < out[j].Format
+	})
 	return out
 }
 
@@ -264,7 +283,19 @@ func (s *server) lineages(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	filter, err := lineageFilterFrom(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	all := s.cfg.Store.LineageSummaries()
+	if filter.server != "" {
+		// Summaries carry no member maps; resolve the server filter to an
+		// ID set in one store pass. Retired lineages never match (their
+		// member maps were pruned at retirement).
+		filter.serverIDs = s.cfg.Store.LineagesWithServer(filter.server)
+	}
+	all = filter.apply(all)
 	// Pagination needs a total order; summaries come ordered by ID, but
 	// sort defensively so the page windows stay stable no matter what.
 	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
@@ -508,6 +539,7 @@ func registerCollectors(reg *obs.Registry, cfg Config, sources func() []source.S
 			emit(float64(s.Appeared), "kind", "appear")
 			emit(float64(s.Persisted), "kind", "persist")
 			emit(float64(s.Rotated), "kind", "rotate")
+			emit(float64(s.Retired), "kind", "retire")
 		})
 	reg.GaugeFunc("smash_lineages",
 		"Current lineage count by state.",
@@ -516,6 +548,29 @@ func registerCollectors(reg *obs.Registry, cfg Config, sources func() []source.S
 			emit(float64(s.Lineages-s.RetiredLineages), "state", "active")
 			emit(float64(s.RetiredLineages), "state", "retired")
 		})
+	du := cfg.Store.DiskUsage
+	reg.GaugeFunc("smash_store_snapshot_bytes",
+		"On-disk size of the store snapshot (0 when memory-only).",
+		func(emit obs.Emit) { emit(float64(du().SnapshotBytes)) })
+	reg.GaugeFunc("smash_store_wal_bytes",
+		"On-disk size of the write-ahead log (0 when memory-only, shrinks at compaction).",
+		func(emit obs.Emit) { emit(float64(du().WALBytes)) })
+	reg.GaugeFunc("smash_history_bytes",
+		"On-disk size of the window history log (0 when memory-only).",
+		func(emit obs.Emit) { emit(float64(du().HistoryBytes)) })
+	hs := cfg.Store.HistoryStats
+	reg.GaugeFunc("smash_history_windows",
+		"Windows retained in the history log.",
+		func(emit obs.Emit) { emit(float64(hs().Windows)) })
+	reg.CounterFunc("smash_history_gc_runs_total",
+		"Retention passes that garbage-collected history windows.",
+		func(emit obs.Emit) { emit(float64(hs().GCRuns)) })
+	reg.GaugeFunc("smash_sse_subscribers",
+		"Live /v1/deltas event-stream subscriptions.",
+		func(emit obs.Emit) { emit(float64(hs().Subscribers)) })
+	reg.CounterFunc("smash_sse_dropped_total",
+		"Event-stream subscriptions dropped for falling behind.",
+		func(emit obs.Emit) { emit(float64(hs().Dropped)) })
 
 	if cfg.EngineStats != nil {
 		es := cfg.EngineStats

@@ -1,0 +1,380 @@
+// History is the store's analytics log: one durable Record per applied
+// window, kept beyond WAL compaction so the HTTP API can answer
+// time-range queries ("which campaigns were active last Tuesday"),
+// per-lineage timelines and SSE delta replays long after the window was
+// detected.
+//
+// On-disk layout (under Config.Dir):
+//
+//	history/
+//	  000000000000.json   Record for global window seq 0
+//	  000000000001.json   ...one file per window, written with the same
+//	                      tmp+rename discipline as the snapshot
+//
+// The write ordering is WAL first, history second: a crash between the
+// two leaves the record in the WAL, and Open heals the missing history
+// file during replay — so history answers are byte-identical across a
+// kill -9. The in-memory index (a contiguous slice of Records ascending
+// by seq) is rebuilt from the directory at Open and serves every query
+// without touching disk.
+//
+// Retention (Config.RetainWindows / Config.RetainAge) garbage-collects
+// history from the oldest window forward, deleting files and trimming the
+// in-memory index, so a months-long run stays bounded on disk and in
+// memory — the production companion to tracker retirement. The snapshot
+// and WAL are already bounded by compaction; history GC is what bounds
+// the time axis.
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const historyDir = "history"
+
+// historyFile names one window's history file.
+func historyFile(dir string, seq int) string {
+	return filepath.Join(dir, historyDir, fmt.Sprintf("%012d.json", seq))
+}
+
+// HistoryStats summarizes the history log and its live subscriptions.
+type HistoryStats struct {
+	// Windows is the number of retained history records; FirstSeq and
+	// LastSeq bound their global window sequence range (-1 when empty).
+	Windows  int `json:"windows"`
+	FirstSeq int `json:"firstSeq"`
+	LastSeq  int `json:"lastSeq"`
+	// Bytes is the history log's on-disk footprint (0 when memory-only).
+	Bytes int64 `json:"bytes"`
+	// GCRuns counts retention passes that removed at least one window.
+	GCRuns int64 `json:"gcRuns"`
+	// Subscribers is the number of live delta subscriptions; Dropped
+	// counts subscriptions closed because the consumer fell behind.
+	Subscribers int   `json:"subscribers"`
+	Dropped     int64 `json:"dropped"`
+}
+
+// DiskUsage reports the store's on-disk footprint by component. Snapshot
+// and WAL sizes are stat'ed at call time; history bytes are tracked
+// incrementally. All zero for a memory-only store.
+type DiskUsage struct {
+	SnapshotBytes int64 `json:"snapshotBytes"`
+	WALBytes      int64 `json:"walBytes"`
+	HistoryBytes  int64 `json:"historyBytes"`
+}
+
+// DiskUsage returns the current on-disk footprint.
+func (s *Store) DiskUsage() DiskUsage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var du DiskUsage
+	if s.cfg.Dir == "" {
+		return du
+	}
+	if fi, err := os.Stat(filepath.Join(s.cfg.Dir, snapshotFile)); err == nil {
+		du.SnapshotBytes = fi.Size()
+	}
+	if fi, err := os.Stat(filepath.Join(s.cfg.Dir, walFile)); err == nil {
+		du.WALBytes = fi.Size()
+	}
+	du.HistoryBytes = s.histBytes
+	return du
+}
+
+// HistoryStats returns the history log's live summary.
+func (s *Store) HistoryStats() HistoryStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hs := HistoryStats{
+		Windows:     len(s.hist),
+		FirstSeq:    -1,
+		LastSeq:     -1,
+		Bytes:       s.histBytes,
+		GCRuns:      s.histGCs,
+		Subscribers: len(s.subs),
+		Dropped:     s.subsDropped,
+	}
+	if len(s.hist) > 0 {
+		hs.FirstSeq = s.hist[0].Seq
+		hs.LastSeq = s.hist[len(s.hist)-1].Seq
+	}
+	return hs
+}
+
+// History returns the retained window records with Seq >= fromSeq,
+// ascending. The records are shared and must be treated as read-only; the
+// slice is the caller's.
+func (s *Store) History(fromSeq int) []*Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.hist) == 0 {
+		return nil
+	}
+	i := sort.Search(len(s.hist), func(i int) bool { return s.hist[i].Seq >= fromSeq })
+	if i >= len(s.hist) {
+		return nil
+	}
+	return append([]*Record(nil), s.hist[i:]...)
+}
+
+// loadHistory rebuilds the in-memory history index from DIR/history. Only
+// the longest contiguous run of sequence numbers ending at the newest
+// file is kept (retention deletes from the front, so a gap means manual
+// tampering or a lost rename — everything older than the gap is
+// unusable for range queries and is dropped, files included). Records
+// claiming windows the snapshot+WAL never applied are dropped the same
+// way. Caller is Open, before the store is shared.
+func (s *Store) loadHistory() error {
+	dir := filepath.Join(s.cfg.Dir, historyDir)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	type histEntry struct {
+		seq  int
+		size int64
+		rec  *Record
+	}
+	var loaded []histEntry
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		if strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		seq, err := strconv.Atoi(strings.TrimSuffix(name, ".json"))
+		if err != nil {
+			continue // foreign file; leave it alone
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		var rec Record
+		if uerr := json.Unmarshal(bytes.TrimSpace(data), &rec); uerr != nil {
+			return fmt.Errorf("store: corrupt history record %s: %w", name, uerr)
+		}
+		if rec.Seq != seq {
+			return fmt.Errorf("store: history file %s holds seq %d", name, rec.Seq)
+		}
+		loaded = append(loaded, histEntry{seq: seq, size: int64(len(data)), rec: &rec})
+	}
+	sort.Slice(loaded, func(i, j int) bool { return loaded[i].seq < loaded[j].seq })
+	// Keep the longest contiguous suffix of applied windows.
+	keep := len(loaded)
+	for keep > 0 && loaded[keep-1].seq >= s.applied {
+		keep--
+	}
+	first := keep
+	if first > 0 {
+		first-- // the newest kept record anchors the suffix
+		for first > 0 && loaded[first-1].seq == loaded[first].seq-1 {
+			first--
+		}
+	}
+	for _, e := range append(loaded[:first:first], loaded[keep:]...) {
+		os.Remove(historyFile(s.cfg.Dir, e.seq))
+	}
+	for _, e := range loaded[first:keep] {
+		s.hist = append(s.hist, e.rec)
+		s.histSizes = append(s.histSizes, e.size)
+		s.histBytes += e.size
+	}
+	return nil
+}
+
+// appendHistory appends one record to the history index and, when the
+// store is durable, writes its file with tmp+rename (fsynced under
+// Config.Sync, matching the WAL's durability class). Idempotent for
+// already-retained seqs — WAL replay calls it for every record, retained
+// or healed alike. A sequence gap (history lost mid-run) resets the log
+// to the new record so the index stays contiguous. Caller holds mu (or is
+// Open).
+func (s *Store) appendHistory(rec *Record) error {
+	if n := len(s.hist); n > 0 {
+		last := s.hist[n-1].Seq
+		if rec.Seq <= last {
+			return nil
+		}
+		if rec.Seq != last+1 {
+			s.dropHistory(n)
+		}
+	}
+	size := int64(0)
+	if s.cfg.Dir != "" {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		line = append(line, '\n')
+		path := historyFile(s.cfg.Dir, rec.Seq)
+		tmp := path + ".tmp"
+		f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return fmt.Errorf("store: history: %w", err)
+		}
+		if _, err := f.Write(line); err != nil {
+			f.Close()
+			return fmt.Errorf("store: history: %w", err)
+		}
+		if s.cfg.Sync {
+			if err := f.Sync(); err != nil {
+				f.Close()
+				return fmt.Errorf("store: history: %w", err)
+			}
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("store: history: %w", err)
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			return fmt.Errorf("store: history: %w", err)
+		}
+		size = int64(len(line))
+	}
+	s.hist = append(s.hist, rec)
+	s.histSizes = append(s.histSizes, size)
+	s.histBytes += size
+	return nil
+}
+
+// dropHistory removes the oldest n history records (index + files).
+// Caller holds mu.
+func (s *Store) dropHistory(n int) {
+	for i := 0; i < n; i++ {
+		if s.cfg.Dir != "" {
+			os.Remove(historyFile(s.cfg.Dir, s.hist[i].Seq))
+		}
+		s.histBytes -= s.histSizes[i]
+	}
+	s.hist = s.hist[:copy(s.hist, s.hist[n:])]
+	s.histSizes = s.histSizes[:copy(s.histSizes, s.histSizes[n:])]
+}
+
+// retain applies the retention policy, GCing history from the oldest
+// window forward: RetainWindows caps the retained count, RetainAge drops
+// windows whose End has fallen RetainAge behind the newest window's End
+// (event time, not wall clock — a replayed historical trace retains the
+// same windows a live run would have). The newest window is never
+// dropped. Caller holds mu.
+func (s *Store) retain() {
+	n := len(s.hist)
+	if n == 0 {
+		return
+	}
+	drop := 0
+	if rw := s.cfg.RetainWindows; rw > 0 && n > rw {
+		drop = n - rw
+	}
+	if ra := s.cfg.RetainAge; ra > 0 {
+		cut := s.hist[n-1].End.Add(-ra)
+		for drop < n-1 && !s.hist[drop].End.After(cut) {
+			drop++
+		}
+	}
+	if drop == 0 {
+		return
+	}
+	s.dropHistory(drop)
+	s.histGCs++
+}
+
+// DeltaSub is one live delta subscription: every Record the store applies
+// after the subscription is delivered on C, in window order. A subscriber
+// that falls more than the channel buffer behind is dropped — C is closed
+// and the consumer must resubscribe from its last seen event ID (the SSE
+// Last-Event-ID resume path), which replays the gap from history.
+type DeltaSub struct {
+	// C delivers applied window records. Closed when the subscriber is
+	// dropped, the subscription is Closed, or the store closes.
+	C chan *Record
+
+	s      *Store
+	closed bool
+}
+
+// subBuffer is the per-subscriber channel capacity: enough to ride out a
+// burst of windows sealing back-to-back, small enough that an abandoned
+// consumer is dropped (and its memory freed) quickly.
+const subBuffer = 64
+
+// SubscribeDeltas atomically returns the retained records with
+// Seq >= fromSeq and a live subscription for everything after them —
+// there is no window in which a record can fall between the backlog and
+// the channel. Close the subscription when done.
+func (s *Store) SubscribeDeltas(fromSeq int) ([]*Record, *DeltaSub) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var backlog []*Record
+	if len(s.hist) > 0 {
+		i := sort.Search(len(s.hist), func(i int) bool { return s.hist[i].Seq >= fromSeq })
+		backlog = append([]*Record(nil), s.hist[i:]...)
+	}
+	sub := &DeltaSub{C: make(chan *Record, subBuffer), s: s}
+	if s.subs == nil {
+		s.subs = make(map[*DeltaSub]struct{})
+	}
+	s.subs[sub] = struct{}{}
+	return backlog, sub
+}
+
+// Close cancels the subscription. Safe to call more than once and after
+// the subscriber was dropped.
+func (d *DeltaSub) Close() {
+	if d == nil || d.s == nil {
+		return
+	}
+	d.s.mu.Lock()
+	defer d.s.mu.Unlock()
+	d.s.removeSub(d)
+}
+
+// removeSub unregisters and closes one subscription. Caller holds mu.
+func (s *Store) removeSub(d *DeltaSub) {
+	if d.closed {
+		return
+	}
+	d.closed = true
+	delete(s.subs, d)
+	close(d.C)
+}
+
+// publish fans one applied record out to every subscriber. A full channel
+// means the consumer is stalled; it is dropped (channel closed, Dropped
+// counted) rather than blocking the engine's emit path — the consumer
+// resumes losslessly from history via its last event ID. Caller holds mu.
+func (s *Store) publish(rec *Record) {
+	for d := range s.subs {
+		select {
+		case d.C <- rec:
+		default:
+			s.removeSub(d)
+			s.subsDropped++
+		}
+	}
+}
+
+// closeSubs drops every subscriber — the store is closing (or simulating
+// process death), so live feeds end. Caller holds mu.
+func (s *Store) closeSubs() {
+	for d := range s.subs {
+		s.removeSub(d)
+	}
+}
+
+// ErrNoHistory distinguishes "window not retained" from other lookup
+// failures on history queries.
+var ErrNoHistory = errors.New("store: window not in retained history")

@@ -76,6 +76,12 @@ type Config struct {
 	// NewTracker builds the mirror (and Restore) trackers, carrying policy
 	// knobs like RetireAfter. Default tracker.New.
 	NewTracker func() *tracker.Tracker
+	// RetainWindows caps the number of windows kept in the history log
+	// (see history.go); 0 keeps everything.
+	RetainWindows int
+	// RetainAge drops history windows whose End has fallen more than this
+	// behind the newest window's End (event time); 0 keeps everything.
+	RetainAge time.Duration
 }
 
 // Record is one window's durable state change: everything needed to replay
@@ -112,10 +118,11 @@ type Counters struct {
 	Requests int `json:"requests"`
 	// Campaigns sums per-window campaign counts.
 	Campaigns int `json:"campaigns"`
-	// Appeared/Persisted/Rotated count deltas by kind.
+	// Appeared/Persisted/Rotated/Retired count deltas by kind.
 	Appeared  int `json:"appeared"`
 	Persisted int `json:"persisted"`
 	Rotated   int `json:"rotated"`
+	Retired   int `json:"retired"`
 }
 
 // Stats is the store's live summary, served by /v1/stats.
@@ -157,6 +164,16 @@ type Store struct {
 	wal       *os.File
 	walBuf    *bufio.Writer
 	lock      *os.File // flock guarding the state dir against a second process
+
+	// History log + live delta subscriptions (see history.go). hist is
+	// contiguous ascending by Seq; histSizes holds each record's on-disk
+	// size so retention can account bytes without re-statting.
+	hist        []*Record
+	histSizes   []int64
+	histBytes   int64
+	histGCs     int64
+	subs        map[*DeltaSub]struct{}
+	subsDropped int64
 }
 
 // Open loads (or creates) the store under cfg.Dir, replaying any snapshot
@@ -184,10 +201,19 @@ func Open(cfg Config) (*Store, error) {
 		s.releaseLock()
 		return nil, err
 	}
+	// History loads before WAL replay: replay heals any history files a
+	// crash between "WAL appended" and "history renamed" failed to write,
+	// and appendHistory's idempotence needs the loaded index to dedupe
+	// against.
+	if err := s.loadHistory(); err != nil {
+		s.releaseLock()
+		return nil, err
+	}
 	if err := s.replayWAL(); err != nil {
 		s.releaseLock()
 		return nil, err
 	}
+	s.retain()
 	// Policy knobs (RetireAfter, MinClientOverlap) switch to the current
 	// configuration only once recovery is complete: recorded history must
 	// replay under the policy it was observed with — retroactively
@@ -292,6 +318,9 @@ func (s *Store) replayWAL() error {
 			return fmt.Errorf("store: wal gap: record seq %d, want %d", rec.Seq, s.applied)
 		}
 		s.apply(&rec)
+		if herr := s.appendHistory(&rec); herr != nil {
+			return herr
+		}
 		s.replayed++
 	}
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
@@ -331,6 +360,8 @@ func (s *Store) apply(rec *Record) {
 			s.ctr.Persisted++
 		case stream.Rotate.String():
 			s.ctr.Rotated++
+		case stream.Retire.String():
+			s.ctr.Retired++
 		}
 	}
 	s.last = rec
@@ -364,25 +395,35 @@ func (s *Store) Consume(w *stream.WindowResult) error {
 	// Mirror first: the in-memory read model and the seq clock stay
 	// consistent with the engine's tracker even when persistence fails.
 	s.apply(rec)
-	if s.wal == nil {
-		return nil
+	if s.wal != nil {
+		if err := s.appendWAL(rec); err != nil {
+			// A failed append may have left partial bytes on disk; appending
+			// more records after it would hide good records behind the torn
+			// line and replay records under reused offsets. Disable
+			// persistence for the rest of the process instead — serving stays
+			// correct, the error surfaces through the engine, and the WAL on
+			// disk still recovers everything up to the failure.
+			s.wal.Close()
+			s.wal = nil
+			s.walBuf = nil
+			return err
+		}
 	}
-	if err := s.appendWAL(rec); err != nil {
-		// A failed append may have left partial bytes on disk; appending
-		// more records after it would hide good records behind the torn
-		// line and replay records under reused offsets. Disable
-		// persistence for the rest of the process instead — serving stays
-		// correct, the error surfaces through the engine, and the WAL on
-		// disk still recovers everything up to the failure.
-		s.wal.Close()
-		s.wal = nil
-		s.walBuf = nil
+	// History after the WAL: a crash between the two heals on open (the
+	// record is still in the WAL); the reverse order could retain history
+	// for a window the store never applied. Subscribers see the record
+	// only once it is in history, so Last-Event-ID resume never skips.
+	if err := s.appendHistory(rec); err != nil {
 		return err
 	}
-	s.sinceSnap++
-	if s.sinceSnap >= s.cfg.SnapshotEvery {
-		if err := s.snapshotLocked(); err != nil {
-			return err
+	s.publish(rec)
+	s.retain()
+	if s.wal != nil {
+		s.sinceSnap++
+		if s.sinceSnap >= s.cfg.SnapshotEvery {
+			if err := s.snapshotLocked(); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -493,6 +534,7 @@ func (s *Store) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	defer s.releaseLock()
+	s.closeSubs()
 	if s.wal == nil {
 		return nil
 	}
@@ -513,6 +555,7 @@ func (s *Store) Close() error {
 func (s *Store) Abandon() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.closeSubs()
 	if s.wal != nil {
 		s.wal.Close()
 		s.wal = nil
@@ -557,6 +600,21 @@ func (s *Store) LineageSummaries() []*tracker.Lineage {
 		c := *l
 		c.Servers, c.Clients = nil, nil
 		out[i] = &c
+	}
+	return out
+}
+
+// LineagesWithServer returns the IDs of lineages whose server pool
+// contains server. Retired lineages never match: their member maps were
+// pruned at retirement.
+func (s *Store) LineagesWithServer(server string) map[int]bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[int]bool)
+	for _, l := range s.mirror.Lineages() {
+		if l.Servers[server] > 0 {
+			out[l.ID] = true
+		}
 	}
 	return out
 }

@@ -62,6 +62,11 @@ const (
 	// mostly new server pool — the paper's agile campaign signature
 	// (§V-B).
 	Rotate
+	// Retire means the tracker retired the lineage this window: it had
+	// been idle for more than the RetireAfter policy, its member history
+	// was pruned and it no longer participates in matching. Emitted only
+	// when retirement is enabled (RetireAfter > 0).
+	Retire
 )
 
 // String names the delta kind.
@@ -73,6 +78,8 @@ func (k DeltaKind) String() string {
 		return "persist"
 	case Rotate:
 		return "rotate"
+	case Retire:
+		return "retire"
 	default:
 		return "unknown"
 	}
@@ -102,6 +109,9 @@ type Delta struct {
 
 // Render formats the delta for the text UI.
 func (d *Delta) Render() string {
+	if d.Kind == Retire {
+		return fmt.Sprintf("%-7s lineage %d [idle]", d.Kind, d.Lineage)
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-7s lineage %d [%s] servers=%d clients=%d overlap=%.2f",
 		d.Kind, d.Lineage, d.Campaign, d.Servers, d.Clients, d.ServerOverlap)
@@ -120,6 +130,26 @@ func DeltasFor(window int, campaigns []campaign.Campaign, matches []tracker.Matc
 	var out []Delta
 	for i := range matches {
 		out = append(out, makeDelta(window, &campaigns[i], matches[i]))
+	}
+	return out
+}
+
+// RetireDeltas converts the tracker's per-window retirement list
+// (Tracker.RetiredNow) into retire deltas. Retirement happens before the
+// window's campaigns are matched, so these precede the window's other
+// deltas. Shared by the engine and the cluster aggregator for parity.
+func RetireDeltas(window int, ids []int) []Delta {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]Delta, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, Delta{
+			Window:   window,
+			Kind:     Retire,
+			KindName: Retire.String(),
+			Lineage:  id,
+		})
 	}
 	return out
 }

@@ -841,7 +841,10 @@ func (e *Engine) emit(d windowDone) {
 		}
 		matches := e.tk.Observe(report)
 		res.Matches = matches
-		res.Deltas = DeltasFor(d.seq, report.AllCampaigns(), matches)
+		// Retirements happened inside Observe before matching, so retire
+		// deltas lead the window's transition list.
+		res.Deltas = append(RetireDeltas(d.seq, e.tk.RetiredNow()),
+			DeltasFor(d.seq, report.AllCampaigns(), matches)...)
 	}
 	for _, s := range e.cfg.Sinks {
 		if err := e.o.consumeSink(s, &res); err != nil {

@@ -58,6 +58,20 @@ func (l *Lineage) Agile() bool {
 	return l.DaysActive > 1 && l.AgileDays*2 >= l.DaysActive-1
 }
 
+// ActiveIn reports whether the lineage's observed span [FirstDay, LastDay]
+// overlaps the inclusive window-sequence range [from, to]. A negative
+// bound is unbounded on that side — the timeline/filter accessor used by
+// the analytics plane's active-in-range lineage queries.
+func (l *Lineage) ActiveIn(from, to int) bool {
+	if from >= 0 && l.LastDay < from {
+		return false
+	}
+	if to >= 0 && l.FirstDay > to {
+		return false
+	}
+	return true
+}
+
 // ServerCount returns the number of distinct servers ever seen.
 func (l *Lineage) ServerCount() int { return l.ServerTotal }
 
@@ -131,6 +145,10 @@ type Tracker struct {
 	// Lineages for reporting. 0 (the default) never retires, which means
 	// unbounded matching state on an endless stream.
 	RetireAfter int
+
+	// retiredNow lists the lineage IDs retired by the most recent Observe
+	// call, in ID order — the source of the stream's retire deltas.
+	retiredNow []int
 }
 
 // New returns an empty tracker.
@@ -143,6 +161,11 @@ func (tk *Tracker) Lineages() []*Lineage { return tk.lineages }
 
 // Day returns the number of days observed so far.
 func (tk *Tracker) Day() int { return tk.day }
+
+// RetiredNow returns the IDs of lineages retired by the most recent
+// Observe call, in ID order. The slice is valid until the next Observe;
+// callers that keep it must copy.
+func (tk *Tracker) RetiredNow() []int { return tk.retiredNow }
 
 // Retired returns the number of retired lineages.
 func (tk *Tracker) Retired() int {
@@ -160,6 +183,7 @@ func (tk *Tracker) Retired() int {
 func (tk *Tracker) Observe(report *core.Report) []Match {
 	day := tk.day
 	tk.day++
+	tk.retiredNow = tk.retiredNow[:0]
 	if tk.RetireAfter > 0 {
 		for _, l := range tk.lineages {
 			if !l.Retired && day-l.LastDay > tk.RetireAfter {
@@ -167,6 +191,7 @@ func (tk *Tracker) Observe(report *core.Report) []Match {
 				// Prune member history: retired lineages keep only
 				// scalar state, so idle lineages stop holding memory.
 				l.Servers, l.Clients = nil, nil
+				tk.retiredNow = append(tk.retiredNow, l.ID)
 			}
 		}
 	}
