@@ -12,6 +12,7 @@
 package smash_test
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -19,6 +20,7 @@ import (
 	"time"
 
 	"smash/internal/campaign"
+	"smash/internal/cluster"
 	"smash/internal/core"
 	"smash/internal/eval"
 	"smash/internal/graph"
@@ -735,4 +737,105 @@ func BenchmarkWireCodec(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)*float64(idx.RequestCount)/b.Elapsed().Seconds(), "events/s")
 	b.ReportMetric(float64(len(encoded)), "bytes/fragment")
+}
+
+// --- Cluster: crash recovery ---------------------------------------------
+
+// clusterBenchFragments splits the bench week across nodes×windows wire
+// fragments, the shape a fault-tolerant aggregator logs and replays: each
+// day is one window, each node holds its client-hash partition of it.
+func clusterBenchFragments(b *testing.B, nodes int) []*wire.Fragment {
+	b.Helper()
+	_, _, week := benchWorlds(b)
+	var frags []*wire.Fragment
+	for day, tr := range week.Days {
+		parts := make([]*trace.Index, nodes)
+		for i := range parts {
+			parts[i] = trace.NewIndex()
+		}
+		for i := range tr.Requests {
+			r := &tr.Requests[i]
+			parts[cluster.PartitionOf(r.Client, nodes)].Add(r)
+		}
+		start := cluster.WindowStart(int64(day), 24*time.Hour)
+		for i, idx := range parts {
+			frags = append(frags, &wire.Fragment{
+				Node: fmt.Sprintf("node-%d", i), Window: int64(day),
+				Start: start, End: start.Add(24 * time.Hour), Index: idx,
+			})
+		}
+	}
+	return frags
+}
+
+// BenchmarkFragmentLogAppend measures the durable-ack hot path: encoding
+// one day-partition fragment into a length-prefixed frame and appending
+// it to the per-window fragment log (no fsync, the default for the
+// aggregator's WAL). This cost sits on every /v1/ingest request once
+// crash recovery is enabled, so it bounds cluster intake throughput.
+func BenchmarkFragmentLogAppend(b *testing.B) {
+	frags := clusterBenchFragments(b, 4)
+	frag := frags[0]
+	flog, err := cluster.OpenFragLog(b.TempDir(), false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer flog.Close()
+	encoded := wire.EncodeFragment(frag)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := flog.Append(frag); err != nil {
+			b.Fatal(err)
+		}
+		if i%64 == 63 {
+			flog.Remove(frag.Window) // keep the bench dir bounded
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*float64(frag.Index.RequestCount)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(float64(len(encoded)), "bytes/fragment")
+}
+
+// BenchmarkAggregatorReplay measures crash-recovery startup: an
+// aggregator resuming from a fragment log holding a week of 4-node
+// traffic (28 fragments) — open with torn-tail scan, decode every frame,
+// and rebuild the in-memory window state through the normal accept path.
+// This is the downtime a crashed aggregator adds before serving again.
+func BenchmarkAggregatorReplay(b *testing.B) {
+	frags := clusterBenchFragments(b, 4)
+	dir := b.TempDir()
+	flog, err := cluster.OpenFragLog(dir, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var events int
+	for _, f := range frags {
+		if err := flog.Append(f); err != nil {
+			b.Fatal(err)
+		}
+		events += f.Index.RequestCount
+	}
+	flog.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Expect one node more than ever reports so no window seals:
+		// the measurement isolates replay from detection.
+		agg, err := cluster.NewAggregator(cluster.AggregatorConfig{
+			Window: 24 * time.Hour, Expect: 5, FragDir: dir,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		results := agg.Start(context.Background())
+		agg.Abandon() // stop right after resume, leaving the log intact
+		for range results {
+		}
+		if got := agg.Stats().Replayed; got != len(frags) {
+			b.Fatalf("replayed %d fragments, want %d", got, len(frags))
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)*float64(events)/b.Elapsed().Seconds(), "events/s")
 }

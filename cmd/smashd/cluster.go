@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -37,9 +38,6 @@ func parseShardOf(s string) (int, int, error) {
 func runIngest(ctx context.Context, o *options, stdin io.Reader, out io.Writer) error {
 	if o.forward == "" {
 		return fmt.Errorf("-role ingest requires -forward URL")
-	}
-	if o.stateDir != "" {
-		return fmt.Errorf("-state-dir is the aggregator's job; an ingest node keeps no campaign state")
 	}
 	if o.push && o.listen == "" {
 		return fmt.Errorf("-push needs -listen (events arrive on POST /v1/ingest)")
@@ -79,12 +77,20 @@ func runIngest(ctx context.Context, o *options, stdin io.Reader, out io.Writer) 
 	if stride == 0 {
 		stride = o.window
 	}
+	// On an ingest node -state-dir holds the forwarder's durable spool:
+	// fragments the aggregator could not take survive restarts there and
+	// drain once it answers again.
+	var spoolDir string
+	if o.stateDir != "" {
+		spoolDir = filepath.Join(o.stateDir, "spool")
+	}
 	fwd, err := cluster.NewForwarder(cluster.ForwarderConfig{
-		URL:     o.forward,
-		Node:    node,
-		Stride:  stride,
-		Metrics: o.reg,
-		Logger:  o.logger.With("component", "forward", "node", node),
+		URL:      o.forward,
+		Node:     node,
+		Stride:   stride,
+		SpoolDir: spoolDir,
+		Metrics:  o.reg,
+		Logger:   o.logger.With("component", "forward", "node", node),
 	})
 	if err != nil {
 		return err
@@ -154,7 +160,9 @@ func runIngest(ctx context.Context, o *options, stdin io.Reader, out io.Writer) 
 	}
 	// End-of-stream marker: tells the aggregator this node is done, so
 	// cluster windows can seal without waiting on the straggler policy.
-	if err := fwd.Close(); err != nil {
+	// CloseContext drains any spool first and keeps retrying through an
+	// aggregator outage until a shutdown signal cancels the context.
+	if err := fwd.CloseContext(ctx); err != nil {
 		return err
 	}
 
@@ -164,11 +172,16 @@ func runIngest(ctx context.Context, o *options, stdin io.Reader, out io.Writer) 
 			"node": node, "events": stats.Events, "late": stats.Late,
 			"windows": stats.Windows, "emptyWindows": stats.EmptyWindows,
 			"forwarded": fs.Forwarded, "retries": fs.Retries, "bytes": fs.Bytes,
+			"spooled": fs.Spooled, "spoolDropped": fs.SpoolDropped,
 		})
 	}
 	fmt.Fprintf(out, "node %s: ingested %d events (%d late-dropped) into %d windows (%d empty); forwarded %d fragments (%d retries, %d bytes) to %s\n",
 		node, stats.Events, stats.Late, stats.Windows, stats.EmptyWindows,
 		fs.Forwarded, fs.Retries, fs.Bytes, o.forward)
+	if fs.Spooled > 0 || fs.SpoolPending > 0 {
+		fmt.Fprintf(out, "spool: %d fragments spilled during outages (%d dropped, %d still pending)\n",
+			fs.Spooled, fs.SpoolDropped, fs.SpoolPending)
+	}
 	return nil
 }
 
@@ -205,18 +218,33 @@ func runAggregate(ctx context.Context, o *options, out io.Writer) error {
 			"windows", restored, "walRecords", st.Stats().Replayed, "dir", o.stateDir)
 	}
 
+	// With a state dir the aggregator is crash-recoverable: every acked
+	// fragment lands in stateDir/fragments before the 202, and a restart
+	// replays un-sealed windows. The store's last applied window seq
+	// anchors the frontier reconcile (at most one window is redone).
+	var fragDir string
+	applied := 0
+	if o.stateDir != "" {
+		fragDir = filepath.Join(o.stateDir, "fragments")
+		if last := st.LastWindow(); last != nil {
+			applied = last.Window + 1
+		}
+	}
 	agg, err := cluster.NewAggregator(cluster.AggregatorConfig{
-		Name:      "smashd",
-		Window:    o.window,
-		Stride:    o.stride,
-		Expect:    o.expect,
-		Straggler: o.straggler,
-		Detector:  detOpts,
-		Tracker:   st.Restore(),
-		Sinks:     []stream.Sink{st},
-		Metrics:   o.reg,
-		Tracer:    o.tracer,
-		Logger:    o.logger.With("component", "aggregator"),
+		Name:           "smashd",
+		Window:         o.window,
+		Stride:         o.stride,
+		Expect:         o.expect,
+		Straggler:      o.straggler,
+		Detector:       detOpts,
+		Tracker:        st.Restore(),
+		Sinks:          []stream.Sink{st},
+		FragDir:        fragDir,
+		FragSync:       o.walSync,
+		AppliedWindows: applied,
+		Metrics:        o.reg,
+		Tracer:         o.tracer,
+		Logger:         o.logger.With("component", "aggregator"),
 	})
 	if err != nil {
 		return err
@@ -263,5 +291,106 @@ func runAggregate(ctx context.Context, o *options, out io.Writer) error {
 		stats.Fragments, stats.Nodes, stats.LateFragments, stats.DuplicateFragments,
 		stats.Windows, stats.EmptyWindows)
 	fmt.Fprint(out, agg.Tracker().Summary())
+	return nil
+}
+
+// runMerge is the cluster fan-in role: receive fragments from -expect
+// children on -cluster-listen, merge each window (no detection, no
+// tracker) and forward one combined fragment per window to the -forward
+// parent, with this tier's own final marker once every child finishes. A
+// -state-dir makes the tier crash-recoverable (stateDir/fragments) and
+// its upstream leg durable (stateDir/spool).
+func runMerge(ctx context.Context, o *options, out io.Writer) error {
+	if o.clusterListen == "" {
+		return fmt.Errorf("-role merge requires -cluster-listen ADDR")
+	}
+	if o.expect <= 0 {
+		return fmt.Errorf("-role merge requires -expect N (the child node count)")
+	}
+	if o.forward == "" {
+		return fmt.Errorf("-role merge requires -forward URL (the parent aggregator)")
+	}
+	if o.node == "" {
+		return fmt.Errorf("-role merge requires -node (this tier's name in the parent's fragments)")
+	}
+	if o.listen != "" {
+		return fmt.Errorf("the merge tier serves its ops API on -cluster-listen; drop -listen")
+	}
+	if len(o.paths) > 0 {
+		return fmt.Errorf("the merge tier takes no trace files; ingest nodes do the reading")
+	}
+
+	var fragDir, spoolDir string
+	if o.stateDir != "" {
+		fragDir = filepath.Join(o.stateDir, "fragments")
+		spoolDir = filepath.Join(o.stateDir, "spool")
+	}
+	m, err := cluster.NewMerger(cluster.MergerConfig{
+		Window:    o.window,
+		Stride:    o.stride,
+		Expect:    o.expect,
+		Straggler: o.straggler,
+		Forward: cluster.ForwarderConfig{
+			URL:      o.forward,
+			Node:     o.node,
+			SpoolDir: spoolDir,
+			Metrics:  o.reg,
+			Logger:   o.logger.With("component", "forward", "node", o.node),
+		},
+		FragDir:  fragDir,
+		FragSync: o.walSync,
+		Metrics:  o.reg,
+		Logger:   o.logger.With("component", "merger"),
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// The merge tier keeps no campaign state; its ops API serves cluster
+	// and forward counters over an empty store.
+	st, err := store.Open(store.Config{})
+	if err != nil {
+		return err
+	}
+	shutdown, err := serveHTTP(ctx, o.clusterListen, serve.NewHandler(serve.Config{
+		Store:      st,
+		Aggregator: m,
+		Started:    time.Now(),
+		Metrics:    o.reg,
+		Tracer:     o.tracer,
+		Pprof:      o.pprofOn,
+	}), o.logger.With("component", "http"))
+	if err != nil {
+		return err
+	}
+	defer shutdown()
+	defer notifySignals(ctx, cancel, m.Stop, o.logger)()
+
+	<-m.Start(ctx)
+	if err := m.Err(); err != nil {
+		return err
+	}
+	if ctx.Err() == nil {
+		if err := m.CloseUpstream(ctx); err != nil {
+			return err
+		}
+	}
+
+	stats, fs := m.Stats(), m.Forwarder().Stats()
+	if o.jsonOut {
+		return json.NewEncoder(out).Encode(map[string]any{
+			"node": o.node, "nodes": stats.Nodes, "fragments": stats.Fragments,
+			"lateFragments": stats.LateFragments, "duplicateFragments": stats.DuplicateFragments,
+			"windows": stats.Windows, "emptyWindows": stats.EmptyWindows,
+			"forwarded": fs.Forwarded, "retries": fs.Retries, "bytes": fs.Bytes,
+			"spooled": fs.Spooled, "spoolDropped": fs.SpoolDropped,
+		})
+	}
+	fmt.Fprintf(out, "merge %s: merged %d fragments from %d nodes (%d late, %d duplicate) into %d windows (%d empty); forwarded %d (%d retries, %d bytes) to %s\n",
+		o.node, stats.Fragments, stats.Nodes, stats.LateFragments, stats.DuplicateFragments,
+		stats.Windows, stats.EmptyWindows, fs.Forwarded, fs.Retries, fs.Bytes, o.forward)
 	return nil
 }

@@ -172,13 +172,16 @@ func TestClusterRoleValidation(t *testing.T) {
 	cases := [][]string{
 		{"-role", "bogus"},
 		{"-role", "ingest"}, // missing -forward
-		{"-role", "ingest", "-forward", "http://x", "-shard-of", "9/2"},                   // bad shard
-		{"-role", "ingest", "-forward", "http://x"},                                       // missing -node
-		{"-role", "ingest", "-forward", "http://x", "-node", "a", "-state-dir", "/tmp/x"}, // state at ingest
+		{"-role", "ingest", "-forward", "http://x", "-shard-of", "9/2"},                  // bad shard
+		{"-role", "ingest", "-forward", "http://x"},                                      // missing -node
 		{"-role", "aggregate"},                                                           // missing -cluster-listen
 		{"-role", "aggregate", "-cluster-listen", ":0"},                                  // missing -expect
 		{"-role", "aggregate", "-cluster-listen", ":0", "-expect", "1", "-listen", ":0"}, // double listen
 		{"-role", "aggregate", "-cluster-listen", ":0", "-expect", "1", "x.tsv"},         // stray files
+		{"-role", "merge"},                                                                  // missing -cluster-listen
+		{"-role", "merge", "-cluster-listen", ":0"},                                         // missing -expect
+		{"-role", "merge", "-cluster-listen", ":0", "-expect", "1"},                         // missing -forward
+		{"-role", "merge", "-cluster-listen", ":0", "-expect", "1", "-forward", "http://x"}, // missing -node
 	}
 	for _, args := range cases {
 		if err := run(context.Background(), args, strings.NewReader(""), &out); err == nil {

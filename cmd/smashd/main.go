@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	smashd [-role standalone|ingest|aggregate]
+//	smashd [-role standalone|ingest|merge|aggregate]
 //	       [-window 24h] [-stride 0] [-watermark 0] [-workers 1]
 //	       [-shards 4] [-speedup 0] [-seed 1] [-idf 200]
 //	       [-threshold 0.8] [-single-threshold 1.0] [-json] [-v]
@@ -96,10 +96,21 @@
 //   - -role ingest windows its share of the traffic without running
 //     detection and forwards each sealed window fragment (wire-encoded,
 //     with its symbol dictionary) to -forward URL, retrying transient
-//     failures with backoff. -shard-of N/M keeps only clients hashing to
-//     partition N of M, so every node can read the same full feed;
-//     pre-partitioned inputs (tracegen -partitions) skip the filter.
-//     -node names the node; it defaults to "shardN" under -shard-of.
+//     failures with full-jitter backoff. -shard-of N/M keeps only clients
+//     hashing to partition N of M, so every node can read the same full
+//     feed; pre-partitioned inputs (tracegen -partitions) skip the
+//     filter. -node names the node; it defaults to "shardN" under
+//     -shard-of. With -state-dir the forwarder gains a durable on-disk
+//     spool: fragments that exhaust their retries during an aggregator
+//     outage spill to DIR/spool and drain in order — oldest first — when
+//     the aggregator answers again, surviving node restarts too.
+//   - -role merge is an intermediate fan-in tier: it listens on
+//     -cluster-listen for fragments from -expect children (ingest nodes
+//     or other merge tiers), combines each window's fragments into one —
+//     no detection, no tracking — and forwards the merged fragment to
+//     -forward URL under its own -node name, with the same watermark,
+//     straggler and end-of-stream semantics per tier. Merging is
+//     associative, so any tree shape produces byte-identical output.
 //   - -role aggregate listens on -cluster-listen for fragments from
 //     -expect ingest nodes, aligns them on epoch-derived window ids,
 //     merges each window and runs detection, tracking and persistence
@@ -113,6 +124,15 @@
 // Window boundaries in cluster roles are anchored at the Unix epoch, not
 // at the first event, so all nodes agree on window ids without
 // coordination.
+//
+// With -state-dir, aggregate and merge roles are crash-recoverable: every
+// accepted fragment is appended to a fragment log (DIR/fragments) before
+// it is acknowledged, and a restarted process — even one killed with
+// SIGKILL mid-stream — replays the log, reconciles the one window a
+// crash can interrupt against the store, and resumes with continuous
+// window numbering and byte-identical output. /v1/stats shows the
+// membership view: per-node fragment counts, watermark, last-seen time,
+// and whether a node is overdue for its final marker.
 //
 // Text mode prints one line per window plus its deltas; -json emits one
 // JSON object per window (NDJSON) for downstream tooling. The first
@@ -264,13 +284,13 @@ func run(ctx context.Context, args []string, stdin io.Reader, out io.Writer) err
 	fs.BoolVar(&o.walSync, "wal-sync", true, "fsync the WAL after every window (survives machine death, not just process death)")
 	fs.IntVar(&o.retainWin, "retain-windows", 0, "cap the queryable window history log at N windows (0 = keep all)")
 	fs.DurationVar(&o.retainAge, "retain-age", 0, "drop history windows more than this behind the newest window, in event time (0 = keep all)")
-	fs.StringVar(&o.role, "role", "standalone", "process role: standalone, ingest (window + forward fragments) or aggregate (merge fragments + detect)")
-	fs.StringVar(&o.forward, "forward", "", "ingest role: aggregator base URL (e.g. http://agg:8080)")
-	fs.StringVar(&o.node, "node", "", "ingest role: node name in forwarded fragments (default shardN under -shard-of)")
+	fs.StringVar(&o.role, "role", "standalone", "process role: standalone, ingest (window + forward fragments), merge (fan in child fragments) or aggregate (merge fragments + detect)")
+	fs.StringVar(&o.forward, "forward", "", "ingest/merge roles: parent aggregator base URL (e.g. http://agg:8080)")
+	fs.StringVar(&o.node, "node", "", "ingest/merge roles: node name in forwarded fragments (default shardN under -shard-of)")
 	fs.StringVar(&o.shardOf, "shard-of", "", "ingest role: keep only clients hashing to partition N of M, as N/M (e.g. 0/2)")
-	fs.StringVar(&o.clusterListen, "cluster-listen", "", "aggregate role: address serving /v1/ingest and the ops API")
-	fs.IntVar(&o.expect, "expect", 0, "aggregate role: number of ingest nodes feeding this aggregator")
-	fs.IntVar(&o.straggler, "straggler", 0, "aggregate role: force-seal windows N behind the lead node (0 = wait for all nodes)")
+	fs.StringVar(&o.clusterListen, "cluster-listen", "", "aggregate/merge roles: address serving /v1/ingest and the ops API")
+	fs.IntVar(&o.expect, "expect", 0, "aggregate/merge roles: number of child nodes feeding this tier")
+	fs.IntVar(&o.straggler, "straggler", 0, "aggregate/merge roles: force-seal windows N behind the lead node (0 = wait for all nodes)")
 	fs.StringVar(&o.logFormat, "log-format", "text", "diagnostic log format: text or json")
 	fs.StringVar(&o.logLevel, "log-level", "info", "diagnostic log level: debug, info, warn or error")
 	fs.StringVar(&o.traceLog, "trace-log", "", "append window-lifecycle spans to this file as NDJSON")
@@ -307,8 +327,10 @@ func run(ctx context.Context, args []string, stdin io.Reader, out io.Writer) err
 		return runIngest(ctx, &o, stdin, out)
 	case "aggregate":
 		return runAggregate(ctx, &o, out)
+	case "merge":
+		return runMerge(ctx, &o, out)
 	default:
-		return fmt.Errorf("unknown -role %q (want standalone, ingest or aggregate)", o.role)
+		return fmt.Errorf("unknown -role %q (want standalone, ingest, merge or aggregate)", o.role)
 	}
 }
 

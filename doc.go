@@ -37,8 +37,11 @@
 //   - internal/wire        — versioned binary codec shipping trace.Index
 //     window fragments (with their symbol dictionaries) between processes
 //   - internal/cluster     — horizontal scale-out: ingest-side fragment
-//     Forwarder (stream.Sink) and the window-aligning Aggregator with
-//     per-node watermarks and a straggler policy
+//     Forwarder (stream.Sink) with a durable on-disk spool, the
+//     window-aligning Aggregator with per-node watermarks, a straggler
+//     policy and crash recovery via a fragment log (WAL of raw wire
+//     fragments, replayed on restart), and the detection-free Merger
+//     tier for fan-in trees
 //   - internal/source      — real-traffic ingestion surface: access-log
 //     format parsers (tsv, Apache/Nginx common and combined, JSON lines
 //     with field mapping) with strict error accounting, a
@@ -65,7 +68,8 @@
 //   - cmd/smashd           — streaming daemon over TSV files, stdin,
 //     tailed access logs (-format, -follow) or pushed batches (-push),
 //     with durable state (-state-dir), the ops API (-listen), and
-//     cluster roles (-role ingest|aggregate)
+//     cluster roles (-role ingest|merge|aggregate) with crash
+//     recovery and spooling riding on the same -state-dir
 //   - cmd/benchjson        — bench output -> BENCH_<pr>.json trajectory
 //   - examples/            — runnable scenarios
 //
@@ -74,8 +78,9 @@
 // Performance section (interned-ID data plane, incremental sliding
 // windows, scratch reuse), the Sources section (format grammars and the
 // projection laws, rotation/checkpoint semantics, push backpressure),
-// the Cluster section (fragment lifecycle,
-// window alignment, straggler policy, remap-merge invariants), the
+// the Cluster section (fragment lifecycle, window alignment, straggler
+// policy, remap-merge invariants, and the fault-tolerance protocol:
+// fragment log, frontier reconcile, spool, merge tier), the
 // Observability section (metric catalog, span model, logging
 // conventions) and the Analytics plane section (history log format,
 // retention/GC rules, SSE resume semantics). The benchmarks in bench_test.go regenerate each

@@ -5,11 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
-	"math"
-	"sort"
-	"strconv"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"smash/internal/core"
@@ -17,7 +12,6 @@ import (
 	"smash/internal/stream"
 	"smash/internal/trace"
 	"smash/internal/tracker"
-	"smash/internal/wire"
 )
 
 // AggregatorConfig parameterizes an Aggregator.
@@ -49,6 +43,23 @@ type AggregatorConfig struct {
 	// Buffer is the fragment inbox capacity; a full inbox blocks Submit,
 	// backpressuring ingest nodes through their forwarders (default 64).
 	Buffer int
+	// FragDir, when set, makes the aggregator crash-recoverable: every
+	// fragment is logged there (FragLog) before Submit acknowledges it,
+	// and a restarted aggregator replays un-sealed windows through the
+	// same dedupe/late filters, resuming byte-identical to a run that
+	// never crashed. Empty disables recovery.
+	FragDir string
+	// FragSync fsyncs every fragment-log append (the WAL durability
+	// class; pair it with the store's Sync).
+	FragSync bool
+	// AppliedWindows reconciles the fragment log's frontier after a
+	// crash: the number of windows the durable sink had already applied
+	// when this process started (for internal/store,
+	// LastWindow().Window+1). The frontier may run at most one window
+	// ahead — that window is redone. -1 trusts the frontier outright
+	// (only safe when the sinks dedupe or are disposable). Ignored
+	// without FragDir.
+	AppliedWindows int
 	// Metrics registers the aggregator's latency histograms (fragment
 	// wait, detection, per-stage, per-sink, seal->commit) on this
 	// registry. Nil disables metrics.
@@ -61,85 +72,26 @@ type AggregatorConfig struct {
 	Logger *slog.Logger
 }
 
-// Stats is a live snapshot of the aggregator's counters.
-type Stats struct {
-	// Nodes is the number of distinct ingest nodes seen so far.
-	Nodes int `json:"nodes"`
-	// FinishedNodes counts nodes that sent their final marker.
-	FinishedNodes int `json:"finishedNodes"`
-	// Fragments counts accepted window fragments (excluding final
-	// markers, duplicates and late drops).
-	Fragments int `json:"fragments"`
-	// DuplicateFragments counts redelivered (node, window) fragments
-	// dropped for idempotence.
-	DuplicateFragments int `json:"duplicateFragments"`
-	// LateFragments counts fragments dropped because their window had
-	// already sealed (the straggler policy).
-	LateFragments int `json:"lateFragments"`
-	// Windows counts emitted windows; EmptyWindows those with no events.
-	Windows      int `json:"windows"`
-	EmptyWindows int `json:"emptyWindows"`
-	// Requests sums merged request counts over emitted windows.
-	Requests int `json:"requests"`
-}
-
-// NodeStat describes one ingest node as seen by the aggregator.
-type NodeStat struct {
-	// Node is the node's self-reported name.
-	Node string `json:"node"`
-	// Fragments and Requests count accepted fragments and their events.
-	Fragments int `json:"fragments"`
-	Requests  int `json:"requests"`
-	// LateFragments counts this node's fragments dropped after sealing.
-	LateFragments int `json:"lateFragments"`
-	// LastWindow is the node's watermark: the highest window id it has
-	// forwarded.
-	LastWindow int64 `json:"lastWindow"`
-	// Finished reports whether the node sent its final marker.
-	Finished bool `json:"finished"`
-}
-
-type nodeState struct {
-	last      int64
-	finished  bool
-	fragments int
-	requests  int
-	late      int
-}
-
 // Aggregator receives window fragments from ingest nodes, aligns them on
 // epoch-derived window ids, merges each window's fragments (remap-merge
 // across foreign symbol tables) and drives the detection pipeline,
 // tracker and sinks exactly like a standalone stream engine. Create with
 // NewAggregator, feed with Submit (typically via internal/serve's
-// /v1/ingest), consume the Start channel.
+// /v1/ingest), consume the Start channel. With FragDir set it survives
+// kill -9: see AggregatorConfig.FragDir and the package comment's fault
+// tolerance section.
 type Aggregator struct {
+	*assembler
+
 	cfg AggregatorConfig
 	det *core.Detector
 	tk  *tracker.Tracker
-	log *slog.Logger
-	tr  *obs.Tracer
 
 	// Latency instruments; all nil (and so no-ops) without Metrics.
-	mWait, mDetect, mSealCommit *obs.Histogram
-	mStage, mSink               map[string]*obs.Histogram
+	mDetect       *obs.Histogram
+	mStage, mSink map[string]*obs.Histogram
 
-	in   chan *wire.Fragment
-	out  chan stream.WindowResult
-	done chan struct{}
-	quit chan struct{}
-
-	stopOnce sync.Once
-	started  bool
-
-	errMu sync.Mutex
-	err   error
-
-	nodeMu sync.Mutex
-	nodes  map[string]*nodeState
-
-	ctrFragments, ctrDup, ctrLate     atomic.Int64
-	ctrWindows, ctrEmpty, ctrRequests atomic.Int64
+	out chan stream.WindowResult
 }
 
 // NewAggregator validates the config and builds an aggregator.
@@ -169,29 +121,21 @@ func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 		cfg.Buffer = 64
 	}
 	a := &Aggregator{
-		cfg:   cfg,
-		det:   core.New(cfg.Detector...),
-		tk:    cfg.Tracker,
-		log:   cfg.Logger,
-		tr:    cfg.Tracer,
-		in:    make(chan *wire.Fragment, cfg.Buffer),
-		out:   make(chan stream.WindowResult, 1),
-		done:  make(chan struct{}),
-		quit:  make(chan struct{}),
-		nodes: make(map[string]*nodeState),
+		cfg: cfg,
+		det: core.New(cfg.Detector...),
+		tk:  cfg.Tracker,
+		out: make(chan stream.WindowResult, 1),
 	}
-	if a.log == nil {
-		a.log = obs.Discard()
-	}
+	var mWait, mSealCommit *obs.Histogram
 	// Histogram families shared with the stream engine keep the engine's
 	// help text: registering the same name twice with one registry must
 	// agree on metadata.
 	if reg := cfg.Metrics; reg != nil {
-		a.mWait = reg.Histogram("smash_cluster_fragment_wait_seconds",
+		mWait = reg.Histogram("smash_cluster_fragment_wait_seconds",
 			"Wall-clock from a cluster window's first fragment arrival to its seal.")
 		a.mDetect = reg.Histogram("smash_window_detect_seconds",
 			"Wall-clock running the detection pipeline, per window.")
-		a.mSealCommit = reg.Histogram("smash_seal_commit_seconds",
+		mSealCommit = reg.Histogram("smash_seal_commit_seconds",
 			"Wall-clock from a window's sealed index to its committed result (sinks done, result published).")
 		a.mStage = make(map[string]*obs.Histogram)
 		for _, s := range core.StageNames() {
@@ -205,6 +149,32 @@ func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 				"Wall-clock per sink consume on the window commit path.", "sink", name)
 		}
 	}
+	var flog *FragLog
+	if cfg.FragDir != "" {
+		var err error
+		flog, err = OpenFragLog(cfg.FragDir, cfg.FragSync)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Metrics != nil {
+			registerFragLogMetrics(cfg.Metrics, flog)
+		}
+	}
+	a.assembler = newAssembler(assemblerConfig{
+		window:      cfg.Window,
+		stride:      cfg.Stride,
+		expect:      cfg.Expect,
+		straggler:   cfg.Straggler,
+		buffer:      cfg.Buffer,
+		log:         cfg.Logger,
+		tr:          cfg.Tracer,
+		mWait:       mWait,
+		mSealCommit: mSealCommit,
+		flog:        flog,
+		exactlyOnce: true,
+		applied:     cfg.AppliedWindows,
+		onSeal:      a.sealWindow,
+	})
 	return a, nil
 }
 
@@ -225,366 +195,78 @@ func (a *Aggregator) Start(ctx context.Context) <-chan stream.WindowResult {
 		panic("cluster: Start called twice")
 	}
 	a.started = true
-	go a.run(ctx)
+	go func() {
+		// done (closed by run) precedes out, so a consumer that has seen
+		// the output channel close can rely on Submit failing from then
+		// on.
+		defer close(a.out)
+		a.run(ctx)
+	}()
 	return a.out
-}
-
-// ErrStopped is returned by Submit once the aggregator has shut down — a
-// transient condition from a sender's point of view (retry elsewhere or
-// give up), unlike the permanent validation errors Submit also returns.
-var ErrStopped = errors.New("cluster: aggregator stopped")
-
-// Submit hands one decoded fragment to the aggregation loop, blocking
-// while the inbox is full (that blocking is the cluster's backpressure).
-// It fails with ErrStopped once the aggregator has stopped; any other
-// error marks the fragment itself as invalid and will not heal on retry.
-func (a *Aggregator) Submit(frag *wire.Fragment) error {
-	if frag.Node == "" {
-		return errors.New("cluster: fragment without a node name")
-	}
-	if !frag.Final && frag.Index == nil {
-		return errors.New("cluster: non-final fragment without an index")
-	}
-	select {
-	case <-a.done:
-		return ErrStopped
-	default:
-	}
-	select {
-	case a.in <- frag:
-		return nil
-	case <-a.done:
-		return ErrStopped
-	}
-}
-
-// Stop asks the aggregator to flush every pending window (in window
-// order, without waiting for stragglers) and close the output channel.
-// Safe to call concurrently and more than once.
-func (a *Aggregator) Stop() {
-	a.stopOnce.Do(func() { close(a.quit) })
-}
-
-// Err returns the first detection, sink or context error, if any. Valid
-// once the output channel has closed.
-func (a *Aggregator) Err() error {
-	a.errMu.Lock()
-	defer a.errMu.Unlock()
-	return a.err
-}
-
-func (a *Aggregator) setErr(err error) {
-	a.errMu.Lock()
-	defer a.errMu.Unlock()
-	if a.err == nil {
-		a.err = err
-	}
 }
 
 // Tracker exposes the cross-window lineage tracker (for end-of-run
 // summaries). Valid once the output channel has closed.
 func (a *Aggregator) Tracker() *tracker.Tracker { return a.tk }
 
-// Stats returns a live snapshot of the aggregator counters.
-func (a *Aggregator) Stats() Stats {
-	a.nodeMu.Lock()
-	nodes, finished := len(a.nodes), 0
-	for _, n := range a.nodes {
-		if n.finished {
-			finished++
-		}
+// sealWindow is the aggregator's half of a seal: detection on the merged
+// index, tracker observation, delta derivation, sinks, and result
+// publication — the same commit path a standalone stream engine drives.
+func (a *Aggregator) sealWindow(ctx context.Context, w int64, seq int, start time.Time, merged *trace.Index, aborted bool) {
+	res := stream.WindowResult{
+		Seq:      seq,
+		Start:    start,
+		End:      start.Add(a.cfg.Window),
+		Requests: merged.RequestCount,
+		Index:    merged,
 	}
-	a.nodeMu.Unlock()
-	return Stats{
-		Nodes:              nodes,
-		FinishedNodes:      finished,
-		Fragments:          int(a.ctrFragments.Load()),
-		DuplicateFragments: int(a.ctrDup.Load()),
-		LateFragments:      int(a.ctrLate.Load()),
-		Windows:            int(a.ctrWindows.Load()),
-		EmptyWindows:       int(a.ctrEmpty.Load()),
-		Requests:           int(a.ctrRequests.Load()),
-	}
-}
-
-// NodeStats returns per-node counters, sorted by node name.
-func (a *Aggregator) NodeStats() []NodeStat {
-	a.nodeMu.Lock()
-	defer a.nodeMu.Unlock()
-	out := make([]NodeStat, 0, len(a.nodes))
-	for name, n := range a.nodes {
-		out = append(out, NodeStat{
-			Node:          name,
-			Fragments:     n.fragments,
-			Requests:      n.requests,
-			LateFragments: n.late,
-			LastWindow:    n.last,
-			Finished:      n.finished,
-		})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
-	return out
-}
-
-// run is the single aggregation goroutine: it owns all window bookkeeping
-// and runs detection in window order, so worker-free sequencing is the
-// determinism guarantee (fragment arrival order never changes output).
-func (a *Aggregator) run(ctx context.Context) {
-	// done closes before out (LIFO), so a consumer that has seen the
-	// output channel close can rely on Submit failing from then on.
-	defer close(a.out)
-	defer close(a.done)
-
-	const noWindow = int64(math.MinInt64)
-	var (
-		pending          = make(map[int64]map[string]*trace.Index)
-		minSeen, maxSeen = int64(math.MaxInt64), noWindow
-		nextSeal         = noWindow
-		sealedAny        bool
-		emitted          int
-		// firstFrag stamps each pending window's first fragment arrival —
-		// the start of its "fragments" (wait) span; nil when neither
-		// tracing nor the wait histogram is wired.
-		firstFrag map[int64]time.Time
-	)
-	if a.tr != nil || a.mWait != nil {
-		firstFrag = make(map[int64]time.Time)
-	}
-	a.log.Info("aggregator starting",
-		"window", a.cfg.Window, "stride", a.cfg.Stride,
-		"expect", a.cfg.Expect, "straggler", a.cfg.Straggler)
-	defer func() { a.log.Info("aggregator stopped", "windows", emitted) }()
-
-	accept := func(frag *wire.Fragment) {
-		a.nodeMu.Lock()
-		node := a.nodes[frag.Node]
-		if node == nil {
-			node = &nodeState{last: noWindow}
-			a.nodes[frag.Node] = node
-			a.log.Info("node joined", "node", frag.Node)
+	if merged.RequestCount > 0 && !aborted && ctx.Err() == nil {
+		name := fmt.Sprintf("%s-w%d", a.cfg.Name, seq)
+		var extra []core.Observer
+		if a.tr != nil || a.mStage != nil {
+			extra = append(extra, stream.StageTraceObserver(a.tr, a.mStage, int64(seq)))
 		}
-		if frag.Final {
-			node.finished = true
-			a.nodeMu.Unlock()
-			a.log.Info("node finished", "node", frag.Node, "lastWindow", frag.Window)
-			return
-		}
-		if frag.Window > node.last {
-			node.last = frag.Window
-		}
-		sealed := sealedAny && frag.Window < nextSeal
-		dup := !sealed && pending[frag.Window][frag.Node] != nil
-		if sealed {
-			node.late++
-		} else if !dup {
-			node.fragments++
-			node.requests += frag.Index.RequestCount
-		}
-		a.nodeMu.Unlock()
-		switch {
-		case sealed:
-			a.ctrLate.Add(1)
-			a.log.Warn("late fragment dropped", "node", frag.Node, "windowID", frag.Window)
-			return
-		case dup:
-			a.ctrDup.Add(1)
-			a.log.Debug("duplicate fragment dropped", "node", frag.Node, "windowID", frag.Window)
-			return
-		}
-		a.ctrFragments.Add(1)
-		w := pending[frag.Window]
-		if w == nil {
-			w = make(map[string]*trace.Index, a.cfg.Expect)
-			pending[frag.Window] = w
-			if firstFrag != nil {
-				firstFrag[frag.Window] = time.Now()
-			}
-		}
-		w[frag.Node] = frag.Index
-		if frag.Window < minSeen {
-			minSeen = frag.Window
-		}
-		if frag.Window > maxSeen {
-			maxSeen = frag.Window
-		}
-	}
-
-	// watermark is the highest window id known complete: the minimum over
-	// all expected nodes of their last forwarded window. Unknown nodes
-	// hold it at -inf; finished nodes lift theirs to +inf.
-	watermark := func() (int64, bool) {
-		a.nodeMu.Lock()
-		defer a.nodeMu.Unlock()
-		if len(a.nodes) < a.cfg.Expect {
-			return noWindow, false
-		}
-		w, allDone := int64(math.MaxInt64), true
-		for _, n := range a.nodes {
-			if n.finished {
-				continue
-			}
-			allDone = false
-			if n.last < w {
-				w = n.last
-			}
-		}
-		return w, allDone
-	}
-
-	seal := func(w int64, aborted bool) {
-		sealStart := time.Now()
-		seq := int64(emitted)
-		frags := pending[w]
-		delete(pending, w)
-		if firstFrag != nil {
-			if t0, ok := firstFrag[w]; ok {
-				delete(firstFrag, w)
-				d := sealStart.Sub(t0)
-				a.tr.Record(seq, "fragments", t0, d, "nodes", strconv.Itoa(len(frags)))
-				a.mWait.Observe(d.Seconds())
-			}
-		}
-		names := make([]string, 0, len(frags))
-		for n := range frags {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		merged := trace.NewIndex()
-		for _, n := range names {
-			merged.Merge(frags[n])
-		}
-		sealedAt := time.Now()
-
-		start := WindowStart(w, a.cfg.Stride)
+		t0 := time.Now()
+		report, err := a.det.RunIndexContext(ctx, merged, merged.ComputeStats(name), extra...)
+		d := time.Since(t0)
 		if a.tr != nil {
-			a.tr.Window(seq, start, start.Add(a.cfg.Window))
-			a.tr.Record(seq, "merge", sealStart, sealedAt.Sub(sealStart),
-				"nodes", strconv.Itoa(len(names)), "requests", strconv.Itoa(merged.RequestCount))
-		}
-		res := stream.WindowResult{
-			Seq:      emitted,
-			Start:    start,
-			End:      start.Add(a.cfg.Window),
-			Requests: merged.RequestCount,
-			Index:    merged,
-		}
-		if merged.RequestCount > 0 && !aborted && ctx.Err() == nil {
-			name := fmt.Sprintf("%s-w%d", a.cfg.Name, emitted)
-			var extra []core.Observer
-			if a.tr != nil || a.mStage != nil {
-				extra = append(extra, stream.StageTraceObserver(a.tr, a.mStage, seq))
-			}
-			t0 := time.Now()
-			report, err := a.det.RunIndexContext(ctx, merged, merged.ComputeStats(name), extra...)
-			d := time.Since(t0)
-			if a.tr != nil {
-				attrs := []string(nil)
-				if err != nil {
-					attrs = []string{"error", err.Error()}
-				}
-				a.tr.Record(seq, "detect", t0, d, attrs...)
-			}
-			a.mDetect.Observe(d.Seconds())
-			switch {
-			case err == nil:
-				res.Report = report
-			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-				a.setErr(err)
-			default:
-				a.setErr(fmt.Errorf("cluster: window %d: %w", emitted, err))
-				a.log.Error("window detection failed", "window", emitted, "err", err)
-			}
-		}
-		report := res.Report
-		if report == nil {
-			report = &core.Report{}
-			if merged.RequestCount == 0 {
-				a.ctrEmpty.Add(1)
-			}
-		}
-		res.Matches = a.tk.Observe(report)
-		// Retire deltas lead, mirroring the standalone engine's emit path
-		// so cluster runs stay byte-identical to single-node runs.
-		res.Deltas = append(stream.RetireDeltas(res.Seq, a.tk.RetiredNow()),
-			stream.DeltasFor(res.Seq, report.AllCampaigns(), res.Matches)...)
-		for _, s := range a.cfg.Sinks {
-			name := clusterSinkName(s)
-			t0 := time.Now()
-			err := s.Consume(&res)
-			d := time.Since(t0)
-			a.tr.Record(seq, name, t0, d)
-			a.mSink[name].Observe(d.Seconds())
+			attrs := []string(nil)
 			if err != nil {
-				a.setErr(fmt.Errorf("cluster: sink: %w", err))
-				a.log.Error("sink failed", "window", emitted, "sink", name, "err", err)
+				attrs = []string{"error", err.Error()}
 			}
+			a.tr.Record(int64(seq), "detect", t0, d, attrs...)
 		}
-		a.mSealCommit.ObserveSince(sealedAt)
-		a.ctrWindows.Add(1)
-		a.ctrRequests.Add(int64(merged.RequestCount))
-		a.log.Debug("window committed",
-			"window", emitted, "windowID", w, "nodes", len(names), "requests", merged.RequestCount)
-		emitted++
-		sealedAny = true
-		a.out <- res
-	}
-
-	// flush seals every remaining window in order, report-less when the
-	// context has been cancelled.
-	flush := func() {
-		for ; sealedAny && nextSeal <= maxSeen; nextSeal++ {
-			seal(nextSeal, ctx.Err() != nil)
-		}
-		if !sealedAny && maxSeen != noWindow {
-			for nextSeal = minSeen; nextSeal <= maxSeen; nextSeal++ {
-				seal(nextSeal, ctx.Err() != nil)
-			}
+		a.mDetect.Observe(d.Seconds())
+		switch {
+		case err == nil:
+			res.Report = report
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			a.setErr(err)
+		default:
+			a.setErr(fmt.Errorf("cluster: window %d: %w", seq, err))
+			a.log.Error("window detection failed", "window", seq, "err", err)
 		}
 	}
-
-	for {
-		select {
-		case frag := <-a.in:
-			accept(frag)
-		case <-a.quit:
-			// Drain fragments already accepted into the inbox before
-			// flushing, so Stop never discards a buffered submission.
-		drain:
-			for {
-				select {
-				case frag := <-a.in:
-					accept(frag)
-				default:
-					break drain
-				}
-			}
-			flush()
-			return
-		case <-ctx.Done():
-			a.setErr(ctx.Err())
-			flush()
-			return
-		}
-
-		wm, allDone := watermark()
-		if allDone {
-			flush()
-			return
-		}
-		if maxSeen == noWindow {
-			continue
-		}
-		if !sealedAny {
-			nextSeal = minSeen
-		}
-		for nextSeal <= maxSeen {
-			ready := nextSeal <= wm ||
-				(a.cfg.Straggler > 0 && maxSeen-nextSeal >= int64(a.cfg.Straggler))
-			if !ready {
-				break
-			}
-			seal(nextSeal, false)
-			nextSeal++
+	report := res.Report
+	if report == nil {
+		report = &core.Report{}
+	}
+	res.Matches = a.tk.Observe(report)
+	// Retire deltas lead, mirroring the standalone engine's emit path
+	// so cluster runs stay byte-identical to single-node runs.
+	res.Deltas = append(stream.RetireDeltas(res.Seq, a.tk.RetiredNow()),
+		stream.DeltasFor(res.Seq, report.AllCampaigns(), res.Matches)...)
+	for _, s := range a.cfg.Sinks {
+		name := clusterSinkName(s)
+		t0 := time.Now()
+		err := s.Consume(&res)
+		d := time.Since(t0)
+		a.tr.Record(int64(seq), name, t0, d)
+		a.mSink[name].Observe(d.Seconds())
+		if err != nil {
+			a.setErr(fmt.Errorf("cluster: sink: %w", err))
+			a.log.Error("sink failed", "window", seq, "sink", name, "err", err)
 		}
 	}
+	a.out <- res
 }

@@ -45,10 +45,12 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
 	"sync/atomic"
@@ -131,9 +133,19 @@ type ForwarderConfig struct {
 	Client *http.Client
 	// MaxAttempts bounds delivery attempts per fragment (default 5).
 	MaxAttempts int
-	// Backoff is the first retry delay; it doubles per attempt
-	// (default 100ms).
+	// Backoff caps the first retry delay; the cap doubles per attempt and
+	// each actual delay is drawn uniformly from [0, cap) — full jitter, so
+	// a fleet of nodes retrying against a recovering aggregator spreads
+	// its load instead of thundering in lockstep (default 100ms).
 	Backoff time.Duration
+	// SpoolDir, when set, makes the forwarder durable: fragments whose
+	// delivery attempts exhaust are written to this directory (fsynced)
+	// and drained in order once the aggregator answers again, instead of
+	// being dropped with an error. Spooled fragments survive restarts.
+	SpoolDir string
+	// SpoolMaxBytes bounds the spool's on-disk size; when exceeded the
+	// oldest entries are dropped and counted (default 256 MiB).
+	SpoolMaxBytes int64
 	// Metrics registers the forward POST latency histogram and the
 	// fragment/retry/byte counters (nil disables metrics).
 	Metrics *obs.Registry
@@ -150,8 +162,17 @@ type ForwarderStats struct {
 	Retries int `json:"retries"`
 	// Bytes counts encoded fragment bytes acknowledged.
 	Bytes int64 `json:"bytes"`
-	// LastWindow is the highest window id forwarded so far.
+	// LastWindow is the highest window id handed to the forwarder so far
+	// (delivered or spooled).
 	LastWindow int64 `json:"lastWindow"`
+	// Spooled counts fragments written to the on-disk spool after their
+	// delivery attempts exhausted; SpoolDropped counts entries evicted to
+	// respect the spool bound (or unreadable at drain).
+	Spooled      int `json:"spooled"`
+	SpoolDropped int `json:"spoolDropped"`
+	// SpoolPending and SpoolBytes describe what is on disk right now.
+	SpoolPending int   `json:"spoolPending"`
+	SpoolBytes   int64 `json:"spoolBytes"`
 }
 
 // Forwarder is the ingest node's stream.Sink: it encodes every emitted
@@ -164,6 +185,7 @@ type Forwarder struct {
 	client *http.Client
 	log    *slog.Logger
 	mPost  *obs.Histogram
+	sp     *spool // nil without SpoolDir
 
 	ctrForwarded, ctrRetries atomic.Int64
 	ctrBytes, lastWindow     atomic.Int64
@@ -189,12 +211,26 @@ func NewForwarder(cfg ForwarderConfig) (*Forwarder, error) {
 	if cfg.Backoff <= 0 {
 		cfg.Backoff = 100 * time.Millisecond
 	}
+	if cfg.SpoolMaxBytes <= 0 {
+		cfg.SpoolMaxBytes = defaultSpoolMaxBytes
+	}
 	f := &Forwarder{cfg: cfg, client: cfg.Client, log: cfg.Logger}
 	if f.client == nil {
 		f.client = &http.Client{Timeout: 30 * time.Second}
 	}
 	if f.log == nil {
 		f.log = obs.Discard()
+	}
+	if cfg.SpoolDir != "" {
+		sp, err := openSpool(cfg.SpoolDir, cfg.SpoolMaxBytes, f.log)
+		if err != nil {
+			return nil, err
+		}
+		f.sp = sp
+		if n := sp.pending(); n > 0 {
+			f.log.Info("spool holds undelivered fragments from a previous run",
+				"pending", n, "bytes", sp.pendingBytes())
+		}
 	}
 	if reg := cfg.Metrics; reg != nil {
 		f.mPost = reg.Histogram("smash_forward_post_seconds",
@@ -208,6 +244,20 @@ func NewForwarder(cfg ForwarderConfig) (*Forwarder, error) {
 		reg.CounterFunc("smash_forward_bytes_total",
 			"Encoded fragment bytes acknowledged by the aggregator.",
 			func(emit obs.Emit) { emit(float64(f.ctrBytes.Load())) })
+		if f.sp != nil {
+			reg.CounterFunc("smash_forward_spooled_total",
+				"Fragments spilled to the on-disk spool after delivery attempts exhausted.",
+				func(emit obs.Emit) { n, _ := f.sp.counters(); emit(float64(n)) })
+			reg.CounterFunc("smash_forward_spool_dropped_total",
+				"Spooled fragments evicted to respect the spool's byte bound.",
+				func(emit obs.Emit) { _, n := f.sp.counters(); emit(float64(n)) })
+			reg.GaugeFunc("smash_forward_spool_pending",
+				"Fragments waiting in the on-disk spool.",
+				func(emit obs.Emit) { emit(float64(f.sp.pending())) })
+			reg.GaugeFunc("smash_forward_spool_bytes",
+				"On-disk size of the fragment spool.",
+				func(emit obs.Emit) { emit(float64(f.sp.pendingBytes())) })
+		}
 	}
 	f.lastWindow.Store(-1 << 62)
 	return f, nil
@@ -219,6 +269,13 @@ func (f *Forwarder) SinkName() string { return "forward" }
 
 // Consume implements stream.Sink: it ships the window's index to the
 // aggregator. The engine must run with Config.IndexOnly (or KeepIndex).
+//
+// With a spool configured, delivery failure is absorbed instead of
+// surfaced: a fragment whose attempts exhaust is written to disk and the
+// engine keeps streaming; a fragment arriving while a backlog exists
+// queues behind it (the aggregator needs each node's windows in order),
+// after which Consume opportunistically drains. Only a 4xx rejection —
+// which resending cannot heal — still errors.
 func (f *Forwarder) Consume(w *stream.WindowResult) error {
 	if w.Index == nil {
 		return fmt.Errorf("cluster: window %d has no index; run the engine with Config.IndexOnly", w.Seq)
@@ -231,57 +288,215 @@ func (f *Forwarder) Consume(w *stream.WindowResult) error {
 		End:    w.End,
 		Index:  w.Index,
 	}
-	if err := f.post(wire.EncodeFragment(frag)); err != nil {
-		return err
+	body := wire.EncodeFragment(frag)
+	if f.sp != nil && f.sp.pending() > 0 {
+		if err := f.sp.put(body); err != nil {
+			return err
+		}
+		f.lastWindow.Store(id)
+		f.drain()
+		return nil
+	}
+	if err := f.post(body); err != nil {
+		var rej *rejectError
+		if f.sp == nil || errors.As(err, &rej) {
+			return err
+		}
+		if perr := f.sp.put(body); perr != nil {
+			return perr
+		}
+		f.log.Warn("fragment spooled after delivery attempts exhausted",
+			"node", f.cfg.Node, "window", id, "err", err)
 	}
 	f.lastWindow.Store(id)
 	return nil
 }
 
-// Close delivers the node's end-of-stream marker, telling the aggregator
-// no further windows will arrive from this node. Call it after the ingest
-// engine's output channel has closed.
+// drain delivers spooled fragments oldest-first with single attempts,
+// stopping at the first transient failure — the aggregator is still (or
+// again) unreachable, and the next Consume or Close will try again. A 4xx
+// rejection drops the entry: resending cannot heal it.
+func (f *Forwarder) drain() {
+	for f.sp.pending() > 0 {
+		seq, body, ok := f.sp.peek()
+		if !ok {
+			continue // unreadable entry was dropped; move on
+		}
+		err := f.postOnce(body)
+		var rej *rejectError
+		switch {
+		case err == nil:
+			f.sp.remove(seq)
+		case errors.As(err, &rej):
+			f.log.Error("aggregator rejected spooled fragment; dropped", "seq", seq, "err", err)
+			f.sp.remove(seq)
+		default:
+			return
+		}
+	}
+}
+
+// Close drains any spooled backlog (bounded retries per entry), then
+// delivers the node's end-of-stream marker, telling the aggregator no
+// further windows will arrive from this node. Call it after the ingest
+// engine's output channel has closed; use CloseContext when shutdown
+// should wait out an aggregator outage instead of giving up.
 func (f *Forwarder) Close() error {
+	if f.sp != nil {
+		for f.sp.pending() > 0 {
+			seq, body, ok := f.sp.peek()
+			if !ok {
+				continue
+			}
+			if err := f.post(body); err != nil {
+				var rej *rejectError
+				if errors.As(err, &rej) {
+					f.log.Error("aggregator rejected spooled fragment; dropped", "seq", seq, "err", err)
+					f.sp.remove(seq)
+					continue
+				}
+				return fmt.Errorf("cluster: spool drain: %w", err)
+			}
+			f.sp.remove(seq)
+		}
+	}
 	frag := &wire.Fragment{Node: f.cfg.Node, Window: f.lastWindow.Load(), Final: true}
 	return f.post(wire.EncodeFragment(frag))
 }
 
+// CloseContext is Close with patience: it keeps draining the spool and
+// re-posting the final marker — capped, jittered backoff between rounds —
+// until everything is delivered or ctx is cancelled. A durable ingest
+// node shuts down through here so an aggregator outage at end-of-stream
+// costs waiting, not the final marker. A 4xx rejection returns
+// immediately; on cancellation the give-up is logged loudly, because the
+// aggregator will now hold this node's watermark open until its
+// straggler policy forces the issue.
+func (f *Forwarder) CloseContext(ctx context.Context) error {
+	final := wire.EncodeFragment(&wire.Fragment{Node: f.cfg.Node, Window: f.lastWindow.Load(), Final: true})
+	for attempt := 1; ; attempt++ {
+		if f.sp != nil {
+			f.drain()
+		}
+		var err error
+		if n := f.spoolPending(); n > 0 {
+			err = fmt.Errorf("cluster: %d spooled fragments undelivered", n)
+		} else if err = f.postOnce(final); err == nil {
+			return nil
+		} else {
+			var rej *rejectError
+			if errors.As(err, &rej) {
+				return err
+			}
+		}
+		delay := f.backoffFor(attempt)
+		f.ctrRetries.Add(1)
+		f.log.Warn("shutdown delivery incomplete; retrying",
+			"node", f.cfg.Node, "attempt", attempt, "backoff", delay, "err", err)
+		select {
+		case <-ctx.Done():
+			f.log.Error("final marker abandoned at shutdown; aggregator will wait on this node's watermark",
+				"node", f.cfg.Node, "spoolPending", f.spoolPending(), "err", err)
+			return fmt.Errorf("cluster: final marker abandoned: %w", err)
+		case <-time.After(delay):
+		}
+	}
+}
+
+func (f *Forwarder) spoolPending() int {
+	if f.sp == nil {
+		return 0
+	}
+	return f.sp.pending()
+}
+
 // Stats returns a live snapshot of the forwarder's counters.
 func (f *Forwarder) Stats() ForwarderStats {
-	return ForwarderStats{
+	st := ForwarderStats{
 		Forwarded:  int(f.ctrForwarded.Load()),
 		Retries:    int(f.ctrRetries.Load()),
 		Bytes:      f.ctrBytes.Load(),
 		LastWindow: f.lastWindow.Load(),
 	}
+	if f.sp != nil {
+		spooled, dropped := f.sp.counters()
+		st.Spooled = int(spooled)
+		st.SpoolDropped = int(dropped)
+		st.SpoolPending = f.sp.pending()
+		st.SpoolBytes = f.sp.pendingBytes()
+	}
+	return st
 }
 
 // ContentType labels wire-encoded fragment bodies.
 const ContentType = "application/x-smash-fragment"
 
+// rejectError marks a 4xx response: the aggregator understood the request
+// and said no, so retrying or spooling the fragment is pointless.
+type rejectError struct{ status string }
+
+func (e *rejectError) Error() string {
+	return fmt.Sprintf("cluster: aggregator rejected fragment: %s", e.status)
+}
+
+// maxBackoff caps the retry-delay window however many attempts have
+// failed.
+const maxBackoff = 10 * time.Second
+
+// backoffFor returns the delay before the retry following failed attempt
+// number attempt (1-based): full jitter, drawn uniformly from [0, cap)
+// where cap starts at cfg.Backoff and doubles per attempt up to
+// maxBackoff. Randomizing the whole window (rather than adding a little
+// noise to a deterministic delay) keeps a fleet of nodes hammering a
+// recovering aggregator from synchronizing into retry waves.
+func (f *Forwarder) backoffFor(attempt int) time.Duration {
+	max := f.cfg.Backoff
+	for i := 1; i < attempt && max < maxBackoff; i++ {
+		max *= 2
+	}
+	if max > maxBackoff {
+		max = maxBackoff
+	}
+	return time.Duration(rand.Int64N(int64(max)))
+}
+
+// postOnce makes a single delivery attempt. It returns nil on success, a
+// *rejectError on 4xx, and the transport or status error otherwise.
+func (f *Forwarder) postOnce(body []byte) error {
+	resp, err := f.client.Post(f.cfg.URL+"/v1/ingest", ContentType, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode < 300:
+		f.ctrForwarded.Add(1)
+		f.ctrBytes.Add(int64(len(body)))
+		return nil
+	case resp.StatusCode >= 400 && resp.StatusCode < 500:
+		return &rejectError{status: resp.Status}
+	default:
+		return fmt.Errorf("aggregator: %s", resp.Status)
+	}
+}
+
 // post delivers one encoded fragment, retrying transient failures
-// (network errors and 5xx) with doubling backoff. 4xx responses fail
-// immediately: a rejected fragment will not heal by resending.
+// (network errors and 5xx) with full-jitter doubling backoff. 4xx
+// responses fail immediately: a rejected fragment will not heal by
+// resending.
 func (f *Forwarder) post(body []byte) error {
 	t0 := time.Now()
 	defer f.mPost.ObserveSince(t0)
-	backoff := f.cfg.Backoff
 	var lastErr error
 	for attempt := 1; ; attempt++ {
-		resp, err := f.client.Post(f.cfg.URL+"/v1/ingest", ContentType, bytes.NewReader(body))
+		err := f.postOnce(body)
 		if err == nil {
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			switch {
-			case resp.StatusCode < 300:
-				f.ctrForwarded.Add(1)
-				f.ctrBytes.Add(int64(len(body)))
-				return nil
-			case resp.StatusCode >= 400 && resp.StatusCode < 500:
-				return fmt.Errorf("cluster: aggregator rejected fragment: %s", resp.Status)
-			default:
-				err = fmt.Errorf("aggregator: %s", resp.Status)
-			}
+			return nil
+		}
+		var rej *rejectError
+		if errors.As(err, &rej) {
+			return err
 		}
 		lastErr = err
 		if attempt >= f.cfg.MaxAttempts {
@@ -289,10 +504,10 @@ func (f *Forwarder) post(body []byte) error {
 				"node", f.cfg.Node, "attempts", attempt, "err", lastErr)
 			return fmt.Errorf("cluster: forward failed after %d attempts: %w", attempt, lastErr)
 		}
+		delay := f.backoffFor(attempt)
 		f.ctrRetries.Add(1)
 		f.log.Warn("fragment delivery failed; retrying",
-			"node", f.cfg.Node, "attempt", attempt, "backoff", backoff, "err", lastErr)
-		time.Sleep(backoff)
-		backoff *= 2
+			"node", f.cfg.Node, "attempt", attempt, "backoff", delay, "err", lastErr)
+		time.Sleep(delay)
 	}
 }

@@ -22,9 +22,15 @@ import (
 	"smash/internal/wire"
 )
 
-// ingestHandler is the minimal HTTP face of an aggregator for tests —
-// internal/serve wires the production /v1/ingest the same way.
-func ingestHandler(t *testing.T, agg *Aggregator) http.Handler {
+// submitter is the ingest-side surface shared by Aggregator and Merger.
+type submitter interface {
+	Submit(*wire.Fragment) error
+}
+
+// ingestHandler is the minimal HTTP face of an aggregator (or merger)
+// for tests — internal/serve wires the production /v1/ingest the same
+// way.
+func ingestHandler(t *testing.T, agg submitter) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		body, err := io.ReadAll(r.Body)
 		if err != nil {

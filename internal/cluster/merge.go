@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"time"
+
+	"smash/internal/obs"
+	"smash/internal/stream"
+	"smash/internal/trace"
+)
+
+// MergerConfig parameterizes a Merger.
+type MergerConfig struct {
+	// Window and Stride mirror AggregatorConfig — they must match the
+	// whole tree's, or window ids will not align (Stride 0 defaults to
+	// Window).
+	Window time.Duration
+	Stride time.Duration
+	// Expect is the number of child nodes feeding this merge tier
+	// (required, > 0); Straggler is the same policy an aggregator
+	// applies to lagging children.
+	Expect    int
+	Straggler int
+	// Forward configures delivery to the parent (URL and Node required;
+	// Stride is filled in from this config). Give it a SpoolDir to make
+	// the hop durable.
+	Forward ForwarderConfig
+	// Buffer is the fragment inbox capacity (default 64).
+	Buffer int
+	// FragDir, when set, makes the merger crash-recoverable, exactly as
+	// for the aggregator — except the merger re-forwards (rather than
+	// redoes) the one window a crash can interrupt, relying on the
+	// parent's (node, window) dedupe; it keeps no sink, so no applied
+	// count is needed. FragSync fsyncs every append.
+	FragDir  string
+	FragSync bool
+	// Metrics registers the merge latency histograms and, via Forward,
+	// the delivery counters. Nil disables metrics.
+	Metrics *obs.Registry
+	// Logger receives structured merger logs. Nil discards them.
+	Logger *slog.Logger
+}
+
+// Merger is the cluster's fan-in tier: it accepts fragments from Expect
+// child nodes (ingest nodes or other mergers), merges each window's
+// fragments per the aggregator's alignment/dedupe/straggler rules, and
+// forwards one combined fragment per window to its parent — no
+// detection, no tracker, just remap-merge. A tree of mergers under one
+// aggregator produces byte-identical output to every node feeding the
+// aggregator directly (TestMergeTierMatchesDirect), because index
+// merging is associative and the merge order within any window is the
+// sorted node order at each tier.
+type Merger struct {
+	*assembler
+
+	cfg MergerConfig
+	fwd *Forwarder
+}
+
+// NewMerger validates the config and builds a merger.
+func NewMerger(cfg MergerConfig) (*Merger, error) {
+	if cfg.Window <= 0 {
+		return nil, errors.New("cluster: Window must be > 0")
+	}
+	if cfg.Stride == 0 {
+		cfg.Stride = cfg.Window
+	}
+	if cfg.Stride < 0 || cfg.Stride > cfg.Window {
+		return nil, errors.New("cluster: Stride must be in (0, Window]")
+	}
+	if cfg.Expect <= 0 {
+		return nil, errors.New("cluster: Expect must be > 0 (the child node count)")
+	}
+	if cfg.Straggler < 0 {
+		return nil, errors.New("cluster: Straggler must be >= 0")
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 64
+	}
+	cfg.Forward.Stride = cfg.Stride
+	fwd, err := NewForwarder(cfg.Forward)
+	if err != nil {
+		return nil, err
+	}
+	m := &Merger{cfg: cfg, fwd: fwd}
+	var mWait, mSealCommit *obs.Histogram
+	if reg := cfg.Metrics; reg != nil {
+		mWait = reg.Histogram("smash_cluster_fragment_wait_seconds",
+			"Wall-clock from a cluster window's first fragment arrival to its seal.")
+		mSealCommit = reg.Histogram("smash_seal_commit_seconds",
+			"Wall-clock from a window's sealed index to its committed result (sinks done, result published).")
+	}
+	var flog *FragLog
+	if cfg.FragDir != "" {
+		flog, err = OpenFragLog(cfg.FragDir, cfg.FragSync)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Metrics != nil {
+			registerFragLogMetrics(cfg.Metrics, flog)
+		}
+	}
+	m.assembler = newAssembler(assemblerConfig{
+		window:      cfg.Window,
+		stride:      cfg.Stride,
+		expect:      cfg.Expect,
+		straggler:   cfg.Straggler,
+		buffer:      cfg.Buffer,
+		log:         cfg.Logger,
+		mWait:       mWait,
+		mSealCommit: mSealCommit,
+		flog:        flog,
+		exactlyOnce: false, // the parent dedupes; commit after forward
+		applied:     -1,    // no sink to reconcile against
+		onSeal:      m.sealWindow,
+	})
+	return m, nil
+}
+
+// Forwarder exposes the upstream delivery leg (for stats).
+func (m *Merger) Forwarder() *Forwarder { return m.fwd }
+
+// Start launches the merge loop. The returned channel closes once every
+// expected child has finished and all windows are forwarded (or after
+// Stop, Abandon or ctx cancellation); call CloseUpstream then to deliver
+// this tier's final marker.
+func (m *Merger) Start(ctx context.Context) <-chan struct{} {
+	if m.started {
+		panic("cluster: Start called twice")
+	}
+	m.started = true
+	go m.run(ctx)
+	return m.done
+}
+
+// CloseUpstream tells the parent no further windows will arrive from
+// this tier, retrying (and draining any spool) until delivery succeeds
+// or ctx is cancelled. Call it after the Start channel has closed
+// cleanly; skip it after Abandon, where the restarted merger owns the
+// stream's tail.
+func (m *Merger) CloseUpstream(ctx context.Context) error {
+	return m.fwd.CloseContext(ctx)
+}
+
+// sealWindow is the merger's half of a seal: wrap the merged index as
+// this tier's own fragment for window w and deliver it to the parent.
+// Empty windows forward too — the parent needs this tier's watermark to
+// advance exactly as if the children fed it directly. Delivery failure
+// (attempts exhausted without a spool) is recorded, not fatal: the
+// parent's straggler policy already owns the missing-window case.
+func (m *Merger) sealWindow(ctx context.Context, w int64, seq int, start time.Time, merged *trace.Index, aborted bool) {
+	res := stream.WindowResult{
+		Seq:      seq,
+		Start:    start,
+		End:      start.Add(m.cfg.Window),
+		Requests: merged.RequestCount,
+		Index:    merged,
+	}
+	if err := m.fwd.Consume(&res); err != nil {
+		m.setErr(fmt.Errorf("cluster: merge forward: %w", err))
+		m.log.Error("merged fragment delivery failed", "windowID", w, "err", err)
+	}
+}

@@ -1,0 +1,205 @@
+package cluster
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"smash/internal/core"
+	"smash/internal/wire"
+)
+
+// The merge-tier acceptance test: two ingest nodes feeding a merger that
+// forwards to a one-child root must produce exactly the windows of the
+// same two nodes feeding the root directly — merge is associative, and
+// the deterministic per-tier node ordering makes it byte-identical.
+func TestMergeTierMatchesDirect(t *testing.T) {
+	window := 24 * time.Hour
+	det := []core.Option{core.WithSeed(1)}
+	reqs := sortedWorld(t, 3)
+	ctx := context.Background()
+
+	runNodes := func(url string) {
+		var wg sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				runIngestNode(t, url, nodeName(i), i, 2, reqs, window)
+			}(i)
+		}
+		wg.Wait()
+	}
+
+	// Direct: both nodes feed the root.
+	direct, directResults := startedAggregator(t, AggregatorConfig{
+		Name: "mt", Window: window, Expect: 2, Detector: det,
+	})
+	directSrv := httptest.NewServer(ingestHandler(t, direct))
+	defer directSrv.Close()
+	directGot := drainResults(directResults)
+	runNodes(directSrv.URL)
+	want := directGot()
+	if err := direct.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("direct topology produced no windows")
+	}
+
+	// Tiered: both nodes feed a merger, which feeds the root as its only
+	// child.
+	root, rootResults := startedAggregator(t, AggregatorConfig{
+		Name: "mt", Window: window, Expect: 1, Detector: det,
+	})
+	rootSrv := httptest.NewServer(ingestHandler(t, root))
+	defer rootSrv.Close()
+	rootGot := drainResults(rootResults)
+
+	merger, err := NewMerger(MergerConfig{
+		Window: window, Expect: 2,
+		Forward: ForwarderConfig{URL: rootSrv.URL, Node: "merge-0"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mergeSrv := httptest.NewServer(ingestHandler(t, merger))
+	defer mergeSrv.Close()
+	mergeDone := merger.Start(ctx)
+
+	runNodes(mergeSrv.URL)
+	<-mergeDone
+	if err := merger.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := merger.CloseUpstream(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	got := rootGot()
+	if err := root.Err(); err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, got, want)
+	if gotSum, wantSum := root.Tracker().Summary(), direct.Tracker().Summary(); gotSum != wantSum {
+		t.Errorf("lineage summary diverged:\ngot:\n%s\nwant:\n%s", gotSum, wantSum)
+	}
+
+	mst := merger.Stats()
+	if mst.Nodes != 2 || mst.Windows != len(want) {
+		t.Errorf("merger stats: nodes=%d windows=%d, want 2/%d", mst.Nodes, mst.Windows, len(want))
+	}
+	if fst := merger.Forwarder().Stats(); fst.Forwarded != len(want)+1 { // windows + final
+		t.Errorf("merger forwarded %d fragments, want %d", fst.Forwarded, len(want)+1)
+	}
+}
+
+func nodeName(i int) string { return "ingest-" + string(rune('0'+i)) }
+
+// The merge tier is at-least-once: a merger that crashed after forwarding
+// a window but before committing its frontier re-forwards that window on
+// restart, and the parent's (node, window) dedupe keeps the output
+// exactly-once. Modeled with two merger incarnations replaying identical
+// fragment logs under the same node name.
+func TestMergerDuplicateForwardDedupes(t *testing.T) {
+	window := 24 * time.Hour
+	det := []core.Option{core.WithSeed(1)}
+	ctx := context.Background()
+	frags := []*wire.Fragment{
+		fragFor("a", 0, "c-a"), fragFor("b", 0, "c-b"),
+		{Node: "a", Final: true, Window: 0}, {Node: "b", Final: true, Window: 0},
+	}
+
+	// Reference: the same children feeding an aggregator directly.
+	ref, refResults := startedAggregator(t, AggregatorConfig{
+		Name: "dup", Window: window, Expect: 2, Detector: det,
+	})
+	refGot := drainResults(refResults)
+	for _, f := range frags {
+		if err := ref.Submit(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := refGot()
+	if len(want) != 1 {
+		t.Fatalf("reference produced %d windows, want 1", len(want))
+	}
+
+	root, rootResults := startedAggregator(t, AggregatorConfig{
+		Name: "dup", Window: window, Expect: 1, Detector: det,
+	})
+	rootSrv := httptest.NewServer(ingestHandler(t, root))
+	defer rootSrv.Close()
+	rootGot := drainResults(rootResults)
+
+	// Each incarnation replays the same pre-crash fragment log (built
+	// fresh per incarnation: a real crash leaves the files in place, but
+	// a clean merger exit garbage-collects them).
+	runIncarnation := func() *Merger {
+		dir := t.TempDir()
+		flog, err := OpenFragLog(dir, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range frags {
+			if err := flog.Append(f); err != nil {
+				t.Fatal(err)
+			}
+		}
+		flog.Close()
+		m, err := NewMerger(MergerConfig{
+			Window: window, Expect: 2, FragDir: dir,
+			Forward: ForwarderConfig{URL: rootSrv.URL, Node: "m0"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		<-m.Start(ctx) // completes on replay alone: the finals are logged
+		if err := m.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+
+	runIncarnation() // forwards window 0, "crashes" before the final marker
+	m2 := runIncarnation()
+	if err := m2.CloseUpstream(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	got := rootGot()
+	if err := root.Err(); err != nil {
+		t.Fatal(err)
+	}
+	assertSameResults(t, got, want)
+	st := root.Stats()
+	// The re-forwarded window is dropped on the duplicate path if it
+	// races ahead of the seal, the late path otherwise — either way it
+	// never reaches the output.
+	if st.DuplicateFragments+st.LateFragments != 1 {
+		t.Errorf("root dropped %d dups + %d late, want 1 total (the re-forwarded window)",
+			st.DuplicateFragments, st.LateFragments)
+	}
+	if st.Fragments != 1 || st.Windows != 1 {
+		t.Errorf("root stats: fragments=%d windows=%d, want 1/1", st.Fragments, st.Windows)
+	}
+}
+
+// Merger validation mirrors the aggregator's plus the forward leg.
+func TestMergerValidation(t *testing.T) {
+	cases := []MergerConfig{
+		{},
+		{Window: time.Hour},
+		{Window: time.Hour, Expect: 1},
+		{Window: time.Hour, Expect: 1, Forward: ForwarderConfig{URL: "http://x"}},
+		{Window: time.Hour, Expect: 1, Straggler: -1,
+			Forward: ForwarderConfig{URL: "http://x", Node: "m"}},
+	}
+	for i, cfg := range cases {
+		if _, err := NewMerger(cfg); err == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
+	}
+}

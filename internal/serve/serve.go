@@ -73,6 +73,17 @@ import (
 	"smash/internal/wire"
 )
 
+// FragmentSink is the cluster-tier intake /v1/ingest drives: Submit
+// accepts one decoded wire fragment (blocking for backpressure), and the
+// stats methods feed /v1/stats and the smash_cluster_* metrics. Both
+// *cluster.Aggregator (detection tier) and *cluster.Merger (fan-in tier)
+// satisfy it.
+type FragmentSink interface {
+	Submit(*wire.Fragment) error
+	Stats() cluster.Stats
+	NodeStats() []cluster.NodeStat
+}
+
 // Config wires the handler's data sources.
 type Config struct {
 	// Store is the campaign-state store backing every /v1 endpoint
@@ -86,8 +97,9 @@ type Config struct {
 	EngineStats func() stream.Stats
 	// Aggregator, when set, enables the POST /v1/ingest fragment intake
 	// and contributes cluster counters (global and per ingest node) to
-	// /v1/stats and /metrics — the aggregator role's wiring.
-	Aggregator *cluster.Aggregator
+	// /v1/stats and /metrics — the aggregator and merge roles' wiring
+	// (a *cluster.Aggregator or *cluster.Merger).
+	Aggregator FragmentSink
 	// Push, when set, enables raw-event intake on POST /v1/ingest:
 	// NDJSON / TSV / access-log request bodies (format negotiated by
 	// Content-Type, see pushFormats) are parsed with strict error
@@ -376,11 +388,12 @@ func (s *server) ingest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.cfg.Aggregator.Submit(frag); err != nil {
-		// A stopped aggregator is transient (the forwarder may retry or
-		// give up cleanly); anything else marks the fragment itself
-		// invalid and must not be retried.
+		// A stopped aggregator and a fragment that could not be made
+		// durable are transient (the forwarder may retry, spool or give
+		// up cleanly); anything else marks the fragment itself invalid
+		// and must not be retried.
 		status := http.StatusBadRequest
-		if errors.Is(err, cluster.ErrStopped) {
+		if errors.Is(err, cluster.ErrStopped) || errors.Is(err, cluster.ErrUnavailable) {
 			status = http.StatusServiceUnavailable
 		}
 		writeError(w, status, err.Error())
@@ -603,8 +616,15 @@ func registerCollectors(reg *obs.Registry, cfg Config, sources func() []source.S
 			"Ingest nodes by state.",
 			func(emit obs.Emit) {
 				cs := agg.Stats()
+				overdue := 0
+				for _, n := range agg.NodeStats() {
+					if n.FinalOverdue {
+						overdue++
+					}
+				}
 				emit(float64(cs.Nodes-cs.FinishedNodes), "state", "active")
 				emit(float64(cs.FinishedNodes), "state", "finished")
+				emit(float64(overdue), "state", "overdue")
 			})
 		reg.CounterFunc("smash_cluster_node_fragments_total",
 			"Fragments accepted per ingest node.",

@@ -222,25 +222,7 @@ func (s *Store) appendHistory(rec *Record) error {
 		}
 		line = append(line, '\n')
 		path := historyFile(s.cfg.Dir, rec.Seq)
-		tmp := path + ".tmp"
-		f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-		if err != nil {
-			return fmt.Errorf("store: history: %w", err)
-		}
-		if _, err := f.Write(line); err != nil {
-			f.Close()
-			return fmt.Errorf("store: history: %w", err)
-		}
-		if s.cfg.Sync {
-			if err := f.Sync(); err != nil {
-				f.Close()
-				return fmt.Errorf("store: history: %w", err)
-			}
-		}
-		if err := f.Close(); err != nil {
-			return fmt.Errorf("store: history: %w", err)
-		}
-		if err := os.Rename(tmp, path); err != nil {
+		if err := WriteFileAtomic(path, line, s.cfg.Sync); err != nil {
 			return fmt.Errorf("store: history: %w", err)
 		}
 		size = int64(len(line))

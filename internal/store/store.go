@@ -477,30 +477,14 @@ func (s *Store) snapshotLocked() error {
 		return fmt.Errorf("store: %w", err)
 	}
 	path := filepath.Join(s.cfg.Dir, snapshotFile)
-	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	if _, err := f.Write(data); err != nil {
-		f.Close()
-		return fmt.Errorf("store: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return fmt.Errorf("store: %w", err)
-	}
-	if err := f.Close(); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := WriteFileAtomic(path, data, true); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
 	// The rename must be durable before the WAL shrinks: without the
 	// directory fsync a machine crash could surface the OLD snapshot next
 	// to the already-compacted WAL — an unrecoverable gap.
-	if err := syncDir(s.cfg.Dir); err != nil {
-		return err
+	if err := SyncDir(s.cfg.Dir); err != nil {
+		return fmt.Errorf("store: %w", err)
 	}
 	// Compaction: every WAL record is now covered by the snapshot. A crash
 	// before the truncate lands is fine — replay skips seq < applied.
@@ -512,19 +496,6 @@ func (s *Store) snapshotLocked() error {
 	}
 	s.walBuf.Reset(s.wal)
 	s.sinceSnap = 0
-	return nil
-}
-
-// syncDir fsyncs a directory, making a rename within it durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
 	return nil
 }
 

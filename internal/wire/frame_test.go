@@ -1,0 +1,110 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+	"time"
+
+	"smash/internal/trace"
+)
+
+// Frames round-trip in order and ReadFrames reports the full length of a
+// clean stream.
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{[]byte("a"), bytes.Repeat([]byte{0xfe}, 300), []byte("tail")}
+	var log []byte
+	for _, p := range payloads {
+		log = AppendFrame(log, p)
+	}
+	var got [][]byte
+	off, err := ReadFrames(bytes.NewReader(log), func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != int64(len(log)) {
+		t.Errorf("clean offset = %d, want %d", off, len(log))
+	}
+	if len(got) != len(payloads) {
+		t.Fatalf("decoded %d frames, want %d", len(got), len(payloads))
+	}
+	for i := range payloads {
+		if !bytes.Equal(got[i], payloads[i]) {
+			t.Errorf("frame %d = %q, want %q", i, got[i], payloads[i])
+		}
+	}
+}
+
+// A torn tail — partial header or partial payload — stops the scan at the
+// last intact frame without an error, so the owner can truncate there.
+func TestFrameTornTail(t *testing.T) {
+	var log []byte
+	log = AppendFrame(log, []byte("intact"))
+	intact := int64(len(log))
+	log = AppendFrame(log, []byte("torn-away"))
+
+	for cut := intact + 1; cut < int64(len(log)); cut++ {
+		n := 0
+		off, err := ReadFrames(bytes.NewReader(log[:cut]), func([]byte) error { n++; return nil })
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if off != intact || n != 1 {
+			t.Errorf("cut %d: offset %d frames %d, want offset %d frames 1", cut, off, n, intact)
+		}
+	}
+}
+
+// Garbage lengths (zero or oversized) are corruption, reported with the
+// truncation offset.
+func TestFrameCorruptLength(t *testing.T) {
+	var log []byte
+	log = AppendFrame(log, []byte("ok"))
+	intact := int64(len(log))
+	for _, n := range []uint32{0, MaxFrameBytes + 1} {
+		bad := binary.BigEndian.AppendUint32(append([]byte(nil), log...), n)
+		bad = append(bad, "some bytes"...)
+		off, err := ReadFrames(bytes.NewReader(bad), nil)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("length %d: err = %v, want ErrCorrupt", n, err)
+		}
+		if off != intact {
+			t.Errorf("length %d: offset = %d, want %d", n, off, intact)
+		}
+	}
+}
+
+// Fragments framed and read back decode to the original — the fragment
+// log's append/replay path in miniature.
+func TestFrameFragmentLog(t *testing.T) {
+	idx := trace.BuildIndex(sampleTrace())
+	frag := &Fragment{
+		Node: "n0", Window: 7,
+		Start: time.Date(2020, 9, 13, 0, 0, 0, 0, time.UTC),
+		End:   time.Date(2020, 9, 14, 0, 0, 0, 0, time.UTC),
+		Index: idx,
+	}
+	var log []byte
+	for i := 0; i < 3; i++ {
+		log = AppendFrame(log, EncodeFragment(frag))
+	}
+	count := 0
+	_, err := ReadFrames(bytes.NewReader(log), func(p []byte) error {
+		got, err := DecodeFragment(p)
+		if err != nil {
+			return err
+		}
+		if got.Node != frag.Node || got.Window != frag.Window {
+			t.Errorf("decoded fragment = %s/%d", got.Node, got.Window)
+		}
+		count++
+		return nil
+	})
+	if err != nil || count != 3 {
+		t.Fatalf("replay: count=%d err=%v", count, err)
+	}
+}
