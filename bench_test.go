@@ -14,6 +14,9 @@ package smash_test
 import (
 	"context"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"sync"
 	"testing"
@@ -838,4 +841,74 @@ func BenchmarkAggregatorReplay(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)*float64(events)/b.Elapsed().Seconds(), "events/s")
+}
+
+// --- Cluster: hop provenance ----------------------------------------------
+
+// BenchmarkHopEncode measures stamping one transit hop onto an
+// already-encoded day-scale fragment — the per-attempt cost a forwarder
+// pays on the delivery hot path. AppendHop is a pure byte append (no
+// re-encode), so this must stay orders of magnitude below the codec's
+// per-fragment cost no matter how large the index payload grows.
+func BenchmarkHopEncode(b *testing.B) {
+	frags := clusterBenchFragments(b, 4)
+	encoded := wire.EncodeFragment(frags[0])
+	hop := wire.Hop{
+		Node: "node-0", Role: "ingest",
+		Send: time.Unix(1315872000, 0).UTC(), Attempts: 1,
+	}
+	buf := make([]byte, len(encoded), len(encoded)+64)
+	copy(buf, encoded)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var hopBytes int
+	for i := 0; i < b.N; i++ {
+		out := wire.AppendHop(buf[:len(encoded)], hop)
+		hopBytes = len(out) - len(encoded)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(hopBytes), "bytes/hop")
+	b.ReportMetric(float64(len(encoded)), "bytes/fragment")
+}
+
+// BenchmarkForwarderTracing is the tracing-overhead A/B: one day-partition
+// fragment delivered over loopback HTTP with hop provenance stamped
+// (hops) versus stripped (nohops). The two must agree within noise — the
+// acceptance bar for leaving tracing on in production clusters.
+func BenchmarkForwarderTracing(b *testing.B) {
+	frags := clusterBenchFragments(b, 4)
+	idx := frags[0].Index
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"hops", false}, {"nohops", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				io.Copy(io.Discard, r.Body)
+				w.WriteHeader(http.StatusAccepted)
+			}))
+			defer ts.Close()
+			fwd, err := cluster.NewForwarder(cluster.ForwarderConfig{
+				URL: ts.URL, Node: "node-0", Stride: 24 * time.Hour,
+				DisableHops: mode.disable,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			start := cluster.WindowStart(0, 24*time.Hour)
+			w := &stream.WindowResult{
+				Start: start, End: start.Add(24 * time.Hour),
+				Requests: idx.RequestCount, Index: idx,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := fwd.Consume(w); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)*float64(idx.RequestCount)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
 }

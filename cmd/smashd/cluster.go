@@ -130,10 +130,15 @@ func runIngest(ctx context.Context, o *options, stdin io.Reader, out io.Writer) 
 			Push:        o.pushQueue,
 			PushOptions: pushOpts,
 			Sources:     o.sourceStats,
-			Started:     time.Now(),
-			Metrics:     o.reg,
-			Tracer:      o.tracer,
-			Pprof:       o.pprofOn,
+			Node:        node,
+			Role:        "ingest",
+			ForwarderStats: func() cluster.ForwarderStats {
+				return fwd.Stats()
+			},
+			Started: time.Now(),
+			Metrics: o.reg,
+			Tracer:  o.tracer,
+			Pprof:   o.pprofOn,
 		}), o.logger.With("component", "http"))
 		if err != nil {
 			return err
@@ -257,6 +262,8 @@ func runAggregate(ctx context.Context, o *options, out io.Writer) error {
 		Store:      st,
 		Timing:     timing,
 		Aggregator: agg,
+		Node:       o.node,
+		Role:       "aggregate",
 		Started:    time.Now(),
 		Metrics:    o.reg,
 		Tracer:     o.tracer,
@@ -358,10 +365,15 @@ func runMerge(ctx context.Context, o *options, out io.Writer) error {
 	shutdown, err := serveHTTP(ctx, o.clusterListen, serve.NewHandler(serve.Config{
 		Store:      st,
 		Aggregator: m,
-		Started:    time.Now(),
-		Metrics:    o.reg,
-		Tracer:     o.tracer,
-		Pprof:      o.pprofOn,
+		Node:       o.node,
+		Role:       "merge",
+		ForwarderStats: func() cluster.ForwarderStats {
+			return m.Forwarder().Stats()
+		},
+		Started: time.Now(),
+		Metrics: o.reg,
+		Tracer:  o.tracer,
+		Pprof:   o.pprofOn,
 	}), o.logger.With("component", "http"))
 	if err != nil {
 		return err

@@ -15,6 +15,7 @@
 //	       [-snapshot-every 64] [-wal-sync=true]
 //	       [-retain-windows N] [-retain-age DUR]
 //	       [-log-format text|json] [-log-level info] [-trace-log FILE]
+//	       [-trace-log-max-bytes N] [-trace-log-keep N] [-version]
 //	       [-pprof] [-cpuprofile FILE] [-memprofile FILE]
 //	       [-forward URL] [-node NAME] [-shard-of N/M]
 //	       [-cluster-listen ADDR] [-expect M] [-straggler N]
@@ -84,7 +85,21 @@
 // aggregator fragment waits), a watermark-lag gauge and an obs.Tracer
 // ring of recent window lifecycle traces; -listen / -cluster-listen
 // expose them at /metrics and /v1/windows/{seq}/trace. -trace-log FILE
-// additionally appends every span as one NDJSON line. Diagnostics log
+// additionally appends every span as one NDJSON line; the file rotates
+// past -trace-log-max-bytes (default 64 MiB, 0 disables), keeping
+// -trace-log-keep rotated segments (FILE.1 oldest-last), with the active
+// segment's size exported as smash_trace_log_bytes. -version prints the
+// build version (set via -ldflags "-X main.version=...") and the Go
+// toolchain, also exported as the constant smash_build_info gauge with
+// version, goversion and role labels.
+//
+// In cluster roles every fragment carries an append-only hop trail —
+// which node sent it, in which role, when it was sent and accepted, after
+// how many attempts and how long in the spool — so the aggregator's
+// window traces include one span per hop and GET /v1/cluster on any node
+// returns its subtree: each known child's role, watermark, lag, estimated
+// clock skew (smash_cluster_node_clock_skew_seconds) and last spool
+// dwell, recursively through merge tiers. Diagnostics log
 // through log/slog: -log-format picks text or json, -log-level one of
 // debug, info, warn, error.
 //
@@ -155,6 +170,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -168,6 +184,11 @@ import (
 	"smash/internal/stream"
 	"smash/internal/tracker"
 )
+
+// version identifies this build in `smashd -version` and the
+// smash_build_info metric. "dev" for plain `go build`; release builds
+// override it with -ldflags "-X main.version=v1.2.3".
+var version = "dev"
 
 func main() {
 	if err := run(context.Background(), os.Args[1:], os.Stdin, os.Stdout); err != nil {
@@ -214,6 +235,8 @@ type options struct {
 	logFormat    string
 	logLevel     string
 	traceLog     string
+	traceLogMax  int64
+	traceLogKeep int
 	pprofOn      bool
 
 	role          string
@@ -256,9 +279,10 @@ type windowRecord struct {
 func run(ctx context.Context, args []string, stdin io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("smashd", flag.ContinueOnError)
 	var (
-		o          options
-		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memProfile = fs.String("memprofile", "", "write a heap profile (taken at exit) to this file")
+		o           options
+		cpuProfile  = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile  = fs.String("memprofile", "", "write a heap profile (taken at exit) to this file")
+		showVersion = fs.Bool("version", false, "print the build version and exit")
 	)
 	fs.DurationVar(&o.window, "window", 24*time.Hour, "detection window size")
 	fs.DurationVar(&o.stride, "stride", 0, "window stride; 0 means tumbling (stride = window)")
@@ -294,9 +318,15 @@ func run(ctx context.Context, args []string, stdin io.Reader, out io.Writer) err
 	fs.StringVar(&o.logFormat, "log-format", "text", "diagnostic log format: text or json")
 	fs.StringVar(&o.logLevel, "log-level", "info", "diagnostic log level: debug, info, warn or error")
 	fs.StringVar(&o.traceLog, "trace-log", "", "append window-lifecycle spans to this file as NDJSON")
+	fs.Int64Var(&o.traceLogMax, "trace-log-max-bytes", 64<<20, "rotate the -trace-log file past this size (0 = never rotate)")
+	fs.IntVar(&o.traceLogKeep, "trace-log-keep", 3, "rotated -trace-log segments to keep (FILE.1 .. FILE.N; older are dropped)")
 	fs.BoolVar(&o.pprofOn, "pprof", false, "expose net/http/pprof under /debug/pprof/ on the API listener")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		fmt.Fprintf(out, "smashd %s %s\n", version, runtime.Version())
+		return nil
 	}
 	o.paths = fs.Args()
 	logger, err := obs.NewLogger(os.Stderr, o.logFormat, o.logLevel)
@@ -305,14 +335,20 @@ func run(ctx context.Context, args []string, stdin io.Reader, out io.Writer) err
 	}
 	o.logger = logger
 	o.reg = obs.NewRegistry()
+	o.reg.GaugeFunc("smash_build_info",
+		"Build identity: constant 1 carrying the version, Go toolchain and process role as labels.",
+		func(emit obs.Emit) { emit(1, "version", version, "goversion", runtime.Version(), "role", o.role) })
 	o.tracer = obs.NewTracer(0)
 	if o.traceLog != "" {
-		f, err := os.Create(o.traceLog)
+		w, err := obs.NewRotatingWriter(o.traceLog, o.traceLogMax, o.traceLogKeep)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		o.tracer.LogTo(f)
+		defer w.Close()
+		o.tracer.LogTo(w)
+		o.reg.GaugeFunc("smash_trace_log_bytes",
+			"Active -trace-log segment size in bytes (drops back to zero at each rotation).",
+			func(emit obs.Emit) { emit(float64(w.Size())) })
 	}
 	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
 	if err != nil {
@@ -697,6 +733,8 @@ func runStandalone(ctx context.Context, o *options, stdin io.Reader, out io.Writ
 			Push:        o.pushQueue,
 			PushOptions: pushOpts,
 			Sources:     o.sourceStats,
+			Node:        o.node,
+			Role:        "standalone",
 			Started:     time.Now(),
 			Metrics:     o.reg,
 			Tracer:      o.tracer,

@@ -12,6 +12,7 @@ import (
 	"smash/internal/stream"
 	"smash/internal/trace"
 	"smash/internal/tracker"
+	"smash/internal/wire"
 )
 
 // AggregatorConfig parameterizes an Aggregator.
@@ -126,13 +127,17 @@ func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 		tk:  cfg.Tracker,
 		out: make(chan stream.WindowResult, 1),
 	}
-	var mWait, mSealCommit *obs.Histogram
+	var mWait, mSealCommit, mHop, mE2E *obs.Histogram
 	// Histogram families shared with the stream engine keep the engine's
 	// help text: registering the same name twice with one registry must
 	// agree on metadata.
 	if reg := cfg.Metrics; reg != nil {
 		mWait = reg.Histogram("smash_cluster_fragment_wait_seconds",
 			"Wall-clock from a cluster window's first fragment arrival to its seal.")
+		mHop = reg.Histogram("smash_hop_transit_seconds",
+			"Per-hop send-to-accept transit of incoming fragments (clamped at zero under clock skew).")
+		mE2E = reg.Histogram("smash_e2e_event_to_seal_seconds",
+			"Wall-clock from a window's event-time end to its seal here; live windows only (crash-recovery replays are excluded).")
 		a.mDetect = reg.Histogram("smash_window_detect_seconds",
 			"Wall-clock running the detection pipeline, per window.")
 		mSealCommit = reg.Histogram("smash_seal_commit_seconds",
@@ -170,6 +175,8 @@ func NewAggregator(cfg AggregatorConfig) (*Aggregator, error) {
 		tr:          cfg.Tracer,
 		mWait:       mWait,
 		mSealCommit: mSealCommit,
+		mHop:        mHop,
+		mE2E:        mE2E,
 		flog:        flog,
 		exactlyOnce: true,
 		applied:     cfg.AppliedWindows,
@@ -212,7 +219,9 @@ func (a *Aggregator) Tracker() *tracker.Tracker { return a.tk }
 // sealWindow is the aggregator's half of a seal: detection on the merged
 // index, tracker observation, delta derivation, sinks, and result
 // publication — the same commit path a standalone stream engine drives.
-func (a *Aggregator) sealWindow(ctx context.Context, w int64, seq int, start time.Time, merged *trace.Index, aborted bool) {
+// The hop trail was already folded into spans by the assembler; the
+// aggregator is the tree's root, so it forwards the trail nowhere.
+func (a *Aggregator) sealWindow(ctx context.Context, w int64, seq int, start time.Time, merged *trace.Index, _ []wire.Hop, aborted bool) {
 	res := stream.WindowResult{
 		Seq:      seq,
 		Start:    start,

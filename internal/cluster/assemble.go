@@ -59,6 +59,9 @@ type Stats struct {
 type NodeStat struct {
 	// Node is the node's self-reported name.
 	Node string `json:"node"`
+	// Role is the node's self-reported role from its hop records
+	// ("ingest", "merge"); empty until a hop-stamped fragment arrives.
+	Role string `json:"role,omitempty"`
 	// Fragments and Requests count accepted fragments and their events.
 	Fragments int `json:"fragments"`
 	Requests  int `json:"requests"`
@@ -69,6 +72,14 @@ type NodeStat struct {
 	LastWindow int64 `json:"lastWindow"`
 	// LastSeen is when the node's most recent fragment arrived.
 	LastSeen time.Time `json:"lastSeen"`
+	// ClockSkewSeconds estimates the node's wall clock minus this
+	// process's, smoothed over the node's hop stamps (receive − send per
+	// transit; network latency biases it positive by the transit time).
+	// Nil until a stamped hop arrives.
+	ClockSkewSeconds *float64 `json:"clockSkewSeconds,omitempty"`
+	// SkewWarn flags |skew| at or above SkewWarnThreshold — windows from
+	// this node may land in the wrong stride or seal late.
+	SkewWarn bool `json:"skewWarn,omitempty"`
 	// Finished reports whether the node sent its final marker.
 	Finished bool `json:"finished"`
 	// FinalOverdue flags a node still streaming after at least one peer
@@ -77,6 +88,10 @@ type NodeStat struct {
 	FinalOverdue bool `json:"finalOverdue,omitempty"`
 }
 
+// SkewWarnThreshold is the estimated clock-skew magnitude past which
+// NodeStat.SkewWarn (and the topology view) flag a peer.
+const SkewWarnThreshold = 2 * time.Second
+
 type nodeState struct {
 	last      int64
 	finished  bool
@@ -84,6 +99,46 @@ type nodeState struct {
 	requests  int
 	late      int
 	lastSeen  time.Time
+
+	// Hop-derived observability state.
+	role      string
+	skew      time.Duration
+	skewKnown bool
+	dwell     time.Duration // latest observed spool dwell
+	// remotes are deeper senders seen in this node's hop trails — e.g.
+	// the ingest shards behind a merge tier. Their skew is relative to
+	// the node that stamped the hop's receive time (their parent), not to
+	// this process.
+	remotes map[string]*nodeState
+}
+
+// observeHop folds one stamped hop into the node's skew estimate (EWMA,
+// weight 1/4 — stable against transit jitter but converging within a few
+// windows) and dwell/role bookkeeping.
+func (n *nodeState) observeHop(h *wire.Hop) {
+	if h.Role != "" {
+		n.role = h.Role
+	}
+	if h.SpoolDwell > 0 {
+		n.dwell = h.SpoolDwell
+	}
+	if h.Send.IsZero() || h.Recv.IsZero() {
+		return
+	}
+	sample := h.Recv.Sub(h.Send)
+	if !n.skewKnown {
+		n.skew, n.skewKnown = sample, true
+		return
+	}
+	n.skew += (sample - n.skew) / 4
+}
+
+func (n *nodeState) skewSeconds() (*float64, bool) {
+	if !n.skewKnown {
+		return nil, false
+	}
+	s := n.skew.Seconds()
+	return &s, n.skew >= SkewWarnThreshold || n.skew <= -SkewWarnThreshold
 }
 
 // assemblerConfig parameterizes the shared fragment-assembly loop.
@@ -97,6 +152,10 @@ type assemblerConfig struct {
 	tr        *obs.Tracer
 	// mWait and mSealCommit instrument the shared seal path (nil no-ops).
 	mWait, mSealCommit *obs.Histogram
+	// mHop observes per-hop send→accept transit (clamped at zero when
+	// skew runs it negative); mE2E observes window-end→seal latency for
+	// live (non-replayed) windows. Both nil no-op.
+	mHop, mE2E *obs.Histogram
 	// flog enables crash recovery; nil runs in-memory only.
 	flog *FragLog
 	// exactlyOnce selects the frontier-commit ordering relative to
@@ -112,7 +171,17 @@ type assemblerConfig struct {
 	// onSeal performs the role-specific half of a seal — detection and
 	// sinks for the aggregator, upstream forwarding for the merger —
 	// given the merged index of window id w, emitted as sequence seq.
-	onSeal func(ctx context.Context, w int64, seq int, start time.Time, merged *trace.Index, aborted bool)
+	// hops is the window's combined hop trail (fragments in sorted node
+	// order); the merger copies it onto the merged fragment so the root
+	// sees the whole path.
+	onSeal func(ctx context.Context, w int64, seq int, start time.Time, merged *trace.Index, hops []wire.Hop, aborted bool)
+}
+
+// pendingFrag is one accepted fragment awaiting its window's seal.
+type pendingFrag struct {
+	idx      *trace.Index
+	hops     []wire.Hop
+	replayed bool
 }
 
 // assembler is the loop shared by the Aggregator and the Merger: it
@@ -148,12 +217,16 @@ type assembler struct {
 
 	// Loop state, owned by the run goroutine (resume touches it before
 	// the loop starts, from the same goroutine).
-	pending          map[int64]map[string]*trace.Index
+	pending          map[int64]map[string]*pendingFrag
 	firstFrag        map[int64]time.Time
 	minSeen, maxSeen int64
 	nextSeal         int64
 	sealedAny        bool
 	emitted          int
+	// replaying is true while resume feeds logged fragments through
+	// accept, marking them so their spans carry a replay flag and the
+	// e2e histogram skips their windows.
+	replaying bool
 }
 
 func newAssembler(cfg assemblerConfig) *assembler {
@@ -166,7 +239,7 @@ func newAssembler(cfg assemblerConfig) *assembler {
 		quit:     make(chan struct{}),
 		abnd:     make(chan struct{}),
 		nodes:    make(map[string]*nodeState),
-		pending:  make(map[int64]map[string]*trace.Index),
+		pending:  make(map[int64]map[string]*pendingFrag),
 		minSeen:  math.MaxInt64,
 		maxSeen:  noWindow,
 		nextSeal: noWindow,
@@ -198,6 +271,12 @@ func (s *assembler) Submit(frag *wire.Fragment) error {
 	case <-s.done:
 		return ErrStopped
 	default:
+	}
+	// Stamp the receive time on the fragment's own transit hop before the
+	// log append, so the stamp is durable and a replay reconstructs the
+	// original arrival time instead of the replay time.
+	if n := len(frag.Hops); n > 0 && frag.Hops[n-1].Recv.IsZero() {
+		frag.Hops[n-1].Recv = time.Now().UTC()
 	}
 	if s.cfg.flog != nil {
 		if err := s.cfg.flog.Append(frag); err != nil {
@@ -282,15 +361,19 @@ func (s *assembler) NodeStats() []NodeStat {
 	}
 	out := make([]NodeStat, 0, len(s.nodes))
 	for name, n := range s.nodes {
+		skew, warn := n.skewSeconds()
 		out = append(out, NodeStat{
-			Node:          name,
-			Fragments:     n.fragments,
-			Requests:      n.requests,
-			LateFragments: n.late,
-			LastWindow:    n.last,
-			LastSeen:      n.lastSeen,
-			Finished:      n.finished,
-			FinalOverdue:  anyFinished && !n.finished,
+			Node:             name,
+			Role:             n.role,
+			Fragments:        n.fragments,
+			Requests:         n.requests,
+			LateFragments:    n.late,
+			LastWindow:       n.last,
+			LastSeen:         n.lastSeen,
+			ClockSkewSeconds: skew,
+			SkewWarn:         warn,
+			Finished:         n.finished,
+			FinalOverdue:     anyFinished && !n.finished,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
@@ -310,6 +393,34 @@ func (s *assembler) accept(frag *wire.Fragment) {
 		s.log.Info("node joined", "node", frag.Node)
 	}
 	node.lastSeen = time.Now()
+	// Fold the hop trail into per-node observability state: the trail's
+	// last hop is the fragment's own transit (role, skew, dwell); earlier
+	// hops name deeper senders — the shards behind a merge tier — which
+	// become the node's remotes in the topology view.
+	if n := len(frag.Hops); n > 0 {
+		if h := &frag.Hops[n-1]; h.Node == frag.Node {
+			node.observeHop(h)
+		}
+		for i := 0; i < n-1; i++ {
+			h := &frag.Hops[i]
+			if h.Node == frag.Node || h.Node == "" {
+				continue
+			}
+			if node.remotes == nil {
+				node.remotes = make(map[string]*nodeState)
+			}
+			r := node.remotes[h.Node]
+			if r == nil {
+				r = &nodeState{last: noWindow}
+				node.remotes[h.Node] = r
+			}
+			if !frag.Final && frag.Window > r.last {
+				r.last = frag.Window
+			}
+			r.lastSeen = node.lastSeen
+			r.observeHop(h)
+		}
+	}
 	if frag.Final {
 		node.finished = true
 		s.nodeMu.Unlock()
@@ -341,13 +452,13 @@ func (s *assembler) accept(frag *wire.Fragment) {
 	s.ctrFragments.Add(1)
 	w := s.pending[frag.Window]
 	if w == nil {
-		w = make(map[string]*trace.Index, s.cfg.expect)
+		w = make(map[string]*pendingFrag, s.cfg.expect)
 		s.pending[frag.Window] = w
 		if s.firstFrag != nil {
 			s.firstFrag[frag.Window] = time.Now()
 		}
 	}
-	w[frag.Node] = frag.Index
+	w[frag.Node] = &pendingFrag{idx: frag.Index, hops: frag.Hops, replayed: s.replaying}
 	if frag.Window < s.minSeen {
 		s.minSeen = frag.Window
 	}
@@ -402,8 +513,12 @@ func (s *assembler) seal(ctx context.Context, w int64, aborted bool) {
 	}
 	sort.Strings(names)
 	merged := trace.NewIndex()
+	var hops []wire.Hop
+	replayed := false
 	for _, n := range names {
-		merged.Merge(frags[n])
+		merged.Merge(frags[n].idx)
+		hops = append(hops, frags[n].hops...)
+		replayed = replayed || frags[n].replayed
 	}
 	sealedAt := time.Now()
 
@@ -413,13 +528,17 @@ func (s *assembler) seal(ctx context.Context, w int64, aborted bool) {
 		s.tr.Record(seq, "merge", sealStart, sealedAt.Sub(sealStart),
 			"nodes", strconv.Itoa(len(names)), "requests", strconv.Itoa(merged.RequestCount))
 	}
+	s.recordHops(seq, frags, names)
+	if s.cfg.mE2E != nil && !replayed && !aborted {
+		s.cfg.mE2E.Observe(max(sealedAt.Sub(start.Add(s.cfg.window)).Seconds(), 0))
+	}
 	if s.cfg.flog != nil && s.cfg.exactlyOnce {
 		if err := s.cfg.flog.Commit(w+1, s.emitted+1); err != nil {
 			s.setErr(err)
 			s.log.Error("frontier commit failed", "windowID", w, "err", err)
 		}
 	}
-	s.cfg.onSeal(ctx, w, s.emitted, start, merged, aborted)
+	s.cfg.onSeal(ctx, w, s.emitted, start, merged, hops, aborted)
 	if s.cfg.flog != nil {
 		if !s.cfg.exactlyOnce {
 			if err := s.cfg.flog.Commit(w+1, s.emitted+1); err != nil {
@@ -439,6 +558,44 @@ func (s *assembler) seal(ctx context.Context, w int64, aborted bool) {
 		"window", s.emitted, "windowID", w, "nodes", len(names), "requests", merged.RequestCount)
 	s.emitted++
 	s.sealedAny = true
+}
+
+// recordHops folds the sealed window's hop trails into stitched spans
+// ("hop:<node>", starting at the sender's send stamp, lasting until the
+// receive stamp) and the hop-transit histogram. Replayed fragments are
+// span-marked replay="true"; their stamps are the original transit times
+// restored from the fragment log, not the replay's.
+func (s *assembler) recordHops(seq int64, frags map[string]*pendingFrag, names []string) {
+	if s.tr == nil && s.cfg.mHop == nil {
+		return
+	}
+	for _, n := range names {
+		pf := frags[n]
+		for _, h := range pf.hops {
+			if h.Send.IsZero() {
+				continue
+			}
+			var transit time.Duration
+			if !h.Recv.IsZero() {
+				transit = max(h.Recv.Sub(h.Send), 0)
+				s.cfg.mHop.Observe(transit.Seconds())
+			}
+			attrs := []string{"from", n}
+			if h.Role != "" {
+				attrs = append(attrs, "role", h.Role)
+			}
+			if h.Attempts > 1 {
+				attrs = append(attrs, "attempts", strconv.Itoa(h.Attempts))
+			}
+			if h.SpoolDwell > 0 {
+				attrs = append(attrs, "spoolDwell", h.SpoolDwell.String())
+			}
+			if pf.replayed {
+				attrs = append(attrs, "replay", "true")
+			}
+			s.tr.Record(seq, "hop:"+h.Node, h.Send, transit, attrs...)
+		}
+	}
 }
 
 // flush seals every remaining window in order, report-less when the
@@ -515,10 +672,13 @@ func (s *assembler) resume(ctx context.Context) error {
 		s.emitted, s.nextSeal, s.sealedAny = emitted, nextSeal, emitted > 0
 	}
 	flog.RemoveBelow(s.nextSeal)
-	if err := flog.Replay(func(frag *wire.Fragment) error {
+	s.replaying = true
+	err := flog.Replay(func(frag *wire.Fragment) error {
 		s.accept(frag)
 		return nil
-	}); err != nil {
+	})
+	s.replaying = false
+	if err != nil {
 		return err
 	}
 	if n := flog.Stats().Replayed; n > 0 || s.emitted > 0 {

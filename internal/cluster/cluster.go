@@ -41,6 +41,20 @@
 // lateness policy. Duplicate fragments (at-least-once delivery after a
 // lost response) are detected per (node, window) and dropped, keeping
 // application idempotent.
+//
+// # Hop provenance and tracing
+//
+// Every transit stamps a hop record (wire.Hop) onto the fragment: node,
+// role, send/receive times, delivery attempts, spool dwell. Mergers
+// carry their children's trails upstream, so the root aggregator
+// stitches the full path into hop:<node> spans on its obs.Tracer,
+// observes per-hop transit and end-to-end event-time-to-seal
+// histograms, estimates per-child clock skew from the stamps, and
+// reconstructs the tree below it (Topology, served as /v1/cluster)
+// from hop records alone — no registration protocol. Receive stamps
+// land before the fragment log append, so crash-recovery replays
+// rebuild the same spans marked replay=true and are excluded from the
+// end-to-end histogram rather than double-counted.
 package cluster
 
 import (
@@ -126,6 +140,13 @@ type ForwarderConfig struct {
 	// Node names this ingest node in fragments (required; the aggregator
 	// keys watermarks and metrics by it).
 	Node string
+	// Role labels this node's hop records ("ingest", "merge"); default
+	// "ingest". The receiver folds it into topology and trace views.
+	Role string
+	// DisableHops suppresses hop-provenance stamping on outgoing
+	// fragments (used to measure tracing overhead; production nodes leave
+	// it off).
+	DisableHops bool
 	// Stride is the cluster window stride — must match the aggregator's
 	// and the ingest engine's (required, > 0).
 	Stride time.Duration
@@ -205,6 +226,9 @@ func NewForwarder(cfg ForwarderConfig) (*Forwarder, error) {
 	if cfg.Stride <= 0 {
 		return nil, errors.New("cluster: ForwarderConfig.Stride must be > 0")
 	}
+	if cfg.Role == "" {
+		cfg.Role = "ingest"
+	}
 	if cfg.MaxAttempts <= 0 {
 		cfg.MaxAttempts = 5
 	}
@@ -280,14 +304,23 @@ func (f *Forwarder) Consume(w *stream.WindowResult) error {
 	if w.Index == nil {
 		return fmt.Errorf("cluster: window %d has no index; run the engine with Config.IndexOnly", w.Seq)
 	}
-	id := WindowID(w.Start, f.cfg.Stride)
-	frag := &wire.Fragment{
+	return f.forward(&wire.Fragment{
 		Node:   f.cfg.Node,
-		Window: id,
+		Window: WindowID(w.Start, f.cfg.Stride),
 		Start:  w.Start,
 		End:    w.End,
 		Index:  w.Index,
-	}
+	})
+}
+
+// forward encodes and delivers one fragment — the shared implementation
+// behind Consume, also called directly by the Merger so its children's
+// hop trails (already on frag.Hops) ride the merged fragment. The encoded
+// bytes stay hop-free for this transit; each delivery attempt appends its
+// own freshly-stamped hop record via hopBody, and spooled fragments get
+// theirs at drain time so dwell and attempt counts are accurate.
+func (f *Forwarder) forward(frag *wire.Fragment) error {
+	id := frag.Window
 	body := wire.EncodeFragment(frag)
 	if f.sp != nil && f.sp.pending() > 0 {
 		if err := f.sp.put(body); err != nil {
@@ -297,7 +330,7 @@ func (f *Forwarder) Consume(w *stream.WindowResult) error {
 		f.drain()
 		return nil
 	}
-	if err := f.post(body); err != nil {
+	if err := f.post(body, 0); err != nil {
 		var rej *rejectError
 		if f.sp == nil || errors.As(err, &rej) {
 			return err
@@ -312,17 +345,34 @@ func (f *Forwarder) Consume(w *stream.WindowResult) error {
 	return nil
 }
 
+// hopBody returns body with this node's hop record appended: Send stamped
+// now, the attempt count, and how long the fragment sat in the spool.
+// AppendHop is a pure byte append, so the base encoding is paid once per
+// fragment, not per attempt. With DisableHops set it returns body as-is.
+func (f *Forwarder) hopBody(body []byte, attempt int, dwell time.Duration) []byte {
+	if f.cfg.DisableHops {
+		return body
+	}
+	return wire.AppendHop(body, wire.Hop{
+		Node:       f.cfg.Node,
+		Role:       f.cfg.Role,
+		Send:       time.Now().UTC(),
+		Attempts:   attempt,
+		SpoolDwell: dwell,
+	})
+}
+
 // drain delivers spooled fragments oldest-first with single attempts,
 // stopping at the first transient failure — the aggregator is still (or
 // again) unreachable, and the next Consume or Close will try again. A 4xx
 // rejection drops the entry: resending cannot heal it.
 func (f *Forwarder) drain() {
 	for f.sp.pending() > 0 {
-		seq, body, ok := f.sp.peek()
+		seq, body, dwell, ok := f.sp.peek()
 		if !ok {
 			continue // unreadable entry was dropped; move on
 		}
-		err := f.postOnce(body)
+		err := f.postOnce(f.hopBody(body, 1, dwell))
 		var rej *rejectError
 		switch {
 		case err == nil:
@@ -344,11 +394,11 @@ func (f *Forwarder) drain() {
 func (f *Forwarder) Close() error {
 	if f.sp != nil {
 		for f.sp.pending() > 0 {
-			seq, body, ok := f.sp.peek()
+			seq, body, dwell, ok := f.sp.peek()
 			if !ok {
 				continue
 			}
-			if err := f.post(body); err != nil {
+			if err := f.post(body, dwell); err != nil {
 				var rej *rejectError
 				if errors.As(err, &rej) {
 					f.log.Error("aggregator rejected spooled fragment; dropped", "seq", seq, "err", err)
@@ -361,7 +411,7 @@ func (f *Forwarder) Close() error {
 		}
 	}
 	frag := &wire.Fragment{Node: f.cfg.Node, Window: f.lastWindow.Load(), Final: true}
-	return f.post(wire.EncodeFragment(frag))
+	return f.post(wire.EncodeFragment(frag), 0)
 }
 
 // CloseContext is Close with patience: it keeps draining the spool and
@@ -381,7 +431,7 @@ func (f *Forwarder) CloseContext(ctx context.Context) error {
 		var err error
 		if n := f.spoolPending(); n > 0 {
 			err = fmt.Errorf("cluster: %d spooled fragments undelivered", n)
-		} else if err = f.postOnce(final); err == nil {
+		} else if err = f.postOnce(f.hopBody(final, attempt, 0)); err == nil {
 			return nil
 		} else {
 			var rej *rejectError
@@ -484,13 +534,15 @@ func (f *Forwarder) postOnce(body []byte) error {
 // post delivers one encoded fragment, retrying transient failures
 // (network errors and 5xx) with full-jitter doubling backoff. 4xx
 // responses fail immediately: a rejected fragment will not heal by
-// resending.
-func (f *Forwarder) post(body []byte) error {
+// resending. Each attempt ships its own hop record — fresh Send stamp and
+// attempt count — so the receiver sees the true last-transit timing, not
+// the first try's.
+func (f *Forwarder) post(body []byte, dwell time.Duration) error {
 	t0 := time.Now()
 	defer f.mPost.ObserveSince(t0)
 	var lastErr error
 	for attempt := 1; ; attempt++ {
-		err := f.postOnce(body)
+		err := f.postOnce(f.hopBody(body, attempt, dwell))
 		if err == nil {
 			return nil
 		}

@@ -8,8 +8,8 @@ import (
 	"time"
 
 	"smash/internal/obs"
-	"smash/internal/stream"
 	"smash/internal/trace"
+	"smash/internal/wire"
 )
 
 // MergerConfig parameterizes a Merger.
@@ -81,17 +81,22 @@ func NewMerger(cfg MergerConfig) (*Merger, error) {
 		cfg.Buffer = 64
 	}
 	cfg.Forward.Stride = cfg.Stride
+	if cfg.Forward.Role == "" {
+		cfg.Forward.Role = "merge"
+	}
 	fwd, err := NewForwarder(cfg.Forward)
 	if err != nil {
 		return nil, err
 	}
 	m := &Merger{cfg: cfg, fwd: fwd}
-	var mWait, mSealCommit *obs.Histogram
+	var mWait, mSealCommit, mHop *obs.Histogram
 	if reg := cfg.Metrics; reg != nil {
 		mWait = reg.Histogram("smash_cluster_fragment_wait_seconds",
 			"Wall-clock from a cluster window's first fragment arrival to its seal.")
 		mSealCommit = reg.Histogram("smash_seal_commit_seconds",
 			"Wall-clock from a window's sealed index to its committed result (sinks done, result published).")
+		mHop = reg.Histogram("smash_hop_transit_seconds",
+			"Per-hop send-to-accept transit of incoming fragments (clamped at zero under clock skew).")
 	}
 	var flog *FragLog
 	if cfg.FragDir != "" {
@@ -112,6 +117,7 @@ func NewMerger(cfg MergerConfig) (*Merger, error) {
 		log:         cfg.Logger,
 		mWait:       mWait,
 		mSealCommit: mSealCommit,
+		mHop:        mHop,
 		flog:        flog,
 		exactlyOnce: false, // the parent dedupes; commit after forward
 		applied:     -1,    // no sink to reconcile against
@@ -146,20 +152,23 @@ func (m *Merger) CloseUpstream(ctx context.Context) error {
 }
 
 // sealWindow is the merger's half of a seal: wrap the merged index as
-// this tier's own fragment for window w and deliver it to the parent.
+// this tier's own fragment for window w and deliver it to the parent,
+// with the children's hop trails copied onto it — the forwarder appends
+// this tier's own hop at send time, so the root sees the whole path.
 // Empty windows forward too — the parent needs this tier's watermark to
 // advance exactly as if the children fed it directly. Delivery failure
 // (attempts exhausted without a spool) is recorded, not fatal: the
 // parent's straggler policy already owns the missing-window case.
-func (m *Merger) sealWindow(ctx context.Context, w int64, seq int, start time.Time, merged *trace.Index, aborted bool) {
-	res := stream.WindowResult{
-		Seq:      seq,
-		Start:    start,
-		End:      start.Add(m.cfg.Window),
-		Requests: merged.RequestCount,
-		Index:    merged,
+func (m *Merger) sealWindow(ctx context.Context, w int64, seq int, start time.Time, merged *trace.Index, hops []wire.Hop, aborted bool) {
+	frag := &wire.Fragment{
+		Node:   m.cfg.Forward.Node,
+		Window: w,
+		Start:  start,
+		End:    start.Add(m.cfg.Window),
+		Index:  merged,
+		Hops:   hops,
 	}
-	if err := m.fwd.Consume(&res); err != nil {
+	if err := m.fwd.forward(frag); err != nil {
 		m.setErr(fmt.Errorf("cluster: merge forward: %w", err))
 		m.log.Error("merged fragment delivery failed", "windowID", w, "err", err)
 	}

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"smash/internal/store"
 )
@@ -113,12 +114,14 @@ func (s *spool) put(body []byte) error {
 	return nil
 }
 
-// peek returns the oldest pending entry without removing it.
-func (s *spool) peek() (seq int64, body []byte, ok bool) {
+// peek returns the oldest pending entry without removing it, plus how
+// long it has sat on disk (from the file's mtime — the put time, which
+// survives restarts; zero when the clock went backwards or stat failed).
+func (s *spool) peek() (seq int64, body []byte, dwell time.Duration, ok bool) {
 	s.mu.Lock()
 	if len(s.seqs) == 0 {
 		s.mu.Unlock()
-		return 0, nil, false
+		return 0, nil, 0, false
 	}
 	seq = s.seqs[0]
 	s.mu.Unlock()
@@ -130,9 +133,12 @@ func (s *spool) peek() (seq int64, body []byte, ok bool) {
 		s.dropped++
 		s.mu.Unlock()
 		s.log.Error("spool entry unreadable; dropped", "seq", seq, "err", err)
-		return 0, nil, false
+		return 0, nil, 0, false
 	}
-	return seq, body, true
+	if info, err := os.Stat(s.path(seq)); err == nil {
+		dwell = max(time.Since(info.ModTime()), 0)
+	}
+	return seq, body, dwell, true
 }
 
 // remove deletes one delivered (or abandoned) entry.

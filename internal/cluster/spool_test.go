@@ -191,7 +191,7 @@ func TestSpoolBound(t *testing.T) {
 	}
 	var got []int64
 	for sp.pending() > 0 {
-		seq, body, ok := sp.peek()
+		seq, body, _, ok := sp.peek()
 		if !ok {
 			break
 		}

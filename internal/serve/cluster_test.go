@@ -309,3 +309,103 @@ func clusterWorldRequests(t *testing.T) []trace.Request {
 	}
 	return reqs
 }
+
+// GET /v1/cluster reconstructs the tree below an aggregator from hop
+// provenance: a fragment relayed shard0 -> merge0 -> here must show
+// merge0 as a direct child with shard0 beneath it, each with its role.
+func TestClusterTreeEndpoint(t *testing.T) {
+	st := memStore(t)
+	agg, err := cluster.NewAggregator(cluster.AggregatorConfig{
+		Window: 24 * time.Hour, Expect: 1,
+		Detector: []core.Option{core.WithSeed(1)},
+		Sinks:    []stream.Sink{st},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHandler(Config{Store: st, Aggregator: agg, Node: "root", Role: "aggregate"})
+
+	results := agg.Start(context.Background())
+	drained := make(chan struct{})
+	go func() {
+		for range results {
+		}
+		close(drained)
+	}()
+	now := time.Now().UTC()
+	frag := windowFragment("merge0", 3, "c1")
+	frag.Hops = []wire.Hop{
+		{Node: "shard0", Role: "ingest", Send: now.Add(-2 * time.Second), Recv: now.Add(-1 * time.Second), Attempts: 1},
+		{Node: "merge0", Role: "merge", Send: now, Attempts: 1},
+	}
+	if rec := postFragment(t, h, frag); rec.Code != http.StatusAccepted {
+		t.Fatalf("ingest status = %d: %s", rec.Code, rec.Body)
+	}
+	if rec := postFragment(t, h, &wire.Fragment{Node: "merge0", Window: 3, Final: true}); rec.Code != http.StatusAccepted {
+		t.Fatalf("final marker status = %d", rec.Code)
+	}
+	<-drained
+
+	rec := get(t, h, "/v1/cluster")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("cluster status = %d: %s", rec.Code, rec.Body)
+	}
+	var view struct {
+		Node     string             `json:"node"`
+		Role     string             `json:"role"`
+		Cluster  *cluster.Stats     `json:"cluster"`
+		Children []cluster.TreeNode `json:"children"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Node != "root" || view.Role != "aggregate" {
+		t.Errorf("self = %s/%s, want root/aggregate", view.Node, view.Role)
+	}
+	if view.Cluster == nil || view.Cluster.Fragments != 1 {
+		t.Errorf("cluster stats = %+v, want 1 fragment", view.Cluster)
+	}
+	if len(view.Children) != 1 {
+		t.Fatalf("children = %+v, want exactly merge0", view.Children)
+	}
+	child := view.Children[0]
+	if child.Node != "merge0" || child.Role != "merge" {
+		t.Errorf("child = %s/%s, want merge0/merge", child.Node, child.Role)
+	}
+	if child.LastWindow != 3 {
+		t.Errorf("child lastWindow = %d, want 3", child.LastWindow)
+	}
+	if child.ClockSkewSeconds == nil {
+		t.Error("child clock skew missing (Submit stamps Recv on the last hop)")
+	}
+	if !child.Finished {
+		t.Error("child not marked finished after its final marker")
+	}
+	if len(child.Children) != 1 || child.Children[0].Node != "shard0" {
+		t.Fatalf("grandchildren = %+v, want exactly shard0", child.Children)
+	}
+	gc := child.Children[0]
+	if gc.Role != "ingest" {
+		t.Errorf("grandchild role = %q, want ingest", gc.Role)
+	}
+	if gc.ClockSkewSeconds == nil || *gc.ClockSkewSeconds != 1 {
+		t.Errorf("grandchild skew = %v, want 1s (stamped into the hop)", gc.ClockSkewSeconds)
+	}
+
+	// A standalone handler still answers: a leaf with no children.
+	bare := NewHandler(Config{Store: memStore(t)})
+	rec = get(t, bare, "/v1/cluster")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("standalone cluster status = %d", rec.Code)
+	}
+	var leaf struct {
+		Role     string             `json:"role"`
+		Children []cluster.TreeNode `json:"children"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &leaf); err != nil {
+		t.Fatal(err)
+	}
+	if leaf.Role != "standalone" || len(leaf.Children) != 0 {
+		t.Errorf("standalone view = %+v, want role standalone and no children", leaf)
+	}
+}

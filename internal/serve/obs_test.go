@@ -384,7 +384,11 @@ func TestMetricsLintClusterRole(t *testing.T) {
 		}
 		close(drained)
 	}()
-	if rec := postFragment(t, h, windowFragment("n0", 3, "c1")); rec.Code != http.StatusAccepted {
+	frag := windowFragment("n0", 3, "c1")
+	// A hop-stamped fragment exercises the transit histogram and the
+	// per-node skew gauge (Submit stamps the receive side).
+	frag.Hops = []wire.Hop{{Node: "n0", Role: "ingest", Send: time.Now().UTC(), Attempts: 1}}
+	if rec := postFragment(t, h, frag); rec.Code != http.StatusAccepted {
 		t.Fatalf("ingest status = %d: %s", rec.Code, rec.Body)
 	}
 	if rec := postFragment(t, h, &wire.Fragment{Node: "n0", Window: 3, Final: true}); rec.Code != http.StatusAccepted {
@@ -400,6 +404,11 @@ func TestMetricsLintClusterRole(t *testing.T) {
 		`smash_cluster_node_fragments_total{node="n0"} 1`,
 		"smash_cluster_fragments_total 1",
 		`smash_sink_consume_seconds_count{sink="store"} 1`,
+		"# TYPE smash_hop_transit_seconds histogram",
+		"smash_hop_transit_seconds_count 1",
+		"# TYPE smash_e2e_event_to_seal_seconds histogram",
+		"smash_e2e_event_to_seal_seconds_count 1",
+		`smash_cluster_node_clock_skew_seconds{node="n0"}`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("cluster metrics missing %q\n%s", want, body)
@@ -416,7 +425,7 @@ func TestMetricsLintClusterRole(t *testing.T) {
 	for _, s := range got.Spans {
 		phases[s.Phase] = true
 	}
-	for _, want := range []string{"fragments", "merge", "detect", "store"} {
+	for _, want := range []string{"fragments", "merge", "detect", "store", "hop:n0"} {
 		if !phases[want] {
 			t.Errorf("cluster trace missing phase %q (have %v)", want, phases)
 		}

@@ -29,6 +29,12 @@
 //	                                seal, detect stages, sink consumes)
 //	                                from the obs.Tracer ring
 //	GET  /v1/stats                  store + engine (+ cluster) counters
+//	GET  /v1/cluster                this node's place in the cluster tree:
+//	                                role, upstream delivery leg, and (on
+//	                                aggregator/merge roles) every known
+//	                                child — watermark, lag, clock skew,
+//	                                spool dwell — recursively from hop
+//	                                provenance
 //	GET  /v1/deltas                 lineage transitions as Server-Sent
 //	                                Events: retained history first, then
 //	                                live deltas as windows seal; resumes
@@ -75,13 +81,14 @@ import (
 
 // FragmentSink is the cluster-tier intake /v1/ingest drives: Submit
 // accepts one decoded wire fragment (blocking for backpressure), and the
-// stats methods feed /v1/stats and the smash_cluster_* metrics. Both
-// *cluster.Aggregator (detection tier) and *cluster.Merger (fan-in tier)
-// satisfy it.
+// stats methods feed /v1/stats, /v1/cluster and the smash_cluster_*
+// metrics. Both *cluster.Aggregator (detection tier) and *cluster.Merger
+// (fan-in tier) satisfy it.
 type FragmentSink interface {
 	Submit(*wire.Fragment) error
 	Stats() cluster.Stats
 	NodeStats() []cluster.NodeStat
+	Topology() []cluster.TreeNode
 }
 
 // Config wires the handler's data sources.
@@ -115,6 +122,15 @@ type Config struct {
 	// /metrics and a sources block to /v1/stats (push intake counters are
 	// appended automatically when Push is set).
 	Sources func() []source.Stats
+	// Node and Role identify this process in the /v1/cluster topology
+	// view ("shard0"/"ingest", "merge0"/"merge", "" defaults to the
+	// process name and "standalone").
+	Node string
+	Role string
+	// ForwarderStats, when set, contributes this node's upstream delivery
+	// leg (spool depth, retries) to /v1/cluster — the ingest and merge
+	// roles' wiring (use Forwarder.Stats).
+	ForwarderStats func() cluster.ForwarderStats
 	// Started stamps the /healthz uptime; zero disables the field.
 	Started time.Time
 	// Metrics is the registry rendered at /metrics. Pass the registry the
@@ -164,6 +180,7 @@ func NewHandler(cfg Config) http.Handler {
 	mux.HandleFunc("GET /v1/windows/latest", s.latestWindow)
 	mux.HandleFunc("GET /v1/deltas", s.deltas)
 	mux.HandleFunc("GET /v1/stats", s.stats)
+	mux.HandleFunc("GET /v1/cluster", s.clusterTree)
 	if cfg.Tracer != nil {
 		mux.HandleFunc("GET /v1/windows/{seq}/trace", s.windowTrace)
 	}
@@ -521,6 +538,39 @@ func (s *server) stats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// clusterTree renders this node's view of the cluster: its own identity
+// and upstream delivery leg, plus — when it assembles fragments — every
+// child it has heard from, recursively, reconstructed from the hop
+// provenance those fragments carry. Asking the root yields the whole
+// tree; asking a merge tier yields its subtree; asking an ingest node
+// yields a leaf with its forwarding stats.
+func (s *server) clusterTree(w http.ResponseWriter, r *http.Request) {
+	out := struct {
+		Node     string                  `json:"node,omitempty"`
+		Role     string                  `json:"role"`
+		Uptime   float64                 `json:"uptimeSeconds,omitempty"`
+		Forward  *cluster.ForwarderStats `json:"forward,omitempty"`
+		Cluster  *cluster.Stats          `json:"cluster,omitempty"`
+		Children []cluster.TreeNode      `json:"children,omitempty"`
+	}{Node: s.cfg.Node, Role: s.cfg.Role}
+	if out.Role == "" {
+		out.Role = "standalone"
+	}
+	if !s.cfg.Started.IsZero() {
+		out.Uptime = time.Since(s.cfg.Started).Seconds()
+	}
+	if s.cfg.ForwarderStats != nil {
+		fs := s.cfg.ForwarderStats()
+		out.Forward = &fs
+	}
+	if s.cfg.Aggregator != nil {
+		cs := s.cfg.Aggregator.Stats()
+		out.Cluster = &cs
+		out.Children = s.cfg.Aggregator.Topology()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
 func (s *server) healthz(w http.ResponseWriter, r *http.Request) {
 	out := map[string]any{"status": "ok"}
 	if !s.cfg.Started.IsZero() {
@@ -638,6 +688,15 @@ func registerCollectors(reg *obs.Registry, cfg Config, sources func() []source.S
 			func(emit obs.Emit) {
 				for _, n := range agg.NodeStats() {
 					emit(float64(n.LastWindow), "node", n.Node)
+				}
+			})
+		reg.GaugeFunc("smash_cluster_node_clock_skew_seconds",
+			"Estimated clock skew per child node (send-to-accept EWMA; includes network transit, so it upper-bounds true skew). Absent until a hop-stamped fragment arrives.",
+			func(emit obs.Emit) {
+				for _, n := range agg.NodeStats() {
+					if n.ClockSkewSeconds != nil {
+						emit(*n.ClockSkewSeconds, "node", n.Node)
+					}
 				}
 			})
 	}

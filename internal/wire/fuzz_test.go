@@ -134,6 +134,84 @@ func FuzzDecodeIndex(f *testing.F) {
 	})
 }
 
+// FuzzFragmentRoundTrip proves the envelope guarantee with hop records
+// present: encode→decode preserves every field, encode(decode(b)) == b,
+// and AppendHop on the encoded bytes equals re-encoding with the hop in
+// place.
+func FuzzFragmentRoundTrip(f *testing.F) {
+	f.Add([]byte{}, "n0", int64(0), uint8(0), false)
+	f.Add([]byte{1, 2, 3, 4}, "shard1", int64(15248), uint8(2), false)
+	f.Add(bytesSeq(64), "merge0", int64(-40), uint8(5), true)
+	f.Fuzz(func(t *testing.T, data []byte, node string, window int64, nhops uint8, final bool) {
+		base := time.Date(2012, 3, 1, 0, 0, 0, 0, time.UTC)
+		frag := &Fragment{
+			Node:   node,
+			Window: window,
+			Start:  base,
+			End:    base.Add(time.Hour),
+			Final:  final,
+		}
+		if !final {
+			idx := trace.NewIndex()
+			for _, r := range fuzzRequests(data) {
+				r := r
+				idx.Add(&r)
+			}
+			frag.Index = idx
+		}
+		for i := 0; i < int(nhops%8); i++ {
+			h := Hop{
+				Node:     fmt.Sprintf("%s-hop%d", node, i),
+				Role:     []string{"ingest", "merge", ""}[i%3],
+				Send:     base.Add(time.Duration(i) * time.Second),
+				Attempts: i + 1,
+			}
+			if i%2 == 0 {
+				h.Recv = h.Send.Add(time.Duration(i) * time.Millisecond)
+			}
+			if i%3 == 1 {
+				h.SpoolDwell = time.Duration(i) * time.Minute
+			}
+			frag.Hops = append(frag.Hops, h)
+		}
+
+		enc := EncodeFragment(frag)
+		dec, err := DecodeFragment(enc)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		if dec.Node != frag.Node || dec.Window != frag.Window || dec.Final != frag.Final {
+			t.Fatalf("envelope diverged: %+v", dec)
+		}
+		if len(dec.Hops) != len(frag.Hops) {
+			t.Fatalf("decoded %d hops, want %d", len(dec.Hops), len(frag.Hops))
+		}
+		for i, h := range dec.Hops {
+			w := frag.Hops[i]
+			if h.Node != w.Node || h.Role != w.Role || !h.Send.Equal(w.Send) || !h.Recv.Equal(w.Recv) ||
+				h.Attempts != w.Attempts || h.SpoolDwell != w.SpoolDwell {
+				t.Fatalf("hop %d diverged:\ngot  %+v\nwant %+v", i, h, w)
+			}
+		}
+		if frag.Index != nil && dec.Index.Fingerprint() != frag.Index.Fingerprint() {
+			t.Error("fragment index fingerprint diverged")
+		}
+		if string(EncodeFragment(dec)) != string(enc) {
+			t.Error("encode(decode(b)) != b")
+		}
+
+		extra := Hop{Node: "relay", Role: "merge", Send: base.Add(time.Minute), Attempts: 1}
+		appended := AppendHop(enc, extra)
+		frag.Hops = append(frag.Hops, extra)
+		if string(appended) != string(EncodeFragment(frag)) {
+			t.Error("AppendHop diverged from re-encoding")
+		}
+		if _, err := DecodeFragment(appended); err != nil {
+			t.Errorf("decode after AppendHop failed: %v", err)
+		}
+	})
+}
+
 func bytesSeq(n int) []byte {
 	b := make([]byte, n)
 	for i := range b {

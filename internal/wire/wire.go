@@ -33,13 +33,17 @@
 //
 // A Fragment wraps an encoded index with the routing envelope the cluster
 // layer needs: source node, epoch-derived window id, window bounds, and
-// the end-of-stream marker.
+// the end-of-stream marker. Since envelope version 2 a fragment also
+// carries a trailing hop-provenance section — self-delimiting records,
+// one per transit, read until the buffer ends — which relays extend with
+// AppendHop without re-encoding the payload.
 package wire
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -47,8 +51,14 @@ import (
 	"smash/internal/trace"
 )
 
-// Version is the current codec version. Decoders reject anything newer.
+// Version is the current index codec version. Decoders reject anything
+// newer.
 const Version = 1
+
+// FragmentVersion is the current fragment envelope version. Version 2
+// added the trailing hop-provenance section; version-1 fragments (no
+// hops) still decode. Decoders reject anything newer.
+const FragmentVersion = 2
 
 var magic = [4]byte{'S', 'M', 'W', 'F'}
 
@@ -214,6 +224,15 @@ type reader struct {
 
 func (r *reader) uvarint() (uint64, error) {
 	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("truncated varint at %d: %w", r.off, ErrCorrupt)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *reader) varint() (int64, error) {
+	v, n := binary.Varint(r.b[r.off:])
 	if n <= 0 {
 		return 0, fmt.Errorf("truncated varint at %d: %w", r.off, ErrCorrupt)
 	}
@@ -445,6 +464,30 @@ type Fragment struct {
 	// Index is the node's partial traffic aggregate for the window; nil
 	// on Final markers.
 	Index *trace.Index
+	// Hops is the append-only provenance trail: one record per transit,
+	// written by the sender just before each delivery attempt and stamped
+	// with the receive time on arrival. A fan-in merger copies its
+	// children's hops onto the merged fragment before appending its own,
+	// so the root sees the full path. Hops never affect the index payload
+	// or window identity — two fragments that differ only in Hops merge
+	// identically.
+	Hops []Hop
+}
+
+// Hop is one transit record in a fragment's provenance trail.
+type Hop struct {
+	// Node and Role identify the sending process ("ingest", "merge").
+	Node, Role string
+	// Send is the sender's wall clock just before the delivery attempt;
+	// Recv is the receiver's wall clock at accept. Recv-Send estimates
+	// transit latency plus inter-node clock skew. Zero times encode as 0.
+	Send, Recv time.Time
+	// Attempts counts delivery attempts for this transit, 1-based; >1
+	// means retries or a spool replay preceded this copy.
+	Attempts int
+	// SpoolDwell is how long the fragment sat in the sender's durable
+	// spool before this attempt; zero when it was never spooled.
+	SpoolDwell time.Duration
 }
 
 const (
@@ -452,11 +495,12 @@ const (
 	flagHasIndex = 1 << 1
 )
 
-// EncodeFragment serializes the fragment envelope plus its index.
+// EncodeFragment serializes the fragment envelope plus its index and hop
+// trail.
 func EncodeFragment(f *Fragment) []byte {
 	b := make([]byte, 0, 1<<12)
 	b = append(b, magic[:]...)
-	b = binary.AppendUvarint(b, Version)
+	b = binary.AppendUvarint(b, FragmentVersion)
 	b = binary.AppendUvarint(b, uint64(len(f.Node)))
 	b = append(b, f.Node...)
 	b = binary.AppendVarint(b, f.Window)
@@ -473,7 +517,81 @@ func EncodeFragment(f *Fragment) []byte {
 	if f.Index != nil {
 		b = appendIndex(b, f.Index)
 	}
+	for i := range f.Hops {
+		b = appendHop(b, &f.Hops[i])
+	}
 	return b
+}
+
+// hopTimeNS maps a wall-clock stamp to its wire form: zero times encode
+// as 0 so an unset Recv round-trips exactly.
+func hopTimeNS(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixNano()
+}
+
+func hopTime(ns int64) time.Time {
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns).UTC()
+}
+
+// appendHop appends one self-delimiting hop record. Hop records trail the
+// fragment after the (optional) index; decoders read them until the buffer
+// ends, so no count prefix is needed and a relay can extend the trail
+// without re-encoding the payload.
+func appendHop(b []byte, h *Hop) []byte {
+	b = binary.AppendUvarint(b, uint64(len(h.Node)))
+	b = append(b, h.Node...)
+	b = binary.AppendUvarint(b, uint64(len(h.Role)))
+	b = append(b, h.Role...)
+	b = binary.AppendVarint(b, hopTimeNS(h.Send))
+	b = binary.AppendVarint(b, hopTimeNS(h.Recv))
+	b = binary.AppendUvarint(b, uint64(max(h.Attempts, 0)))
+	b = binary.AppendUvarint(b, uint64(max(h.SpoolDwell, 0)))
+	return b
+}
+
+// AppendHop returns encoded (an EncodeFragment result) with one more hop
+// record appended. It is a pure byte append — the envelope and index bytes
+// are not touched, so relays stamp provenance without paying a re-encode.
+func AppendHop(encoded []byte, h Hop) []byte {
+	return appendHop(encoded, &h)
+}
+
+func decodeHop(r *reader) (Hop, error) {
+	var h Hop
+	var err error
+	if h.Node, err = r.str(); err != nil {
+		return h, err
+	}
+	if h.Role, err = r.str(); err != nil {
+		return h, err
+	}
+	sendNS, err := r.varint()
+	if err != nil {
+		return h, err
+	}
+	recvNS, err := r.varint()
+	if err != nil {
+		return h, err
+	}
+	h.Send, h.Recv = hopTime(sendNS), hopTime(recvNS)
+	if h.Attempts, err = r.scalar(); err != nil {
+		return h, err
+	}
+	dwell, err := r.uvarint()
+	if err != nil {
+		return h, err
+	}
+	if dwell > math.MaxInt64 {
+		return h, fmt.Errorf("hop dwell %d out of range: %w", dwell, ErrCorrupt)
+	}
+	h.SpoolDwell = time.Duration(dwell)
+	return h, nil
 }
 
 // DecodeFragment parses EncodeFragment output.
@@ -487,30 +605,22 @@ func DecodeFragment(data []byte) (*Fragment, error) {
 	if err != nil {
 		return nil, err
 	}
-	if v == 0 || v > Version {
-		return nil, fmt.Errorf("wire: unsupported version %d (max %d)", v, Version)
+	if v == 0 || v > FragmentVersion {
+		return nil, fmt.Errorf("wire: unsupported version %d (max %d)", v, FragmentVersion)
 	}
 	node, err := r.str()
 	if err != nil {
 		return nil, err
 	}
-	varint := func() (int64, error) {
-		v, n := binary.Varint(r.b[r.off:])
-		if n <= 0 {
-			return 0, fmt.Errorf("truncated varint at %d: %w", r.off, ErrCorrupt)
-		}
-		r.off += n
-		return v, nil
-	}
-	window, err := varint()
+	window, err := r.varint()
 	if err != nil {
 		return nil, err
 	}
-	startNS, err := varint()
+	startNS, err := r.varint()
 	if err != nil {
 		return nil, err
 	}
-	endNS, err := varint()
+	endNS, err := r.varint()
 	if err != nil {
 		return nil, err
 	}
@@ -534,7 +644,16 @@ func DecodeFragment(data []byte) (*Fragment, error) {
 		r.off += n
 		f.Index = idx
 	}
-	if r.off != len(r.b) {
+	if v >= 2 {
+		// Hop records run to the end of the buffer.
+		for r.off < len(r.b) {
+			h, err := decodeHop(r)
+			if err != nil {
+				return nil, err
+			}
+			f.Hops = append(f.Hops, h)
+		}
+	} else if r.off != len(r.b) {
 		return nil, fmt.Errorf("%d trailing bytes: %w", len(r.b)-r.off, ErrCorrupt)
 	}
 	return f, nil

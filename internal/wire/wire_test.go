@@ -146,6 +146,134 @@ func TestFragmentRoundTrip(t *testing.T) {
 	}
 }
 
+func TestHopRoundTrip(t *testing.T) {
+	idx := trace.BuildIndex(sampleTrace())
+	f := &Fragment{
+		Node:   "ingest-0",
+		Window: 42,
+		Start:  time.Date(2011, 10, 1, 0, 0, 0, 0, time.UTC),
+		End:    time.Date(2011, 10, 2, 0, 0, 0, 0, time.UTC),
+		Index:  idx,
+		Hops: []Hop{
+			{
+				Node: "ingest-0", Role: "ingest",
+				Send:       time.Date(2011, 10, 2, 0, 0, 1, 500, time.UTC),
+				Recv:       time.Date(2011, 10, 2, 0, 0, 2, 0, time.UTC),
+				Attempts:   3,
+				SpoolDwell: 90 * time.Second,
+			},
+			// In-flight hop: Recv not yet stamped.
+			{Node: "merge-0", Role: "merge", Send: time.Date(2011, 10, 2, 0, 0, 3, 0, time.UTC), Attempts: 1},
+		},
+	}
+	enc := EncodeFragment(f)
+	dec, err := DecodeFragment(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Hops) != 2 {
+		t.Fatalf("decoded %d hops, want 2", len(dec.Hops))
+	}
+	for i, h := range dec.Hops {
+		w := f.Hops[i]
+		if h.Node != w.Node || h.Role != w.Role || !h.Send.Equal(w.Send) || !h.Recv.Equal(w.Recv) ||
+			h.Attempts != w.Attempts || h.SpoolDwell != w.SpoolDwell {
+			t.Errorf("hop %d diverged:\ngot  %+v\nwant %+v", i, h, w)
+		}
+	}
+	if !dec.Hops[1].Recv.IsZero() {
+		t.Errorf("unset Recv decoded as %v, want zero time", dec.Hops[1].Recv)
+	}
+	if string(EncodeFragment(dec)) != string(enc) {
+		t.Error("encode(decode(b)) != b with hops present")
+	}
+	if dec.Index.Fingerprint() != idx.Fingerprint() {
+		t.Error("hop trail corrupted the index payload")
+	}
+}
+
+// AppendHop on encoded bytes is exactly equivalent to appending the hop
+// to the struct and re-encoding — the relay fast path changes nothing.
+func TestAppendHopMatchesReencode(t *testing.T) {
+	idx := trace.BuildIndex(sampleTrace())
+	f := &Fragment{
+		Node:   "shard1",
+		Window: 9,
+		Start:  time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC),
+		End:    time.Date(2020, 1, 2, 0, 0, 0, 0, time.UTC),
+		Index:  idx,
+		Hops:   []Hop{{Node: "shard1", Role: "ingest", Send: time.Unix(100, 0).UTC(), Attempts: 1}},
+	}
+	h := Hop{Node: "merge0", Role: "merge", Send: time.Unix(200, 7).UTC(), Recv: time.Unix(201, 0).UTC(), Attempts: 2, SpoolDwell: time.Second}
+
+	appended := AppendHop(EncodeFragment(f), h)
+	f.Hops = append(f.Hops, h)
+	if string(appended) != string(EncodeFragment(f)) {
+		t.Error("AppendHop diverged from re-encoding with the hop in place")
+	}
+}
+
+// Final markers carry hops too — the trail is how the root learns the
+// role of a node that never shipped a non-empty window.
+func TestFinalMarkerCarriesHops(t *testing.T) {
+	final := &Fragment{
+		Node: "shard0", Window: 12, Final: true,
+		Hops: []Hop{{Node: "shard0", Role: "ingest", Send: time.Unix(50, 0).UTC(), Attempts: 1}},
+	}
+	dec, err := DecodeFragment(EncodeFragment(final))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dec.Final || len(dec.Hops) != 1 || dec.Hops[0].Role != "ingest" {
+		t.Errorf("final marker diverged: %+v", dec)
+	}
+}
+
+// Version-1 fragments (no hop section) still decode, and their strict
+// trailing-bytes check still rejects junk.
+func TestFragmentV1Compat(t *testing.T) {
+	f := &Fragment{
+		Node:   "old-node",
+		Window: 3,
+		Start:  time.Date(2011, 10, 1, 0, 0, 0, 0, time.UTC),
+		End:    time.Date(2011, 10, 2, 0, 0, 0, 0, time.UTC),
+		Index:  trace.BuildIndex(sampleTrace()),
+	}
+	enc := EncodeFragment(f)
+	if enc[4] != FragmentVersion {
+		t.Fatalf("version byte = %d, want %d", enc[4], FragmentVersion)
+	}
+	v1 := append([]byte{}, enc...)
+	v1[4] = 1 // a hop-free v2 body is byte-identical to the v1 encoding
+	dec, err := DecodeFragment(v1)
+	if err != nil {
+		t.Fatalf("v1 fragment rejected: %v", err)
+	}
+	if dec.Node != f.Node || dec.Window != f.Window || dec.Hops != nil {
+		t.Errorf("v1 fragment diverged: %+v", dec)
+	}
+	if _, err := DecodeFragment(append(v1, 0xFF)); err == nil {
+		t.Error("v1 fragment with trailing junk accepted")
+	}
+}
+
+func TestHopDecodeRejectsCorruption(t *testing.T) {
+	enc := EncodeFragment(&Fragment{Node: "n", Window: 1, Final: true})
+	cases := map[string][]byte{
+		"truncated hop":  append(append([]byte{}, enc...), 2, 'a'), // node length 2, one byte
+		"hop bad string": append(append([]byte{}, enc...), 0xFF, 0xFF, 0xFF, 0xFF, 0x7F),
+		// Keep the hop's node/role/send/recv/attempts bytes, replace the
+		// dwell varint with a value above MaxInt64.
+		"huge dwell": append(AppendHop(append([]byte{}, enc...), Hop{Node: "x"})[:len(enc)+6],
+			0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01),
+	}
+	for name, data := range cases {
+		if _, err := DecodeFragment(data); err == nil {
+			t.Errorf("%s: decode accepted corrupt hop section", name)
+		}
+	}
+}
+
 func TestDecodeRejectsCorruption(t *testing.T) {
 	enc := EncodeIndex(trace.BuildIndex(sampleTrace()))
 	cases := map[string][]byte{
